@@ -1,0 +1,74 @@
+"""E2 — Section 2's complexity claim.
+
+"In case N = 2^n ... the number of complex multiplications ... becomes
+(1/2) N log2 N.  Determining the DSCF involves (1/4) N^2 complex
+multiplications.  As an example, calculating the DSCF for a 256 point
+spectrum involves 16 times as many complex multiplications than the
+determination of the spectrum itself."
+
+Regenerates the comparison over a size sweep and cross-checks the
+closed forms against instrumented executions.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import banner
+from repro.core.complexity import (
+    complexity_table,
+    dscf_complex_multiplications,
+    dscf_to_fft_ratio,
+    fft_complex_multiplications,
+)
+from repro.core.fourier import block_spectra, fft_radix2
+from repro.core.opcount import OperationCounter
+from repro.core.scf import dscf_reference
+from repro.mapping.ascii_art import render_table
+from repro.signals.noise import awgn
+
+
+def test_complexity_table(benchmark):
+    rows = benchmark(complexity_table)
+    banner("E2 / Section 2 — complex multiplications: FFT vs DSCF")
+    print(
+        render_table(
+            ["N", "FFT mults", "DSCF mults", "ratio"],
+            [
+                [r.fft_size, r.fft_multiplications, r.dscf_multiplications,
+                 f"{r.ratio:.1f}"]
+                for r in rows
+            ],
+        )
+    )
+    by_size = {r.fft_size: r for r in rows}
+    assert by_size[256].fft_multiplications == 1024
+    assert by_size[256].dscf_multiplications == 16384
+    assert by_size[256].ratio == pytest.approx(16.0)  # the paper's claim
+
+
+def test_instrumented_fft_count(benchmark):
+    def run():
+        counter = OperationCounter()
+        fft_radix2(np.ones(256), counter=counter)
+        return counter
+
+    counter = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert counter.complex_multiplications == fft_complex_multiplications(256)
+
+
+def test_instrumented_dscf_count(benchmark):
+    spectra = block_spectra(awgn(16 * 2, seed=0), 16)
+
+    def run():
+        counter = OperationCounter()
+        dscf_reference(spectra, 3, counter=counter)
+        return counter
+
+    counter = benchmark(run)
+    # (2M+1)^2 per integration step, two steps
+    assert counter.complex_multiplications == 49 * 2
+    print(
+        f"\nexact per-step count (2M+1)^2 = 16129 at K=256 vs the paper's "
+        f"N^2/4 = {dscf_complex_multiplications(256)} approximation; "
+        f"ratio {dscf_to_fft_ratio(256):.1f}"
+    )

@@ -1,0 +1,48 @@
+"""Harness health — throughput of the DSCF estimator implementations.
+
+Not a paper artifact: measures the host-side cost of the three
+equivalent estimators (literal triple loop, vectorised numpy,
+streaming accumulator) so regressions in the reference implementations
+are visible.
+"""
+
+import numpy as np
+
+from repro.core.fourier import block_spectra
+from repro.core.scf import StreamingDSCF, dscf, dscf_reference
+from repro.signals.noise import awgn
+
+K = 64
+BLOCKS = 16
+SPECTRA = block_spectra(awgn(K * BLOCKS, seed=70), K)
+M = 7  # small m so the literal loop stays affordable
+
+
+def test_vectorised_estimator(benchmark):
+    values = benchmark(dscf, SPECTRA, M)
+    assert values.shape == (15, 15)
+
+
+def test_reference_estimator(benchmark):
+    values = benchmark.pedantic(
+        dscf_reference, args=(SPECTRA, M), rounds=2, iterations=1
+    )
+    assert np.allclose(values, dscf(SPECTRA, M))
+
+
+def test_streaming_estimator(benchmark):
+    def run():
+        streaming = StreamingDSCF(K, M)
+        for spectrum in SPECTRA:
+            streaming.update(spectrum)
+        return streaming.result()
+
+    result = benchmark(run)
+    assert np.allclose(result.values, dscf(SPECTRA, M))
+
+
+def test_paper_grid_vectorised(benchmark):
+    """The full 127 x 127 grid at K = 256 (the platform's workload)."""
+    spectra = block_spectra(awgn(256 * 8, seed=71), 256)
+    values = benchmark(dscf, spectra, 63)
+    assert values.shape == (127, 127)

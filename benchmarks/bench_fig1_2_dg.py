@@ -1,0 +1,53 @@
+"""E3 — Figures 1 and 2: the dependence graph of the DSCF.
+
+Regenerates the single-n computation structure (Figure 1) for the
+paper's example (f = 0..3, a = -3..3), verifies its defining property —
+every multiplication consumes exactly one normal and one conjugated
+spectral value along straight distribution lines — and scales the graph
+to the full 127 x 127 x N shape of Figure 2.
+"""
+
+from conftest import banner
+from repro.mapping.ascii_art import render_figure1
+from repro.mapping.dg import (
+    CONJUGATE,
+    NORMAL,
+    dcfd_dependence_graph_2d,
+    dcfd_dependence_graph_3d,
+    line_direction,
+)
+
+
+def test_figure1_structure(benchmark):
+    graph = benchmark(
+        dcfd_dependence_graph_2d, 3, (0, 1, 2, 3)
+    )
+    banner("E3 / Figure 1 — computation structure for a single n")
+    print(render_figure1(graph))
+    assert graph.num_nodes == 28
+    # every node consumes one normal + one conjugated value
+    for node in graph.nodes:
+        labels = graph.inputs[node]
+        f, a = node
+        assert labels[NORMAL] == f + a
+        assert labels[CONJUGATE] == f - a
+    # distribution lines are straight with the figure's directions
+    for kind in (NORMAL, CONJUGATE):
+        direction = tuple(line_direction(kind))
+        for line in graph.distribution_lines(kind).values():
+            for first, second in zip(line, line[1:]):
+                assert (second[0] - first[0], second[1] - first[1]) == direction
+
+
+def test_figure2_full_scale_graph(benchmark):
+    graph = benchmark.pedantic(
+        dcfd_dependence_graph_3d, args=(63, 4), rounds=2, iterations=1
+    )
+    banner("E3 / Figure 2 — the 3-D DG at paper scale")
+    print(
+        f"nodes: {graph.num_nodes} (= 127 x 127 x 4), accumulate edges: "
+        f"{graph.num_edges} (= 127 x 127 x 3)"
+    )
+    assert graph.num_nodes == 127 * 127 * 4
+    assert graph.num_edges == 127 * 127 * 3
+    assert graph.displacement_set() == {(0, 0, 1)}

@@ -1,0 +1,61 @@
+"""E4 — Figures 3 and 4: the two projections of Step 1.
+
+P1/s1 (expression 4) maps the 3-D DG onto a plane of multiply-integrate
+PEs — the accumulation edge becomes a same-processor, one-cycle-delay
+loop, i.e. the register + adder of Figure 3.  P2/s2 (expression 5) maps
+the plane onto a 127-processor linear array where each PE time-
+multiplexes all frequencies and therefore needs an F-deep memory
+(Figure 4).
+"""
+
+from conftest import banner
+from repro.mapping.architecture import ProcessingElement
+from repro.mapping.dg import dcfd_dependence_graph_2d, dcfd_dependence_graph_3d
+from repro.mapping.projections import step1_mapping, step2_mapping
+
+
+def test_figure3_n_projection(benchmark):
+    graph = dcfd_dependence_graph_3d(15, num_blocks=4)  # 31x31x4
+
+    def apply():
+        return step1_mapping().apply(graph)
+
+    mapped = benchmark.pedantic(apply, rounds=2, iterations=1)
+    banner("E4 / Figure 3 — P1/s1 collapses the n dimension")
+    print(
+        f"{graph.num_nodes} operations -> {mapped.num_processors} PEs, "
+        f"makespan {mapped.makespan} (one plane per step)"
+    )
+    assert mapped.num_processors == 31 * 31
+    assert mapped.makespan == 4
+    # Figure 3's register loop: zero displacement, unit delay
+    for _edge, (displacement, delay) in mapped.mapped_edges:
+        assert displacement == (0, 0) and delay == 1
+    # a PE with depth 1 realises the mapped node: multiply + integrate
+    pe = ProcessingElement(memory_depth=1)
+    pe.mac(2.0, 3.0)
+    pe.mac(1.0, -1.0)
+    assert pe.read() == 5.0
+
+
+def test_figure4_f_projection(benchmark):
+    graph = dcfd_dependence_graph_2d(63)
+
+    def apply():
+        return step2_mapping().apply(graph)
+
+    mapped = benchmark.pedantic(apply, rounds=2, iterations=1)
+    banner("E4 / Figure 4 — P2/s2 collapses the f dimension")
+    print(
+        f"{graph.num_nodes} operations -> {mapped.num_processors} "
+        f"processors ('127 complex multipliers are needed'), "
+        f"each time-multiplexing {mapped.makespan} frequencies"
+    )
+    assert mapped.num_processors == 127
+    assert mapped.makespan == 127
+    assert mapped.utilization() == 1.0
+    # Figure 4: the register becomes an F-deep memory indexed by f = t
+    pe = ProcessingElement(memory_depth=127)
+    pe.mac(1.0, 1.0, address=0)
+    pe.mac(2.0, 2.0, address=126)
+    assert pe.read(126) == 4.0

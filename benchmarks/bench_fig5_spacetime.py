@@ -1,0 +1,50 @@
+"""E5 — Figure 5: the 'space'-'time delay' diagram.
+
+Regenerates the diagram for the paper's example and verifies its
+anchor sentence: "the dotted line originating at the left-most
+processor for f = 0 ... indicates that X*_{n,3} is used by the
+leftmost processor at t = 0, used by the adjacent processor at t = 1,
+and so on" — plus the mirrored flow of the normal values.
+"""
+
+from conftest import banner
+from repro.mapping.ascii_art import render_figure5
+from repro.mapping.dg import CONJUGATE, NORMAL
+from repro.mapping.spacetime import SpaceTimeDelayDiagram
+
+
+def build_paper_example():
+    return SpaceTimeDelayDiagram.build(3, f_values=(0, 1, 2, 3))
+
+
+def test_figure5_conjugate_flow(benchmark):
+    diagram = benchmark(build_paper_example)
+    banner("E5 / Figure 5 — space-time delay of the conjugated values")
+    print(render_figure5(diagram))
+    x3 = next(t for t in diagram.trajectories if t.index == 3)
+    assert x3.visits[:2] == ((-3, 0), (-2, 1))  # the paper's sentence
+    assert diagram.all_systolic()
+    assert all(t.direction == +1 for t in diagram.trajectories)
+
+
+def test_figure5_mirror_normal_flow(benchmark):
+    diagram = benchmark.pedantic(
+        SpaceTimeDelayDiagram.build,
+        args=(3,),
+        kwargs={"kind": NORMAL, "f_values": (0, 1, 2, 3)},
+        rounds=3,
+        iterations=1,
+    )
+    banner("E5 / Figure 5 mirror — normal values flow top-right to bottom-left")
+    print(render_figure5(diagram))
+    assert all(t.direction == -1 for t in diagram.trajectories)
+    assert diagram.all_systolic()
+
+
+def test_figure5_paper_scale(benchmark):
+    diagram = benchmark.pedantic(
+        SpaceTimeDelayDiagram.build, args=(63, CONJUGATE), rounds=2, iterations=1
+    )
+    # a value crossing the whole 127-PE array needs 126 delays
+    assert diagram.max_delay() == 126
+    assert diagram.all_systolic()

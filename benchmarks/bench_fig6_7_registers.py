@@ -1,0 +1,73 @@
+"""E6 — Figures 6 and 7: minimal registers and the systolic array.
+
+Derives the register-minimal communication structure from the
+space-time-delay diagram (one register per adjacent-PE link per chain)
+and *executes* the resulting Figure-7 array, asserting functional
+equivalence with the reference DSCF.
+"""
+
+import numpy as np
+
+from conftest import banner
+from repro.core.fourier import block_spectra
+from repro.core.scf import dscf
+from repro.mapping.architecture import SystolicArray
+from repro.mapping.ascii_art import render_figure7
+from repro.mapping.dg import NORMAL
+from repro.mapping.registers import (
+    combined_register_count,
+    minimal_register_structure,
+)
+from repro.signals.noise import awgn
+
+
+def test_figure6_minimal_registers(benchmark):
+    structure = benchmark(minimal_register_structure, 63)
+    banner("E6 / Figure 6 — minimal register structure (conjugate chain)")
+    print(
+        f"P = {structure.num_processors} PEs; {structure.registers_per_link} "
+        f"register per link; {structure.total_registers} registers in the "
+        "chain"
+    )
+    assert structure.num_processors == 127
+    assert structure.registers_per_link == 1
+    assert structure.total_registers == 126
+    mirror = minimal_register_structure(63, kind=NORMAL)
+    assert mirror.flow_direction == -1
+    assert combined_register_count(63) == 252
+
+
+def test_figure7_array_executes_dscf(benchmark):
+    k, m, blocks = 16, 3, 4
+    samples = awgn(k * blocks, seed=5)
+    spectra = block_spectra(samples, k)
+    reference = dscf(spectra, m)
+
+    def run():
+        array = SystolicArray(m, k)
+        for spectrum in spectra:
+            array.integrate_block(spectrum)
+        return array
+
+    array = benchmark(run)
+    banner("E6 / Figure 7 — executing the register-based systolic array")
+    print(render_figure7(3))
+    error = np.abs(array.result() - reference).max()
+    print(
+        f"\n{array.num_processors} PEs, {array.total_registers} register "
+        f"stages; max |error| vs reference = {error:.2e}"
+    )
+    assert np.allclose(array.result(), reference)
+
+
+def test_figure7_paper_scale_one_block(benchmark):
+    spectra = block_spectra(awgn(256, seed=6), 256)
+
+    def run():
+        array = SystolicArray(63, 256)
+        array.integrate_block(spectra[0])
+        return array
+
+    array = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert array.num_processors == 127
+    assert np.allclose(array.result(), dscf(spectra, 63))

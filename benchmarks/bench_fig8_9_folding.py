@@ -1,0 +1,62 @@
+"""E7 — Figures 8 and 9: folding P = 127 tasks onto Q = 4 cores.
+
+Regenerates expressions 8 and 9 (T = ceil(P/Q) = 32, q = floor(p/T)),
+the Figure-9 shift-register/switch organisation (drawn by the paper
+for T = 4), and executes the folded array, measuring the paper's
+"factor T lower" communication rate.
+"""
+
+import numpy as np
+
+from conftest import banner
+from repro.core.fourier import block_spectra
+from repro.core.scf import dscf
+from repro.mapping.architecture import FoldedArray
+from repro.mapping.ascii_art import render_figure9
+from repro.mapping.folding import Fold
+from repro.signals.noise import awgn
+
+
+def test_expressions_8_and_9(benchmark):
+    fold = benchmark(Fold, 127, 4)
+    banner("E7 / Figures 8-9 — the fold onto the AAF platform")
+    print(render_figure9(fold))
+    assert fold.tasks_per_core == 32                  # expression 8
+    assert fold.core_of_task(0) == 0                  # expression 9
+    assert fold.core_of_task(95) == 2
+    assert fold.core_of_task(126) == 3
+    assert fold.padded_slots == 1
+    assert fold.shift_register_length() == 32         # M09/M10 contents
+    assert fold.exchange_rate_ratio() == 32           # 'factor T lower'
+
+
+def test_figure9_example_fold(benchmark):
+    """The paper draws Figure 9 with T = 4 switch inputs."""
+    fold = benchmark(Fold, 7, 2)
+    print(render_figure9(fold))
+    assert fold.tasks_per_core == 4
+    assert fold.switch_schedule() == [0, 1, 2, 3]
+
+
+def test_folded_array_execution_and_rate(benchmark):
+    k, m, cores, blocks = 16, 3, 3, 4
+    samples = awgn(k * blocks, seed=7)
+    spectra = block_spectra(samples, k)
+
+    def run():
+        array = FoldedArray(m, k, num_cores=cores)
+        for spectrum in spectra:
+            array.integrate_block(spectrum)
+        return array
+
+    array = benchmark(run)
+    banner("E7 — executing the folded array")
+    print(
+        f"measured MAC slots per core per chain-hold interval: "
+        f"{array.macs_per_core_per_step():.1f} (T = "
+        f"{array.fold.tasks_per_core}); boundary transfers per block: "
+        f"{array.transfers_per_block()} per direction"
+    )
+    assert np.allclose(array.result(), dscf(spectra, m))
+    assert array.macs_per_core_per_step() == array.fold.tasks_per_core
+    assert array.transfers_per_block() == 2 * m

@@ -1,0 +1,68 @@
+"""E8 — Section 4.1's memory feasibility check.
+
+"The number of memory locations needed for storing the results, when
+accumulating over n, equals T*F = 32*127 < 4K complex values or less
+than 8K real values.  The total memory capacity of the Montium
+memories M01 to M08 equals 8K words of 16 bits.  So, for dynamic
+ranges smaller than 96 dB, the Montium memories are sufficiently
+large.  ...  Each memory [M09/M10] contains 32 complex values."
+"""
+
+import pytest
+
+from conftest import banner
+from repro.mapping.folding import Fold
+from repro.montium.fixedpoint import DYNAMIC_RANGE_DB
+from repro.montium.memory import MEMORY_WORDS, Memory
+from repro.montium.tile import (
+    NUM_INTEGRATION_MEMORIES,
+    MontiumTile,
+    TileConfig,
+)
+
+
+def test_section41_feasibility(benchmark):
+    fold = benchmark(Fold, 127, 4)
+    banner("E8 / Section 4.1 — memory feasibility")
+    complex_needed = fold.memory_per_core_complex(127)
+    words_needed = fold.memory_per_core_words(127)
+    capacity_words = NUM_INTEGRATION_MEMORIES * MEMORY_WORDS
+    print(f"T*F = {complex_needed} complex = {words_needed} real words")
+    print(f"M01-M08 capacity = {capacity_words} words of 16 bits")
+    print(f"16-bit dynamic range = {DYNAMIC_RANGE_DB:.2f} dB (paper: 96 dB)")
+    print(f"M09/M10 shift registers: {fold.shift_register_length()} complex each")
+    assert complex_needed == 4064
+    assert complex_needed < 4096                    # '< 4K complex values'
+    assert words_needed == 8128
+    assert words_needed < 8192                      # 'less than 8K real values'
+    assert capacity_words == 8192                   # '8K words of 16 bits'
+    assert DYNAMIC_RANGE_DB == pytest.approx(96.33, abs=0.01)
+    assert fold.shift_register_length() == 32       # '32 complex values'
+
+
+def test_accumulator_array_fills_memories(benchmark):
+    """Arming the full T*F accumulator array exercises every bank."""
+    tile = MontiumTile(TileConfig(fft_size=256, m=63, num_cores=4, core_index=0))
+
+    def arm():
+        tile.reset_accumulators()
+        return tile
+
+    benchmark.pedantic(arm, rounds=2, iterations=1)
+    words_used = sum(
+        tile.memories[f"M{i:02d}"].initialised_words() for i in range(1, 9)
+    )
+    print(f"\nwords initialised across M01-M08: {words_used}")
+    assert words_used == 8128
+
+
+def test_memory_word_throughput(benchmark):
+    """Raw simulated-memory write/read bandwidth (harness health check)."""
+    memory = Memory("M01")
+
+    def roundtrip():
+        for address in range(0, 1024, 8):
+            memory.write(address, 1.0)
+            memory.read(address)
+
+    benchmark(roundtrip)

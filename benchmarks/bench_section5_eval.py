@@ -1,0 +1,53 @@
+"""E9 — the Section 5 evaluation.
+
+"To analyse 256 samples takes approximately 140 us ... an analysed
+bandwidth of approximately 915 kHz is realised.  A single Montium
+occupies approximately 2 mm^2 ... 4 Montium processors will occupy
+approximately 8 mm^2.  Typical power consumption ... 500 uW/MHz ...
+for 4 Montium tiles in 200 mW.  The analysed bandwidth, chip area and
+power consumption scale linearly with the number of Montium
+processors."
+"""
+
+import pytest
+
+from conftest import banner
+from repro.perf import (
+    format_scaling_table,
+    platform_area_mm2,
+    platform_power_mw,
+    scaling_study,
+    table1_budget,
+)
+from repro.soc.runner import analysed_bandwidth_hz
+
+
+def test_section5_headline_numbers(benchmark):
+    budget = benchmark(table1_budget)
+    banner("E9 / Section 5 — headline evaluation numbers")
+    step_s = budget.total / 100e6
+    bandwidth = analysed_bandwidth_hz(256, step_s)
+    print(f"time per 256-sample block: {step_s * 1e6:.2f} us (paper ~140 us)")
+    print(f"analysed bandwidth: {bandwidth / 1e3:.1f} kHz (paper ~915 kHz)")
+    print(f"area: {platform_area_mm2(4):.0f} mm^2 (paper ~8 mm^2)")
+    print(f"power: {platform_power_mw(4):.0f} mW (paper 200 mW)")
+    assert step_s * 1e6 == pytest.approx(139.96)
+    assert bandwidth == pytest.approx(915e3, rel=0.001)
+    assert platform_area_mm2(4) == pytest.approx(8.0)
+    assert platform_power_mw(4) == pytest.approx(200.0)
+
+
+def test_section5_linear_scaling(benchmark):
+    rows = benchmark(scaling_study, (1, 2, 4, 8, 16))
+    banner("E9 / Section 5 — scaling with the number of Montium tiles")
+    print(format_scaling_table(rows))
+    by_q = {row.num_tiles: row for row in rows}
+    # area and power scale exactly linearly
+    for q, row in by_q.items():
+        assert row.area_mm2 == pytest.approx(2.0 * q)
+        assert row.power_mw == pytest.approx(50.0 * q)
+    # bandwidth scales near-linearly while the MAC term dominates
+    assert by_q[8].analysed_bandwidth_khz > 1.7 * by_q[4].analysed_bandwidth_khz
+    assert by_q[4].analysed_bandwidth_khz > 1.8 * by_q[2].analysed_bandwidth_khz
+    # paper's operating point appears in the series
+    assert by_q[4].cycles_per_step == 13996

@@ -1,0 +1,57 @@
+"""E1 — Table 1: Montium cycle counts for the CFD task set.
+
+Regenerates the paper's Table 1 twice: from the closed-form model and
+from the *executing* cycle-level tile simulation, and checks both
+against the published numbers:
+
+    multiply accumulate 12192, read data 381, FFT 1040,
+    reshuffling 256, initialisation 127, total 13996  (139.96 us).
+"""
+
+import pytest
+
+from conftest import banner
+from repro.montium.programs import run_integration_step
+from repro.montium.sequencer import Sequencer
+from repro.montium.tile import MontiumTile, TileConfig
+from repro.perf import format_budget_table, table1_budget
+from repro.signals.noise import awgn
+
+PAPER_TABLE1 = {
+    "multiply accumulate": 12192,
+    "read data": 381,
+    "FFT": 1040,
+    "reshuffling": 256,
+    "initialisation": 127,
+}
+
+
+def run_one_step_paper_scale() -> MontiumTile:
+    tile = MontiumTile(
+        TileConfig(fft_size=256, m=63, num_cores=4, core_index=0)
+    )
+    tile.reset_accumulators()
+    run_integration_step(tile, awgn(256, seed=1), Sequencer(tile))
+    return tile
+
+
+def test_table1_analytic_model(benchmark):
+    budget = benchmark(table1_budget)
+    banner("E1 / Table 1 — analytic cycle model")
+    print(format_budget_table(budget))
+    print(f"integration step @ 100 MHz: {budget.step_time_us():.2f} us")
+    for task, cycles in PAPER_TABLE1.items():
+        assert dict(budget.rows())[task] == cycles
+    assert budget.total == 13996
+    assert budget.step_time_us() == pytest.approx(139.96)
+
+
+def test_table1_from_executing_simulation(benchmark):
+    tile = benchmark.pedantic(run_one_step_paper_scale, rounds=2, iterations=1)
+    banner("E1 / Table 1 — executing tile simulation (1 integration step)")
+    for task, cycles in tile.cycle_counter.table_rows():
+        print(f"  {task:<20s} {cycles}")
+    measured = dict(tile.cycle_counter.table_rows())
+    for task, cycles in PAPER_TABLE1.items():
+        assert measured[task] == cycles
+    assert measured["total"] == 13996

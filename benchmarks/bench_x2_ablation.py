@@ -1,0 +1,96 @@
+"""X2 (extension) — ablations over the design choices of the mapping.
+
+Three sensitivity sweeps around the paper's operating point:
+
+* **MAC latency**: the 3-cycle multiply-accumulate dominates Table 1;
+  a single-cycle MAC (a deeper-pipelined ALU) would shrink the step
+  from 13996 to ~5868 cycles.
+* **Tile count**: the folded MAC term scales as 1/Q while FFT,
+  reshuffle and initialisation are fixed per tile — the knee of the
+  scaling curve.
+* **Spectrum size**: K couples the FFT/reshuffle overhead to the
+  (K/4)^2-ish MAC load; the DSCF term grows quadratically and the
+  overhead share shrinks.
+"""
+
+import math
+
+import pytest
+
+from conftest import banner
+from repro.mapping.ascii_art import render_table
+from repro.core.scf import default_m
+from repro.perf.cycles import table1_budget
+
+
+def test_mac_latency_ablation(benchmark):
+    budgets = benchmark(
+        lambda: {lat: table1_budget(mac_latency=lat) for lat in (1, 2, 3, 4)}
+    )
+    banner("X2 — MAC latency sensitivity (paper: 3 cycles)")
+    print(
+        render_table(
+            ["MAC cycles", "step cycles", "step time [us]", "vs paper"],
+            [
+                [lat, b.total, f"{b.step_time_us():.2f}",
+                 f"{b.total / 13996:.2f}x"]
+                for lat, b in budgets.items()
+            ],
+        )
+    )
+    assert budgets[3].total == 13996
+    assert budgets[1].total == 13996 - 2 * 4064  # 2 fewer cycles per MAC
+    totals = [b.total for b in budgets.values()]
+    assert totals == sorted(totals)
+
+
+def test_tile_count_ablation(benchmark):
+    tile_counts = (4, 8, 16, 32, 64)
+    budgets = benchmark(
+        lambda: {q: table1_budget(num_cores=q) for q in tile_counts}
+    )
+    banner("X2 — tile count: fixed overhead caps the speedup")
+    rows = []
+    for q, budget in budgets.items():
+        overhead = budget.fft + budget.reshuffling + budget.initialisation
+        rows.append(
+            [q, math.ceil(127 / q), budget.total,
+             f"{100 * overhead / budget.total:.0f}%"]
+        )
+    print(render_table(["Q", "T", "step cycles", "fixed overhead"], rows))
+    # overhead share grows monotonically with Q
+    shares = [
+        (b.fft + b.reshuffling + b.initialisation) / b.total
+        for b in budgets.values()
+    ]
+    assert shares == sorted(shares)
+    # speedup from Q=4 to Q=64 is far below the ideal 16x
+    assert budgets[4].total / budgets[64].total < 6.0
+
+
+def test_spectrum_size_ablation(benchmark):
+    sizes = (64, 128, 256, 512)
+
+    def sweep():
+        result = {}
+        for k in sizes:
+            m = default_m(k)
+            result[k] = table1_budget(fft_size=k, m=m, num_cores=4)
+        return result
+
+    budgets = benchmark(sweep)
+    banner("X2 — spectrum size: the DSCF term grows ~quadratically")
+    print(
+        render_table(
+            ["K", "M", "step cycles", "MAC share"],
+            [
+                [k, default_m(k), b.total,
+                 f"{100 * b.multiply_accumulate / b.total:.0f}%"]
+                for k, b in budgets.items()
+            ],
+        )
+    )
+    assert budgets[256].total == 13996
+    # quadrupling K from 128 to 512 multiplies the MAC term ~16x
+    ratio = budgets[512].multiply_accumulate / budgets[128].multiply_accumulate
+    assert ratio == pytest.approx(16.0, rel=0.1)

@@ -1,0 +1,68 @@
+"""X3 (extension) — the mapping design space of Section 3.1.
+
+"For our application there are numerous possibilities for P1 and s1
+but we choose a straightforward option."  This experiment enumerates
+those possibilities (axis projections x small scheduling vectors,
+filtered for causality and space-time injectivity) and shows what the
+choice bought: the paper's P2/s2 sits on the Pareto front with full
+utilization and the minimal linear array.
+"""
+
+from conftest import banner
+from repro.mapping.ascii_art import render_table
+from repro.mapping.dg import dcfd_dependence_graph_2d, dcfd_dependence_graph_3d
+from repro.mapping.exploration import (
+    enumerate_mappings,
+    matches_paper_step2,
+    pareto_front,
+)
+
+
+def test_step2_design_space(benchmark):
+    graph = dcfd_dependence_graph_2d(3)
+
+    options = benchmark(enumerate_mappings, graph)
+    banner("X3 — Step-2 design space (2-D plane, m=3)")
+    rows = [
+        [
+            option.label,
+            option.num_processors,
+            option.makespan,
+            f"{option.utilization:.2f}",
+            "<- paper" if matches_paper_step2(option) else "",
+        ]
+        for option in options[:10]
+    ]
+    print(
+        render_table(
+            ["mapping", "PEs", "steps", "util", ""],
+            rows,
+            title=f"{len(options)} valid mappings (top 10 by utilization)",
+        )
+    )
+    paper = [option for option in options if matches_paper_step2(option)]
+    assert len(paper) == 1
+    best_utilization = max(option.utilization for option in options)
+    assert paper[0].utilization == best_utilization
+    front = pareto_front(options)
+    assert paper[0] in front
+
+
+def test_step1_design_space(benchmark):
+    graph = dcfd_dependence_graph_3d(1, num_blocks=3)
+
+    options = benchmark.pedantic(
+        enumerate_mappings, args=(graph,), rounds=2, iterations=1
+    )
+    banner("X3 — Step-1 design space (3-D DG, m=1, N=3)")
+    print(f"{len(options)} valid (causal, injective) mappings found")
+    # the paper's P1/s1 (project along n, schedule by n) is present and
+    # fully utilised
+    full = [o for o in options if o.utilization == 1.0]
+    assert full
+    assert any(
+        o.mapping.assignment.shape == (3, 2)
+        and list(o.mapping.schedule) == [0, 0, 1]
+        and o.num_processors == 9
+        for o in options
+    )

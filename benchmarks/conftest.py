@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper
+(see DESIGN.md's experiment index), prints the reproduced rows (visible
+with ``pytest benchmarks/ --benchmark-only -s``) and *asserts* the
+reproduction, so the harness doubles as a regression gate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.signals.noise import awgn
+
+
+def banner(title: str) -> None:
+    """Print a section banner for the reproduced artifact."""
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+@pytest.fixture(scope="session")
+def paper_noise_blocks() -> np.ndarray:
+    """Two 256-sample noise blocks shared by paper-scale benchmarks."""
+    return awgn(256 * 2, seed=2007)

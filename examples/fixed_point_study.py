@@ -1,0 +1,71 @@
+"""Fixed-point study: the 16-bit Montium datapath vs the float reference.
+
+Section 4.1 argues the Montium's 16-bit memories suffice "for dynamic
+ranges smaller than 96 dB".  This example quantifies that: it runs the
+same DSCF on the simulated platform with the float datapath and with
+the Q15 datapath (per-stage-scaled FFT, saturating MACs) and measures
+the quantisation error as a function of input level — including the
+onset of saturation when the input is driven too hot.
+
+Run:  python examples/fixed_point_study.py
+"""
+
+import numpy as np
+
+from repro.core.fourier import block_spectra
+from repro.core.scf import dscf
+from repro.montium.fixedpoint import DYNAMIC_RANGE_DB
+from repro.signals.noise import awgn
+from repro.soc import PlatformConfig, SoCRunner
+
+FFT_SIZE = 16
+M = 3
+NUM_BLOCKS = 4
+TILES = 3
+LEVELS = (0.02, 0.05, 0.1, 0.25, 0.5, 0.9)
+
+
+def relative_error(level: float, samples: np.ndarray) -> float:
+    scaled = level * samples
+    reference = dscf(block_spectra(scaled, FFT_SIZE), M)
+    config = PlatformConfig(
+        num_tiles=TILES, fft_size=FFT_SIZE, m=M, datapath="q15"
+    )
+    result = SoCRunner(config).run(scaled, NUM_BLOCKS)
+    scale = np.abs(reference).max()
+    return float(np.abs(result.dscf.values - reference).max() / scale)
+
+
+def main() -> None:
+    print(f"16-bit word dynamic range: {DYNAMIC_RANGE_DB:.2f} dB "
+          "(the paper's '96 dB')\n")
+    samples = awgn(FFT_SIZE * NUM_BLOCKS, seed=33)
+    samples /= np.abs(samples).max()  # unit peak, then scaled per level
+
+    print("input peak level | max relative DSCF error (q15 vs float)")
+    print("-----------------+----------------------------------------")
+    errors = {}
+    for level in LEVELS:
+        errors[level] = relative_error(level, samples)
+        note = ""
+        if level <= 0.02:
+            note = "  <- quantisation-noise dominated"
+        if level >= 0.9:
+            note = "  <- headroom exhausted (saturation)"
+        print(f"      {level:5.2f}      |  {errors[level]:8.4f}{note}")
+
+    sweet = min(errors, key=errors.get)
+    print(
+        f"\nbest accuracy at peak level ~{sweet}: the classic fixed-point "
+        "trade-off between quantisation noise (too quiet) and saturation "
+        "(too hot)."
+    )
+    print(
+        "at moderate drive the 16-bit pipeline tracks the float reference "
+        f"to {100 * errors[sweet]:.2f}% — the Montium's 96 dB of headroom "
+        "is ample for the CFD integration."
+    )
+
+
+if __name__ == "__main__":
+    main()

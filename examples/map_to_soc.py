@@ -1,0 +1,120 @@
+"""Walk the paper's two-step mapping methodology end to end.
+
+Step 1 (Section 3): dependence graph -> P1/s1 (collapse n) -> P2/s2
+(collapse f) -> interconnect analysis via P2a1/P2a2 -> register-based
+systolic array -> fold onto Q = 4 Montium cores.
+
+Step 2 (Section 4): cycle budget of the folded tasks on one Montium
+(Table 1) and the platform-level headline numbers.
+
+Run:  python examples/map_to_soc.py
+"""
+
+from repro.mapping import (
+    Fold,
+    SpaceTimeDelayDiagram,
+    composition_identity_holds,
+    dcfd_dependence_graph_2d,
+    dcfd_dependence_graph_3d,
+    minimal_register_structure,
+    step1_mapping,
+    step2_mapping,
+)
+from repro.mapping.ascii_art import (
+    render_figure1,
+    render_figure5,
+    render_figure7,
+    render_figure9,
+)
+from repro.perf import (
+    format_budget_table,
+    platform_area_mm2,
+    platform_power_mw,
+    table1_budget,
+)
+
+FFT_SIZE = 256
+M = 63          # f, a in [-63, 63]
+NUM_CORES = 4   # the AAF DRBPF
+EXAMPLE_M = 3   # the paper's figures use a = -3..3, f = 0..3
+
+
+def main() -> None:
+    extent = 2 * M + 1
+
+    print("=" * 70)
+    print("STEP 1a: the dependence graph (Figures 1 and 2)")
+    print("=" * 70)
+    example = dcfd_dependence_graph_2d(EXAMPLE_M, f_values=(0, 1, 2, 3))
+    print(render_figure1(example))
+    graph = dcfd_dependence_graph_3d(M, num_blocks=2)
+    print(
+        f"\nfull DG per n-plane: {extent}x{extent} = "
+        f"{extent * extent} complex multiplications"
+    )
+
+    print("\n" + "=" * 70)
+    print("STEP 1b: space-time mappings (expressions 4 and 5)")
+    print("=" * 70)
+    mapped1 = step1_mapping().apply(graph)
+    print(
+        f"P1/s1 collapses n: {graph.num_nodes} operations onto "
+        f"{mapped1.num_processors} multiply-integrate PEs (Figure 3)"
+    )
+    plane = dcfd_dependence_graph_2d(M)
+    mapped2 = step2_mapping().apply(plane)
+    print(
+        f"P2/s2 collapses f: {plane.num_nodes} operations onto "
+        f"{mapped2.num_processors} processors over {mapped2.makespan} "
+        f"time steps (Figure 4: each PE gains an F-deep memory)"
+    )
+
+    print("\n" + "=" * 70)
+    print("STEP 1c: interconnect analysis (Figures 5-7)")
+    print("=" * 70)
+    print(f"two-stage mapping identity P2b^T P2a^T = P2^T: "
+          f"{composition_identity_holds()}")
+    diagram = SpaceTimeDelayDiagram.build(
+        EXAMPLE_M, f_values=(0, 1, 2, 3)
+    )
+    print("\nFigure 5 ('space'-'time delay', conjugate flow, example):")
+    print(render_figure5(diagram))
+    structure = minimal_register_structure(M)
+    print(
+        f"\nminimal communication structure: {structure.registers_per_link} "
+        f"register per link, {structure.total_registers} per chain; "
+        f"the full array (Figure 7) uses two counter-flowing chains:"
+    )
+    print(render_figure7(EXAMPLE_M))
+
+    print("\n" + "=" * 70)
+    print("STEP 1d: folding onto Q = 4 cores (Figures 8 and 9)")
+    print("=" * 70)
+    fold = Fold(extent, NUM_CORES)
+    print(render_figure9(fold))
+    print(
+        f"\nper-core integration memory: T*F = "
+        f"{fold.memory_per_core_complex(extent)} complex = "
+        f"{fold.memory_per_core_words(extent)} words "
+        f"(< 8K words of M01-M08: "
+        f"{fold.memory_per_core_words(extent) < 8192})"
+    )
+
+    print("\n" + "=" * 70)
+    print("STEP 2: the Montium cycle budget (Table 1) and Section 5")
+    print("=" * 70)
+    budget = table1_budget(fft_size=FFT_SIZE, m=M, num_cores=NUM_CORES)
+    print(format_budget_table(budget))
+    print(
+        f"\none integration step at 100 MHz: "
+        f"{budget.step_time_us():.2f} us (paper: ~140 us)"
+    )
+    print(
+        f"platform: {NUM_CORES} tiles = "
+        f"{platform_area_mm2(NUM_CORES):.0f} mm^2, "
+        f"{platform_power_mw(NUM_CORES):.0f} mW"
+    )
+
+
+if __name__ == "__main__":
+    main()

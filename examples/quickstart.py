@@ -1,0 +1,69 @@
+"""Quickstart: detect a cyclostationary signal buried in noise.
+
+Generates a BPSK 'licensed user' at 0 dB SNR, estimates the Discrete
+Spectral Correlation Function (expression 3 of the paper), and shows
+that the symbol-rate cyclic feature stands out of the noise floor —
+the property Cyclostationary Feature Detection exploits for spectrum
+sensing.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import SampledSignal, awgn, bpsk_signal, dscf_from_signal
+from repro.analysis import peak_cyclic_offsets, peak_to_average_ratio
+
+SAMPLE_RATE_HZ = 1e6
+FFT_SIZE = 64           # K-point spectra
+NUM_BLOCKS = 200        # integration length N
+SAMPLES_PER_SYMBOL = 8  # symbol rate = fs / 8
+
+
+def main() -> None:
+    num_samples = FFT_SIZE * NUM_BLOCKS
+
+    # A licensed BPSK user plus the receiver's noise floor.
+    user = bpsk_signal(
+        num_samples, SAMPLE_RATE_HZ, SAMPLES_PER_SYMBOL, seed=1
+    )
+    noise = awgn(num_samples, power=1.0, seed=2)
+    received = SampledSignal(user.samples + noise, SAMPLE_RATE_HZ)
+
+    # The DSCF: S_f^a = (1/N) sum_n X[n, f+a] conj(X[n, f-a]).
+    result = dscf_from_signal(received, FFT_SIZE, num_blocks=NUM_BLOCKS)
+    print(
+        f"computed a {result.extent} x {result.extent} DSCF "
+        f"(f, a in [-{result.m}, {result.m}]) from {NUM_BLOCKS} blocks"
+    )
+
+    # Where is the cyclic feature?  A linear modulation with sps samples
+    # per symbol correlates bins 2a = K/sps apart.
+    expected = FFT_SIZE // (2 * SAMPLES_PER_SYMBOL)
+    found = peak_cyclic_offsets(result, count=2)
+    print(f"expected symbol-rate feature at a = +/-{expected}")
+    print(f"strongest measured features at a = {found}")
+
+    profile = result.alpha_profile("max")
+    ratio = peak_to_average_ratio(profile)
+    print(f"feature peak-to-average ratio: {ratio:.1f}")
+
+    alpha_hz = result.alpha_axis_hz()[found[0] + result.m]
+    print(
+        f"implied cyclic frequency alpha = {abs(alpha_hz) / 1e3:.1f} kHz "
+        f"(true symbol rate {SAMPLE_RATE_HZ / SAMPLES_PER_SYMBOL / 1e3:.1f} kHz)"
+    )
+
+    # Contrast with pure noise: no feature, flat profile.
+    noise_only = SampledSignal(awgn(num_samples, seed=3), SAMPLE_RATE_HZ)
+    noise_result = dscf_from_signal(noise_only, FFT_SIZE, num_blocks=NUM_BLOCKS)
+    noise_ratio = peak_to_average_ratio(noise_result.alpha_profile("max"))
+    print(f"noise-only peak-to-average ratio: {noise_ratio:.1f}")
+
+    assert abs(found[0]) == expected, "feature not at the symbol rate!"
+    assert ratio > 2 * noise_ratio, "feature does not stand out!"
+    print("OK: cyclostationary feature detected where theory predicts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""The Section 5 evaluation: bandwidth, area and power vs tile count.
+
+"The analysed bandwidth, chip area and power consumption scale
+linearly with the number of Montium processors."  This example
+regenerates the evaluation numbers and probes where the linearity
+breaks: the fixed FFT + reshuffle overhead per block caps the speedup
+once the MAC sweep no longer dominates, and below Q = 4 the
+accumulator array stops fitting a tile's memories at all.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.errors import ConfigurationError
+from repro.montium.tile import TileConfig
+from repro.perf import format_scaling_table, scaling_study
+from repro.perf.cycles import table1_budget
+
+TILE_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+def main() -> None:
+    rows = scaling_study(TILE_COUNTS)
+    print(format_scaling_table(rows, title="Section 5 scaling study (K=256)"))
+
+    paper = next(row for row in rows if row.num_tiles == 4)
+    print(
+        f"\npaper's operating point: Q=4 -> {paper.cycles_per_step} cycles, "
+        f"{paper.step_time_us:.2f} us, {paper.analysed_bandwidth_khz:.0f} kHz, "
+        f"{paper.area_mm2:.0f} mm^2, {paper.power_mw:.0f} mW"
+    )
+
+    print("\nwhere does linear scaling bend?")
+    base = rows[0]
+    for row in rows[1:]:
+        speedup = row.analysed_bandwidth_khz / base.analysed_bandwidth_khz
+        print(
+            f"  Q={row.num_tiles:>2}: bandwidth x{speedup:5.2f} "
+            f"vs x{row.num_tiles / base.num_tiles:5.2f} ideal "
+            f"(fixed FFT overhead = "
+            f"{100 * (table1_budget(num_cores=row.num_tiles).fft + 256 + 127) / row.cycles_per_step:.0f}% "
+            "of the step)"
+        )
+
+    print("\nmemory feasibility on a real tile (T*F must fit M01-M08):")
+    for num_tiles in TILE_COUNTS:
+        try:
+            TileConfig(fft_size=256, m=63, num_cores=num_tiles, core_index=0)
+            verdict = "fits"
+        except ConfigurationError:
+            verdict = "does NOT fit (analytic extrapolation only)"
+        budget = table1_budget(num_cores=num_tiles)
+        print(f"  Q={num_tiles:>2}: T={-(-127 // num_tiles):>3}  {verdict}")
+
+
+if __name__ == "__main__":
+    main()

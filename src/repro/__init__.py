@@ -1,0 +1,105 @@
+"""repro — reproduction of "Cyclostationary Feature Detection on a tiled-SoC".
+
+Kokkeler, Smit, Krol, Kuper — DATE 2007.
+
+The package is organised in layers:
+
+* :mod:`repro.core` — the DCFD signal-processing pipeline (expressions
+  1-3: sampling, block spectra, Discrete Spectral Correlation Function)
+  and the detector family.
+* :mod:`repro.signals` — synthetic cyclostationary waveforms and band
+  scenarios standing in for real RF spectrum.
+* :mod:`repro.mapping` — step 1 of the paper's methodology: dependence
+  graphs, space-time transformations, systolic-array synthesis and
+  folding onto Q cores.
+* :mod:`repro.montium` — step 2 substrate: a cycle-level simulator of
+  the Montium coarse-grain reconfigurable core.
+* :mod:`repro.soc` — the tiled SoC: tile grid, inter-tile links,
+  sequential and multiprocessing emulation of the 4-tile platform.
+* :mod:`repro.perf` — analytic cycle/area/power models reproducing
+  Table 1 and the Section 5 evaluation.
+
+Quickstart
+----------
+>>> from repro import bpsk_signal, dscf_from_signal
+>>> sig = bpsk_signal(256 * 64, sample_rate_hz=1e6, samples_per_symbol=8,
+...                   seed=1)
+>>> result = dscf_from_signal(sig, fft_size=256)
+>>> result.extent            # the paper's 127 x 127 DSCF
+127
+"""
+
+from .core import (
+    CyclostationaryFeatureDetector,
+    DSCFResult,
+    EnergyDetector,
+    MatchedFilterDetector,
+    SampledSignal,
+    StreamingDSCF,
+    block_spectra,
+    default_m,
+    dscf,
+    dscf_from_signal,
+    dscf_reference,
+    spectral_coherence,
+)
+from .errors import (
+    CommunicationError,
+    ConfigurationError,
+    MappingError,
+    MemoryAccessError,
+    ProgramError,
+    ReproError,
+    SignalError,
+    SimulationError,
+)
+from .signals import (
+    BandScenario,
+    LicensedUser,
+    LinearModulator,
+    amplitude_modulated_carrier,
+    awgn,
+    bpsk_signal,
+    complex_awgn_signal,
+    msk_signal,
+    ofdm_signal,
+    qam16_signal,
+    qpsk_signal,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BandScenario",
+    "CommunicationError",
+    "ConfigurationError",
+    "CyclostationaryFeatureDetector",
+    "DSCFResult",
+    "EnergyDetector",
+    "LicensedUser",
+    "LinearModulator",
+    "MappingError",
+    "MatchedFilterDetector",
+    "MemoryAccessError",
+    "ProgramError",
+    "ReproError",
+    "SampledSignal",
+    "SignalError",
+    "SimulationError",
+    "StreamingDSCF",
+    "amplitude_modulated_carrier",
+    "awgn",
+    "block_spectra",
+    "bpsk_signal",
+    "complex_awgn_signal",
+    "default_m",
+    "dscf",
+    "dscf_from_signal",
+    "dscf_reference",
+    "msk_signal",
+    "ofdm_signal",
+    "qam16_signal",
+    "qpsk_signal",
+    "spectral_coherence",
+    "__version__",
+]

@@ -1,0 +1,85 @@
+"""Small internal validation helpers shared across the package.
+
+These keep argument checking uniform: every public constructor validates
+its inputs eagerly and raises :class:`repro.errors.ConfigurationError`
+with a message naming the offending parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with *message* unless *condition*."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def require_positive_int(value: int, name: str) -> int:
+    """Validate that *value* is a positive integer and return it."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def require_non_negative_int(value: int, name: str) -> int:
+    """Validate that *value* is a non-negative integer and return it."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value}")
+    return int(value)
+
+
+def require_power_of_two(value: int, name: str) -> int:
+    """Validate that *value* is a positive power of two and return it."""
+    value = require_positive_int(value, name)
+    if value & (value - 1) != 0:
+        raise ConfigurationError(f"{name} must be a power of two, got {value}")
+    return value
+
+
+def require_positive_float(value: float, name: str) -> float:
+    """Validate that *value* is a finite positive real number and return it."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"{name} must be a number, got {value!r}") from None
+    if not np.isfinite(value) or value <= 0.0:
+        raise ConfigurationError(f"{name} must be finite and positive, got {value}")
+    return value
+
+
+def require_in_range(value: int, low: int, high: int, name: str) -> int:
+    """Validate ``low <= value <= high`` for an integer *value* and return it."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    if not low <= value <= high:
+        raise ConfigurationError(
+            f"{name} must be in [{low}, {high}], got {value}"
+        )
+    return int(value)
+
+
+def as_complex_vector(samples: Sequence[complex] | np.ndarray, name: str) -> np.ndarray:
+    """Coerce *samples* into a 1-D complex128 numpy array."""
+    array = np.asarray(samples)
+    if array.ndim != 1:
+        raise ConfigurationError(
+            f"{name} must be one-dimensional, got shape {array.shape}"
+        )
+    if array.size == 0:
+        raise ConfigurationError(f"{name} must be non-empty")
+    return array.astype(np.complex128, copy=False)
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if *value* is a positive power of two."""
+    return value > 0 and value & (value - 1) == 0

@@ -1,0 +1,29 @@
+"""Detection-performance analysis: ROC curves and feature metrics."""
+
+from .metrics import (
+    estimate_symbol_rate_bins,
+    peak_cyclic_offsets,
+    peak_to_average_ratio,
+)
+from .roc import (
+    RocCurve,
+    auc,
+    detection_probability,
+    monte_carlo_statistics,
+    roc_curve,
+)
+from .sweeps import DetectionSweep, SweepPoint, pd_vs_snr
+
+__all__ = [
+    "DetectionSweep",
+    "RocCurve",
+    "SweepPoint",
+    "auc",
+    "detection_probability",
+    "estimate_symbol_rate_bins",
+    "monte_carlo_statistics",
+    "pd_vs_snr",
+    "peak_cyclic_offsets",
+    "peak_to_average_ratio",
+    "roc_curve",
+]

@@ -1,0 +1,88 @@
+"""Feature metrics over DSCF surfaces.
+
+Helpers to interrogate a computed DSCF the way a cognitive-radio
+classifier would: find where the cyclic features sit, how strongly they
+stand out of the noise floor, and what symbol rate they imply.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.scf import DSCFResult
+from ..errors import ConfigurationError, SignalError
+
+
+def peak_to_average_ratio(profile: np.ndarray, exclude_center: bool = True) -> float:
+    """Peak-to-average ratio of an alpha profile.
+
+    A flat (noise-only) profile has a ratio near 1; a cyclostationary
+    signal produces a sharp peak at its symbol-rate offset.  The center
+    (``a = 0``, the PSD) is excluded by default because it peaks for
+    *any* signal.
+    """
+    profile = np.asarray(profile, dtype=np.float64)
+    if profile.ndim != 1 or profile.size < 3:
+        raise ConfigurationError(
+            "profile must be a 1-D array with at least 3 entries"
+        )
+    if exclude_center:
+        center = profile.size // 2
+        profile = np.delete(profile, center)
+    mean = float(profile.mean())
+    if mean <= 0.0:
+        raise SignalError("profile mean must be positive")
+    return float(profile.max() / mean)
+
+
+def peak_cyclic_offsets(
+    result: DSCFResult, count: int = 1, exclude_center: bool = True
+) -> list[int]:
+    """Offsets ``a`` of the *count* strongest cyclic features.
+
+    Returns centered offsets (in ``[-M, M]``) ordered by decreasing
+    peak magnitude of the alpha profile.
+    """
+    if count < 1:
+        raise ConfigurationError(f"count must be >= 1, got {count}")
+    profile = result.alpha_profile("max")
+    offsets = result.a_axis.copy()
+    if exclude_center:
+        keep = offsets != 0
+        profile = profile[keep]
+        offsets = offsets[keep]
+    order = np.argsort(profile)[::-1]
+    return [int(offsets[i]) for i in order[:count]]
+
+
+def estimate_symbol_rate_bins(result: DSCFResult) -> int:
+    """Estimate the symbol rate, in spectrum bins, from the DSCF.
+
+    A linearly modulated signal with ``sps`` samples per symbol shows
+    its strongest non-zero feature at cyclic frequency equal to the
+    symbol rate, i.e. at offset ``a = K / (2 * sps)``; this returns
+    ``2 * |a_peak|``, the implied symbol rate in bins (``K / sps``).
+    """
+    peak = peak_cyclic_offsets(result, count=1)[0]
+    return int(2 * abs(peak))
+
+
+def feature_snr_db(result: DSCFResult, offset: int) -> float:
+    """Contrast of the feature at *offset* against the off-peak floor, in dB.
+
+    The floor is the median alpha-profile magnitude over all non-zero
+    offsets except *offset* and its mirror.
+    """
+    profile = result.alpha_profile("max")
+    a_axis = result.a_axis
+    if offset == 0 or not (-result.m <= offset <= result.m):
+        raise ConfigurationError(
+            f"offset must be a non-zero bin in [-{result.m}, {result.m}], "
+            f"got {offset}"
+        )
+    peak = float(profile[offset + result.m])
+    mask = (a_axis != 0) & (a_axis != offset) & (a_axis != -offset)
+    floor = float(np.median(profile[mask]))
+    if floor <= 0.0 or peak <= 0.0:
+        raise SignalError("profile values must be positive to compute contrast")
+    return float(10.0 * np.log10(peak / floor))

@@ -1,0 +1,111 @@
+"""Detection-performance sweeps: Pd-vs-SNR curves.
+
+Builds the classic sensing characterisation — detection probability at
+a fixed false-alarm rate as a function of SNR — for any detector
+exposing the ``statistic(samples)`` protocol.  Used by the extension
+benchmarks and the detection-curves example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .._util import require_positive_int
+from ..errors import ConfigurationError
+from .roc import detection_probability, monte_carlo_statistics
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Detection probability at one SNR."""
+
+    snr_db: float
+    pd: float
+    threshold: float
+
+
+@dataclass(frozen=True)
+class DetectionSweep:
+    """A Pd-vs-SNR curve at a fixed false-alarm rate."""
+
+    detector_name: str
+    pfa: float
+    points: tuple
+
+    def snrs_db(self) -> np.ndarray:
+        """The sweep's SNR axis."""
+        return np.array([point.snr_db for point in self.points])
+
+    def pds(self) -> np.ndarray:
+        """Detection probabilities along the sweep."""
+        return np.array([point.pd for point in self.points])
+
+    def snr_for_pd(self, target_pd: float) -> float:
+        """Interpolated SNR where the curve crosses *target_pd*.
+
+        The sensing sensitivity figure: e.g. "the detector needs
+        -2.5 dB for Pd = 0.9".
+        """
+        if not 0.0 < target_pd < 1.0:
+            raise ConfigurationError(
+                f"target_pd must be in (0, 1), got {target_pd}"
+            )
+        snrs = self.snrs_db()
+        pds = self.pds()
+        order = np.argsort(snrs)
+        return float(np.interp(target_pd, pds[order], snrs[order]))
+
+
+def pd_vs_snr(
+    statistic_fn: Callable[[np.ndarray], float],
+    h0_factory: Callable[[int], np.ndarray],
+    h1_factory: Callable[[float, int], np.ndarray],
+    snrs_db,
+    pfa: float = 0.1,
+    trials: int = 40,
+    detector_name: str = "detector",
+) -> DetectionSweep:
+    """Monte-Carlo Pd-vs-SNR sweep at a fixed Pfa.
+
+    Parameters
+    ----------
+    statistic_fn:
+        The detector's test statistic.
+    h0_factory:
+        ``trial -> samples`` generating noise-only observations (used
+        once to calibrate the threshold).
+    h1_factory:
+        ``(snr_db, trial) -> samples`` generating occupied-band
+        observations at the given SNR.
+    snrs_db:
+        The SNR axis.
+    pfa:
+        Target false-alarm probability for the calibrated threshold.
+    trials:
+        Monte-Carlo trials per point (and for calibration).
+    """
+    if not 0.0 < pfa < 1.0:
+        raise ConfigurationError(f"pfa must be in (0, 1), got {pfa}")
+    trials = require_positive_int(trials, "trials")
+    h0_statistics = monte_carlo_statistics(statistic_fn, h0_factory, trials)
+    threshold = float(np.quantile(h0_statistics, 1.0 - pfa))
+    points = []
+    for snr_db in snrs_db:
+        h1_statistics = monte_carlo_statistics(
+            statistic_fn,
+            lambda trial, snr=float(snr_db): h1_factory(snr, trial),
+            trials,
+        )
+        points.append(
+            SweepPoint(
+                snr_db=float(snr_db),
+                pd=detection_probability(h1_statistics, threshold),
+                threshold=threshold,
+            )
+        )
+    return DetectionSweep(
+        detector_name=detector_name, pfa=pfa, points=tuple(points)
+    )

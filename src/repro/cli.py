@@ -1,0 +1,267 @@
+"""Command-line interface: ``repro-cfd`` / ``python -m repro``.
+
+Subcommands
+-----------
+``table1``
+    Print the paper's Table 1 from the analytic model and (optionally)
+    from an executing platform simulation.
+``scaling``
+    Print the Section 5 scaling study over tile counts.
+``sense``
+    Generate a synthetic band (BPSK licensed user in noise at a chosen
+    SNR), run the cyclostationary detector and the energy-detector
+    baseline, and report both decisions.
+``map``
+    Walk the two-step mapping methodology for a chosen (K, Q) and print
+    the derived architecture figures.
+``classify``
+    Estimate the symbol rate of a synthetic licensed user from its
+    cyclic-autocorrelation features.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import __version__
+from .core.detection import CyclostationaryFeatureDetector, EnergyDetector, calibrate_threshold
+from .core.scf import default_m
+from .mapping import Fold, SpaceTimeDelayDiagram, minimal_register_structure
+from .mapping.ascii_art import render_figure5, render_figure7, render_figure9
+from .perf import (
+    format_budget_table,
+    format_scaling_table,
+    platform_area_mm2,
+    platform_power_mw,
+    scaling_study,
+    table1_budget,
+)
+from .signals.modulators import bpsk_signal
+from .signals.noise import awgn
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    budget = table1_budget(
+        fft_size=args.fft_size, m=args.m, num_cores=args.tiles
+    )
+    print(format_budget_table(budget, title="Table 1 (analytic model)"))
+    print(
+        f"\nintegration step at {args.clock_mhz:.0f} MHz: "
+        f"{budget.step_time_us(args.clock_mhz * 1e6):.2f} us"
+    )
+    if args.simulate:
+        from .soc import PlatformConfig, SoCRunner
+
+        config = PlatformConfig(
+            num_tiles=args.tiles,
+            fft_size=args.fft_size,
+            m=args.m,
+            clock_hz=args.clock_mhz * 1e6,
+        )
+        runner = SoCRunner(config)
+        samples = awgn(args.fft_size * args.blocks, seed=0)
+        result = runner.run(samples, args.blocks)
+        print("\nExecuting platform simulation (per tile, all blocks):")
+        for task, cycles in result.cycle_tables[0]:
+            print(f"  {task:<20s} {cycles}")
+        print(f"  per-step total       {result.cycles_per_step}")
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    rows = scaling_study(
+        tile_counts=tuple(args.tiles),
+        fft_size=args.fft_size,
+        m=args.m,
+        clock_hz=args.clock_mhz * 1e6,
+    )
+    print(format_scaling_table(rows, title="Section 5 scaling study"))
+    return 0
+
+
+def _cmd_sense(args: argparse.Namespace) -> int:
+    fft_size = args.fft_size
+    m = default_m(fft_size)
+    num_blocks = args.blocks
+    samples_needed = fft_size * num_blocks
+    rng = np.random.default_rng(args.seed)
+    noise = awgn(samples_needed, power=1.0, rng=rng)
+    occupied = not args.vacant
+    if occupied:
+        user = bpsk_signal(
+            samples_needed, 1e6, samples_per_symbol=args.sps, rng=rng
+        )
+        amplitude = float(np.sqrt(10.0 ** (args.snr_db / 10.0)))
+        samples = noise + amplitude * user.samples
+    else:
+        samples = noise
+
+    detector = CyclostationaryFeatureDetector(fft_size, num_blocks, m=m)
+    threshold = calibrate_threshold(
+        detector.statistic,
+        lambda trial: awgn(samples_needed, power=1.0, seed=10_000 + trial),
+        pfa=args.pfa,
+        trials=args.calibration_trials,
+    )
+    report = detector.detect(samples, threshold)
+    print(report)
+
+    energy = EnergyDetector(
+        noise_power=1.0,
+        num_samples=samples_needed,
+        noise_uncertainty_db=args.noise_uncertainty_db,
+    )
+    print(energy.detect(samples, pfa=args.pfa))
+    print(
+        f"\nground truth: band {'OCCUPIED' if occupied else 'vacant'} "
+        f"(BPSK at {args.snr_db:+.1f} dB SNR)"
+        if occupied
+        else "\nground truth: band vacant"
+    )
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    m = default_m(args.fft_size) if args.m is None else args.m
+    extent = 2 * m + 1
+    fold = Fold(extent, args.tiles)
+    print(
+        f"DSCF for K={args.fft_size}: f, a in [-{m}, {m}] -> "
+        f"P = F = {extent}"
+    )
+    structure = minimal_register_structure(m)
+    print(
+        f"systolic array: {structure.num_processors} PEs, "
+        f"{structure.total_registers} registers/chain "
+        f"(2 chains, counter-flowing)"
+    )
+    if args.figures:
+        example_m = min(m, 3)
+        print("\nFigure 5 (space-time delay, conjugate flow, example):")
+        print(
+            render_figure5(
+                SpaceTimeDelayDiagram.build(
+                    example_m, f_values=tuple(range(0, example_m + 1))
+                )
+            )
+        )
+        print("\nFigure 7 (register-based array, example):")
+        print(render_figure7(example_m))
+    print("\nFigure 8/9 fold:")
+    print(render_figure9(fold))
+    budget = table1_budget(fft_size=args.fft_size, m=m, num_cores=args.tiles)
+    print()
+    print(format_budget_table(budget))
+    print(
+        f"\nplatform: {args.tiles} tiles, "
+        f"{platform_area_mm2(args.tiles):.0f} mm^2, "
+        f"{platform_power_mw(args.tiles):.0f} mW at 100 MHz"
+    )
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from .core.cyclic_autocorrelation import estimate_symbol_rate
+    from .signals.modulators import LinearModulator
+
+    rng = np.random.default_rng(args.seed)
+    modulator = LinearModulator(args.modulation, args.sps)
+    signal = modulator.signal(args.samples, 1e6, rng=rng)
+    received = signal.samples + 10 ** (-args.snr_db / 20.0) * awgn(
+        args.samples, rng=rng
+    )
+    candidates = sorted(set(args.candidates + [args.sps]))
+    decided = estimate_symbol_rate(
+        received, candidates, max_lag=2 * max(candidates)
+    )
+    print(
+        f"transmitted: {args.modulation} at {args.sps} samples/symbol, "
+        f"{args.snr_db:+.1f} dB SNR"
+    )
+    print(f"candidates scanned: {candidates}")
+    print(f"classified symbol rate: fs/{decided}")
+    print("correct!" if decided == args.sps else "misclassified")
+    return 0 if decided == args.sps else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-cfd`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cfd",
+        description=(
+            "Cyclostationary Feature Detection on a tiled-SoC "
+            "(DATE 2007) - reproduction toolkit"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table1 = subparsers.add_parser("table1", help="print Table 1")
+    table1.add_argument("--fft-size", type=int, default=256)
+    table1.add_argument("--m", type=int, default=63)
+    table1.add_argument("--tiles", type=int, default=4)
+    table1.add_argument("--clock-mhz", type=float, default=100.0)
+    table1.add_argument("--blocks", type=int, default=2)
+    table1.add_argument(
+        "--simulate",
+        action="store_true",
+        help="also run the executing platform simulation",
+    )
+    table1.set_defaults(func=_cmd_table1)
+
+    scaling = subparsers.add_parser("scaling", help="Section 5 scaling study")
+    scaling.add_argument("--tiles", type=int, nargs="+", default=[1, 2, 4, 8, 16])
+    scaling.add_argument("--fft-size", type=int, default=256)
+    scaling.add_argument("--m", type=int, default=63)
+    scaling.add_argument("--clock-mhz", type=float, default=100.0)
+    scaling.set_defaults(func=_cmd_scaling)
+
+    sense = subparsers.add_parser("sense", help="sense a synthetic band")
+    sense.add_argument("--fft-size", type=int, default=64)
+    sense.add_argument("--blocks", type=int, default=64)
+    sense.add_argument("--snr-db", type=float, default=-3.0)
+    sense.add_argument("--sps", type=int, default=8)
+    sense.add_argument("--pfa", type=float, default=0.05)
+    sense.add_argument("--seed", type=int, default=0)
+    sense.add_argument("--vacant", action="store_true", help="noise only")
+    sense.add_argument("--noise-uncertainty-db", type=float, default=0.0)
+    sense.add_argument("--calibration-trials", type=int, default=50)
+    sense.set_defaults(func=_cmd_sense)
+
+    mapping = subparsers.add_parser("map", help="walk the mapping methodology")
+    mapping.add_argument("--fft-size", type=int, default=256)
+    mapping.add_argument("--m", type=int, default=None)
+    mapping.add_argument("--tiles", type=int, default=4)
+    mapping.add_argument("--figures", action="store_true")
+    mapping.set_defaults(func=_cmd_map)
+
+    classify = subparsers.add_parser(
+        "classify", help="classify a licensed user's symbol rate"
+    )
+    classify.add_argument("--modulation", default="bpsk",
+                          choices=["bpsk", "qpsk", "qam16"])
+    classify.add_argument("--sps", type=int, default=8)
+    classify.add_argument("--snr-db", type=float, default=6.0)
+    classify.add_argument("--samples", type=int, default=16384)
+    classify.add_argument("--seed", type=int, default=0)
+    classify.add_argument(
+        "--candidates", type=int, nargs="+", default=[4, 8, 16]
+    )
+    classify.set_defaults(func=_cmd_classify)
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

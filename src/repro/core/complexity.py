@@ -1,0 +1,86 @@
+"""Operation-count models from Section 2 of the paper.
+
+The paper's platform argument rests on two closed forms for the number
+of complex multiplications:
+
+* an N-point FFT (N a power of two) needs ``(N/2) * log2 N``;
+* one integration step of the DSCF needs approximately ``N^2 / 4``
+  (exactly ``(2M+1)^2`` with the default ``M = (N/2 - 1) // 2``).
+
+For N = 256 the ratio is 16: "calculating the DSCF for a 256 point
+spectrum involves 16 times as many complex multiplications than the
+determination of the spectrum itself".  Experiment E2 regenerates this
+table and cross-checks the closed forms against instrumented runs of
+the reference implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._util import require_power_of_two, require_positive_int
+from ..errors import ConfigurationError
+from .scf import default_m
+
+
+def fft_complex_multiplications(fft_size: int) -> int:
+    """``(N/2) * log2 N`` complex multiplications for an N-point FFT."""
+    fft_size = require_power_of_two(fft_size, "fft_size")
+    stages = fft_size.bit_length() - 1
+    return (fft_size // 2) * stages
+
+
+def dscf_complex_multiplications(fft_size: int) -> int:
+    """Paper's approximation ``N^2 / 4`` for one DSCF integration step."""
+    fft_size = require_positive_int(fft_size, "fft_size")
+    return fft_size * fft_size // 4
+
+
+def dscf_complex_multiplications_exact(
+    fft_size: int, m: int | None = None
+) -> int:
+    """Exact count ``(2M+1)^2`` of multiplications per integration step.
+
+    One complex multiplication per (f, a) grid point; with the default
+    M this is ``127^2 = 16129`` for K = 256 (the paper's ``T*F*Q =
+    32*127*4 = 16256`` spreads the same grid over 4 cores with one idle
+    task slot of padding on the last core).
+    """
+    if m is None:
+        m = default_m(fft_size)
+    if m < 0:
+        raise ConfigurationError(f"m must be >= 0, got {m}")
+    extent = 2 * m + 1
+    return extent * extent
+
+
+def dscf_to_fft_ratio(fft_size: int) -> float:
+    """Ratio of DSCF to FFT complex multiplications (paper: 16 at N=256)."""
+    return dscf_complex_multiplications(fft_size) / fft_complex_multiplications(
+        fft_size
+    )
+
+
+@dataclass(frozen=True)
+class ComplexityRow:
+    """One row of the Section 2 complexity comparison."""
+
+    fft_size: int
+    fft_multiplications: int
+    dscf_multiplications: int
+    ratio: float
+
+
+def complexity_table(sizes: tuple[int, ...] = (64, 128, 256, 512, 1024)) -> list[ComplexityRow]:
+    """Complexity comparison rows for a sweep of spectrum sizes."""
+    rows = []
+    for size in sizes:
+        rows.append(
+            ComplexityRow(
+                fft_size=size,
+                fft_multiplications=fft_complex_multiplications(size),
+                dscf_multiplications=dscf_complex_multiplications(size),
+                ratio=dscf_to_fft_ratio(size),
+            )
+        )
+    return rows

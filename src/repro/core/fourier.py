@@ -1,0 +1,283 @@
+"""Discrete Fourier analysis (expression 2 of the paper).
+
+The paper computes, for each block offset ``n``, the K-point spectrum
+
+    X[n, v] = sum_{k=0}^{K-1} x[n+k] * e^{-j 2 pi v (n+k) / K}
+
+Two things are notable about this definition:
+
+* the phase is referenced to *absolute* sample time ``n+k`` rather than
+  block-local time ``k``; the spectrum of the block therefore carries an
+  extra factor ``e^{-j 2 pi v n / K}`` relative to a plain FFT of the
+  block.  For the paper's operating point — non-overlapping blocks
+  (``hop == K``) and integer bins ``v`` — this factor is exactly 1, but
+  it matters for overlapping blocks so we implement it faithfully.
+* the paper's expression 2 prints a ``+j`` exponent; every standard SCF
+  formulation (and the cited detector literature) uses ``-j``, so we
+  treat the sign as a typo and default to ``-1`` while still accepting
+  ``sign=+1`` for completeness.
+
+Three DFT engines are provided:
+
+``dft``
+    Direct O(K^2) evaluation of the definition; the ground truth used in
+    tests and for operation counting.
+``fft_radix2``
+    A from-scratch iterative radix-2 decimation-in-time FFT, the
+    algorithm the Montium runs (1040 cycles for K=256, Table 1).
+``numpy``
+    ``numpy.fft.fft`` for fast bulk processing in the estimators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import (
+    as_complex_vector,
+    require,
+    require_power_of_two,
+    require_positive_int,
+)
+from ..errors import ConfigurationError
+from .opcount import OperationCounter
+from .sampling import SampledSignal
+from .windows import get_window
+
+_ENGINES = ("numpy", "radix2", "direct")
+
+
+def dft(
+    samples: np.ndarray,
+    sign: int = -1,
+    counter: OperationCounter | None = None,
+) -> np.ndarray:
+    """Direct discrete Fourier transform of a sample block.
+
+    Evaluates ``X[v] = sum_k x[k] * e^{sign * j 2 pi v k / K}`` by the
+    definition, in O(K^2) complex multiplications.  Used as ground truth
+    and for exact operation counting.
+
+    Parameters
+    ----------
+    samples:
+        The K-sample block.
+    sign:
+        Exponent sign, ``-1`` (conventional, default) or ``+1``.
+    counter:
+        Optional :class:`OperationCounter`; each twiddle multiply and
+        accumulation is recorded.
+    """
+    block = as_complex_vector(samples, "samples")
+    size = block.size
+    if sign not in (-1, 1):
+        raise ConfigurationError(f"sign must be -1 or +1, got {sign}")
+    result = np.zeros(size, dtype=np.complex128)
+    base = sign * 2j * np.pi / size
+    for v in range(size):
+        accumulator = 0.0 + 0.0j
+        for k in range(size):
+            accumulator += block[k] * np.exp(base * v * k)
+            if counter is not None:
+                counter.record_multiplication()
+                counter.record_addition()
+        result[v] = accumulator
+    return result
+
+
+def bit_reverse_indices(size: int) -> np.ndarray:
+    """Bit-reversal permutation for a power-of-two *size*.
+
+    ``out[i]`` is the index whose binary representation is the reverse
+    of ``i``'s (in ``log2(size)`` bits).  This is the input reordering
+    of the decimation-in-time FFT.
+    """
+    size = require_power_of_two(size, "size")
+    bits = size.bit_length() - 1
+    indices = np.arange(size)
+    reversed_indices = np.zeros(size, dtype=np.int64)
+    for bit in range(bits):
+        reversed_indices |= ((indices >> bit) & 1) << (bits - 1 - bit)
+    return reversed_indices
+
+
+def fft_radix2(
+    samples: np.ndarray,
+    sign: int = -1,
+    counter: OperationCounter | None = None,
+) -> np.ndarray:
+    """Iterative radix-2 decimation-in-time FFT.
+
+    This is the classic in-place butterfly network: ``log2 K`` stages of
+    ``K/2`` butterflies, each butterfly performing exactly one complex
+    multiplication (by a twiddle factor) and two complex additions.  The
+    total complex-multiplication count is therefore ``(K/2) * log2 K``,
+    the figure the paper uses in its Section 2 complexity argument.
+
+    Parameters
+    ----------
+    samples:
+        Block of K samples; K must be a power of two.
+    sign:
+        Exponent sign, ``-1`` (forward, default) or ``+1`` (inverse
+        kernel without the 1/K scaling).
+    counter:
+        Optional :class:`OperationCounter` recording one multiplication
+        and two additions per butterfly.
+    """
+    block = as_complex_vector(samples, "samples")
+    size = require_power_of_two(block.size, "len(samples)")
+    if sign not in (-1, 1):
+        raise ConfigurationError(f"sign must be -1 or +1, got {sign}")
+
+    data = block[bit_reverse_indices(size)].copy()
+    span = 2
+    while span <= size:
+        half = span // 2
+        twiddles = np.exp(sign * 2j * np.pi * np.arange(half) / span)
+        for start in range(0, size, span):
+            for offset in range(half):
+                upper = data[start + offset]
+                lower = data[start + offset + half] * twiddles[offset]
+                data[start + offset] = upper + lower
+                data[start + offset + half] = upper - lower
+                if counter is not None:
+                    counter.record_multiplication()
+                    counter.record_addition(2)
+        span *= 2
+    return data
+
+
+def ifft_radix2(spectrum: np.ndarray) -> np.ndarray:
+    """Inverse FFT via :func:`fft_radix2` with conjugate kernel and 1/K."""
+    block = as_complex_vector(spectrum, "spectrum")
+    return fft_radix2(block, sign=+1) / block.size
+
+
+def centered_to_fft_index(v: int | np.ndarray, fft_size: int) -> int | np.ndarray:
+    """Map a centered bin ``v in [-K/2, K/2-1]`` to its FFT array index.
+
+    Centered bin 0 is DC; negative bins wrap to the top half of the FFT
+    output, exactly as ``numpy.fft.fftshift`` arranges them.
+    """
+    return np.asarray(v) % fft_size if isinstance(v, np.ndarray) else v % fft_size
+
+
+def fft_to_centered_index(index: int, fft_size: int) -> int:
+    """Map an FFT array index to its centered bin ``v in [-K/2, K/2-1]``."""
+    index = index % fft_size
+    return index if index < fft_size // 2 else index - fft_size
+
+
+def block_spectra(
+    signal: SampledSignal | np.ndarray,
+    fft_size: int,
+    num_blocks: int | None = None,
+    hop: int | None = None,
+    window: str = "rectangular",
+    sign: int = -1,
+    phase_reference: bool = True,
+    engine: str = "numpy",
+    centered: bool = True,
+) -> np.ndarray:
+    """Compute the short-time spectra ``X[n, v]`` of expression 2.
+
+    Parameters
+    ----------
+    signal:
+        A :class:`SampledSignal` or raw sample array.
+    fft_size:
+        Block length K (and DFT size).
+    num_blocks:
+        Number of blocks N to analyse; defaults to every complete block.
+    hop:
+        Stride between block starts; defaults to ``fft_size``
+        (non-overlapping blocks, the paper's operating point).
+    window:
+        Name of the analysis window (default rectangular, as the paper).
+    sign:
+        DFT exponent sign (see module docstring).
+    phase_reference:
+        If True (default), apply the absolute-time phase factor
+        ``e^{sign * j 2 pi v (n*hop) / K}`` so the result matches the
+        paper's expression 2 for any hop.  With ``hop == fft_size`` the
+        factor is identically 1.
+    engine:
+        ``"numpy"`` (default), ``"radix2"`` (our from-scratch FFT) or
+        ``"direct"`` (O(K^2) DFT).
+    centered:
+        If True (default), return spectra with bins in centered order
+        (index ``c`` holds bin ``v = c - K/2``); otherwise natural FFT
+        order.
+
+    Returns
+    -------
+    numpy.ndarray
+        Complex array of shape ``(N, K)``.
+    """
+    if isinstance(signal, SampledSignal):
+        samples = signal.samples
+    else:
+        samples = as_complex_vector(signal, "signal")
+    fft_size = require_positive_int(fft_size, "fft_size")
+    if hop is None:
+        hop = fft_size
+    hop = require_positive_int(hop, "hop")
+    if engine not in _ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected one of {_ENGINES}"
+        )
+    if sign not in (-1, 1):
+        raise ConfigurationError(f"sign must be -1 or +1, got {sign}")
+
+    available = (samples.size - fft_size) // hop + 1 if samples.size >= fft_size else 0
+    if num_blocks is None:
+        num_blocks = available
+    num_blocks = require_positive_int(num_blocks, "num_blocks")
+    require(
+        num_blocks <= available,
+        f"num_blocks={num_blocks} requested but only {available} complete "
+        f"blocks of {fft_size} samples (hop {hop}) are available",
+    )
+
+    taper = get_window(window, fft_size)
+    starts = np.arange(num_blocks) * hop
+    blocks = samples[starts[:, None] + np.arange(fft_size)[None, :]] * taper
+
+    if engine == "numpy":
+        spectra = np.fft.fft(blocks, axis=1)
+        if sign == +1:
+            # numpy implements the -j kernel; +j is its element-wise
+            # conjugate applied to conjugated input.
+            spectra = np.conj(np.fft.fft(np.conj(blocks), axis=1))
+    elif engine == "radix2":
+        require_power_of_two(fft_size, "fft_size (radix2 engine)")
+        spectra = np.stack([fft_radix2(row, sign=sign) for row in blocks])
+    else:  # direct
+        spectra = np.stack([dft(row, sign=sign) for row in blocks])
+
+    if phase_reference:
+        bins = np.arange(fft_size)
+        phase = np.exp(
+            sign * 2j * np.pi * np.outer(starts, bins) / fft_size
+        )
+        spectra = spectra * phase
+
+    if centered:
+        spectra = np.fft.fftshift(spectra, axes=1)
+    return spectra
+
+
+def power_spectral_density(spectra: np.ndarray) -> np.ndarray:
+    """Average periodogram ``mean_n |X[n, v]|^2 / K`` over the blocks.
+
+    Accepts spectra in either centered or natural order and preserves
+    the ordering of its input.
+    """
+    spectra = np.asarray(spectra)
+    if spectra.ndim != 2 or spectra.size == 0:
+        raise ConfigurationError(
+            f"spectra must be a non-empty (N, K) array, got shape {spectra.shape}"
+        )
+    fft_size = spectra.shape[1]
+    return np.mean(np.abs(spectra) ** 2, axis=0) / fft_size

@@ -1,0 +1,60 @@
+"""Persistence of DSCF results.
+
+Long sensing campaigns compute DSCFs incrementally and archive them;
+these helpers round-trip a :class:`~repro.core.scf.DSCFResult` through
+a single ``.npz`` file (values + metadata), with validation on load.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .scf import DSCFResult
+
+
+def save_dscf(result: DSCFResult, path: str | Path) -> Path:
+    """Write *result* to *path* (``.npz`` appended if missing)."""
+    if not isinstance(result, DSCFResult):
+        raise ConfigurationError("result must be a DSCFResult")
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    sample_rate = (
+        np.float64(result.sample_rate_hz)
+        if result.sample_rate_hz is not None
+        else np.float64(np.nan)
+    )
+    np.savez(
+        path,
+        values=result.values,
+        m=np.int64(result.m),
+        num_blocks=np.int64(result.num_blocks),
+        fft_size=np.int64(result.fft_size),
+        sample_rate_hz=sample_rate,
+    )
+    return path
+
+
+def load_dscf(path: str | Path) -> DSCFResult:
+    """Read a :class:`DSCFResult` previously written by :func:`save_dscf`."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"no such file: {path}")
+    with np.load(path) as archive:
+        required = {"values", "m", "num_blocks", "fft_size", "sample_rate_hz"}
+        missing = required - set(archive.files)
+        if missing:
+            raise ConfigurationError(
+                f"{path} is not a DSCF archive (missing {sorted(missing)})"
+            )
+        sample_rate = float(archive["sample_rate_hz"])
+        return DSCFResult(
+            values=archive["values"],
+            m=int(archive["m"]),
+            num_blocks=int(archive["num_blocks"]),
+            fft_size=int(archive["fft_size"]),
+            sample_rate_hz=None if np.isnan(sample_rate) else sample_rate,
+        )

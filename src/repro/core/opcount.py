@@ -1,0 +1,69 @@
+"""Complex-arithmetic operation counting.
+
+Section 2 of the paper argues the platform requirements from the number
+of *complex multiplications*: an FFT needs ``(N/2) log2 N`` of them, the
+DSCF needs ``N^2 / 4``.  The reference (non-vectorised) implementations
+in :mod:`repro.core.fourier` and :mod:`repro.core.scf` accept an
+:class:`OperationCounter` so tests can verify that the executed
+operation counts match the closed-form expressions exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OperationCounter:
+    """Tallies complex arithmetic operations performed by an algorithm.
+
+    Counters are plain integers; ``record_*`` methods are cheap enough
+    to call per-operation in the reference implementations (which are
+    only ever run on small problem sizes in tests and benchmarks).
+    """
+
+    complex_multiplications: int = 0
+    complex_additions: int = 0
+    complex_conjugations: int = 0
+    notes: dict = field(default_factory=dict)
+
+    def record_multiplication(self, count: int = 1) -> None:
+        """Record *count* complex multiplications."""
+        self.complex_multiplications += count
+
+    def record_addition(self, count: int = 1) -> None:
+        """Record *count* complex additions."""
+        self.complex_additions += count
+
+    def record_conjugation(self, count: int = 1) -> None:
+        """Record *count* complex conjugations."""
+        self.complex_conjugations += count
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.complex_multiplications = 0
+        self.complex_additions = 0
+        self.complex_conjugations = 0
+        self.notes.clear()
+
+    def snapshot(self) -> dict:
+        """Return the current tallies as a plain dict."""
+        return {
+            "complex_multiplications": self.complex_multiplications,
+            "complex_additions": self.complex_additions,
+            "complex_conjugations": self.complex_conjugations,
+        }
+
+    def __add__(self, other: "OperationCounter") -> "OperationCounter":
+        if not isinstance(other, OperationCounter):
+            return NotImplemented
+        merged = OperationCounter(
+            complex_multiplications=self.complex_multiplications
+            + other.complex_multiplications,
+            complex_additions=self.complex_additions + other.complex_additions,
+            complex_conjugations=self.complex_conjugations
+            + other.complex_conjugations,
+        )
+        merged.notes.update(self.notes)
+        merged.notes.update(other.notes)
+        return merged

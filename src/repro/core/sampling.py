@@ -1,0 +1,199 @@
+"""Sampled-signal model (expression 1 of the paper).
+
+The paper defines the sampled signal as ``x_k = x(k / fs)`` where ``fs``
+is the sampling frequency.  :class:`SampledSignal` wraps a complex sample
+vector together with its sample rate and offers the block-extraction
+operations the rest of the pipeline needs (expression 2 analyses blocks
+of ``K`` consecutive samples starting at offset ``n``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._util import as_complex_vector, require, require_positive_float
+from ..errors import ConfigurationError, SignalError
+
+
+@dataclass(frozen=True)
+class SampledSignal:
+    """A uniformly sampled, finite-length complex signal.
+
+    Parameters
+    ----------
+    samples:
+        One-dimensional array of samples.  Real input is promoted to
+        complex; the DCFD pipeline operates on complex baseband data.
+    sample_rate_hz:
+        The sampling frequency ``fs`` in Hz.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> sig = SampledSignal(np.ones(8), sample_rate_hz=1e6)
+    >>> sig.num_samples
+    8
+    >>> sig.duration_s
+    8e-06
+    """
+
+    samples: np.ndarray
+    sample_rate_hz: float
+    _power_cache: dict = field(
+        default_factory=dict, repr=False, compare=False, hash=False
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "samples", as_complex_vector(self.samples, "samples")
+        )
+        object.__setattr__(
+            self,
+            "sample_rate_hz",
+            require_positive_float(self.sample_rate_hz, "sample_rate_hz"),
+        )
+
+    # ------------------------------------------------------------------
+    # Basic geometry
+    # ------------------------------------------------------------------
+    @property
+    def num_samples(self) -> int:
+        """Number of samples in the signal."""
+        return int(self.samples.size)
+
+    @property
+    def duration_s(self) -> float:
+        """Signal duration in seconds (``num_samples / fs``)."""
+        return self.num_samples / self.sample_rate_hz
+
+    @property
+    def times_s(self) -> np.ndarray:
+        """Sample instants ``k / fs`` for ``k = 0..num_samples-1``."""
+        return np.arange(self.num_samples) / self.sample_rate_hz
+
+    def __len__(self) -> int:
+        return self.num_samples
+
+    # ------------------------------------------------------------------
+    # Block access (expression 2 operates on K-sample blocks at offset n)
+    # ------------------------------------------------------------------
+    def block(self, offset: int, size: int) -> np.ndarray:
+        """Return the ``size`` samples starting at sample index ``offset``.
+
+        Raises
+        ------
+        SignalError
+            If the requested block extends past the end of the signal.
+        """
+        if offset < 0 or size <= 0:
+            raise SignalError(
+                f"block requires offset >= 0 and size > 0, "
+                f"got offset={offset}, size={size}"
+            )
+        if offset + size > self.num_samples:
+            raise SignalError(
+                f"block [{offset}, {offset + size}) exceeds signal length "
+                f"{self.num_samples}"
+            )
+        return self.samples[offset : offset + size]
+
+    def num_blocks(self, size: int, hop: int | None = None) -> int:
+        """Number of complete blocks of ``size`` samples at stride ``hop``.
+
+        ``hop`` defaults to ``size`` (non-overlapping blocks, the paper's
+        operating point).
+        """
+        if hop is None:
+            hop = size
+        if size <= 0 or hop <= 0:
+            raise SignalError(
+                f"num_blocks requires size > 0 and hop > 0, got "
+                f"size={size}, hop={hop}"
+            )
+        if self.num_samples < size:
+            return 0
+        return (self.num_samples - size) // hop + 1
+
+    def blocks(self, size: int, hop: int | None = None) -> np.ndarray:
+        """Return an ``(N, size)`` array of consecutive blocks.
+
+        Block ``n`` starts at sample ``n * hop``.  Only complete blocks
+        are returned; trailing samples that do not fill a block are
+        dropped (the hardware pipeline processes whole 256-sample blocks
+        only).
+        """
+        if hop is None:
+            hop = size
+        count = self.num_blocks(size, hop)
+        if count == 0:
+            raise SignalError(
+                f"signal of {self.num_samples} samples has no complete "
+                f"block of size {size}"
+            )
+        indices = np.arange(count)[:, None] * hop + np.arange(size)[None, :]
+        return self.samples[indices]
+
+    # ------------------------------------------------------------------
+    # Signal algebra
+    # ------------------------------------------------------------------
+    def __add__(self, other: "SampledSignal") -> "SampledSignal":
+        """Mix two signals sample-wise (e.g. licensed user + noise)."""
+        if not isinstance(other, SampledSignal):
+            return NotImplemented
+        if other.sample_rate_hz != self.sample_rate_hz:
+            raise ConfigurationError(
+                "cannot mix signals with different sample rates "
+                f"({self.sample_rate_hz} Hz vs {other.sample_rate_hz} Hz)"
+            )
+        if other.num_samples != self.num_samples:
+            raise ConfigurationError(
+                "cannot mix signals with different lengths "
+                f"({self.num_samples} vs {other.num_samples})"
+            )
+        return SampledSignal(self.samples + other.samples, self.sample_rate_hz)
+
+    def scaled(self, gain: float | complex) -> "SampledSignal":
+        """Return a copy scaled by ``gain``."""
+        return SampledSignal(self.samples * gain, self.sample_rate_hz)
+
+    def head(self, count: int) -> "SampledSignal":
+        """Return the first ``count`` samples as a new signal."""
+        return SampledSignal(self.block(0, count), self.sample_rate_hz)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def power(self) -> float:
+        """Mean sample power ``E[|x|^2]``."""
+        if "power" not in self._power_cache:
+            self._power_cache["power"] = float(
+                np.mean(np.abs(self.samples) ** 2)
+            )
+        return self._power_cache["power"]
+
+    def power_dbw(self) -> float:
+        """Mean sample power in dB (relative to unit power)."""
+        power = self.power()
+        if power <= 0.0:
+            raise SignalError("power_dbw undefined for an all-zero signal")
+        return float(10.0 * np.log10(power))
+
+    def rms(self) -> float:
+        """Root-mean-square amplitude."""
+        return float(np.sqrt(self.power()))
+
+    def normalized(self) -> "SampledSignal":
+        """Return a copy scaled to unit mean power."""
+        rms = self.rms()
+        if rms == 0.0:
+            raise SignalError("cannot normalize an all-zero signal")
+        return self.scaled(1.0 / rms)
+
+    def snr_db_against(self, noise: "SampledSignal") -> float:
+        """Signal-to-noise ratio of ``self`` relative to ``noise`` in dB."""
+        noise_power = noise.power()
+        if noise_power <= 0.0:
+            raise SignalError("noise power must be positive to compute SNR")
+        return float(10.0 * np.log10(self.power() / noise_power))

@@ -1,0 +1,425 @@
+"""Discrete Spectral Correlation Function (expression 3 of the paper).
+
+The DSCF is
+
+    S_f^a = (1/N) * sum_{n=0}^{N-1}  X[n, f+a] * conj(X[n, f-a])
+
+where ``X[n, v]`` are the block spectra of expression 2, ``f`` is the
+spectral frequency bin, ``a`` the frequency-offset bin and ``N`` the
+number of averaged blocks.  The product correlates bins separated by
+``2a``; the physical cyclic frequency probed at offset ``a`` is
+``alpha = 2 a fs / K``.
+
+Index conventions (Section 4.1 of the paper): for a K-point spectrum
+both ``f`` and ``a`` range over ``[-M, M]`` with ``M = (K/2 - 1) // 2``
+so that ``f + a`` and ``f - a`` always address valid spectrum bins.
+For K = 256 this gives M = 63 and a 127 x 127 DSCF, the configuration
+the paper maps onto the 4-tile platform.
+
+Three estimators are provided and verified against each other:
+
+``dscf_reference``
+    Literal triple loop over (f, a, n); slow, exact, countable.
+``dscf``
+    Vectorised numpy implementation for production use.
+``StreamingDSCF``
+    Block-at-a-time accumulator mirroring the hardware integration step
+    (Figure 3: multiply + running sum in a register/memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import require, require_non_negative_int, require_positive_int
+from ..errors import ConfigurationError, SignalError
+from .fourier import block_spectra
+from .opcount import OperationCounter
+from .sampling import SampledSignal
+
+
+def default_m(fft_size: int) -> int:
+    """Largest offset bound M such that ``f±a`` stay within the spectrum.
+
+    ``f + a`` ranges over ``[-2M, 2M]``; requiring ``2M <= K/2 - 1``
+    yields ``M = (K/2 - 1) // 2``.  For the paper's K = 256 this is 63,
+    giving the 127 x 127 DSCF of Section 4.1.
+    """
+    fft_size = require_positive_int(fft_size, "fft_size")
+    if fft_size < 4:
+        raise ConfigurationError(
+            f"fft_size must be at least 4 to host a DSCF, got {fft_size}"
+        )
+    return (fft_size // 2 - 1) // 2
+
+
+def validate_m(fft_size: int, m: int | None) -> int:
+    """Validate (or default) the half-extent M for a K-point spectrum."""
+    limit = default_m(fft_size)
+    if m is None:
+        return limit
+    m = require_non_negative_int(m, "m")
+    require(
+        m <= limit,
+        f"m={m} too large for fft_size={fft_size}: f±a would leave the "
+        f"spectrum (maximum m is {limit})",
+    )
+    return m
+
+
+@dataclass(frozen=True)
+class DSCFResult:
+    """A computed DSCF estimate.
+
+    Attributes
+    ----------
+    values:
+        Complex array of shape ``(2M+1, 2M+1)`` indexed
+        ``values[f + M, a + M]`` = ``S_f^a`` (rows are spectral
+        frequency ``f``, columns are offset ``a``, matching Figure 1
+        where rows sweep f and columns sweep a).
+    m:
+        The half-extent M; ``f, a`` range over ``[-M, M]``.
+    num_blocks:
+        The number of averaged blocks N.
+    fft_size:
+        Block length K used for the spectra.
+    sample_rate_hz:
+        Optional sampling frequency, enabling physical-unit axes.
+    """
+
+    values: np.ndarray
+    m: int
+    num_blocks: int
+    fft_size: int
+    sample_rate_hz: float | None = None
+
+    def __post_init__(self) -> None:
+        extent = 2 * self.m + 1
+        if self.values.shape != (extent, extent):
+            raise ConfigurationError(
+                f"DSCF values must have shape ({extent}, {extent}) for "
+                f"m={self.m}, got {self.values.shape}"
+            )
+
+    # ------------------------------------------------------------------
+    # Axes and lookup
+    # ------------------------------------------------------------------
+    @property
+    def extent(self) -> int:
+        """Grid side length ``2M+1`` (the paper's P = F)."""
+        return 2 * self.m + 1
+
+    @property
+    def f_axis(self) -> np.ndarray:
+        """Spectral frequency bins ``f = -M..M``."""
+        return np.arange(-self.m, self.m + 1)
+
+    @property
+    def a_axis(self) -> np.ndarray:
+        """Offset bins ``a = -M..M``."""
+        return np.arange(-self.m, self.m + 1)
+
+    def alpha_axis_hz(self) -> np.ndarray:
+        """Physical cyclic frequencies ``alpha = 2 a fs / K`` in Hz."""
+        if self.sample_rate_hz is None:
+            raise SignalError(
+                "alpha_axis_hz requires the DSCF to carry a sample rate"
+            )
+        return 2.0 * self.a_axis * self.sample_rate_hz / self.fft_size
+
+    def frequency_axis_hz(self) -> np.ndarray:
+        """Physical spectral frequencies ``f fs / K`` in Hz."""
+        if self.sample_rate_hz is None:
+            raise SignalError(
+                "frequency_axis_hz requires the DSCF to carry a sample rate"
+            )
+        return self.f_axis * self.sample_rate_hz / self.fft_size
+
+    def get(self, f: int, a: int) -> complex:
+        """Return ``S_f^a`` for centered bins ``f, a`` in ``[-M, M]``."""
+        if not (-self.m <= f <= self.m and -self.m <= a <= self.m):
+            raise SignalError(
+                f"(f={f}, a={a}) outside the computed grid [-{self.m}, {self.m}]^2"
+            )
+        return complex(self.values[f + self.m, a + self.m])
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def magnitude(self) -> np.ndarray:
+        """``|S_f^a|`` with the same indexing as :attr:`values`."""
+        return np.abs(self.values)
+
+    def alpha_profile(self, reducer: str = "max") -> np.ndarray:
+        """Collapse the f-dimension to a per-offset feature profile.
+
+        ``reducer`` is ``"max"`` (peak magnitude over f, the usual
+        feature-detection statistic) or ``"sum"`` (total magnitude).
+        The a = 0 column is the ordinary averaged power spectrum and is
+        *included*; detectors typically exclude it themselves.
+        """
+        magnitude = self.magnitude()
+        if reducer == "max":
+            return magnitude.max(axis=0)
+        if reducer == "sum":
+            return magnitude.sum(axis=0)
+        raise ConfigurationError(
+            f"reducer must be 'max' or 'sum', got {reducer!r}"
+        )
+
+    def psd_column(self) -> np.ndarray:
+        """The ``a = 0`` column: the averaged power spectrum ``S_f^0``."""
+        return np.real(self.values[:, self.m]).copy()
+
+
+def _validate_spectra(spectra: np.ndarray) -> tuple[int, int]:
+    spectra = np.asarray(spectra)
+    if spectra.ndim != 2 or spectra.size == 0:
+        raise ConfigurationError(
+            f"spectra must be a non-empty (N, K) complex array, got shape "
+            f"{spectra.shape}"
+        )
+    return spectra.shape
+
+
+def dscf_reference(
+    spectra: np.ndarray,
+    m: int | None = None,
+    counter: OperationCounter | None = None,
+) -> np.ndarray:
+    """Literal triple-loop DSCF (expression 3), for testing and counting.
+
+    Parameters
+    ----------
+    spectra:
+        Centered block spectra of shape ``(N, K)`` (bin ``v`` at column
+        ``v + K/2``), e.g. from :func:`repro.core.fourier.block_spectra`.
+    m:
+        Half-extent M (defaults to :func:`default_m`).
+    counter:
+        Optional :class:`OperationCounter`; records one complex
+        multiplication and one conjugation per (f, a, n) term, and one
+        addition per accumulation into the running sum.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(2M+1, 2M+1)`` array indexed ``[f + M, a + M]``.
+    """
+    spectra = np.asarray(spectra, dtype=np.complex128)
+    num_blocks, fft_size = _validate_spectra(spectra)
+    m = validate_m(fft_size, m)
+    center = fft_size // 2
+    extent = 2 * m + 1
+    result = np.zeros((extent, extent), dtype=np.complex128)
+    for f in range(-m, m + 1):
+        for a in range(-m, m + 1):
+            accumulator = 0.0 + 0.0j
+            for n in range(num_blocks):
+                term = spectra[n, center + f + a] * np.conj(
+                    spectra[n, center + f - a]
+                )
+                accumulator += term
+                if counter is not None:
+                    counter.record_multiplication()
+                    counter.record_conjugation()
+                    counter.record_addition()
+            result[f + m, a + m] = accumulator / num_blocks
+    return result
+
+
+def dscf(
+    spectra: np.ndarray,
+    m: int | None = None,
+    chunk_blocks: int = 128,
+) -> np.ndarray:
+    """Vectorised DSCF over centered block spectra.
+
+    Equivalent to :func:`dscf_reference` but evaluated with numpy fancy
+    indexing, chunked over blocks to bound peak memory at roughly
+    ``chunk_blocks * (2M+1)^2`` complex values.
+
+    Returns the raw ``(2M+1, 2M+1)`` array; use :func:`compute_dscf`
+    or :func:`dscf_from_signal` for a :class:`DSCFResult` wrapper.
+    """
+    spectra = np.asarray(spectra, dtype=np.complex128)
+    num_blocks, fft_size = _validate_spectra(spectra)
+    m = validate_m(fft_size, m)
+    chunk_blocks = require_positive_int(chunk_blocks, "chunk_blocks")
+    center = fft_size // 2
+    offsets = np.arange(-m, m + 1)
+    # index grids: rows sweep f, columns sweep a
+    plus_index = center + offsets[:, None] + offsets[None, :]   # f + a
+    minus_index = center + offsets[:, None] - offsets[None, :]  # f - a
+    accumulator = np.zeros((2 * m + 1, 2 * m + 1), dtype=np.complex128)
+    for start in range(0, num_blocks, chunk_blocks):
+        chunk = spectra[start : start + chunk_blocks]
+        accumulator += np.einsum(
+            "nfa,nfa->fa", chunk[:, plus_index], np.conj(chunk[:, minus_index])
+        )
+    return accumulator / num_blocks
+
+
+def compute_dscf(
+    spectra: np.ndarray,
+    m: int | None = None,
+    sample_rate_hz: float | None = None,
+) -> DSCFResult:
+    """Vectorised DSCF wrapped in a :class:`DSCFResult`."""
+    spectra = np.asarray(spectra, dtype=np.complex128)
+    num_blocks, fft_size = _validate_spectra(spectra)
+    m = validate_m(fft_size, m)
+    values = dscf(spectra, m)
+    return DSCFResult(
+        values=values,
+        m=m,
+        num_blocks=num_blocks,
+        fft_size=fft_size,
+        sample_rate_hz=sample_rate_hz,
+    )
+
+
+def dscf_from_signal(
+    signal: SampledSignal | np.ndarray,
+    fft_size: int,
+    num_blocks: int | None = None,
+    m: int | None = None,
+    hop: int | None = None,
+    window: str = "rectangular",
+) -> DSCFResult:
+    """End-to-end DSCF: block spectra (expr. 2) then correlation (expr. 3).
+
+    This is the one-call estimator most examples use.
+
+    Parameters
+    ----------
+    signal:
+        Input signal (a :class:`SampledSignal` carries its sample rate
+        into the result for physical-unit axes).
+    fft_size:
+        Block length K.
+    num_blocks:
+        Number of integration steps N (default: all complete blocks).
+    m:
+        Half-extent M (default: :func:`default_m`, i.e. 63 for K=256).
+    hop:
+        Block stride (default ``fft_size``: non-overlapping).
+    window:
+        Analysis window name (default rectangular, as the paper).
+    """
+    spectra = block_spectra(
+        signal, fft_size, num_blocks=num_blocks, hop=hop, window=window
+    )
+    sample_rate = (
+        signal.sample_rate_hz if isinstance(signal, SampledSignal) else None
+    )
+    return compute_dscf(spectra, m=m, sample_rate_hz=sample_rate)
+
+
+class StreamingDSCF:
+    """Block-at-a-time DSCF accumulator.
+
+    Mirrors the hardware integration structure of Figure 3/4: each call
+    to :meth:`update` performs the multiplications for one block index
+    ``n`` and adds them into a running sum, exactly as the Montium's
+    multiply-accumulate loop adds into its integration memories.  After
+    N updates, :meth:`result` divides by N.
+
+    The accumulator is numerically identical (up to float associativity)
+    to :func:`dscf` over the same spectra, which the tests assert.
+    """
+
+    def __init__(self, fft_size: int, m: int | None = None) -> None:
+        self._fft_size = require_positive_int(fft_size, "fft_size")
+        self._m = validate_m(fft_size, m)
+        offsets = np.arange(-self._m, self._m + 1)
+        center = fft_size // 2
+        self._plus_index = center + offsets[:, None] + offsets[None, :]
+        self._minus_index = center + offsets[:, None] - offsets[None, :]
+        extent = 2 * self._m + 1
+        self._sum = np.zeros((extent, extent), dtype=np.complex128)
+        self._count = 0
+
+    @property
+    def m(self) -> int:
+        """Half-extent M of the accumulated grid."""
+        return self._m
+
+    @property
+    def fft_size(self) -> int:
+        """Block length K."""
+        return self._fft_size
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks accumulated so far."""
+        return self._count
+
+    def update(self, spectrum: np.ndarray) -> None:
+        """Accumulate one centered K-point spectrum (one value of n)."""
+        spectrum = np.asarray(spectrum, dtype=np.complex128)
+        if spectrum.shape != (self._fft_size,):
+            raise ConfigurationError(
+                f"spectrum must have shape ({self._fft_size},), got "
+                f"{spectrum.shape}"
+            )
+        self._sum += spectrum[self._plus_index] * np.conj(
+            spectrum[self._minus_index]
+        )
+        self._count += 1
+
+    def result(self, sample_rate_hz: float | None = None) -> DSCFResult:
+        """Return the averaged DSCF accumulated so far."""
+        if self._count == 0:
+            raise SignalError("StreamingDSCF has accumulated no blocks yet")
+        return DSCFResult(
+            values=self._sum / self._count,
+            m=self._m,
+            num_blocks=self._count,
+            fft_size=self._fft_size,
+            sample_rate_hz=sample_rate_hz,
+        )
+
+    def reset(self) -> None:
+        """Clear the accumulator."""
+        self._sum[:] = 0
+        self._count = 0
+
+
+def spectral_coherence(
+    result: DSCFResult, psd: np.ndarray, floor: float = 1e-30
+) -> np.ndarray:
+    """Normalise a DSCF into a spectral coherence in [0, 1].
+
+    ``C_f^a = |S_f^a| / sqrt(PSD[f+a] * PSD[f-a])`` where *psd* is the
+    centered K-point averaged power spectrum (e.g. from
+    :func:`repro.core.fourier.power_spectral_density` scaled by K, i.e.
+    ``mean |X|^2``).  The coherence is the detection statistic that is
+    invariant to the absolute noise level.
+
+    Parameters
+    ----------
+    result:
+        A :class:`DSCFResult`.
+    psd:
+        Centered per-bin mean squared spectrum ``mean_n |X[n, v]|^2``,
+        length K.
+    floor:
+        Denominator floor to avoid division by zero in empty bins.
+    """
+    psd = np.asarray(psd, dtype=np.float64)
+    if psd.shape != (result.fft_size,):
+        raise ConfigurationError(
+            f"psd must have shape ({result.fft_size},), got {psd.shape}"
+        )
+    m = result.m
+    center = result.fft_size // 2
+    offsets = np.arange(-m, m + 1)
+    plus_index = center + offsets[:, None] + offsets[None, :]
+    minus_index = center + offsets[:, None] - offsets[None, :]
+    denominator = np.sqrt(psd[plus_index] * psd[minus_index])
+    denominator = np.maximum(denominator, floor)
+    return np.abs(result.values) / denominator

@@ -1,0 +1,100 @@
+"""Window functions for block spectral analysis.
+
+The paper applies a plain DFT to raw K-sample blocks (a rectangular
+window).  Practical spectral-correlation estimators often taper the
+blocks to control leakage, so the library ships the standard cosine
+windows, implemented from their defining formulas (no SciPy dependency).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import require_positive_int
+from ..errors import ConfigurationError
+
+_WINDOWS = {}
+
+
+def _register(name):
+    def decorator(func):
+        _WINDOWS[name] = func
+        return func
+
+    return decorator
+
+
+@_register("rectangular")
+def rectangular(length: int) -> np.ndarray:
+    """All-ones window; the paper's implicit choice."""
+    length = require_positive_int(length, "length")
+    return np.ones(length, dtype=np.float64)
+
+
+@_register("hann")
+def hann(length: int) -> np.ndarray:
+    """Hann window ``0.5 - 0.5 cos(2 pi k / L)`` (periodic form)."""
+    length = require_positive_int(length, "length")
+    k = np.arange(length, dtype=np.float64)
+    return 0.5 - 0.5 * np.cos(2.0 * np.pi * k / length)
+
+
+@_register("hamming")
+def hamming(length: int) -> np.ndarray:
+    """Hamming window ``0.54 - 0.46 cos(2 pi k / L)`` (periodic form)."""
+    length = require_positive_int(length, "length")
+    k = np.arange(length, dtype=np.float64)
+    return 0.54 - 0.46 * np.cos(2.0 * np.pi * k / length)
+
+
+@_register("blackman")
+def blackman(length: int) -> np.ndarray:
+    """Blackman window (periodic form)."""
+    length = require_positive_int(length, "length")
+    k = np.arange(length, dtype=np.float64)
+    phase = 2.0 * np.pi * k / length
+    return 0.42 - 0.5 * np.cos(phase) + 0.08 * np.cos(2.0 * phase)
+
+
+def get_window(name: str, length: int) -> np.ndarray:
+    """Look up a window by name.
+
+    Parameters
+    ----------
+    name:
+        One of ``rectangular``, ``hann``, ``hamming``, ``blackman``.
+    length:
+        Window length in samples.
+    """
+    try:
+        factory = _WINDOWS[name]
+    except KeyError:
+        known = ", ".join(sorted(_WINDOWS))
+        raise ConfigurationError(
+            f"unknown window {name!r}; available windows: {known}"
+        ) from None
+    return factory(length)
+
+
+def available_windows() -> tuple[str, ...]:
+    """Names of all registered windows."""
+    return tuple(sorted(_WINDOWS))
+
+
+def coherent_gain(window: np.ndarray) -> float:
+    """Mean window amplitude (DC gain normalisation factor)."""
+    window = np.asarray(window, dtype=np.float64)
+    if window.ndim != 1 or window.size == 0:
+        raise ConfigurationError("window must be a non-empty 1-D array")
+    return float(np.mean(window))
+
+
+def noise_equivalent_bandwidth(window: np.ndarray) -> float:
+    """Noise-equivalent bandwidth in bins: ``L * sum(w^2) / sum(w)^2``."""
+    window = np.asarray(window, dtype=np.float64)
+    if window.ndim != 1 or window.size == 0:
+        raise ConfigurationError("window must be a non-empty 1-D array")
+    denominator = float(np.sum(window) ** 2)
+    if denominator == 0.0:
+        raise ConfigurationError("window must have a non-zero sum")
+    return float(window.size * np.sum(window**2) / denominator)

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause
+while still being able to distinguish configuration problems from runtime
+simulation faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with inconsistent or invalid parameters."""
+
+
+class MappingError(ReproError):
+    """A space-time mapping is invalid (non-injective, acausal, or ill-shaped)."""
+
+
+class SimulationError(ReproError):
+    """A hardware simulation reached an illegal state (bad address, overflow...)."""
+
+
+class ProgramError(SimulationError):
+    """A Montium program is malformed or references unavailable resources."""
+
+
+class MemoryAccessError(SimulationError):
+    """An out-of-range or misaligned memory access occurred in a simulated memory."""
+
+
+class CommunicationError(SimulationError):
+    """An inter-tile communication contract was violated (rate, direction, size)."""
+
+
+class SignalError(ReproError):
+    """A signal generator or estimator received an invalid waveform request."""

@@ -1,0 +1,94 @@
+"""Step 1 of the paper: mapping DCFD onto a multi-core platform.
+
+This package implements the array-processor design flow of Section 3:
+
+1. :mod:`repro.mapping.dg` — the dependence graph of the DSCF
+   (Figures 1 and 2): nodes ``v = (f, a, n)``, accumulation edges and
+   the two families of data-distribution lines (normal / conjugated).
+2. :mod:`repro.mapping.transform` — processor-assignment matrices ``P``
+   and scheduling vectors ``s``: ``v' = P^T v``, ``t = s^T v``.
+3. :mod:`repro.mapping.projections` — the paper's concrete choices
+   P1/s1, P2/s2, P2a1/P2a2/P2b and their composition identity.
+4. :mod:`repro.mapping.spacetime` — 'space'-'time delay' diagrams
+   (Figure 5) for the two data flows.
+5. :mod:`repro.mapping.registers` — minimal-register communication
+   structures (Figure 6) and shift chains.
+6. :mod:`repro.mapping.architecture` — executable models of the
+   resulting systolic array (Figure 7) and of single PEs (Figures 3/4).
+7. :mod:`repro.mapping.folding` — folding P tasks onto Q physical
+   cores: ``T = ceil(P/Q)``, ``q = floor(p/T)`` (Figures 8/9).
+8. :mod:`repro.mapping.ascii_art` — textual renderings of the figures.
+"""
+
+from .architecture import FoldedArray, ProcessingElement, SystolicArray
+from .dg import (
+    DependenceGraph,
+    Edge,
+    dcfd_dependence_graph_2d,
+    dcfd_dependence_graph_3d,
+)
+from .exploration import (
+    MappingOption,
+    enumerate_mappings,
+    matches_paper_step2,
+    pareto_front,
+)
+from .folding import Fold
+from .projections import (
+    P1,
+    P2,
+    P2A1,
+    P2A2,
+    P2B,
+    S1,
+    S2,
+    composition_identity_holds,
+    step1_mapping,
+    step2_mapping,
+)
+from .registers import RegisterChain, chain_register_count, minimal_register_structure
+from .spacetime import (
+    SpaceTimeDelayDiagram,
+    ValueTrajectory,
+    conjugate_trajectories,
+    normal_trajectories,
+)
+from .transform import MappedGraph, SpaceTimeMapping
+from .verification import VerificationReport, assert_valid, verify_mapped_graph
+
+__all__ = [
+    "DependenceGraph",
+    "Edge",
+    "Fold",
+    "FoldedArray",
+    "MappedGraph",
+    "MappingOption",
+    "enumerate_mappings",
+    "matches_paper_step2",
+    "pareto_front",
+    "P1",
+    "P2",
+    "P2A1",
+    "P2A2",
+    "P2B",
+    "ProcessingElement",
+    "RegisterChain",
+    "S1",
+    "S2",
+    "SpaceTimeDelayDiagram",
+    "SpaceTimeMapping",
+    "SystolicArray",
+    "ValueTrajectory",
+    "VerificationReport",
+    "assert_valid",
+    "verify_mapped_graph",
+    "chain_register_count",
+    "composition_identity_holds",
+    "conjugate_trajectories",
+    "dcfd_dependence_graph_2d",
+    "dcfd_dependence_graph_3d",
+    "minimal_register_structure",
+    "normal_trajectories",
+    "step1_mapping",
+    "step2_mapping",
+]

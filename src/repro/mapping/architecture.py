@@ -1,0 +1,351 @@
+"""Executable architecture models (Figures 3, 4, 7 and 9).
+
+These classes *run* the architectures the mapping methodology derives,
+so the structural claims can be checked functionally: feeding the same
+block spectra through the systolic array (Figure 7) or the folded
+Q-core array (Figure 9) must reproduce the reference DSCF exactly.
+
+Index conventions: processors are labelled by ``a``-offset
+``p in [-M, M]``; chain stage ``i = p + M``; time steps sweep
+``t = f in [-M, M]``; spectra are centered K-point arrays (bin ``v`` at
+column ``v + K/2``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import require_non_negative_int, require_positive_int
+from ..core.scf import validate_m
+from ..errors import ConfigurationError, SignalError
+from .folding import Fold
+from .registers import RegisterChain
+
+
+class ProcessingElement:
+    """A multiply-integrate PE (Figure 3 / Figure 4).
+
+    After the n-projection (Figure 3) a PE is a complex multiplier
+    feeding an accumulator *register* (``memory_depth=1``).  After the
+    f-projection (Figure 4) the register becomes a *memory* of depth F
+    addressed by the time-multiplexed frequency ``f`` (= time t).
+    """
+
+    def __init__(self, memory_depth: int = 1) -> None:
+        self._depth = require_positive_int(memory_depth, "memory_depth")
+        self._accumulators = np.zeros(self._depth, dtype=np.complex128)
+        self._mac_count = 0
+
+    @property
+    def memory_depth(self) -> int:
+        """Accumulator locations (1 = Figure 3 register, F = Figure 4)."""
+        return self._depth
+
+    @property
+    def mac_count(self) -> int:
+        """Multiply-accumulate operations performed."""
+        return self._mac_count
+
+    def mac(self, normal_value: complex, conjugate_value: complex, address: int = 0) -> None:
+        """One multiply-accumulate: ``acc[address] += x * x_conj``.
+
+        *conjugate_value* is expected to be already conjugated — the
+        reshuffling network, not the PE, produces conjugates (Figure 1).
+        """
+        if not 0 <= address < self._depth:
+            raise ConfigurationError(
+                f"accumulator address must be in [0, {self._depth - 1}], "
+                f"got {address}"
+            )
+        self._accumulators[address] += normal_value * conjugate_value
+        self._mac_count += 1
+
+    def read(self, address: int = 0) -> complex:
+        """Read an accumulator location."""
+        if not 0 <= address < self._depth:
+            raise ConfigurationError(
+                f"accumulator address must be in [0, {self._depth - 1}], "
+                f"got {address}"
+            )
+        return complex(self._accumulators[address])
+
+    def accumulators(self) -> np.ndarray:
+        """Copy of all accumulator locations."""
+        return self._accumulators.copy()
+
+    def reset(self) -> None:
+        """Clear the accumulators (new integration)."""
+        self._accumulators[:] = 0
+        self._mac_count = 0
+
+
+class SystolicArray:
+    """The full register-based array of Figure 7.
+
+    ``P = 2M + 1`` processing elements; conjugated values flow left to
+    right through one register chain, normal values right to left
+    through the other.  Each time step ``t = f``:
+
+    * PE ``p`` multiplies the two chain values passing it —
+      ``X[f + p]`` and ``conj(X[f - p])`` — and integrates into its
+      memory at address ``f`` (Figure 4);
+    * both chains shift one position, new values entering at the ends.
+
+    One sweep of ``t`` over ``[-M, M]`` performs one integration step
+    ``n`` of expression 3; calling :meth:`integrate_block` per block
+    spectrum and :meth:`result` yields the full DSCF.
+    """
+
+    def __init__(self, m: int, fft_size: int) -> None:
+        self._fft_size = require_positive_int(fft_size, "fft_size")
+        self._m = validate_m(fft_size, require_non_negative_int(m, "m"))
+        self._extent = 2 * self._m + 1
+        self._pes = [
+            ProcessingElement(memory_depth=self._extent)
+            for _ in range(self._extent)
+        ]
+        self._conjugate_chain = RegisterChain(self._extent, direction=+1)
+        self._normal_chain = RegisterChain(self._extent, direction=-1)
+        self._blocks_integrated = 0
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def num_processors(self) -> int:
+        """P = 2M + 1."""
+        return self._extent
+
+    @property
+    def m(self) -> int:
+        """Half-extent M."""
+        return self._m
+
+    @property
+    def total_registers(self) -> int:
+        """Register stages across both chains (2P as built; the paper's
+        minimal count is 2(P-1) because end stages can feed directly)."""
+        return self._conjugate_chain.length + self._normal_chain.length
+
+    @property
+    def blocks_integrated(self) -> int:
+        """Number of integration steps performed so far."""
+        return self._blocks_integrated
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def integrate_block(self, spectrum: np.ndarray) -> None:
+        """Run one integration step n over a centered K-point spectrum."""
+        spectrum = np.asarray(spectrum, dtype=np.complex128)
+        if spectrum.shape != (self._fft_size,):
+            raise ConfigurationError(
+                f"spectrum must have shape ({self._fft_size},), got "
+                f"{spectrum.shape}"
+            )
+        center = self._fft_size // 2
+        m = self._m
+
+        def bin_value(v: int) -> complex:
+            return complex(spectrum[center + v])
+
+        # Initialisation: load both chains for t = -M.  Chain stage
+        # i = p + M; conjugate stage holds conj(X[-i]); normal stage
+        # holds X[i - 2M].
+        self._conjugate_chain.load(
+            [np.conj(bin_value(-i)) for i in range(self._extent)]
+        )
+        self._normal_chain.load(
+            [bin_value(i - 2 * m) for i in range(self._extent)]
+        )
+
+        for t in range(-m, m + 1):
+            for i in range(self._extent):
+                self._pes[i].mac(
+                    self._normal_chain.read(i),
+                    self._conjugate_chain.read(i),
+                    address=t + m,
+                )
+            if t < m:
+                incoming = t + 1 + m  # same source index feeds both ends
+                self._conjugate_chain.clock(np.conj(bin_value(incoming)))
+                self._normal_chain.clock(bin_value(incoming))
+        self._blocks_integrated += 1
+
+    def result(self) -> np.ndarray:
+        """The averaged DSCF values, indexed ``[f + M, a + M]``."""
+        if self._blocks_integrated == 0:
+            raise SignalError("no blocks integrated yet")
+        values = np.zeros((self._extent, self._extent), dtype=np.complex128)
+        for i, pe in enumerate(self._pes):  # i = a + M
+            values[:, i] = pe.accumulators()
+        return values / self._blocks_integrated
+
+    def reset(self) -> None:
+        """Clear all accumulators for a fresh integration."""
+        for pe in self._pes:
+            pe.reset()
+        self._blocks_integrated = 0
+
+
+class FoldedArray:
+    """The folded Q-core architecture of Figures 8 and 9.
+
+    The virtual P-stage chains are partitioned into per-core windows of
+    ``T`` stages (the Montium memories M09/M10); synchronised switches
+    select the stage feeding the multiplier while a core steps through
+    its ``T`` tasks; after ``T`` multiply-accumulates the chains shift
+    one position and values cross core boundaries — which this model
+    counts, verifying the paper's "factor T lower" communication rate.
+    """
+
+    def __init__(self, m: int, fft_size: int, num_cores: int) -> None:
+        self._fft_size = require_positive_int(fft_size, "fft_size")
+        self._m = validate_m(fft_size, require_non_negative_int(m, "m"))
+        self._extent = 2 * self._m + 1
+        self._fold = Fold(num_tasks=self._extent, num_cores=num_cores)
+        tasks = self._fold.tasks_per_core
+        cores = self._fold.num_cores
+        # Accumulator memories: one (F, T) block per core (T*F complex
+        # locations each — the Section 4.1 memory requirement).
+        self._accumulators = [
+            np.zeros((self._extent, tasks), dtype=np.complex128)
+            for _ in range(cores)
+        ]
+        self._conjugate_chain = RegisterChain(self._extent, direction=+1)
+        self._normal_chain = RegisterChain(self._extent, direction=-1)
+        self._blocks_integrated = 0
+        self._valid_macs = 0
+        self._padded_macs = 0
+        # transfers[(q, q+1)][kind] counts values crossing the boundary
+        self._transfers: dict[tuple[int, int], dict[str, int]] = {
+            (q, q + 1): {"conjugate": 0, "normal": 0}
+            for q in range(cores - 1)
+            if (q + 1) * tasks < self._extent
+        }
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def fold(self) -> Fold:
+        """The task-to-core fold in force."""
+        return self._fold
+
+    @property
+    def m(self) -> int:
+        """Half-extent M."""
+        return self._m
+
+    @property
+    def num_cores(self) -> int:
+        """Physical cores Q."""
+        return self._fold.num_cores
+
+    @property
+    def valid_mac_count(self) -> int:
+        """Multiply-accumulates on real tasks."""
+        return self._valid_macs
+
+    @property
+    def padded_mac_count(self) -> int:
+        """Idle slots executed on the last core (cycle-equivalent padding)."""
+        return self._padded_macs
+
+    @property
+    def transfer_counts(self) -> dict:
+        """Copy of per-boundary transfer tallies."""
+        return {key: dict(value) for key, value in self._transfers.items()}
+
+    def macs_per_core_per_step(self) -> float:
+        """Measured MAC slots per core per chain-hold interval.
+
+        The chains hold still while each core steps through its T task
+        slots, then shift once; this measured quantity therefore equals
+        T — the paper's "data is exchanged at a rate a factor T lower
+        than the basic computation".
+        """
+        if self._blocks_integrated == 0:
+            raise SignalError("no blocks integrated yet")
+        steps = self._blocks_integrated * self._extent
+        total_slots = self._valid_macs + self._padded_macs
+        return total_slots / (self._fold.num_cores * steps)
+
+    def transfers_per_block(self) -> int:
+        """Values crossing each core boundary per direction per block (2M)."""
+        if self._blocks_integrated == 0:
+            raise SignalError("no blocks integrated yet")
+        if not self._transfers:
+            raise SignalError("single-core fold has no boundaries to measure")
+        first_boundary = next(iter(self._transfers.values()))
+        return first_boundary["conjugate"] // self._blocks_integrated
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def integrate_block(self, spectrum: np.ndarray) -> None:
+        """Run one integration step n over a centered K-point spectrum."""
+        spectrum = np.asarray(spectrum, dtype=np.complex128)
+        if spectrum.shape != (self._fft_size,):
+            raise ConfigurationError(
+                f"spectrum must have shape ({self._fft_size},), got "
+                f"{spectrum.shape}"
+            )
+        center = self._fft_size // 2
+        m = self._m
+        tasks = self._fold.tasks_per_core
+
+        def bin_value(v: int) -> complex:
+            return complex(spectrum[center + v])
+
+        self._conjugate_chain.load(
+            [np.conj(bin_value(-i)) for i in range(self._extent)]
+        )
+        self._normal_chain.load(
+            [bin_value(i - 2 * m) for i in range(self._extent)]
+        )
+
+        for t in range(-m, m + 1):
+            for core in range(self._fold.num_cores):
+                for slot in self._fold.switch_schedule():
+                    task = core * tasks + slot
+                    if task >= self._extent:
+                        self._padded_macs += 1
+                        continue
+                    product = self._normal_chain.read(task) * \
+                        self._conjugate_chain.read(task)
+                    self._accumulators[core][t + m, slot] += product
+                    self._valid_macs += 1
+            if t < m:
+                incoming = t + 1 + m
+                self._conjugate_chain.clock(np.conj(bin_value(incoming)))
+                self._normal_chain.clock(bin_value(incoming))
+                for boundary in self._transfers:
+                    self._transfers[boundary]["conjugate"] += 1
+                    self._transfers[boundary]["normal"] += 1
+        self._blocks_integrated += 1
+
+    def result(self) -> np.ndarray:
+        """The averaged DSCF values, indexed ``[f + M, a + M]``."""
+        if self._blocks_integrated == 0:
+            raise SignalError("no blocks integrated yet")
+        values = np.zeros((self._extent, self._extent), dtype=np.complex128)
+        tasks = self._fold.tasks_per_core
+        for core in range(self._fold.num_cores):
+            for slot in range(tasks):
+                task = core * tasks + slot
+                if task >= self._extent:
+                    continue
+                values[:, task] = self._accumulators[core][:, slot]
+        return values / self._blocks_integrated
+
+    def reset(self) -> None:
+        """Clear accumulators and counters for a fresh integration."""
+        for accumulator in self._accumulators:
+            accumulator[:] = 0
+        self._blocks_integrated = 0
+        self._valid_macs = 0
+        self._padded_macs = 0
+        for boundary in self._transfers:
+            self._transfers[boundary]["conjugate"] = 0
+            self._transfers[boundary]["normal"] = 0

@@ -1,0 +1,141 @@
+"""Textual renderings of the paper's structural figures.
+
+The paper's Figures 1, 5, 6/7 and 9 are architecture diagrams; the
+benchmark harness regenerates them as deterministic ASCII so the
+reproduced structure can be compared with the paper by eye.  All
+renderers are pure functions of the mapping objects — no drawing
+state.
+"""
+
+from __future__ import annotations
+
+from .._util import require_non_negative_int, require_positive_int
+from .dg import CONJUGATE, DependenceGraph
+from .folding import Fold
+from .spacetime import SpaceTimeDelayDiagram
+
+
+def render_figure1(graph: DependenceGraph) -> str:
+    """Figure 1: the multiplications of one n-plane and their inputs.
+
+    One row per frequency ``f`` (as in the paper, rows sweep f); each
+    cell shows the (normal, conjugate) spectral indices feeding that
+    multiplication.
+    """
+    if graph.dimension != 2:
+        raise ValueError("render_figure1 expects the 2-D single-n graph")
+    nodes = sorted(graph.nodes)
+    f_values = sorted({f for f, _ in nodes})
+    a_values = sorted({a for _, a in nodes})
+    header = "f\\a  " + " ".join(f"{a:^11d}" for a in a_values)
+    lines = [header]
+    for f in reversed(f_values):
+        cells = []
+        for a in a_values:
+            labels = graph.inputs[(f, a)]
+            cells.append(f"X{labels['normal']:+d}*X~{labels['conjugate']:+d}")
+        lines.append(f"{f:<4d} " + " ".join(f"{cell:^11s}" for cell in cells))
+    lines.append("(X~ denotes a conjugated spectral value)")
+    return "\n".join(lines)
+
+
+def render_figure5(diagram: SpaceTimeDelayDiagram, max_values: int = 4) -> str:
+    """Figure 5: the 'space'-'time delay' diagram of one value family.
+
+    Rows are time steps (top = earliest), columns the processors
+    ``-M..M``; each cell shows the index of the value consumed there.
+    Only the first *max_values* labelled trajectories get a legend line,
+    matching the paper's X*_{n,0..3} annotations.
+    """
+    require_positive_int(max_values, "max_values")
+    processors = diagram.processors
+    by_time: dict[int, dict[int, int]] = {}
+    for trajectory in diagram.trajectories:
+        for processor, time in trajectory.visits:
+            by_time.setdefault(time, {})[processor] = trajectory.index
+    times = sorted(by_time)
+    header = "t \\ p " + " ".join(f"{p:^4d}" for p in processors)
+    lines = [header]
+    for time in times:
+        row = by_time[time]
+        cells = [
+            f"{row[p]:^4d}" if p in row else " .  " for p in processors
+        ]
+        lines.append(f"{time:<5d} " + " ".join(cells))
+    flow = "left-to-right" if diagram.kind == CONJUGATE else "right-to-left"
+    lines.append(f"(cell = index of the {diagram.kind} value; flow {flow})")
+    return "\n".join(lines)
+
+
+def render_figure7(m: int) -> str:
+    """Figure 7: the register-based systolic array.
+
+    Conjugate chain on top (flowing right), PEs in the middle, normal
+    chain underneath (flowing left); ``[R]`` marks a register stage.
+    """
+    m = require_non_negative_int(m, "m")
+    processors = list(range(-m, m + 1))
+    top = "X~ -> " + "".join("[R]--" for _ in processors) + ">"
+    pes = "      " + "  ".join(f"(PE{p:+d})" for p in processors)
+    bottom = "X  <- " + "".join("--[R]" for _ in processors) + "<"
+    return "\n".join([top, pes, bottom])
+
+
+def render_figure9(fold: Fold) -> str:
+    """Figure 9: the folded array, one box per core with its task slots.
+
+    Each core shows its valid task range (as a-offsets), its T-entry
+    shift registers and the synchronised switch.
+    """
+    if not isinstance(fold, Fold):
+        raise TypeError("render_figure9 expects a Fold")
+    m = (fold.num_tasks - 1) // 2
+    lines = [
+        f"P = {fold.num_tasks} tasks folded onto Q = {fold.num_cores} "
+        f"cores, T = {fold.tasks_per_core} tasks/core "
+        f"({fold.padded_slots} padded slot(s))"
+    ]
+    for core in range(fold.num_cores):
+        tasks = fold.tasks_of_core(core)
+        if len(tasks) == 0:
+            lines.append(f"core {core}: (idle)")
+            continue
+        a_low = tasks.start - m
+        a_high = tasks.stop - 1 - m
+        lines.append(
+            f"core {core}: a in [{a_low:+d}, {a_high:+d}]  "
+            f"| shiftreg X~[{fold.shift_register_length()}] -> switch \\"
+        )
+        lines.append(
+            f"         memory T*F = {fold.tasks_per_core}xF complex      "
+            f"| shiftreg X [{fold.shift_register_length()}] -> switch /"
+            f"--(MAC)--> memory"
+        )
+    lines.append(
+        f"chains shift once per T = {fold.exchange_rate_ratio()} MACs "
+        "(inter-core rate = f_clk / T)"
+    )
+    return "\n".join(lines)
+
+
+def render_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Fixed-width text table used by the benchmark harness."""
+    if not rows:
+        raise ValueError("render_table needs at least one row")
+    columns = len(headers)
+    if any(len(row) != columns for row in rows):
+        raise ValueError("every row must match the header width")
+    cells = [[str(x) for x in row] for row in rows]
+    widths = [
+        max(len(headers[c]), max(len(row[c]) for row in cells))
+        for c in range(columns)
+    ]
+    def fmt(row):
+        return " | ".join(f"{row[c]:>{widths[c]}}" for c in range(columns))
+    separator = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend([fmt(headers), separator])
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)

@@ -1,0 +1,243 @@
+"""Dependence graphs of the DCFD computation (Figures 1 and 2).
+
+Following Kung's VLSI array-processor methodology (the paper's [4]),
+the DSCF is modelled as a three-dimensional dependence graph: each
+point ``v = (f, a, n)`` is one complex multiplication
+
+    X[n, f+a] * conj(X[n, f-a])
+
+together with its accumulation into the running sum over ``n``.  Each
+accumulation edge from the ``n-1`` plane to the ``n`` plane is the
+2-tuple ``(v, dv) = ((f, a, n), (0, 0, 1))``.
+
+Within one ``n`` plane (Figure 1) two families of *data-distribution
+lines* connect multiplications to their inputs:
+
+* a **normal** line carries ``X[n, c]`` to every node with
+  ``f + a = c`` (direction ``(1, -1)`` in the (f, a) plane);
+* a **conjugate** line carries ``conj(X[n, c])`` to every node with
+  ``f - a = c`` (direction ``(1, 1)``).
+
+Every multiplication lies on exactly one line of each family — the
+structural property Figure 1 illustrates and the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._util import require_non_negative_int, require_positive_int
+from ..errors import ConfigurationError
+
+NORMAL = "normal"
+CONJUGATE = "conjugate"
+ACCUMULATE = "accumulate"
+
+EDGE_KINDS = (NORMAL, CONJUGATE, ACCUMULATE)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A dependence edge ``(v, dv)``: data arrives at *node* from ``node - dv``."""
+
+    node: tuple[int, ...]
+    displacement: tuple[int, ...]
+    kind: str
+
+    def __post_init__(self) -> None:
+        if len(self.node) != len(self.displacement):
+            raise ConfigurationError(
+                f"node {self.node} and displacement {self.displacement} "
+                "must have the same dimension"
+            )
+        if self.kind not in EDGE_KINDS:
+            raise ConfigurationError(
+                f"edge kind must be one of {EDGE_KINDS}, got {self.kind!r}"
+            )
+
+    @property
+    def source(self) -> tuple[int, ...]:
+        """The node this edge's data comes from (``node - displacement``)."""
+        return tuple(v - d for v, d in zip(self.node, self.displacement))
+
+
+@dataclass
+class DependenceGraph:
+    """A dependence graph over integer lattice points.
+
+    Attributes
+    ----------
+    dimension:
+        Dimensionality of the node vectors.
+    nodes:
+        The set of computation points.
+    edges:
+        Dependence edges between nodes (only edges whose source is also
+        a graph node; data-distribution *lines* are kept separately as
+        per-node input labels because their sources are external
+        inputs, not computations).
+    inputs:
+        Mapping ``node -> {kind: input_index}`` labelling which normal
+        and conjugated spectral value each node consumes.
+    """
+
+    dimension: int
+    nodes: set = field(default_factory=set)
+    edges: list = field(default_factory=list)
+    inputs: dict = field(default_factory=dict)
+
+    def add_node(self, node: tuple[int, ...]) -> None:
+        """Insert a computation point."""
+        if len(node) != self.dimension:
+            raise ConfigurationError(
+                f"node {node} has dimension {len(node)}, expected "
+                f"{self.dimension}"
+            )
+        self.nodes.add(tuple(int(x) for x in node))
+
+    def add_edge(self, edge: Edge) -> None:
+        """Insert a dependence edge; both endpoints must be graph nodes."""
+        if edge.node not in self.nodes:
+            raise ConfigurationError(f"edge endpoint {edge.node} is not a node")
+        if edge.source not in self.nodes:
+            raise ConfigurationError(
+                f"edge source {edge.source} is not a node (external inputs "
+                "belong in .inputs, not .edges)"
+            )
+        self.edges.append(edge)
+
+    def set_input(self, node: tuple[int, ...], kind: str, index: int) -> None:
+        """Label *node* as consuming external input *index* of family *kind*."""
+        if node not in self.nodes:
+            raise ConfigurationError(f"{node} is not a node")
+        if kind not in (NORMAL, CONJUGATE):
+            raise ConfigurationError(
+                f"input kind must be '{NORMAL}' or '{CONJUGATE}', got {kind!r}"
+            )
+        self.inputs.setdefault(node, {})[kind] = int(index)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of computation points."""
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of internal dependence edges."""
+        return len(self.edges)
+
+    def edges_of_kind(self, kind: str) -> list[Edge]:
+        """All edges with the given kind."""
+        return [edge for edge in self.edges if edge.kind == kind]
+
+    def displacement_set(self, kind: str | None = None) -> set:
+        """Distinct displacement vectors (optionally of one kind)."""
+        return {
+            edge.displacement
+            for edge in self.edges
+            if kind is None or edge.kind == kind
+        }
+
+    def distribution_line(self, kind: str, index: int) -> list[tuple[int, ...]]:
+        """All nodes consuming input *index* of family *kind*, sorted."""
+        members = [
+            node
+            for node, labels in self.inputs.items()
+            if labels.get(kind) == index
+        ]
+        return sorted(members)
+
+    def distribution_lines(self, kind: str) -> dict[int, list[tuple[int, ...]]]:
+        """Mapping ``input index -> nodes on that line`` for family *kind*."""
+        lines: dict[int, list[tuple[int, ...]]] = {}
+        for node, labels in sorted(self.inputs.items()):
+            if kind in labels:
+                lines.setdefault(labels[kind], []).append(node)
+        return lines
+
+
+def dcfd_dependence_graph_2d(
+    m: int,
+    f_values: tuple[int, ...] | None = None,
+) -> DependenceGraph:
+    """The single-``n`` DG of Figure 1.
+
+    Nodes are ``(f, a)`` with ``a in [-m, m]`` and ``f`` ranging over
+    *f_values* (default: the full sweep ``[-m, m]``; the paper's figure
+    uses ``f = 0..3``).  Each node consumes normal input ``f + a`` and
+    conjugate input ``f - a``.
+
+    Parameters
+    ----------
+    m:
+        Offset half-extent M (paper example: 3; full case: 63).
+    f_values:
+        Explicit frequencies to include, e.g. ``(0, 1, 2, 3)``.
+    """
+    m = require_non_negative_int(m, "m")
+    if f_values is None:
+        f_values = tuple(range(-m, m + 1))
+    graph = DependenceGraph(dimension=2)
+    for f in f_values:
+        for a in range(-m, m + 1):
+            node = (int(f), int(a))
+            graph.add_node(node)
+            graph.set_input(node, NORMAL, f + a)
+            graph.set_input(node, CONJUGATE, f - a)
+    return graph
+
+
+def dcfd_dependence_graph_3d(
+    m: int,
+    num_blocks: int,
+    f_values: tuple[int, ...] | None = None,
+) -> DependenceGraph:
+    """The full 3-D DG of Figure 2: ``(f, a, n)`` with accumulation edges.
+
+    Each node ``(f, a, n)`` with ``n >= 1`` depends on ``(f, a, n-1)``
+    through displacement ``(0, 0, 1)`` — the running integration of
+    expression 3.  Input labels carry the per-``n`` spectral indices.
+    """
+    m = require_non_negative_int(m, "m")
+    num_blocks = require_positive_int(num_blocks, "num_blocks")
+    if f_values is None:
+        f_values = tuple(range(-m, m + 1))
+    graph = DependenceGraph(dimension=3)
+    for f in f_values:
+        for a in range(-m, m + 1):
+            for n in range(num_blocks):
+                node = (int(f), int(a), n)
+                graph.add_node(node)
+                graph.set_input(node, NORMAL, f + a)
+                graph.set_input(node, CONJUGATE, f - a)
+    for f in f_values:
+        for a in range(-m, m + 1):
+            for n in range(1, num_blocks):
+                graph.add_edge(
+                    Edge(
+                        node=(int(f), int(a), n),
+                        displacement=(0, 0, 1),
+                        kind=ACCUMULATE,
+                    )
+                )
+    return graph
+
+
+def line_direction(kind: str) -> np.ndarray:
+    """Direction vector of a data-distribution line in the (f, a) plane.
+
+    Normal lines keep ``f + a`` constant (direction ``(1, -1)``);
+    conjugate lines keep ``f - a`` constant (direction ``(1, 1)``).
+    """
+    if kind == NORMAL:
+        return np.array([1, -1])
+    if kind == CONJUGATE:
+        return np.array([1, 1])
+    raise ConfigurationError(
+        f"line kind must be '{NORMAL}' or '{CONJUGATE}', got {kind!r}"
+    )

@@ -1,0 +1,163 @@
+"""Design-space exploration of the space-time mappings.
+
+Section 3.1: "For our application there are numerous possibilities for
+P1 and s1 but we choose a straightforward option."  This module
+enumerates that design space so the paper's choice can be compared
+against the alternatives it skipped:
+
+* **Step 1 candidates** project the 3-D DG ``(f, a, n)`` along one
+  axis (the projection direction) and schedule along a vector ``s``
+  with entries in {-1, 0, 1}; validity requires causality on the
+  accumulation edges (``s^T (0,0,1) >= 1``) and space-time
+  injectivity.
+* **Step 2 candidates** do the same for the 2-D plane ``(f, a)``.
+
+For every valid candidate the explorer reports processor count,
+makespan and utilization — the quantities that drove the paper's
+choice (the straightforward option maximises utilization with the
+minimal linear array).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import require_positive_int
+from ..errors import ConfigurationError
+from .dg import DependenceGraph
+from .transform import SpaceTimeMapping
+
+
+@dataclass(frozen=True, eq=False)
+class MappingOption:
+    """One valid point of the mapping design space.
+
+    Compares by identity (it carries a :class:`SpaceTimeMapping` with
+    numpy fields).
+    """
+
+    mapping: SpaceTimeMapping
+    num_processors: int
+    makespan: int
+    utilization: float
+
+    @property
+    def label(self) -> str:
+        """Human-readable summary of P and s."""
+        columns = [
+            "(" + ",".join(str(int(x)) for x in col) + ")"
+            for col in self.mapping.assignment.T
+        ]
+        schedule = ",".join(str(int(x)) for x in self.mapping.schedule)
+        return f"P=[{' '.join(columns)}] s=({schedule})"
+
+
+def _axis_projections(dimension: int) -> list[np.ndarray]:
+    """Assignment matrices dropping one coordinate axis."""
+    eye = np.eye(dimension, dtype=np.int64)
+    projections = []
+    for dropped in range(dimension):
+        kept = [axis for axis in range(dimension) if axis != dropped]
+        projections.append(eye[:, kept])
+    return projections
+
+
+def _schedule_candidates(dimension: int) -> list[np.ndarray]:
+    """Non-zero schedule vectors with entries in {-1, 0, 1}."""
+    vectors = []
+    for entries in itertools.product((-1, 0, 1), repeat=dimension):
+        if any(entries):
+            vectors.append(np.array(entries, dtype=np.int64))
+    return vectors
+
+
+def enumerate_mappings(
+    graph: DependenceGraph,
+    max_nodes: int = 5000,
+) -> list[MappingOption]:
+    """All valid axis-projection mappings of *graph*, best first.
+
+    Candidates pair every axis projection with every small schedule
+    vector; a candidate is kept when it is causal on the graph's edges
+    and injective on its nodes.  Options are sorted by utilization
+    (descending), then processor count (ascending).
+
+    Parameters
+    ----------
+    graph:
+        The DG to map (use a small instance; enumeration checks
+        injectivity over all nodes).
+    max_nodes:
+        Guard against accidentally exploring a paper-scale graph.
+    """
+    require_positive_int(max_nodes, "max_nodes")
+    if graph.num_nodes > max_nodes:
+        raise ConfigurationError(
+            f"graph has {graph.num_nodes} nodes; exploration is meant for "
+            f"small instances (max_nodes={max_nodes})"
+        )
+    options = []
+    for assignment in _axis_projections(graph.dimension):
+        for schedule in _schedule_candidates(graph.dimension):
+            mapping = SpaceTimeMapping(
+                assignment=assignment, schedule=schedule
+            )
+            try:
+                mapping.check_causality(graph.edges)
+            except Exception:
+                continue
+            if not mapping.is_injective_on(graph.nodes):
+                continue
+            placements = {
+                node: mapping.map_node(node) for node in graph.nodes
+            }
+            processors = {image[0] for image in placements.values()}
+            times = [image[1] for image in placements.values()]
+            makespan = max(times) - min(times) + 1
+            utilization = len(placements) / (len(processors) * makespan)
+            options.append(
+                MappingOption(
+                    mapping=mapping,
+                    num_processors=len(processors),
+                    makespan=makespan,
+                    utilization=utilization,
+                )
+            )
+    options.sort(key=lambda o: (-o.utilization, o.num_processors, o.makespan))
+    return options
+
+
+def matches_paper_step2(option: MappingOption) -> bool:
+    """True if *option* is the paper's P2/s2 choice (processor=a, time=f)."""
+    assignment = option.mapping.assignment
+    schedule = option.mapping.schedule
+    return (
+        assignment.shape == (2, 1)
+        and np.array_equal(assignment[:, 0], [0, 1])
+        and np.array_equal(schedule, [1, 0])
+    )
+
+
+def pareto_front(options: list[MappingOption]) -> list[MappingOption]:
+    """Options not dominated in (processors, makespan).
+
+    An option dominates another if it needs no more processors *and*
+    no more time steps, with at least one strict improvement.
+    """
+    front = []
+    for candidate in options:
+        dominated = any(
+            other.num_processors <= candidate.num_processors
+            and other.makespan <= candidate.makespan
+            and (
+                other.num_processors < candidate.num_processors
+                or other.makespan < candidate.makespan
+            )
+            for other in options
+        )
+        if not dominated:
+            front.append(candidate)
+    return front

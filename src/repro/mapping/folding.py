@@ -1,0 +1,137 @@
+"""Folding the processor array onto Q physical cores (Figures 8 and 9).
+
+When the platform has fewer cores than the ``P = 2M + 1`` processors of
+the systolic array, each physical core time-multiplexes
+
+    T = ceil(P / Q)                                  (expression 8)
+
+tasks, and task ``p`` (0-based) runs on core
+
+    q = floor(p / T)                                 (expression 9)
+
+so core ``q`` owns tasks ``qT .. (q+1)T - 1``.  Because ``Q T >= P``,
+the last core may own *padded* (idle) task slots — for the paper's
+P = 127, Q = 4 there is exactly one.
+
+Consequences reproduced here:
+
+* each core needs ``T * F`` complex memory locations for the
+  integration results (Section 4.1's feasibility check);
+* both multiplier inputs sit behind ``T``-entry shift registers read
+  through synchronised switches (Figure 9, drawn for T = 4); the
+  switch index cycles through the T tasks while the registers hold
+  still, then the registers shift one position;
+* inter-core data exchange happens once per T computations — "a factor
+  T times lower" than the MAC rate, the paper's justification for
+  ignoring inter-core communication in the performance analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .._util import require_positive_int
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Fold:
+    """A balanced fold of P array tasks onto Q physical cores.
+
+    Parameters
+    ----------
+    num_tasks:
+        P, the size of the initial processor array (2M + 1).
+    num_cores:
+        Q, the number of physical cores.
+    """
+
+    num_tasks: int
+    num_cores: int
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.num_tasks, "num_tasks")
+        require_positive_int(self.num_cores, "num_cores")
+
+    # ------------------------------------------------------------------
+    # The paper's expressions 8 and 9
+    # ------------------------------------------------------------------
+    @property
+    def tasks_per_core(self) -> int:
+        """``T = ceil(P / Q)`` (expression 8)."""
+        return math.ceil(self.num_tasks / self.num_cores)
+
+    def core_of_task(self, task: int) -> int:
+        """``q = floor(p / T)`` (expression 9) for 0-based task index."""
+        if not 0 <= task < self.num_tasks:
+            raise ConfigurationError(
+                f"task must be in [0, {self.num_tasks - 1}], got {task}"
+            )
+        return task // self.tasks_per_core
+
+    def tasks_of_core(self, core: int) -> range:
+        """Valid tasks owned by *core*: ``qT .. min((q+1)T, P) - 1``."""
+        if not 0 <= core < self.num_cores:
+            raise ConfigurationError(
+                f"core must be in [0, {self.num_cores - 1}], got {core}"
+            )
+        start = core * self.tasks_per_core
+        stop = min(start + self.tasks_per_core, self.num_tasks)
+        return range(start, stop)
+
+    def slot_count(self, core: int) -> int:
+        """Task slots (including padding) the core cycles through: T."""
+        if not 0 <= core < self.num_cores:
+            raise ConfigurationError(
+                f"core must be in [0, {self.num_cores - 1}], got {core}"
+            )
+        return self.tasks_per_core
+
+    @property
+    def padded_slots(self) -> int:
+        """Idle task slots across all cores: ``Q T - P``."""
+        return self.num_cores * self.tasks_per_core - self.num_tasks
+
+    @property
+    def used_cores(self) -> int:
+        """Cores that own at least one valid task."""
+        return math.ceil(self.num_tasks / self.tasks_per_core)
+
+    # ------------------------------------------------------------------
+    # Derived requirements (Section 4.1)
+    # ------------------------------------------------------------------
+    def memory_per_core_complex(self, num_frequencies: int) -> int:
+        """Integration storage per core: ``T * F`` complex values."""
+        num_frequencies = require_positive_int(
+            num_frequencies, "num_frequencies"
+        )
+        return self.tasks_per_core * num_frequencies
+
+    def memory_per_core_words(self, num_frequencies: int) -> int:
+        """Same requirement in real words (2 per complex value)."""
+        return 2 * self.memory_per_core_complex(num_frequencies)
+
+    def shift_register_length(self) -> int:
+        """Entries of each per-core input shift register: T complex values."""
+        return self.tasks_per_core
+
+    def exchange_rate_ratio(self) -> int:
+        """Computation-to-communication rate ratio: T.
+
+        The shift registers advance once per T multiply-accumulates, so
+        inter-core links carry one value per T compute cycles.
+        """
+        return self.tasks_per_core
+
+    def switch_schedule(self) -> list[int]:
+        """Switch positions over one register-hold period: ``0 .. T-1``.
+
+        Both input switches are synchronised (Figure 9); after the last
+        position the registers shift and the cycle repeats.
+        """
+        return list(range(self.tasks_per_core))
+
+    def assignment_table(self) -> dict[int, range]:
+        """Mapping ``core -> range of valid tasks`` for reporting."""
+        return {core: self.tasks_of_core(core) for core in range(self.num_cores)}

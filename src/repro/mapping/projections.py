@@ -1,0 +1,79 @@
+"""The paper's concrete mapping matrices (expressions 4-7).
+
+Step 1 uses two successive space-time mappings:
+
+* **P1 / s1** (expression 4) collapse the ``n`` dimension: every
+  operation with identical ``(f, a)`` runs on the same processor, plane
+  ``n-1`` before plane ``n``.  The accumulation displacement
+  ``(0,0,1)`` maps to the zero displacement with delay one — a
+  register + adder loop on each processor (Figure 3).
+
+* **P2 / s2** (expression 5) collapse the ``f`` dimension of the
+  remaining 2-D DG: processor = ``a``, time = ``f``.  Integration
+  results for different ``f`` now share a processor, so the register
+  becomes an ``F``-deep memory addressed by ``f`` (Figure 4).
+
+For the interconnect analysis the paper splits P2 into a skewing stage
+(P2a1 for the conjugate lines, P2a2 for the normal lines — expression
+6) followed by a trivial projection P2b (expression 7), and notes the
+composition identity ``P2b^T P2a1^T = P2^T`` and
+``P2b^T P2a2^T = P2^T``, which :func:`composition_identity_holds`
+verifies numerically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .transform import SpaceTimeMapping, composed_assignment
+
+# Expression 4: collapse n.  P1 is 3x2 (processor plane (f, a)); s1
+# schedules along n.
+P1 = np.array([[1, 0], [0, 1], [0, 0]], dtype=np.int64)
+S1 = np.array([0, 0, 1], dtype=np.int64)
+
+# Expression 5: collapse f.  P2 is 2x1 (linear array indexed by a); s2
+# schedules along f.
+P2 = np.array([[0], [1]], dtype=np.int64)
+S2 = np.array([1, 0], dtype=np.int64)
+
+# Expression 6: per-family skewing matrices removing absolute-time
+# dependence from the two sets of parallel data-distribution lines.
+P2A1 = np.array([[0, 0], [1, 1]], dtype=np.int64)
+P2A2 = np.array([[0, 0], [-1, 1]], dtype=np.int64)
+
+# Expression 7: the trivial final projection.
+P2B = np.array([[0], [1]], dtype=np.int64)
+
+
+def step1_mapping() -> SpaceTimeMapping:
+    """The (P1, s1) mapping of expression 4."""
+    return SpaceTimeMapping(assignment=P1, schedule=S1, name="P1/s1")
+
+
+def step2_mapping() -> SpaceTimeMapping:
+    """The (P2, s2) mapping of expression 5."""
+    return SpaceTimeMapping(assignment=P2, schedule=S2, name="P2/s2")
+
+
+def skew_mapping_conjugate() -> SpaceTimeMapping:
+    """The (P2a1, s2) stage used for the conjugate (dotted) lines."""
+    return SpaceTimeMapping(assignment=P2A1, schedule=S2, name="P2a1/s2")
+
+
+def skew_mapping_normal() -> SpaceTimeMapping:
+    """The (P2a2, s2) stage used for the normal (solid) lines."""
+    return SpaceTimeMapping(assignment=P2A2, schedule=S2, name="P2a2/s2")
+
+
+def composition_identity_holds() -> bool:
+    """Verify the paper's identity: the two-stage mapping equals P2.
+
+    ``P2b^T P2a1^T = P2^T`` and ``P2b^T P2a2^T = P2^T``; equivalently
+    ``P2a1 @ P2b == P2`` and ``P2a2 @ P2b == P2``.
+    """
+    via_conjugate = composed_assignment(P2B, P2A1)
+    via_normal = composed_assignment(P2B, P2A2)
+    return bool(
+        np.array_equal(via_conjugate, P2) and np.array_equal(via_normal, P2)
+    )

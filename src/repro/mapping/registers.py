@@ -1,0 +1,157 @@
+"""Register-based communication structures (Figures 6 and 7).
+
+Section 3.3: assuming inter-processor propagation is fast compared to
+the clock, delays can only be created by clocked registers.  In the
+space-time-delay diagram one may travel horizontally (between adjacent
+processors, free within a cycle) or vertically (through a register,
+one cycle).  A value that must appear at processor ``p`` at delay
+``d`` and at ``p+1`` at delay ``d+1`` therefore needs exactly one
+register on the link between the two processors — giving the minimal
+structure of Figure 6: one register per adjacent-processor link per
+chain, i.e. ``P - 1`` registers per chain and ``2 (P - 1)`` in the
+combined architecture of Figure 7.
+
+:class:`RegisterChain` is also the *functional* model used by the
+executable systolic array: a clocked shift register that moves values
+one position per :meth:`clock`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._util import require_non_negative_int, require_positive_int
+from ..errors import ConfigurationError
+from .dg import CONJUGATE, NORMAL
+from .spacetime import SpaceTimeDelayDiagram
+
+
+@dataclass(frozen=True)
+class RegisterStructure:
+    """Register requirements of one value family's communication path."""
+
+    kind: str
+    num_processors: int
+    registers_per_link: int
+    total_registers: int
+    flow_direction: int  # +1: left-to-right (conjugate), -1: right-to-left
+
+
+def chain_register_count(num_processors: int) -> int:
+    """Registers in one minimal chain: one per adjacent-processor link."""
+    num_processors = require_positive_int(num_processors, "num_processors")
+    return num_processors - 1
+
+
+def minimal_register_structure(m: int, kind: str = CONJUGATE) -> RegisterStructure:
+    """Derive the Figure 6 structure from the space-time-delay diagram.
+
+    Verifies that every value's trajectory is systolic (one processor
+    per cycle) — the property that makes one register per link
+    sufficient — and returns the resulting register tally.
+    """
+    m = require_non_negative_int(m, "m")
+    if kind not in (NORMAL, CONJUGATE):
+        raise ConfigurationError(
+            f"kind must be '{NORMAL}' or '{CONJUGATE}', got {kind!r}"
+        )
+    diagram = SpaceTimeDelayDiagram.build(m, kind)
+    if not diagram.all_systolic():
+        raise ConfigurationError(
+            "trajectories are not systolic; minimal one-register-per-link "
+            "structure does not apply"
+        )
+    num_processors = 2 * m + 1
+    return RegisterStructure(
+        kind=kind,
+        num_processors=num_processors,
+        registers_per_link=1,
+        total_registers=chain_register_count(num_processors),
+        flow_direction=+1 if kind == CONJUGATE else -1,
+    )
+
+
+def combined_register_count(m: int) -> int:
+    """Registers of the full Figure 7 array: both counter-flowing chains."""
+    m = require_non_negative_int(m, "m")
+    num_processors = 2 * m + 1
+    return 2 * chain_register_count(num_processors)
+
+
+class RegisterChain:
+    """A clocked shift register chain — the functional model of one flow.
+
+    Values enter at one end, move one stage per clock and are readable
+    per stage.  ``direction=+1`` shifts toward higher indices
+    (conjugate flow), ``direction=-1`` toward lower indices (normal
+    flow).
+
+    Parameters
+    ----------
+    length:
+        Number of stages (one per processor for the executable array).
+    direction:
+        ``+1`` or ``-1``.
+    """
+
+    def __init__(self, length: int, direction: int = +1) -> None:
+        self._length = require_positive_int(length, "length")
+        if direction not in (+1, -1):
+            raise ConfigurationError(
+                f"direction must be +1 or -1, got {direction}"
+            )
+        self._direction = direction
+        self._stages: list = [None] * self._length
+        self._clock_count = 0
+
+    @property
+    def length(self) -> int:
+        """Number of stages."""
+        return self._length
+
+    @property
+    def direction(self) -> int:
+        """Shift direction."""
+        return self._direction
+
+    @property
+    def clock_count(self) -> int:
+        """Number of clock events so far."""
+        return self._clock_count
+
+    def load(self, values) -> None:
+        """Parallel-load every stage (the initialisation step)."""
+        values = list(values)
+        if len(values) != self._length:
+            raise ConfigurationError(
+                f"load needs exactly {self._length} values, got {len(values)}"
+            )
+        self._stages = values
+
+    def read(self, stage: int) -> object:
+        """Read the value currently at *stage* (0-based)."""
+        if not 0 <= stage < self._length:
+            raise ConfigurationError(
+                f"stage must be in [0, {self._length - 1}], got {stage}"
+            )
+        return self._stages[stage]
+
+    def snapshot(self) -> list:
+        """Copy of the whole chain contents."""
+        return list(self._stages)
+
+    def clock(self, incoming) -> object:
+        """Advance one step: insert *incoming* at the tail, return the value
+        shifted out of the head.
+
+        For ``direction=+1`` the tail is stage 0 and the head the last
+        stage; for ``direction=-1`` the mirror.
+        """
+        self._clock_count += 1
+        if self._direction == +1:
+            outgoing = self._stages[-1]
+            self._stages = [incoming] + self._stages[:-1]
+        else:
+            outgoing = self._stages[0]
+            self._stages = self._stages[1:] + [incoming]
+        return outgoing

@@ -1,0 +1,160 @@
+"""'Space'-'time delay' diagrams (Figure 5).
+
+After the P2/s2 mapping (processor = ``a``, time = ``f``), each
+spectral value travels along the processor array:
+
+* the conjugated value ``conj(X[n, c])`` is consumed by processor
+  ``p = t - c`` at time ``t`` — it enters at the left end and moves one
+  processor to the *right* per time step (Figure 5);
+* the normal value ``X[n, c]`` is consumed by processor ``p = c - t``
+  at time ``t`` — it moves one processor to the *left* per time step
+  (the mirrored diagram the paper describes below Figure 5).
+
+A :class:`ValueTrajectory` records the (processor, time) visits of one
+value; :class:`SpaceTimeDelayDiagram` collects a family and renders
+the paper's diagram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._util import require_non_negative_int
+from ..errors import ConfigurationError
+from .dg import CONJUGATE, NORMAL
+
+
+@dataclass(frozen=True)
+class ValueTrajectory:
+    """The array path of one spectral value.
+
+    Attributes
+    ----------
+    kind:
+        ``"normal"`` or ``"conjugate"``.
+    index:
+        The spectral index ``c`` of the value (``f+a`` or ``f-a``).
+    visits:
+        Time-ordered ``(processor, time)`` pairs at which the value is
+        consumed by a multiplication.
+    """
+
+    kind: str
+    index: int
+    visits: tuple
+
+    def __post_init__(self) -> None:
+        if self.kind not in (NORMAL, CONJUGATE):
+            raise ConfigurationError(
+                f"kind must be '{NORMAL}' or '{CONJUGATE}', got {self.kind!r}"
+            )
+
+    @property
+    def direction(self) -> int:
+        """Processor step per time step: +1 for conjugate, -1 for normal."""
+        return +1 if self.kind == CONJUGATE else -1
+
+    def hops(self) -> list[tuple[int, int]]:
+        """(d_processor, d_time) between consecutive visits."""
+        return [
+            (b[0] - a[0], b[1] - a[1])
+            for a, b in zip(self.visits, self.visits[1:])
+        ]
+
+    def is_systolic(self) -> bool:
+        """True if every hop moves exactly one processor in one time step."""
+        return all(hop == (self.direction, 1) for hop in self.hops())
+
+
+def conjugate_trajectories(
+    m: int, f_values: tuple[int, ...] | None = None
+) -> list[ValueTrajectory]:
+    """Trajectories of all conjugated values over the time sweep.
+
+    Processor ``p`` at time ``t`` consumes ``conj(X[t - p])``; the value
+    with index ``c`` therefore visits ``(p, t) = (t - c, t)`` for every
+    ``t`` in the sweep with ``t - c`` inside the array.
+    """
+    return _trajectories(m, f_values, CONJUGATE)
+
+
+def normal_trajectories(
+    m: int, f_values: tuple[int, ...] | None = None
+) -> list[ValueTrajectory]:
+    """Trajectories of all normal values (mirror flow, right to left)."""
+    return _trajectories(m, f_values, NORMAL)
+
+
+def _trajectories(
+    m: int, f_values: tuple[int, ...] | None, kind: str
+) -> list[ValueTrajectory]:
+    m = require_non_negative_int(m, "m")
+    if f_values is None:
+        f_values = tuple(range(-m, m + 1))
+    trajectories: dict[int, list[tuple[int, int]]] = {}
+    for t in f_values:
+        for p in range(-m, m + 1):
+            index = t - p if kind == CONJUGATE else t + p
+            trajectories.setdefault(index, []).append((p, t))
+    result = []
+    for index in sorted(trajectories):
+        visits = tuple(sorted(trajectories[index], key=lambda pt: pt[1]))
+        result.append(ValueTrajectory(kind=kind, index=index, visits=visits))
+    return result
+
+
+@dataclass(frozen=True)
+class SpaceTimeDelayDiagram:
+    """The requirements diagram of Figure 5 for one value family.
+
+    The diagram plots, for each value, the processors it must reach at
+    each *relative* time delay; because all lines of a family are
+    parallel, the family shares one physical communication structure —
+    the observation that lets the paper's register chains be shared.
+    """
+
+    m: int
+    kind: str
+    trajectories: tuple
+
+    @classmethod
+    def build(
+        cls,
+        m: int,
+        kind: str = CONJUGATE,
+        f_values: tuple[int, ...] | None = None,
+    ) -> "SpaceTimeDelayDiagram":
+        """Construct the diagram for offsets ``[-m, m]`` and the f sweep."""
+        factory = (
+            conjugate_trajectories if kind == CONJUGATE else normal_trajectories
+        )
+        return cls(m=m, kind=kind, trajectories=tuple(factory(m, f_values)))
+
+    @property
+    def processors(self) -> tuple[int, ...]:
+        """Processor indices of the array: ``-m .. m``."""
+        return tuple(range(-self.m, self.m + 1))
+
+    def delay_grid(self) -> dict:
+        """Map ``(processor, relative delay)`` -> value index.
+
+        The relative delay of a visit is measured from the value's
+        first use — the 'time delay' axis of Figure 5.
+        """
+        grid: dict[tuple[int, int], int] = {}
+        for trajectory in self.trajectories:
+            first_time = trajectory.visits[0][1]
+            for processor, time in trajectory.visits:
+                grid[(processor, time - first_time)] = trajectory.index
+        return grid
+
+    def all_systolic(self) -> bool:
+        """True if every value advances one processor per time step."""
+        return all(t.is_systolic() for t in self.trajectories)
+
+    def max_delay(self) -> int:
+        """Largest relative delay any value needs (array length - 1)."""
+        return max(
+            (t.visits[-1][1] - t.visits[0][1] for t in self.trajectories),
+            default=0,
+        )

@@ -1,0 +1,228 @@
+"""Space-time transformations: processor assignment and scheduling.
+
+The methodology's algebra (Section 3.1): a *processor assignment
+matrix* ``P`` and a *scheduling vector* ``s`` map every DG point
+``v_old`` to
+
+    processor  v_new = P^T v_old          (where the operation runs)
+    time       t     = s^T v_old          (when it runs)
+
+and every dependence displacement to ``dv_new = P^T dv_old``.  A valid
+mapping must be *injective in space-time* (no two operations on the
+same processor at the same time) and *causal* (every true dependence
+is scheduled strictly later than its source).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, MappingError
+from .dg import ACCUMULATE, DependenceGraph, Edge
+
+
+@dataclass(frozen=True, eq=False)
+class SpaceTimeMapping:
+    """A (P, s) pair mapping a d-dimensional DG into processors x time.
+
+    Instances compare by identity (the matrix fields are numpy arrays,
+    for which element-wise ``==`` is not a truth value).
+
+    Parameters
+    ----------
+    assignment:
+        The processor assignment matrix ``P`` with shape ``(d, r)``
+        where ``r`` is the dimensionality of the processor array
+        (``r = d - 1`` for a classic projection, but the paper also
+        uses square "skewing" matrices like P2a1).
+    schedule:
+        The scheduling vector ``s`` of length ``d``.
+    name:
+        Optional label used in reports (e.g. ``"P1/s1"``).
+    """
+
+    assignment: np.ndarray
+    schedule: np.ndarray
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        assignment = np.atleast_2d(np.asarray(self.assignment, dtype=np.int64))
+        schedule = np.asarray(self.schedule, dtype=np.int64).reshape(-1)
+        if assignment.ndim != 2:
+            raise ConfigurationError("assignment must be a 2-D matrix")
+        if schedule.size != assignment.shape[0]:
+            raise ConfigurationError(
+                f"schedule length {schedule.size} does not match assignment "
+                f"row count {assignment.shape[0]}"
+            )
+        object.__setattr__(self, "assignment", assignment)
+        object.__setattr__(self, "schedule", schedule)
+
+    # ------------------------------------------------------------------
+    # The paper's defining equations
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        """Dimensionality d of the domain DG."""
+        return int(self.assignment.shape[0])
+
+    @property
+    def processor_rank(self) -> int:
+        """Dimensionality r of the processor index after mapping."""
+        return int(self.assignment.shape[1])
+
+    def processor(self, node: tuple[int, ...] | np.ndarray) -> tuple[int, ...]:
+        """``v_new = P^T v_old``."""
+        v = self._as_vector(node)
+        return tuple(int(x) for x in self.assignment.T @ v)
+
+    def time(self, node: tuple[int, ...] | np.ndarray) -> int:
+        """``t = s^T v_old``."""
+        v = self._as_vector(node)
+        return int(self.schedule @ v)
+
+    def map_node(self, node: tuple[int, ...]) -> tuple[tuple[int, ...], int]:
+        """Map a node to its ``(processor, time)`` pair."""
+        return self.processor(node), self.time(node)
+
+    def map_displacement(
+        self, displacement: tuple[int, ...]
+    ) -> tuple[tuple[int, ...], int]:
+        """Map an edge displacement: ``(P^T dv, s^T dv)``."""
+        dv = self._as_vector(displacement)
+        return (
+            tuple(int(x) for x in self.assignment.T @ dv),
+            int(self.schedule @ dv),
+        )
+
+    def _as_vector(self, node) -> np.ndarray:
+        v = np.asarray(node, dtype=np.int64).reshape(-1)
+        if v.size != self.dimension:
+            raise ConfigurationError(
+                f"node {node} has dimension {v.size}, mapping expects "
+                f"{self.dimension}"
+            )
+        return v
+
+    # ------------------------------------------------------------------
+    # Validity checks
+    # ------------------------------------------------------------------
+    def is_injective_on(self, nodes) -> bool:
+        """True if no two nodes share a (processor, time) pair."""
+        seen = set()
+        for node in nodes:
+            image = self.map_node(tuple(node))
+            if image in seen:
+                return False
+            seen.add(image)
+        return True
+
+    def check_causality(self, edges) -> None:
+        """Require ``s^T dv >= 1`` for every true dependence edge.
+
+        Raises :class:`MappingError` naming the first violating edge.
+        """
+        for edge in edges:
+            delay = int(self.schedule @ self._as_vector(edge.displacement))
+            if delay < 1:
+                raise MappingError(
+                    f"mapping {self.name or '(unnamed)'} schedules edge "
+                    f"{edge.displacement} of kind {edge.kind!r} with delay "
+                    f"{delay}; causality requires >= 1"
+                )
+
+    def apply(self, graph: DependenceGraph) -> "MappedGraph":
+        """Map a whole DG, validating injectivity and causality.
+
+        Returns a :class:`MappedGraph` carrying the processor set, the
+        per-processor schedules, and the mapped dependence edges.
+        """
+        self.check_causality(graph.edges)
+        placements: dict[tuple, tuple] = {}
+        occupancy: dict[tuple, tuple] = {}
+        for node in sorted(graph.nodes):
+            image = self.map_node(node)
+            if image in occupancy:
+                raise MappingError(
+                    f"mapping {self.name or '(unnamed)'} sends both "
+                    f"{occupancy[image]} and {node} to processor "
+                    f"{image[0]} at time {image[1]}"
+                )
+            occupancy[image] = node
+            placements[node] = image
+        mapped_edges = [
+            (edge, self.map_displacement(edge.displacement))
+            for edge in graph.edges
+        ]
+        return MappedGraph(
+            mapping=self, placements=placements, mapped_edges=mapped_edges
+        )
+
+
+@dataclass(frozen=True)
+class MappedGraph:
+    """Result of applying a :class:`SpaceTimeMapping` to a DG."""
+
+    mapping: SpaceTimeMapping
+    placements: dict
+    mapped_edges: list
+
+    @property
+    def processors(self) -> set:
+        """Distinct processor coordinates used by the mapping."""
+        return {image[0] for image in self.placements.values()}
+
+    @property
+    def num_processors(self) -> int:
+        """Number of distinct processors (the paper's P)."""
+        return len(self.processors)
+
+    @property
+    def time_range(self) -> tuple[int, int]:
+        """(earliest, latest) scheduled time step."""
+        times = [image[1] for image in self.placements.values()]
+        return min(times), max(times)
+
+    @property
+    def makespan(self) -> int:
+        """Number of time steps spanned by the schedule."""
+        earliest, latest = self.time_range
+        return latest - earliest + 1
+
+    def schedule_of(self, processor: tuple[int, ...]) -> list:
+        """Time-ordered list of (time, node) pairs run on *processor*."""
+        items = [
+            (image[1], node)
+            for node, image in self.placements.items()
+            if image[0] == processor
+        ]
+        return sorted(items)
+
+    def utilization(self) -> float:
+        """Fraction of processor-time slots doing useful work."""
+        total_slots = self.num_processors * self.makespan
+        if total_slots == 0:
+            return 0.0
+        return len(self.placements) / total_slots
+
+
+def composed_assignment(
+    outer: np.ndarray, inner: np.ndarray
+) -> np.ndarray:
+    """Composition of two assignment matrices.
+
+    Applying ``inner`` (e.g. a skewing P2a1) then ``outer`` (e.g. the
+    projection P2b) acts on nodes as ``outer^T (inner^T v)``, i.e. the
+    single-stage matrix is ``inner @ outer`` (so that
+    ``(inner @ outer)^T = outer^T inner^T``).
+    """
+    outer = np.atleast_2d(np.asarray(outer, dtype=np.int64))
+    inner = np.atleast_2d(np.asarray(inner, dtype=np.int64))
+    if inner.shape[1] != outer.shape[0]:
+        raise ConfigurationError(
+            f"cannot compose assignments with shapes {inner.shape} and "
+            f"{outer.shape}"
+        )
+    return inner @ outer

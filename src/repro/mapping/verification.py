@@ -1,0 +1,133 @@
+"""Mapped-architecture verification.
+
+Array-processor synthesis is only correct if the space-time mapping
+preserves every dependence and the resulting communication is
+physically realisable.  This module checks a
+:class:`~repro.mapping.transform.MappedGraph` for:
+
+* **dependence preservation** — every edge's producer is scheduled
+  strictly before its consumer (re-derived from the placements, not
+  from the schedule vector, so it also catches placement bugs);
+* **nearest-neighbour feasibility** — no mapped dependence requires
+  data to travel more than *reach* processors per time step (the
+  paper's register chains assume reach = 1: one hop per clock);
+* **port pressure** — how many values each processor must receive per
+  time step, which must not exceed its input ports (the Figure 8 core
+  has two operand ports).
+
+The report is a plain dataclass so tests and benches can assert on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import MappingError
+from .transform import MappedGraph
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of verifying a mapped graph."""
+
+    dependences_checked: int
+    max_hops_per_step: float
+    max_inputs_per_processor_step: int
+    violations: tuple = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        """True when no violations were recorded."""
+        return not self.violations
+
+
+def verify_mapped_graph(
+    mapped: MappedGraph,
+    reach: int = 1,
+    max_input_ports: int | None = None,
+) -> VerificationReport:
+    """Check a mapped graph's dependences and communication feasibility.
+
+    Parameters
+    ----------
+    mapped:
+        The :class:`MappedGraph` produced by
+        :meth:`SpaceTimeMapping.apply`.
+    reach:
+        Maximum processor distance (Chebyshev) data may travel per time
+        step; 1 models the paper's neighbour-to-neighbour register
+        chains.
+    max_input_ports:
+        If given, flag processors that must accept more than this many
+        dependence values in a single time step.
+    """
+    if not isinstance(mapped, MappedGraph):
+        raise MappingError("verify_mapped_graph expects a MappedGraph")
+    violations = []
+    placements = mapped.placements
+    max_speed = 0.0
+    inputs_per_slot: dict[tuple, int] = {}
+    checked = 0
+
+    for edge, (_displacement, _delay) in mapped.mapped_edges:
+        consumer = edge.node
+        producer = edge.source
+        consumer_processor, consumer_time = placements[consumer]
+        producer_processor, producer_time = placements[producer]
+        checked += 1
+        lag = consumer_time - producer_time
+        if lag < 1:
+            violations.append(
+                f"dependence {producer} -> {consumer} scheduled with lag "
+                f"{lag} (must be >= 1)"
+            )
+            continue
+        distance = int(
+            np.max(
+                np.abs(
+                    np.asarray(consumer_processor)
+                    - np.asarray(producer_processor)
+                )
+            )
+            if consumer_processor
+            else 0
+        )
+        speed = distance / lag
+        max_speed = max(max_speed, speed)
+        if speed > reach:
+            violations.append(
+                f"dependence {producer} -> {consumer} needs {distance} hops "
+                f"in {lag} step(s); reach is {reach}"
+            )
+        if distance > 0 or True:
+            slot = (consumer_processor, consumer_time)
+            inputs_per_slot[slot] = inputs_per_slot.get(slot, 0) + 1
+
+    max_inputs = max(inputs_per_slot.values(), default=0)
+    if max_input_ports is not None and max_inputs > max_input_ports:
+        hot = [
+            slot for slot, count in inputs_per_slot.items()
+            if count > max_input_ports
+        ]
+        violations.append(
+            f"{len(hot)} processor/time slot(s) need more than "
+            f"{max_input_ports} input value(s); worst case {max_inputs}"
+        )
+    return VerificationReport(
+        dependences_checked=checked,
+        max_hops_per_step=max_speed,
+        max_inputs_per_processor_step=max_inputs,
+        violations=tuple(violations),
+    )
+
+
+def assert_valid(mapped: MappedGraph, reach: int = 1) -> VerificationReport:
+    """Like :func:`verify_mapped_graph` but raising on any violation."""
+    report = verify_mapped_graph(mapped, reach=reach)
+    if not report.ok:
+        raise MappingError(
+            "mapped graph fails verification: " + "; ".join(report.violations)
+        )
+    return report

@@ -1,0 +1,71 @@
+"""Step 2 substrate: a cycle-level simulator of the Montium core.
+
+The Montium (Heysters, the paper's [3]) is a word-level coarse-grain
+reconfigurable processor: 10 parallel memories fed by address
+generation units, 5 register files, a signal-processing ALU and a
+configurable interconnect, driven by a sequencer (Figure 10).
+
+This package models those parts faithfully enough to *execute* the CFD
+task set of Section 4 and reproduce Table 1's cycle counts from actual
+instruction streams:
+
+* :mod:`repro.montium.fixedpoint` — Q15 16-bit arithmetic (the
+  Montium's word size; 96 dB dynamic range).
+* :mod:`repro.montium.memory` — the 1K x 16-bit memories M01-M10 and
+  complex-pair addressing.
+* :mod:`repro.montium.agu` — per-memory address generation units.
+* :mod:`repro.montium.regfile` — register files RF01-RF05.
+* :mod:`repro.montium.alu` — the complex ALU.
+* :mod:`repro.montium.interconnect` — the crossbar between memories,
+  register files and ALU ports.
+* :mod:`repro.montium.isa` / :mod:`repro.montium.sequencer` — the
+  instruction set with per-category cycle costs and its executor.
+* :mod:`repro.montium.tile` — the assembled MontiumTile.
+* :mod:`repro.montium.programs` — the CFD kernel, the 256-point FFT
+  and the conjugate reshuffle as instruction-stream generators.
+"""
+
+from .alu import ComplexALU
+from .agu import AddressGenerator
+from .energy import EnergyReport, estimate_energy
+from .listing import format_instruction, format_program, program_statistics
+from .fixedpoint import (
+    DYNAMIC_RANGE_DB,
+    Q15_MAX,
+    Q15_MIN,
+    from_q15,
+    q15_add,
+    q15_multiply,
+    to_q15,
+)
+from .interconnect import Crossbar
+from .memory import Memory
+from .regfile import RegisterFile
+from .sequencer import Sequencer
+from .tile import MontiumTile, TileConfig
+from .timing import ClockModel, CycleCounter
+
+__all__ = [
+    "AddressGenerator",
+    "ClockModel",
+    "ComplexALU",
+    "Crossbar",
+    "CycleCounter",
+    "DYNAMIC_RANGE_DB",
+    "EnergyReport",
+    "Memory",
+    "MontiumTile",
+    "Q15_MAX",
+    "Q15_MIN",
+    "RegisterFile",
+    "Sequencer",
+    "TileConfig",
+    "estimate_energy",
+    "format_instruction",
+    "format_program",
+    "from_q15",
+    "program_statistics",
+    "q15_add",
+    "q15_multiply",
+    "to_q15",
+]

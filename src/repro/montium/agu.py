@@ -1,0 +1,109 @@
+"""Address Generation Units.
+
+Each Montium memory is accompanied by an AGU that produces its address
+stream without spending ALU cycles ([3]); the CFD mapping relies on
+this for the accumulator walk (f-major over the T x F integration
+array) and for reading the shift-register windows.
+
+:class:`AddressGenerator` models the practical subset: an affine
+sequence ``base + k * stride`` with optional modulo wrap-around, plus
+a bit-reversal mode for FFT reordering.
+"""
+
+from __future__ import annotations
+
+from .._util import require_non_negative_int, require_positive_int
+from ..errors import ConfigurationError
+
+
+class AddressGenerator:
+    """An affine/modulo address sequence generator.
+
+    Parameters
+    ----------
+    base:
+        First address produced.
+    stride:
+        Increment between consecutive addresses (may be negative).
+    modulo:
+        If given, addresses wrap into ``[0, modulo)`` — the circular
+        addressing used for the shift-register windows in M09/M10.
+    length:
+        If given, the generator raises after producing this many
+        addresses (catches runaway program loops).
+    """
+
+    def __init__(
+        self,
+        base: int = 0,
+        stride: int = 1,
+        modulo: int | None = None,
+        length: int | None = None,
+    ) -> None:
+        self._base = require_non_negative_int(base, "base")
+        if not isinstance(stride, int):
+            raise ConfigurationError(f"stride must be an int, got {stride!r}")
+        self._stride = stride
+        self._modulo = (
+            None if modulo is None else require_positive_int(modulo, "modulo")
+        )
+        self._length = (
+            None if length is None else require_positive_int(length, "length")
+        )
+        if self._modulo is not None and self._base >= self._modulo:
+            raise ConfigurationError(
+                f"base {base} must lie inside modulo range [0, {modulo})"
+            )
+        self._produced = 0
+
+    @property
+    def produced(self) -> int:
+        """Addresses generated since construction or :meth:`reset`."""
+        return self._produced
+
+    def next(self) -> int:
+        """Produce the next address in the sequence."""
+        if self._length is not None and self._produced >= self._length:
+            raise ConfigurationError(
+                f"address generator exhausted after {self._length} addresses"
+            )
+        address = self._base + self._produced * self._stride
+        if self._modulo is not None:
+            address %= self._modulo
+        elif address < 0:
+            raise ConfigurationError(
+                f"address generator produced negative address {address} "
+                "without a modulo wrap"
+            )
+        self._produced += 1
+        return address
+
+    def take(self, count: int) -> list[int]:
+        """Produce the next *count* addresses."""
+        count = require_positive_int(count, "count")
+        return [self.next() for _ in range(count)]
+
+    def reset(self) -> None:
+        """Restart the sequence from its base."""
+        self._produced = 0
+
+
+def bit_reversed_sequence(length: int) -> list[int]:
+    """The bit-reversal address pattern for a power-of-two *length*.
+
+    Used by the FFT program generator to emulate the AGU's
+    bit-reversed addressing mode.
+    """
+    length = require_positive_int(length, "length")
+    if length & (length - 1) != 0:
+        raise ConfigurationError(
+            f"bit reversal needs a power-of-two length, got {length}"
+        )
+    bits = length.bit_length() - 1
+    sequence = []
+    for index in range(length):
+        reversed_index = 0
+        for bit in range(bits):
+            reversed_index |= ((index >> bit) & 1) << (bits - 1 - bit)
+        sequence.append(reversed_index)
+    return sequence

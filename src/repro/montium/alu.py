@@ -1,0 +1,121 @@
+"""The Montium's complex ALU.
+
+"The ALU is tailored towards signal processing applications.  It can,
+for example, execute one complex multiplication per clockcycle."
+(Section 4.)  The simulated ALU provides the operations the CFD task
+set needs — complex multiply, multiply-accumulate, add/subtract,
+radix-2 butterfly — in either a float or a Q15 datapath, and counts
+every operation for cross-checking against the Section 2 complexity
+model.
+
+Latency (how many sequencer cycles an operation costs) is *not* an ALU
+property here: the instruction set (:mod:`repro.montium.isa`) carries
+the per-instruction cycle costs the paper's simulation reports (e.g. a
+multiply-accumulate taking 3 clock cycles through memory read, ALU and
+write-back).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .fixedpoint import (
+    complex_to_q15,
+    q15_complex_add,
+    q15_complex_multiply,
+    q15_complex_subtract,
+    q15_shift_right,
+    q15_to_complex,
+)
+
+_DATAPATHS = ("float", "q15")
+
+
+class ComplexALU:
+    """Complex arithmetic unit with float and Q15 datapaths."""
+
+    def __init__(self, datapath: str = "float") -> None:
+        if datapath not in _DATAPATHS:
+            raise ConfigurationError(
+                f"datapath must be one of {_DATAPATHS}, got {datapath!r}"
+            )
+        self._datapath = datapath
+        self.multiply_count = 0
+        self.add_count = 0
+        self.butterfly_count = 0
+
+    @property
+    def datapath(self) -> str:
+        """``"float"`` or ``"q15"``."""
+        return self._datapath
+
+    def multiply(self, a: complex, b: complex) -> complex:
+        """One complex multiplication."""
+        self.multiply_count += 1
+        if self._datapath == "q15":
+            return q15_to_complex(
+                q15_complex_multiply(complex_to_q15(a), complex_to_q15(b))
+            )
+        return a * b
+
+    def add(self, a: complex, b: complex) -> complex:
+        """One complex addition (saturating in Q15)."""
+        self.add_count += 1
+        if self._datapath == "q15":
+            return q15_to_complex(
+                q15_complex_add(complex_to_q15(a), complex_to_q15(b))
+            )
+        return a + b
+
+    def subtract(self, a: complex, b: complex) -> complex:
+        """One complex subtraction (saturating in Q15)."""
+        self.add_count += 1
+        if self._datapath == "q15":
+            return q15_to_complex(
+                q15_complex_subtract(complex_to_q15(a), complex_to_q15(b))
+            )
+        return a - b
+
+    def multiply_accumulate(self, acc: complex, a: complex, b: complex) -> complex:
+        """``acc + a * b`` — the CFD inner operation (Figure 3)."""
+        return self.add(acc, self.multiply(a, b))
+
+    def butterfly(
+        self, upper: complex, lower: complex, twiddle: complex, scale: bool = False
+    ) -> tuple[complex, complex]:
+        """Radix-2 DIT butterfly: ``(u + w*l, u - w*l)``.
+
+        With ``scale=True`` both outputs are halved — the per-stage
+        scaling a 16-bit FFT uses to prevent overflow (the paper's
+        datapath is 16-bit; per-stage scaling yields an FFT output
+        scaled by 1/K).
+        """
+        self.butterfly_count += 1
+        if self._datapath == "q15":
+            u = complex_to_q15(upper)
+            product = q15_complex_multiply(complex_to_q15(lower), complex_to_q15(twiddle))
+            out_upper = q15_complex_add(u, product)
+            out_lower = q15_complex_subtract(u, product)
+            if scale:
+                out_upper = (
+                    q15_shift_right(out_upper[0]), q15_shift_right(out_upper[1])
+                )
+                out_lower = (
+                    q15_shift_right(out_lower[0]), q15_shift_right(out_lower[1])
+                )
+            self.multiply_count += 1
+            self.add_count += 2
+            return q15_to_complex(out_upper), q15_to_complex(out_lower)
+        product = lower * twiddle
+        self.multiply_count += 1
+        self.add_count += 2
+        out_upper, out_lower = upper + product, upper - product
+        if scale:
+            out_upper *= 0.5
+            out_lower *= 0.5
+        return out_upper, out_lower
+
+    def reset_counters(self) -> None:
+        """Zero the operation tallies."""
+        self.multiply_count = 0
+        self.add_count = 0
+        self.butterfly_count = 0

@@ -1,0 +1,93 @@
+"""Activity-based energy model for the simulated tile.
+
+The paper's Section 5 power figure (500 uW/MHz per Montium) is a
+clock-proportional estimate.  The executing simulator can do better:
+it knows exactly how many memory accesses and ALU operations a run
+performed, so an activity-based estimate
+
+    E = N_mem_access * E_mem + N_mult * E_mult + N_add * E_add
+        + cycles * E_base_per_cycle
+
+can be laid alongside the clock-proportional model.  The per-event
+energies below are representative whole-core 0.13 um values (the
+paper's 500 uW/MHz equals 500 pJ per cycle for the entire tile —
+clock tree, configuration, the full memory bank and ALU array, not
+just the one modelled datapath).  They are calibrated so the *CFD
+workload* lands within a factor ~1.5 of the paper's figure; they
+parameterise the model, they are not measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._util import require_positive_float
+from ..errors import ConfigurationError
+from .tile import MontiumTile
+
+#: Representative whole-core per-event energies (picojoules), 0.13 um.
+ENERGY_PER_MEMORY_ACCESS_PJ = 10.0
+ENERGY_PER_MULTIPLY_PJ = 25.0
+ENERGY_PER_ADD_PJ = 5.0
+#: Clock tree + sequencer/configuration + leakage, per cycle.
+BASELINE_PER_CYCLE_PJ = 350.0
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Breakdown of a tile run's estimated energy."""
+
+    memory_accesses: int
+    multiplications: int
+    additions: int
+    cycles: int
+    memory_energy_pj: float
+    alu_energy_pj: float
+    baseline_energy_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        """Total estimated energy in picojoules."""
+        return self.memory_energy_pj + self.alu_energy_pj + self.baseline_energy_pj
+
+    def average_power_mw(self, clock_hz: float) -> float:
+        """Average power over the run at the given clock."""
+        require_positive_float(clock_hz, "clock_hz")
+        if self.cycles == 0:
+            raise ConfigurationError("run executed zero cycles")
+        duration_s = self.cycles / clock_hz
+        return self.total_pj * 1e-12 / duration_s * 1e3
+
+    def power_density_uw_per_mhz(self, clock_hz: float) -> float:
+        """Power per MHz of clock — comparable to the paper's 500 uW/MHz."""
+        return self.average_power_mw(clock_hz) * 1e3 / (clock_hz / 1e6)
+
+
+def estimate_energy(tile: MontiumTile) -> EnergyReport:
+    """Activity-based energy of everything *tile* has executed so far."""
+    if not isinstance(tile, MontiumTile):
+        raise ConfigurationError("tile must be a MontiumTile")
+    memory_accesses = sum(
+        memory.read_count + memory.write_count
+        for memory in tile.memories.values()
+    )
+    memory_accesses += sum(
+        rf.read_count + rf.write_count for rf in tile.register_files.values()
+    )
+    # a complex multiply is 4 real multiplies + 2 adds; a complex add is
+    # 2 real adds; ALU counters count complex events
+    real_multiplies = 4 * tile.alu.multiply_count
+    real_adds = 2 * tile.alu.multiply_count + 2 * tile.alu.add_count
+    cycles = tile.cycle_counter.total
+    return EnergyReport(
+        memory_accesses=memory_accesses,
+        multiplications=real_multiplies,
+        additions=real_adds,
+        cycles=cycles,
+        memory_energy_pj=memory_accesses * ENERGY_PER_MEMORY_ACCESS_PJ,
+        alu_energy_pj=(
+            real_multiplies * ENERGY_PER_MULTIPLY_PJ
+            + real_adds * ENERGY_PER_ADD_PJ
+        ),
+        baseline_energy_pj=cycles * BASELINE_PER_CYCLE_PJ,
+    )

@@ -1,0 +1,152 @@
+"""Q15 fixed-point arithmetic — the Montium's 16-bit datapath.
+
+The Montium stores 16-bit words; Section 4.1 notes the integration
+memories suffice "for dynamic ranges smaller than 96 dB", i.e. the
+16 x 6.02 dB of a 16-bit word.  This module provides the saturating
+Q15 (1 sign + 15 fraction bits) operations the simulated datapath uses
+when configured for fixed-point execution:
+
+* :func:`q15_add` — saturating addition;
+* :func:`q15_multiply` — fractional multiply with round-to-nearest and
+  saturation (only ``-1 x -1`` saturates);
+* complex helpers building on the scalar ops.
+
+Values are plain Python ints in ``[-32768, 32767]``; floats cross the
+boundary through :func:`to_q15` / :func:`from_q15`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+
+Q15_BITS = 16
+Q15_FRACTION_BITS = 15
+Q15_SCALE = 1 << Q15_FRACTION_BITS  # 32768
+Q15_MAX = Q15_SCALE - 1  # 32767
+Q15_MIN = -Q15_SCALE  # -32768
+
+#: Dynamic range of a 16-bit word: 20*log10(2^16) ~ 96.33 dB; the paper
+#: rounds this to "96 dB".
+DYNAMIC_RANGE_DB = 20.0 * np.log10(2.0**Q15_BITS)
+
+
+def saturate(value: int) -> int:
+    """Clamp an integer into the Q15 range."""
+    if value > Q15_MAX:
+        return Q15_MAX
+    if value < Q15_MIN:
+        return Q15_MIN
+    return int(value)
+
+
+def is_q15(value: int) -> bool:
+    """True if *value* is an int within the Q15 range."""
+    return isinstance(value, (int, np.integer)) and Q15_MIN <= value <= Q15_MAX
+
+
+def to_q15(value: float) -> int:
+    """Quantise a float in [-1, 1) to Q15 (round to nearest, saturating)."""
+    if not np.isfinite(value):
+        raise SimulationError(f"cannot quantise non-finite value {value}")
+    return saturate(int(round(value * Q15_SCALE)))
+
+
+def from_q15(value: int) -> float:
+    """The real value represented by a Q15 integer."""
+    if not is_q15(value):
+        raise SimulationError(f"{value!r} is not a Q15 integer")
+    return value / Q15_SCALE
+
+
+def q15_add(a: int, b: int) -> int:
+    """Saturating Q15 addition."""
+    _check_operands(a, b)
+    return saturate(int(a) + int(b))
+
+
+def q15_subtract(a: int, b: int) -> int:
+    """Saturating Q15 subtraction."""
+    _check_operands(a, b)
+    return saturate(int(a) - int(b))
+
+
+def q15_multiply(a: int, b: int) -> int:
+    """Q15 fractional multiply: ``(a * b) >> 15`` with rounding.
+
+    The only saturating case is ``Q15_MIN * Q15_MIN`` (``-1 x -1``
+    would be ``+1``, one LSB above ``Q15_MAX``).
+    """
+    _check_operands(a, b)
+    product = int(a) * int(b)
+    rounded = (product + (1 << (Q15_FRACTION_BITS - 1))) >> Q15_FRACTION_BITS
+    return saturate(rounded)
+
+
+def q15_shift_right(a: int, amount: int = 1) -> int:
+    """Arithmetic right shift with rounding (the FFT's per-stage scaling)."""
+    if amount < 0:
+        raise SimulationError(f"shift amount must be >= 0, got {amount}")
+    if amount == 0:
+        return int(a)
+    _check_operands(a, a)
+    return saturate((int(a) + (1 << (amount - 1))) >> amount)
+
+
+# ----------------------------------------------------------------------
+# Complex helpers: a complex Q15 value is a (real, imag) int pair.
+# ----------------------------------------------------------------------
+def complex_to_q15(value: complex) -> tuple[int, int]:
+    """Quantise a complex float to a (real, imag) Q15 pair."""
+    return to_q15(value.real), to_q15(value.imag)
+
+
+def q15_to_complex(pair: tuple[int, int]) -> complex:
+    """The complex value represented by a Q15 pair."""
+    real, imag = pair
+    return complex(from_q15(real), from_q15(imag))
+
+
+def q15_complex_add(
+    a: tuple[int, int], b: tuple[int, int]
+) -> tuple[int, int]:
+    """Component-wise saturating complex addition."""
+    return q15_add(a[0], b[0]), q15_add(a[1], b[1])
+
+
+def q15_complex_subtract(
+    a: tuple[int, int], b: tuple[int, int]
+) -> tuple[int, int]:
+    """Component-wise saturating complex subtraction."""
+    return q15_subtract(a[0], b[0]), q15_subtract(a[1], b[1])
+
+
+def q15_complex_multiply(
+    a: tuple[int, int], b: tuple[int, int]
+) -> tuple[int, int]:
+    """Complex Q15 multiply from four real multiplies and two adds."""
+    real = q15_subtract(q15_multiply(a[0], b[0]), q15_multiply(a[1], b[1]))
+    imag = q15_add(q15_multiply(a[0], b[1]), q15_multiply(a[1], b[0]))
+    return real, imag
+
+
+def q15_complex_conjugate(a: tuple[int, int]) -> tuple[int, int]:
+    """Complex conjugate (saturates the imaginary part of -Q15_MIN)."""
+    return int(a[0]), saturate(-int(a[1]))
+
+
+def quantize_complex_array(values: np.ndarray) -> np.ndarray:
+    """Quantise a complex array through Q15 and back (round-trip error model)."""
+    values = np.asarray(values, dtype=np.complex128)
+    real = np.clip(np.round(values.real * Q15_SCALE), Q15_MIN, Q15_MAX)
+    imag = np.clip(np.round(values.imag * Q15_SCALE), Q15_MIN, Q15_MAX)
+    return (real + 1j * imag) / Q15_SCALE
+
+
+def _check_operands(a: int, b: int) -> None:
+    if not is_q15(a) or not is_q15(b):
+        raise SimulationError(
+            f"operands must be Q15 integers in [{Q15_MIN}, {Q15_MAX}], got "
+            f"{a!r} and {b!r}"
+        )

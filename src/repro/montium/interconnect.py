@@ -1,0 +1,74 @@
+"""The Montium's configurable interconnect (crossbar).
+
+"The register files of the core are connected to the memories via an
+interconnection network" whose settings are determined by the
+configuration block (Section 4).  The simulator models the network as
+a named-endpoint crossbar: a program *configures* the routes its
+kernel needs once (as the real configuration registers would be
+written), and every runtime transfer is validated against that
+configuration — a mis-routed operand is a simulation error, matching
+the way a wrong CGRA configuration fails.
+"""
+
+from __future__ import annotations
+
+from ..errors import CommunicationError, ConfigurationError
+
+
+class Crossbar:
+    """A configurable set of directed routes between named endpoints."""
+
+    def __init__(self, endpoints) -> None:
+        endpoints = [str(e) for e in endpoints]
+        if len(endpoints) != len(set(endpoints)):
+            raise ConfigurationError("crossbar endpoints must be unique")
+        if not endpoints:
+            raise ConfigurationError("crossbar needs at least one endpoint")
+        self._endpoints = set(endpoints)
+        self._routes: set[tuple[str, str]] = set()
+        self.transfer_count = 0
+
+    @property
+    def endpoints(self) -> frozenset:
+        """The registered endpoint names."""
+        return frozenset(self._endpoints)
+
+    @property
+    def routes(self) -> frozenset:
+        """The currently configured (source, destination) routes."""
+        return frozenset(self._routes)
+
+    def configure(self, routes) -> None:
+        """Add directed routes; endpoints must already be registered."""
+        for source, destination in routes:
+            if source not in self._endpoints:
+                raise ConfigurationError(
+                    f"unknown crossbar source {source!r}"
+                )
+            if destination not in self._endpoints:
+                raise ConfigurationError(
+                    f"unknown crossbar destination {destination!r}"
+                )
+            if source == destination:
+                raise ConfigurationError(
+                    f"route {source!r} -> itself is not allowed"
+                )
+            self._routes.add((str(source), str(destination)))
+
+    def clear_routes(self) -> None:
+        """Drop all configured routes (reconfiguration)."""
+        self._routes.clear()
+
+    def transfer(self, source: str, destination: str, value):
+        """Move *value* along a configured route; returns the value.
+
+        Raises :class:`CommunicationError` if the route was never
+        configured — the simulation equivalent of driving a bus the
+        configuration does not connect.
+        """
+        if (source, destination) not in self._routes:
+            raise CommunicationError(
+                f"no configured route {source!r} -> {destination!r}"
+            )
+        self.transfer_count += 1
+        return value

@@ -1,0 +1,173 @@
+"""The tile's instruction set for the CFD task set.
+
+Each instruction carries its cycle cost and its Table-1 accounting
+category; :class:`~repro.montium.sequencer.Sequencer` executes streams
+of them against a :class:`~repro.montium.tile.MontiumTile`.  The cycle
+costs come from the paper's Montium simulation (Section 4.1):
+
+========================  =======================  ==================
+instruction               category                 cycles (default)
+==========================================================================
+:class:`MacStep`          multiply accumulate      3
+:class:`ReadData`         read data                3 (per 32 MACs)
+:class:`FftStageSetup`    FFT                      2 (per stage)
+:class:`Butterfly`        FFT                      1
+:class:`ReshuffleMove`    reshuffling              1
+:class:`InitialLoad`      initialisation           P = 2M+1
+==========================================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ProgramError
+from .timing import (
+    CATEGORY_FFT,
+    CATEGORY_INITIALISATION,
+    CATEGORY_MULTIPLY_ACCUMULATE,
+    CATEGORY_READ_DATA,
+    CATEGORY_RESHUFFLING,
+)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class: a cycle cost, a Table-1 category, and an effect."""
+
+    cycles: int
+    category: str
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ProgramError(f"cycles must be >= 0, got {self.cycles}")
+
+    def execute(self, tile) -> None:
+        """Apply the instruction's effect to *tile* (no-op by default)."""
+
+
+@dataclass(frozen=True)
+class MacStep(Instruction):
+    """One multiply-accumulate of the CFD kernel.
+
+    Multiplies the *normal* window value at *slot* with the
+    *conjugate* window value at *slot* and accumulates into the
+    integration memory for frequency index *f_index*.  Padded slots
+    (``valid=False``) burn the same cycles but touch no memory — the
+    idle task slots of the fold.
+    """
+
+    slot: int = 0
+    f_index: int = 0
+    valid: bool = True
+
+    def execute(self, tile) -> None:
+        if not self.valid:
+            return
+        normal_value = tile.crossbar.transfer(
+            "M09", "ALU.in1", tile.read_window("normal", self.slot)
+        )
+        conjugate_value = tile.crossbar.transfer(
+            "M10", "ALU.in2", tile.read_window("conjugate", self.slot)
+        )
+        product = tile.alu.multiply(normal_value, conjugate_value)
+        tile.accumulate(self.f_index, self.slot, product)
+
+
+@dataclass(frozen=True)
+class ReadData(Instruction):
+    """The per-f-step data read: shift both communication windows.
+
+    Pops one (normal, conjugate) pair from the tile's incoming port
+    and advances the circular windows — "for each 32 multiply
+    accumulate operations, 3 additional clockcycles are needed to read
+    data".
+    """
+
+    def execute(self, tile) -> None:
+        normal_value, conjugate_value = tile.pop_incoming()
+        tile.crossbar.transfer("IO", "M09", normal_value)
+        tile.crossbar.transfer("IO", "M10", conjugate_value)
+        tile.shift_windows(normal_value, conjugate_value)
+
+
+@dataclass(frozen=True)
+class FftStageSetup(Instruction):
+    """Per-stage FFT reconfiguration (AGU patterns, twiddle bank)."""
+
+    stage: int = 0
+
+
+@dataclass(frozen=True)
+class Butterfly(Instruction):
+    """One in-place radix-2 DIT butterfly on the M09 working area.
+
+    ``scale`` halves both outputs (per-stage scaling of the 16-bit
+    datapath).
+    """
+
+    slot_upper: int = 0
+    slot_lower: int = 0
+    twiddle: complex = 1.0 + 0.0j
+    scale: bool = False
+
+    def execute(self, tile) -> None:
+        memory = tile.memories["M09"]
+        upper_slot = tile.spectrum_slot(self.slot_upper)
+        lower_slot = tile.spectrum_slot(self.slot_lower)
+        upper = memory.read_complex(upper_slot)
+        lower = memory.read_complex(lower_slot)
+        out_upper, out_lower = tile.alu.butterfly(
+            upper, lower, self.twiddle, scale=self.scale
+        )
+        memory.write_complex(upper_slot, out_upper)
+        memory.write_complex(lower_slot, out_lower)
+
+
+@dataclass(frozen=True)
+class ReshuffleMove(Instruction):
+    """One move of the conjugate reshuffle (Figure 1's X* rearrangement).
+
+    Reads the natural-order spectrum bin corresponding to centered
+    index *centered_index*, conjugates it, and writes it into the M10
+    reshuffle area in centered order.
+    """
+
+    centered_index: int = 0
+
+    def execute(self, tile) -> None:
+        fft_size = tile.config.fft_size
+        v = self.centered_index - fft_size // 2  # centered bin
+        natural = v % fft_size
+        value = tile.memories["M09"].read_complex(tile.spectrum_slot(natural))
+        conjugated = complex(value.real, -value.imag)
+        tile.crossbar.transfer("M09", "IO", value)
+        tile.crossbar.transfer("IO", "M10", conjugated)
+        tile.memories["M10"].write_complex(
+            tile.conjugate_slot(self.centered_index), conjugated
+        )
+
+
+@dataclass(frozen=True)
+class InitialLoad(Instruction):
+    """The initial array fill: load both windows for the first f-step.
+
+    The window images are read from the tile's own spectrum copies
+    (normal values from M09's working area, conjugated values from
+    M10's reshuffle area); the cycle cost models the P-cycle
+    fill-through of the distributed P-stage chain (127 for the paper's
+    configuration).
+    """
+
+    def execute(self, tile) -> None:
+        config = tile.config
+        m = config.m
+        normal_values = []
+        conjugate_values = []
+        for logical in range(config.valid_slots):
+            task = config.task_of_slot(logical)
+            # chain state at t = -M: normal stage holds X[task - 2M],
+            # conjugate stage holds conj(X[-task]).
+            normal_values.append(tile.read_spectrum_bin(task - 2 * m))
+            conjugate_values.append(tile.read_conjugate_bin(-task))
+        tile.load_windows(normal_values, conjugate_values)

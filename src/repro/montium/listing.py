@@ -1,0 +1,101 @@
+"""Program listings: render instruction streams as readable text.
+
+The configuration of a real Montium is inspected through the design
+tools' listings; this module provides the simulator's equivalent —
+a disassembly-style view of any generated instruction stream plus
+summary statistics, used by tests, debugging sessions and the
+documentation examples.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..errors import ProgramError
+from .isa import (
+    Butterfly,
+    FftStageSetup,
+    InitialLoad,
+    Instruction,
+    MacStep,
+    ReadData,
+    ReshuffleMove,
+)
+
+
+def format_instruction(instruction: Instruction) -> str:
+    """One listing line for *instruction*."""
+    if not isinstance(instruction, Instruction):
+        raise ProgramError(
+            f"expected an Instruction, got {type(instruction).__name__}"
+        )
+    if isinstance(instruction, MacStep):
+        marker = "" if instruction.valid else "  ; padded slot"
+        body = (
+            f"MAC     slot={instruction.slot:<3d} f={instruction.f_index:<3d}"
+            f"{marker}"
+        )
+    elif isinstance(instruction, ReadData):
+        body = "READ    shift windows"
+    elif isinstance(instruction, FftStageSetup):
+        body = f"FSETUP  stage={instruction.stage}"
+    elif isinstance(instruction, Butterfly):
+        body = (
+            f"BFLY    u={instruction.slot_upper:<3d} "
+            f"l={instruction.slot_lower:<3d} "
+            f"w=({instruction.twiddle.real:+.3f}{instruction.twiddle.imag:+.3f}j)"
+            f"{' >>1' if instruction.scale else ''}"
+        )
+    elif isinstance(instruction, ReshuffleMove):
+        body = f"RSHFL   centered={instruction.centered_index}"
+    elif isinstance(instruction, InitialLoad):
+        body = "ILOAD   fill both windows"
+    else:
+        body = type(instruction).__name__.upper()
+    return f"{body:<44s} ; {instruction.cycles} cy [{instruction.category}]"
+
+
+def format_program(program, limit: int | None = None) -> str:
+    """A numbered listing of *program* (optionally truncated)."""
+    lines = []
+    for index, instruction in enumerate(program):
+        if limit is not None and index >= limit:
+            lines.append(f"... ({len(program) - limit} more instructions)")
+            break
+        lines.append(f"{index:6d}: {format_instruction(instruction)}")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ProgramStatistics:
+    """Aggregate view of an instruction stream."""
+
+    instruction_count: int
+    cycles_by_category: dict
+    counts_by_mnemonic: dict
+
+    @property
+    def total_cycles(self) -> int:
+        """Sum over categories."""
+        return sum(self.cycles_by_category.values())
+
+
+def program_statistics(program) -> ProgramStatistics:
+    """Instruction counts and cycle totals of *program*."""
+    cycles: Counter = Counter()
+    mnemonics: Counter = Counter()
+    count = 0
+    for instruction in program:
+        if not isinstance(instruction, Instruction):
+            raise ProgramError(
+                f"expected an Instruction, got {type(instruction).__name__}"
+            )
+        cycles[instruction.category] += instruction.cycles
+        mnemonics[type(instruction).__name__] += 1
+        count += 1
+    return ProgramStatistics(
+        instruction_count=count,
+        cycles_by_category=dict(cycles),
+        counts_by_mnemonic=dict(mnemonics),
+    )

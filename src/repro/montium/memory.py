@@ -1,0 +1,157 @@
+"""The Montium memory bank: ten 1K x 16-bit memories (M01-M10).
+
+Section 4.1 gives the sizing used here: "The total memory capacity of
+the Montium memories M01 to M08 equals 8K words of 16 bits", i.e. 1024
+words per memory.  Complex values occupy two adjacent words (real,
+imag), so each memory holds 512 complex values and M01-M08 together
+hold the 4064 complex integration results with room to spare.
+
+The simulator supports two datapath modes:
+
+* ``"float"`` — words hold Python floats (a fast functional model used
+  to check numerical equivalence against the numpy reference);
+* ``"q15"`` — words hold Q15 integers and every write is checked, so
+  overflow and quantisation behave like the 16-bit hardware.
+
+Every access is bounds-checked and counted; reads of never-written
+words raise, catching address-generation bugs in programs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import require_non_negative_int, require_positive_int
+from ..errors import MemoryAccessError, ConfigurationError
+from .fixedpoint import from_q15, is_q15, to_q15
+
+MEMORY_WORDS = 1024  # 1K x 16-bit words per memory; M01..M08 = 8K words
+
+_DATAPATHS = ("float", "q15")
+
+
+class Memory:
+    """One Montium memory: an array of 16-bit words with access counting."""
+
+    def __init__(
+        self,
+        name: str,
+        words: int = MEMORY_WORDS,
+        datapath: str = "float",
+    ) -> None:
+        self.name = str(name)
+        self._words = require_positive_int(words, "words")
+        if datapath not in _DATAPATHS:
+            raise ConfigurationError(
+                f"datapath must be one of {_DATAPATHS}, got {datapath!r}"
+            )
+        self._datapath = datapath
+        self._storage: list = [None] * self._words
+        self.read_count = 0
+        self.write_count = 0
+
+    @property
+    def words(self) -> int:
+        """Capacity in 16-bit words."""
+        return self._words
+
+    @property
+    def datapath(self) -> str:
+        """``"float"`` or ``"q15"``."""
+        return self._datapath
+
+    @property
+    def complex_capacity(self) -> int:
+        """Complex values this memory can hold (2 words each)."""
+        return self._words // 2
+
+    def _check_address(self, address: int) -> None:
+        if not isinstance(address, (int, np.integer)) or isinstance(address, bool):
+            raise MemoryAccessError(
+                f"{self.name}: address must be an integer, got {address!r}"
+            )
+        if not 0 <= address < self._words:
+            raise MemoryAccessError(
+                f"{self.name}: address {address} out of range "
+                f"[0, {self._words - 1}]"
+            )
+
+    def write(self, address: int, value) -> None:
+        """Write one word."""
+        self._check_address(address)
+        if self._datapath == "q15":
+            if not is_q15(value):
+                raise MemoryAccessError(
+                    f"{self.name}: q15 datapath requires Q15 integer words, "
+                    f"got {value!r}"
+                )
+            value = int(value)
+        else:
+            value = float(value)
+        self._storage[address] = value
+        self.write_count += 1
+
+    def read(self, address: int):
+        """Read one word; reading a never-written word is an error."""
+        self._check_address(address)
+        value = self._storage[address]
+        if value is None:
+            raise MemoryAccessError(
+                f"{self.name}: read of uninitialised word {address}"
+            )
+        self.read_count += 1
+        return value
+
+    def peek(self, address: int):
+        """Read without counting or init-check (debug/assembly use)."""
+        self._check_address(address)
+        return self._storage[address]
+
+    # ------------------------------------------------------------------
+    # Complex-pair convention: value k lives at words 2k (re), 2k+1 (im)
+    # ------------------------------------------------------------------
+    def write_complex(self, slot: int, value: complex) -> None:
+        """Write a complex value into slot *slot* (two adjacent words)."""
+        slot = require_non_negative_int(slot, "slot")
+        if self._datapath == "q15":
+            self.write(2 * slot, to_q15(value.real))
+            self.write(2 * slot + 1, to_q15(value.imag))
+        else:
+            self.write(2 * slot, value.real)
+            self.write(2 * slot + 1, value.imag)
+
+    def read_complex(self, slot: int) -> complex:
+        """Read the complex value at slot *slot*."""
+        slot = require_non_negative_int(slot, "slot")
+        real = self.read(2 * slot)
+        imag = self.read(2 * slot + 1)
+        if self._datapath == "q15":
+            return complex(from_q15(real), from_q15(imag))
+        return complex(real, imag)
+
+    def read_complex_q15(self, slot: int) -> tuple[int, int]:
+        """Read the raw Q15 pair at slot *slot* (q15 datapath only)."""
+        if self._datapath != "q15":
+            raise MemoryAccessError(
+                f"{self.name}: read_complex_q15 requires the q15 datapath"
+            )
+        return self.read(2 * slot), self.read(2 * slot + 1)
+
+    def write_complex_q15(self, slot: int, pair: tuple[int, int]) -> None:
+        """Write a raw Q15 pair at slot *slot* (q15 datapath only)."""
+        if self._datapath != "q15":
+            raise MemoryAccessError(
+                f"{self.name}: write_complex_q15 requires the q15 datapath"
+            )
+        self.write(2 * slot, int(pair[0]))
+        self.write(2 * slot + 1, int(pair[1]))
+
+    def clear(self) -> None:
+        """Erase contents and reset access counters."""
+        self._storage = [None] * self._words
+        self.read_count = 0
+        self.write_count = 0
+
+    def initialised_words(self) -> int:
+        """Number of words that have been written at least once."""
+        return sum(1 for word in self._storage if word is not None)

@@ -1,0 +1,34 @@
+"""Instruction-stream generators for the CFD task set.
+
+Each generator turns a :class:`~repro.montium.tile.TileConfig` into the
+instruction stream of one Table-1 task:
+
+* :func:`~repro.montium.programs.fft256.fft_program` — the K-point
+  in-place radix-2 FFT ((K/2) log2 K butterflies + per-stage setup).
+* :func:`~repro.montium.programs.reshuffle.reshuffle_program` — the
+  K-move conjugate reshuffle.
+* :mod:`repro.montium.programs.cfd_kernel` — initial load, the per-f
+  MAC groups and the window-shift reads, plus the whole-step composition
+  used by single-tile runs.
+"""
+
+from .cfd_kernel import (
+    initial_load_program,
+    integration_step_cycle_budget,
+    mac_group_program,
+    read_data_program,
+    run_integration_step,
+)
+from .fft256 import fft_cycle_count, fft_program
+from .reshuffle import reshuffle_program
+
+__all__ = [
+    "fft_cycle_count",
+    "fft_program",
+    "initial_load_program",
+    "integration_step_cycle_budget",
+    "mac_group_program",
+    "read_data_program",
+    "reshuffle_program",
+    "run_integration_step",
+]

@@ -1,0 +1,146 @@
+"""The CFD multiply-accumulate kernel as Montium instruction streams.
+
+One *integration step* (one block index ``n`` of expression 3) on one
+tile executes, in order:
+
+1. the K-point FFT of the injected block (:mod:`.fft256`);
+2. the conjugate reshuffle (:mod:`.reshuffle`);
+3. the initial window fill (:func:`initial_load_program`, P cycles);
+4. for each of the F frequency steps: a group of T multiply-
+   accumulates (:func:`mac_group_program`) followed by one 3-cycle
+   window-shift read (:func:`read_data_program`).
+
+For the paper's configuration (K = 256, M = 63, Q = 4, so T = 32 and
+F = 127) the cycle budget is exactly Table 1:
+
+    multiply accumulate  127 * 32 * 3 = 12192
+    read data            127 * 3     =   381
+    FFT                                  1040
+    reshuffling                           256
+    initialisation                        127
+    total                               13996
+
+:func:`run_integration_step` composes the streams for a stand-alone
+tile (the SoC runner performs the same composition across tiles in
+lock step).
+"""
+
+from __future__ import annotations
+
+from ..isa import InitialLoad, MacStep, ReadData
+from ..sequencer import Sequencer
+from ..tile import MontiumTile, TileConfig
+from ..timing import (
+    CATEGORY_INITIALISATION,
+    CATEGORY_MULTIPLY_ACCUMULATE,
+    CATEGORY_READ_DATA,
+)
+from .fft256 import fft_cycle_count, fft_program
+from .reshuffle import reshuffle_program
+
+
+def initial_load_program(config: TileConfig) -> list:
+    """The single P-cycle initial fill instruction."""
+    if not isinstance(config, TileConfig):
+        raise TypeError("config must be a TileConfig")
+    return [
+        InitialLoad(
+            cycles=config.effective_init_latency,
+            category=CATEGORY_INITIALISATION,
+        )
+    ]
+
+
+def mac_group_program(config: TileConfig, f_index: int) -> list:
+    """The T multiply-accumulates of one frequency step.
+
+    Padded slots of the last core are emitted with ``valid=False`` —
+    they burn their 3 cycles (the paper's budget assumes a full T per
+    core) but touch no state.
+    """
+    if not isinstance(config, TileConfig):
+        raise TypeError("config must be a TileConfig")
+    if not 0 <= f_index < config.extent:
+        raise ValueError(
+            f"f_index must be in [0, {config.extent - 1}], got {f_index}"
+        )
+    return [
+        MacStep(
+            cycles=config.mac_latency,
+            category=CATEGORY_MULTIPLY_ACCUMULATE,
+            slot=slot,
+            f_index=f_index,
+            valid=config.slot_is_valid(slot),
+        )
+        for slot in range(config.tasks_per_core)
+    ]
+
+
+def read_data_program(config: TileConfig) -> list:
+    """The per-frequency-step window-shift read (3 cycles)."""
+    if not isinstance(config, TileConfig):
+        raise TypeError("config must be a TileConfig")
+    return [ReadData(cycles=config.read_latency, category=CATEGORY_READ_DATA)]
+
+
+def integration_step_cycle_budget(config: TileConfig) -> dict:
+    """Closed-form per-category cycle budget of one integration step.
+
+    This is the analytic counterpart of actually executing the
+    streams; tests assert the two agree, and for the paper's
+    configuration the values are Table 1's rows.
+    """
+    if not isinstance(config, TileConfig):
+        raise TypeError("config must be a TileConfig")
+    budget = {
+        CATEGORY_MULTIPLY_ACCUMULATE: (
+            config.extent * config.tasks_per_core * config.mac_latency
+        ),
+        CATEGORY_READ_DATA: config.extent * config.read_latency,
+        "FFT": fft_cycle_count(
+            config.fft_size,
+            butterfly_latency=config.butterfly_latency,
+            stage_setup_latency=config.stage_setup_latency,
+        ),
+        "reshuffling": config.fft_size * config.reshuffle_latency,
+        CATEGORY_INITIALISATION: config.effective_init_latency,
+    }
+    budget["total"] = sum(budget.values())
+    return budget
+
+
+def run_integration_step(tile: MontiumTile, samples, sequencer: Sequencer | None = None) -> int:
+    """Execute one full integration step on a stand-alone tile.
+
+    The tile feeds its own window shifts from its local spectrum
+    copies (with a single tile there are no neighbours; the entering
+    chain values are the locally available bins ``X[t + 1 + M]``).
+    Returns the cycles spent on this step.
+
+    The caller must have called
+    :meth:`~repro.montium.tile.MontiumTile.reset_accumulators` once
+    before the first step of a DSCF measurement.
+    """
+    if not isinstance(tile, MontiumTile):
+        raise TypeError("tile must be a MontiumTile")
+    config = tile.config
+    if sequencer is None:
+        sequencer = Sequencer(tile)
+    cycles_before = tile.cycle_counter.total
+
+    tile.inject_samples(samples)
+    sequencer.run(fft_program(config))
+    sequencer.run(reshuffle_program(config))
+    sequencer.run(initial_load_program(config))
+
+    for f_index in range(config.extent):
+        sequencer.run(mac_group_program(config, f_index))
+        # The value entering both chains for time t+1 is bin
+        # s = t + 1 + M = f_index + 1 (normal at the top end, its
+        # conjugate at the bottom end).
+        incoming_bin = f_index + 1
+        normal_in = tile.read_spectrum_bin(incoming_bin)
+        conjugate_in = tile.read_conjugate_bin(incoming_bin)
+        tile.push_incoming(normal_in, conjugate_in)
+        sequencer.run(read_data_program(config))
+    return tile.cycle_counter.total - cycles_before

@@ -1,0 +1,73 @@
+"""The K-point FFT as a Montium instruction stream.
+
+The paper takes the 256-point FFT's 1040 cycles from [3].  The stream
+generated here reproduces that count structurally: ``log2 K`` stages,
+each opened by a 2-cycle :class:`~repro.montium.isa.FftStageSetup`
+(AGU pattern and twiddle-bank reconfiguration) followed by ``K/2``
+single-cycle butterflies:
+
+    (K/2) log2 K + 2 log2 K  =  1024 + 16  =  1040   for K = 256.
+
+The butterflies operate in place on the M09 working area; samples must
+have been injected in bit-reversed order
+(:meth:`~repro.montium.tile.MontiumTile.inject_samples` does this), so
+the output lands in natural bin order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._util import require_power_of_two
+from ..isa import Butterfly, FftStageSetup
+from ..tile import TileConfig
+from ..timing import CATEGORY_FFT
+
+
+def fft_cycle_count(fft_size: int, butterfly_latency: int = 1, stage_setup_latency: int = 2) -> int:
+    """Closed-form cycle count of the generated FFT stream."""
+    fft_size = require_power_of_two(fft_size, "fft_size")
+    stages = fft_size.bit_length() - 1
+    return (fft_size // 2) * stages * butterfly_latency + stages * stage_setup_latency
+
+
+def fft_program(config: TileConfig) -> list:
+    """Generate the in-place radix-2 DIT FFT instruction stream.
+
+    With the q15 datapath every butterfly halves its outputs (per-stage
+    scaling), so the finished spectrum is ``X / K`` — the tile reports
+    this through
+    :attr:`~repro.montium.tile.MontiumTile.spectrum_scale`.
+    """
+    if not isinstance(config, TileConfig):
+        raise TypeError("config must be a TileConfig")
+    fft_size = config.fft_size
+    scale = config.datapath == "q15"
+    program: list = []
+    span = 2
+    stage = 0
+    while span <= fft_size:
+        program.append(
+            FftStageSetup(
+                cycles=config.stage_setup_latency,
+                category=CATEGORY_FFT,
+                stage=stage,
+            )
+        )
+        half = span // 2
+        twiddles = np.exp(-2j * np.pi * np.arange(half) / span)
+        for start in range(0, fft_size, span):
+            for offset in range(half):
+                program.append(
+                    Butterfly(
+                        cycles=config.butterfly_latency,
+                        category=CATEGORY_FFT,
+                        slot_upper=start + offset,
+                        slot_lower=start + offset + half,
+                        twiddle=complex(twiddles[offset]),
+                        scale=scale,
+                    )
+                )
+        span *= 2
+        stage += 1
+    return program

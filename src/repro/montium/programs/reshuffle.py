@@ -1,0 +1,29 @@
+"""The conjugate reshuffle as an instruction stream.
+
+Figure 1 shows the conjugated spectral values feeding the
+multiplication grid in mirrored order; producing that arrangement from
+the natural-order FFT output is "the reshuffling of the conjugated
+values", which the paper budgets at K = 256 single-cycle moves.  Each
+move reads one bin, conjugates it (a sign flip in the ALU's bypass
+path) and writes it to the M10 reshuffle area in centered order.
+"""
+
+from __future__ import annotations
+
+from ..isa import ReshuffleMove
+from ..tile import TileConfig
+from ..timing import CATEGORY_RESHUFFLING
+
+
+def reshuffle_program(config: TileConfig) -> list:
+    """One :class:`ReshuffleMove` per spectrum bin (K instructions)."""
+    if not isinstance(config, TileConfig):
+        raise TypeError("config must be a TileConfig")
+    return [
+        ReshuffleMove(
+            cycles=config.reshuffle_latency,
+            category=CATEGORY_RESHUFFLING,
+            centered_index=k,
+        )
+        for k in range(config.fft_size)
+    ]

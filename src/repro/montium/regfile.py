@@ -1,0 +1,64 @@
+"""Register files RF01-RF05.
+
+The Montium's register files sit between the memories and the ALU
+inputs (Figure 10).  The CFD kernel uses them for the multiplier input
+latches (the values selected by the Figure 9 switches are held here
+while a multiply-accumulate executes) and for FFT twiddle staging.
+"""
+
+from __future__ import annotations
+
+from .._util import require_positive_int
+from ..errors import SimulationError
+
+REGISTER_FILE_SIZE = 4  # registers per file
+
+
+class RegisterFile:
+    """A small named register file with bounds-checked access."""
+
+    def __init__(self, name: str, size: int = REGISTER_FILE_SIZE) -> None:
+        self.name = str(name)
+        self._size = require_positive_int(size, "size")
+        self._registers: list = [None] * self._size
+        self.read_count = 0
+        self.write_count = 0
+
+    @property
+    def size(self) -> int:
+        """Number of registers."""
+        return self._size
+
+    def _check_index(self, index: int) -> None:
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise SimulationError(
+                f"{self.name}: register index must be an int, got {index!r}"
+            )
+        if not 0 <= index < self._size:
+            raise SimulationError(
+                f"{self.name}: register index {index} out of range "
+                f"[0, {self._size - 1}]"
+            )
+
+    def write(self, index: int, value) -> None:
+        """Write a register."""
+        self._check_index(index)
+        self._registers[index] = value
+        self.write_count += 1
+
+    def read(self, index: int):
+        """Read a register; reading a never-written register raises."""
+        self._check_index(index)
+        value = self._registers[index]
+        if value is None:
+            raise SimulationError(
+                f"{self.name}: read of uninitialised register {index}"
+            )
+        self.read_count += 1
+        return value
+
+    def clear(self) -> None:
+        """Erase contents and reset access counters."""
+        self._registers = [None] * self._size
+        self.read_count = 0
+        self.write_count = 0

@@ -1,0 +1,55 @@
+"""The tile sequencer: executes instruction streams and accounts cycles.
+
+The Montium's "control / configuration / communication" block (Figure
+10) steps through the kernel's instruction schedule.  The simulated
+sequencer executes each instruction's effect against the tile and adds
+its cycle cost to the tile's :class:`~repro.montium.timing.CycleCounter`
+under the instruction's Table-1 category.
+"""
+
+from __future__ import annotations
+
+from .._util import require_positive_int
+from ..errors import ProgramError
+from .isa import Instruction
+
+#: Safety valve against runaway program generators.
+DEFAULT_MAX_INSTRUCTIONS = 50_000_000
+
+
+class Sequencer:
+    """Executes instruction streams on one tile."""
+
+    def __init__(self, tile, max_instructions: int = DEFAULT_MAX_INSTRUCTIONS) -> None:
+        self._tile = tile
+        self._max_instructions = require_positive_int(
+            max_instructions, "max_instructions"
+        )
+        self.instructions_executed = 0
+
+    @property
+    def tile(self):
+        """The tile this sequencer drives."""
+        return self._tile
+
+    def run(self, program) -> int:
+        """Execute every instruction of *program*; return cycles spent.
+
+        Raises :class:`ProgramError` for non-instruction entries or if
+        the cumulative instruction budget is exhausted.
+        """
+        cycles_before = self._tile.cycle_counter.total
+        for instruction in program:
+            if not isinstance(instruction, Instruction):
+                raise ProgramError(
+                    f"program entries must be Instructions, got "
+                    f"{type(instruction).__name__}"
+                )
+            if self.instructions_executed >= self._max_instructions:
+                raise ProgramError(
+                    f"instruction budget of {self._max_instructions} exhausted"
+                )
+            instruction.execute(self._tile)
+            self._tile.cycle_counter.add(instruction.category, instruction.cycles)
+            self.instructions_executed += 1
+        return self._tile.cycle_counter.total - cycles_before

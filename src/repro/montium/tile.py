@@ -1,0 +1,455 @@
+"""The assembled Montium tile (Figure 10) and its CFD memory map (Figure 11).
+
+Memory map used by the CFD mapping of Section 4:
+
+* **M01-M08** — the integration memories: accumulator ``j = f_index*T +
+  slot`` lives in bank ``j // 512`` at complex slot ``j % 512`` (each
+  1K-word memory holds 512 complex values; 8 banks cover the paper's
+  ``T*F = 4064 < 4K`` complex requirement).
+* **M09** — the *normal* communication window (complex slots
+  ``0..T-1``, the Figure 9 shift register) followed by the FFT working
+  area (complex slots ``T..T+K-1``, natural bin order).
+* **M10** — the *conjugate* communication window (slots ``0..T-1``)
+  followed by the reshuffled spectrum (slots ``T..T+K-1``: centered
+  order, conjugated — the output of the Figure 1 reshuffling).
+
+The communication windows are circular buffers: shifting the virtual
+chain by one position costs a single write through the AGU's modulo
+addressing, exactly one incoming value per chain per shift.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import require_non_negative_int, require_positive_int, require_power_of_two
+from ..core.scf import validate_m
+from ..errors import CommunicationError, ConfigurationError, SimulationError
+from .agu import bit_reversed_sequence
+from .alu import ComplexALU
+from .interconnect import Crossbar
+from .memory import MEMORY_WORDS, Memory
+from .regfile import RegisterFile
+from .timing import CycleCounter
+
+NUM_INTEGRATION_MEMORIES = 8
+MEMORY_NAMES = tuple(f"M{i:02d}" for i in range(1, 11))
+REGISTER_FILE_NAMES = tuple(f"RF{i:02d}" for i in range(1, 6))
+
+_DATAPATHS = ("float", "q15")
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """Static configuration of one tile's CFD kernel.
+
+    Parameters
+    ----------
+    fft_size:
+        Block length K (power of two; paper: 256).
+    m:
+        DSCF half-extent M (paper: 63 -> P = F = 127).
+    num_cores:
+        Q, the number of tiles sharing the array (paper: 4).
+    core_index:
+        This tile's position q in ``[0, Q)``.
+    mac_latency:
+        Cycles per multiply-accumulate (paper simulation: 3).
+    read_latency:
+        Cycles of the per-f-step data read / window shift (paper: 3
+        per 32 multiply-accumulates).
+    butterfly_latency / stage_setup_latency:
+        FFT cycle model: one cycle per butterfly plus a per-stage
+        reconfiguration, giving (K/2) log2 K + 2 log2 K = 1040 cycles
+        for K = 256, the figure the paper takes from [3].
+    reshuffle_latency:
+        Cycles per conjugate move (paper: 256 total for K = 256).
+    init_latency:
+        Cycles of the initial array fill; defaults to P = 2M + 1 (a
+        P-stage distributed shift chain fills in P cycles — the
+        paper's 127).
+    datapath:
+        ``"float"`` (exact, for equivalence checks) or ``"q15"``
+        (16-bit behaviour with per-stage FFT scaling).
+    """
+
+    fft_size: int
+    m: int
+    num_cores: int = 1
+    core_index: int = 0
+    mac_latency: int = 3
+    read_latency: int = 3
+    butterfly_latency: int = 1
+    stage_setup_latency: int = 2
+    reshuffle_latency: int = 1
+    init_latency: int | None = None
+    datapath: str = "float"
+
+    def __post_init__(self) -> None:
+        require_power_of_two(self.fft_size, "fft_size")
+        validate_m(self.fft_size, self.m)
+        require_positive_int(self.num_cores, "num_cores")
+        require_non_negative_int(self.core_index, "core_index")
+        if self.core_index >= self.num_cores:
+            raise ConfigurationError(
+                f"core_index {self.core_index} must be < num_cores "
+                f"{self.num_cores}"
+            )
+        for name in (
+            "mac_latency",
+            "read_latency",
+            "butterfly_latency",
+            "stage_setup_latency",
+            "reshuffle_latency",
+        ):
+            require_positive_int(getattr(self, name), name)
+        if self.init_latency is not None:
+            require_positive_int(self.init_latency, "init_latency")
+        if self.datapath not in _DATAPATHS:
+            raise ConfigurationError(
+                f"datapath must be one of {_DATAPATHS}, got {self.datapath!r}"
+            )
+        if self.core_index * self.tasks_per_core >= self.extent:
+            raise ConfigurationError(
+                f"core {self.core_index} owns no valid tasks for P = "
+                f"{self.extent}, Q = {self.num_cores}"
+            )
+        capacity = MEMORY_WORDS // 2
+        if self.tasks_per_core + self.fft_size > capacity:
+            raise ConfigurationError(
+                f"window (T={self.tasks_per_core}) plus spectrum "
+                f"(K={self.fft_size}) exceed a memory's {capacity} complex "
+                "slots"
+            )
+        accumulators = self.extent * self.tasks_per_core
+        if accumulators > NUM_INTEGRATION_MEMORIES * capacity:
+            raise ConfigurationError(
+                f"T*F = {accumulators} complex accumulators exceed the "
+                f"{NUM_INTEGRATION_MEMORIES * capacity} available in "
+                "M01-M08"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+    @property
+    def extent(self) -> int:
+        """P = F = 2M + 1."""
+        return 2 * self.m + 1
+
+    @property
+    def tasks_per_core(self) -> int:
+        """T = ceil(P / Q) (expression 8)."""
+        return math.ceil(self.extent / self.num_cores)
+
+    @property
+    def first_task(self) -> int:
+        """First virtual array stage owned by this tile (qT)."""
+        return self.core_index * self.tasks_per_core
+
+    @property
+    def valid_slots(self) -> int:
+        """Slots of this tile holding real tasks (rest is padding)."""
+        return min(self.tasks_per_core, self.extent - self.first_task)
+
+    @property
+    def entry_slot(self) -> int:
+        """Highest valid logical window position (chain entry/exit point)."""
+        return self.valid_slots - 1
+
+    @property
+    def effective_init_latency(self) -> int:
+        """Cycles charged for the initial fill (default P)."""
+        return self.init_latency if self.init_latency is not None else self.extent
+
+    def task_of_slot(self, slot: int) -> int:
+        """Virtual array stage of window position *slot*."""
+        if not 0 <= slot < self.tasks_per_core:
+            raise ConfigurationError(
+                f"slot must be in [0, {self.tasks_per_core - 1}], got {slot}"
+            )
+        return self.first_task + slot
+
+    def slot_is_valid(self, slot: int) -> bool:
+        """True if *slot* maps to a real task (not padding)."""
+        return self.task_of_slot(slot) < self.extent
+
+
+class MontiumTile:
+    """One Montium core executing its share of the CFD task set."""
+
+    def __init__(self, config: TileConfig) -> None:
+        if not isinstance(config, TileConfig):
+            raise ConfigurationError("config must be a TileConfig")
+        self.config = config
+        datapath = config.datapath
+        self.memories = {
+            name: Memory(name, datapath=datapath) for name in MEMORY_NAMES
+        }
+        self.register_files = {
+            name: RegisterFile(name) for name in REGISTER_FILE_NAMES
+        }
+        self.alu = ComplexALU(datapath=datapath)
+        self.crossbar = Crossbar(
+            endpoints=list(MEMORY_NAMES)
+            + list(REGISTER_FILE_NAMES)
+            + ["ALU.in1", "ALU.in2", "ALU.out", "IO"]
+        )
+        # The CFD kernel's static routes (written once, like the real
+        # configuration registers).
+        self.crossbar.configure(
+            [("M09", "ALU.in1"), ("M10", "ALU.in2")]
+            + [(f"M{i:02d}", "ALU.in1") for i in range(1, 9)]
+            + [("ALU.out", f"M{i:02d}") for i in range(1, 11)]
+            + [("IO", "M09"), ("IO", "M10"), ("M09", "IO"), ("M10", "IO")]
+        )
+        self.cycle_counter = CycleCounter()
+        self._bitrev = bit_reversed_sequence(config.fft_size)
+        self._spectrum_base = config.tasks_per_core  # first spectrum slot
+        self._head_normal = 0
+        self._head_conjugate = 0
+        self._incoming: deque = deque()
+        self.last_outgoing: tuple[complex, complex] | None = None
+        self._accumulators_ready = False
+
+    # ------------------------------------------------------------------
+    # Memory-map helpers
+    # ------------------------------------------------------------------
+    @property
+    def spectrum_scale(self) -> float:
+        """Scale of the stored spectrum relative to an unscaled FFT.
+
+        The q15 datapath scales each FFT stage by 1/2 to avoid
+        overflow, so the stored spectrum is X/K; the float datapath
+        stores X exactly.
+        """
+        if self.config.datapath == "q15":
+            return 1.0 / self.config.fft_size
+        return 1.0
+
+    def accumulator_location(self, f_index: int, slot: int) -> tuple[str, int]:
+        """(memory name, complex slot) of accumulator ``j = f_index*T + slot``."""
+        extent = self.config.extent
+        tasks = self.config.tasks_per_core
+        if not 0 <= f_index < extent:
+            raise SimulationError(
+                f"f_index must be in [0, {extent - 1}], got {f_index}"
+            )
+        if not 0 <= slot < tasks:
+            raise SimulationError(
+                f"slot must be in [0, {tasks - 1}], got {slot}"
+            )
+        j = f_index * tasks + slot
+        capacity = MEMORY_WORDS // 2
+        bank = j // capacity
+        return f"M{bank + 1:02d}", j % capacity
+
+    def spectrum_slot(self, natural_index: int) -> int:
+        """M09 complex slot of FFT working-area bin *natural_index*."""
+        if not 0 <= natural_index < self.config.fft_size:
+            raise SimulationError(
+                f"natural bin index must be in [0, {self.config.fft_size - 1}]"
+                f", got {natural_index}"
+            )
+        return self._spectrum_base + natural_index
+
+    def conjugate_slot(self, centered_index: int) -> int:
+        """M10 complex slot of reshuffled (centered, conjugated) bin."""
+        if not 0 <= centered_index < self.config.fft_size:
+            raise SimulationError(
+                f"centered index must be in [0, {self.config.fft_size - 1}], "
+                f"got {centered_index}"
+            )
+        return self._spectrum_base + centered_index
+
+    def read_spectrum_bin(self, v: int) -> complex:
+        """Read spectrum bin ``v`` (centered convention) from M09."""
+        natural = v % self.config.fft_size
+        return self.memories["M09"].read_complex(self.spectrum_slot(natural))
+
+    def read_conjugate_bin(self, v: int) -> complex:
+        """Read the conjugated value of bin ``v`` from the M10 reshuffle area."""
+        centered = v + self.config.fft_size // 2
+        if not 0 <= centered < self.config.fft_size:
+            raise SimulationError(
+                f"bin {v} outside the centered range of a "
+                f"{self.config.fft_size}-point spectrum"
+            )
+        return self.memories["M10"].read_complex(self.conjugate_slot(centered))
+
+    # ------------------------------------------------------------------
+    # Sample injection (streaming input, overlapped with compute)
+    # ------------------------------------------------------------------
+    def inject_samples(self, samples: np.ndarray) -> None:
+        """Write one K-sample block into the FFT working area.
+
+        Samples are written in bit-reversed order (the AGU's
+        bit-reversal addressing mode), so the in-place
+        decimation-in-time butterflies leave the spectrum in natural
+        order.  Injection models the streaming input channel and is
+        not charged to the cycle budget (the paper's communication is
+        overlapped with computation).
+        """
+        samples = np.asarray(samples, dtype=np.complex128)
+        if samples.shape != (self.config.fft_size,):
+            raise ConfigurationError(
+                f"block must have shape ({self.config.fft_size},), got "
+                f"{samples.shape}"
+            )
+        memory = self.memories["M09"]
+        for k in range(self.config.fft_size):
+            memory.write_complex(
+                self.spectrum_slot(self._bitrev[k]), complex(samples[k])
+            )
+
+    # ------------------------------------------------------------------
+    # Communication windows (M09/M10 slots 0..T-1, circular)
+    # ------------------------------------------------------------------
+    def _physical(self, head: int, logical: int) -> int:
+        tasks = self.config.tasks_per_core
+        if not 0 <= logical < tasks:
+            raise SimulationError(
+                f"window position must be in [0, {tasks - 1}], got {logical}"
+            )
+        return (head + logical) % tasks
+
+    def read_window(self, kind: str, logical: int) -> complex:
+        """Read logical window position *logical* of the given chain."""
+        if kind == "normal":
+            return self.memories["M09"].read_complex(
+                self._physical(self._head_normal, logical)
+            )
+        if kind == "conjugate":
+            return self.memories["M10"].read_complex(
+                self._physical(self._head_conjugate, logical)
+            )
+        raise SimulationError(f"unknown window kind {kind!r}")
+
+    def load_windows(self, normal_values, conjugate_values) -> None:
+        """Parallel-load both windows (the initial array fill)."""
+        normal_values = list(normal_values)
+        conjugate_values = list(conjugate_values)
+        valid = self.config.valid_slots
+        if len(normal_values) != valid or len(conjugate_values) != valid:
+            raise ConfigurationError(
+                f"initial load needs {valid} values per window, got "
+                f"{len(normal_values)} and {len(conjugate_values)}"
+            )
+        self._head_normal = 0
+        self._head_conjugate = 0
+        for logical, value in enumerate(normal_values):
+            self.memories["M09"].write_complex(logical, complex(value))
+        for logical, value in enumerate(conjugate_values):
+            self.memories["M10"].write_complex(logical, complex(value))
+
+    def peek_outgoing(self) -> tuple[complex, complex]:
+        """(normal, conjugate) values the next shift will drop.
+
+        The normal chain flows toward lower stages, so its exit is
+        logical 0; the conjugate chain flows upward and exits at the
+        entry slot.
+        """
+        normal_out = self.read_window("normal", 0)
+        conjugate_out = self.read_window("conjugate", self.config.entry_slot)
+        return normal_out, conjugate_out
+
+    def shift_windows(self, incoming_normal: complex, incoming_conjugate: complex) -> None:
+        """Advance both chains one position (one AGU-addressed write each)."""
+        self.last_outgoing = self.peek_outgoing()
+        tasks = self.config.tasks_per_core
+        entry = self.config.entry_slot
+        # conjugate chain: new value enters logical 0
+        self._head_conjugate = (self._head_conjugate - 1) % tasks
+        self.memories["M10"].write_complex(
+            self._physical(self._head_conjugate, 0), complex(incoming_conjugate)
+        )
+        # normal chain: new value enters the entry slot
+        self._head_normal = (self._head_normal + 1) % tasks
+        self.memories["M09"].write_complex(
+            self._physical(self._head_normal, entry), complex(incoming_normal)
+        )
+
+    # ------------------------------------------------------------------
+    # Incoming port (filled by the SoC runner or by the tile itself)
+    # ------------------------------------------------------------------
+    def push_incoming(self, normal_value: complex, conjugate_value: complex) -> None:
+        """Queue one (normal, conjugate) pair for the next window shift."""
+        self._incoming.append((complex(normal_value), complex(conjugate_value)))
+
+    def pop_incoming(self) -> tuple[complex, complex]:
+        """Dequeue the next incoming pair (used by the ReadData step)."""
+        if not self._incoming:
+            raise CommunicationError(
+                f"tile {self.config.core_index}: window shift requested but "
+                "no incoming data is queued"
+            )
+        return self._incoming.popleft()
+
+    @property
+    def incoming_depth(self) -> int:
+        """Queued incoming pairs."""
+        return len(self._incoming)
+
+    # ------------------------------------------------------------------
+    # Accumulators
+    # ------------------------------------------------------------------
+    @property
+    def accumulators_ready(self) -> bool:
+        """True once :meth:`reset_accumulators` has armed the memories."""
+        return self._accumulators_ready
+
+    def reset_accumulators(self) -> None:
+        """Zero the integration memories (start of a DSCF measurement)."""
+        extent = self.config.extent
+        tasks = self.config.tasks_per_core
+        for f_index in range(extent):
+            for slot in range(tasks):
+                name, complex_slot = self.accumulator_location(f_index, slot)
+                self.memories[name].write_complex(complex_slot, 0j)
+        self._accumulators_ready = True
+
+    def accumulate(self, f_index: int, slot: int, product: complex) -> None:
+        """Read-modify-write one accumulator through the ALU adder."""
+        if not self._accumulators_ready:
+            raise SimulationError(
+                "accumulators were never initialised; call "
+                "reset_accumulators() before integrating"
+            )
+        name, complex_slot = self.accumulator_location(f_index, slot)
+        memory = self.memories[name]
+        current = memory.read_complex(complex_slot)
+        memory.write_complex(complex_slot, self.alu.add(current, product))
+
+    def accumulator_values(self) -> np.ndarray:
+        """The (F, T) accumulator array (raw sums, not yet divided by N)."""
+        extent = self.config.extent
+        tasks = self.config.tasks_per_core
+        values = np.zeros((extent, tasks), dtype=np.complex128)
+        for f_index in range(extent):
+            for slot in range(tasks):
+                name, complex_slot = self.accumulator_location(f_index, slot)
+                values[f_index, slot] = self.memories[name].read_complex(
+                    complex_slot
+                )
+        return values
+
+    # ------------------------------------------------------------------
+    # Housekeeping
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Full reset: memories, counters, windows, ports."""
+        for memory in self.memories.values():
+            memory.clear()
+        for register_file in self.register_files.values():
+            register_file.clear()
+        self.alu.reset_counters()
+        self.cycle_counter.reset()
+        self._head_normal = 0
+        self._head_conjugate = 0
+        self._incoming.clear()
+        self.last_outgoing = None
+        self._accumulators_ready = False

@@ -1,0 +1,102 @@
+"""Cycle accounting and clock model.
+
+Table 1 of the paper reports the per-task cycle budget of one Montium
+running the CFD task set.  :class:`CycleCounter` tallies executed
+cycles under exactly those category names, so a simulated run prints
+the same rows; :class:`ClockModel` converts cycles to wall-clock time
+at the Montium's 100 MHz maximum clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .._util import require_positive_float
+from ..errors import ConfigurationError
+
+#: Table 1 row order.
+CATEGORY_MULTIPLY_ACCUMULATE = "multiply accumulate"
+CATEGORY_READ_DATA = "read data"
+CATEGORY_FFT = "FFT"
+CATEGORY_RESHUFFLING = "reshuffling"
+CATEGORY_INITIALISATION = "initialisation"
+
+TABLE1_CATEGORIES = (
+    CATEGORY_MULTIPLY_ACCUMULATE,
+    CATEGORY_READ_DATA,
+    CATEGORY_FFT,
+    CATEGORY_RESHUFFLING,
+    CATEGORY_INITIALISATION,
+)
+
+#: Maximum Montium clock (Section 4.1).
+MONTIUM_CLOCK_HZ = 100e6
+
+
+@dataclass
+class CycleCounter:
+    """Per-category executed-cycle tally."""
+
+    cycles: dict = field(default_factory=dict)
+
+    def add(self, category: str, cycles: int) -> None:
+        """Charge *cycles* to *category*."""
+        if cycles < 0:
+            raise ConfigurationError(f"cycles must be >= 0, got {cycles}")
+        self.cycles[category] = self.cycles.get(category, 0) + int(cycles)
+
+    def get(self, category: str) -> int:
+        """Cycles charged to *category* so far."""
+        return self.cycles.get(category, 0)
+
+    @property
+    def total(self) -> int:
+        """All executed cycles."""
+        return sum(self.cycles.values())
+
+    def merge(self, other: "CycleCounter") -> None:
+        """Add another counter's tallies into this one."""
+        for category, cycles in other.cycles.items():
+            self.add(category, cycles)
+
+    def table_rows(self) -> list[tuple[str, int]]:
+        """(category, cycles) rows in Table 1 order, then extras, then total."""
+        rows = [
+            (category, self.get(category))
+            for category in TABLE1_CATEGORIES
+            if category in self.cycles
+        ]
+        extras = sorted(set(self.cycles) - set(TABLE1_CATEGORIES))
+        rows.extend((category, self.cycles[category]) for category in extras)
+        rows.append(("total", self.total))
+        return rows
+
+    def reset(self) -> None:
+        """Zero every category."""
+        self.cycles.clear()
+
+
+@dataclass(frozen=True)
+class ClockModel:
+    """Cycle-to-time conversion at a fixed clock frequency."""
+
+    frequency_hz: float = MONTIUM_CLOCK_HZ
+
+    def __post_init__(self) -> None:
+        require_positive_float(self.frequency_hz, "frequency_hz")
+
+    def seconds(self, cycles: int) -> float:
+        """Wall-clock duration of *cycles* at this clock."""
+        if cycles < 0:
+            raise ConfigurationError(f"cycles must be >= 0, got {cycles}")
+        return cycles / self.frequency_hz
+
+    def microseconds(self, cycles: int) -> float:
+        """Duration in microseconds (the paper's unit: 13996 -> 139.96 us)."""
+        return self.seconds(cycles) * 1e6
+
+    def cycles_for(self, seconds: float) -> int:
+        """Whole cycles elapsing in *seconds*."""
+        if seconds < 0:
+            raise ConfigurationError(f"seconds must be >= 0, got {seconds}")
+        return int(seconds * self.frequency_hz)

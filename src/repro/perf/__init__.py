@@ -1,0 +1,30 @@
+"""Analytic performance models: Table 1 and the Section 5 evaluation.
+
+* :mod:`repro.perf.cycles` — closed-form per-task cycle counts
+  (Table 1) for any (K, M, Q, latencies).
+* :mod:`repro.perf.area` — chip area (2 mm^2 per Montium in the
+  Philips 0.13 um CMOS12 process).
+* :mod:`repro.perf.power` — power (500 uW/MHz per Montium).
+* :mod:`repro.perf.scaling` — the linear-scaling study over Q.
+* :mod:`repro.perf.report` — text-table rendering shared by the
+  benchmark harness.
+"""
+
+from .area import MONTIUM_AREA_MM2, platform_area_mm2
+from .cycles import CycleBudget, table1_budget
+from .power import MONTIUM_POWER_UW_PER_MHZ, platform_power_mw
+from .scaling import ScalingRow, scaling_study
+from .report import format_budget_table, format_scaling_table
+
+__all__ = [
+    "CycleBudget",
+    "MONTIUM_AREA_MM2",
+    "MONTIUM_POWER_UW_PER_MHZ",
+    "ScalingRow",
+    "format_budget_table",
+    "format_scaling_table",
+    "platform_area_mm2",
+    "platform_power_mw",
+    "scaling_study",
+    "table1_budget",
+]

@@ -1,0 +1,104 @@
+"""Closed-form cycle model reproducing Table 1.
+
+For spectrum size K, half-extent M (so P = F = 2M + 1 tasks and
+frequencies) folded onto Q cores with T = ceil(P/Q) tasks per core:
+
+* multiply accumulate: ``F * T`` operations, 3 cycles each
+  (paper: 127 * 32 * 3 = 12192);
+* read data: 3 cycles per T multiply-accumulates, i.e. per frequency
+  step (paper: 127 * 3 = 381);
+* FFT: ``(K/2) log2 K`` single-cycle butterflies plus a 2-cycle
+  per-stage setup (paper: 1024 + 16 = 1040, the figure from [3]);
+* reshuffling: K single-cycle moves (paper: 256);
+* initialisation: P cycles to fill the distributed chain (paper: 127).
+
+The analytic budget is cross-checked in the tests against the cycle
+counters of the executing Montium simulator — both must equal Table 1
+for the paper's configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .._util import require_positive_int, require_power_of_two
+from ..errors import ConfigurationError
+from ..montium.timing import ClockModel
+
+
+@dataclass(frozen=True)
+class CycleBudget:
+    """Per-category cycles of one DSCF integration step on one tile."""
+
+    multiply_accumulate: int
+    read_data: int
+    fft: int
+    reshuffling: int
+    initialisation: int
+
+    @property
+    def total(self) -> int:
+        """Sum of all categories (13996 for the paper's configuration)."""
+        return (
+            self.multiply_accumulate
+            + self.read_data
+            + self.fft
+            + self.reshuffling
+            + self.initialisation
+        )
+
+    def rows(self) -> list[tuple[str, int]]:
+        """(task, cycles) rows in Table 1 order, ending with the total."""
+        return [
+            ("multiply accumulate", self.multiply_accumulate),
+            ("read data", self.read_data),
+            ("FFT", self.fft),
+            ("reshuffling", self.reshuffling),
+            ("initialisation", self.initialisation),
+            ("total", self.total),
+        ]
+
+    def step_time_us(self, clock_hz: float = 100e6) -> float:
+        """Integration-step duration at *clock_hz* (139.96 us at 100 MHz)."""
+        return ClockModel(clock_hz).microseconds(self.total)
+
+
+def table1_budget(
+    fft_size: int = 256,
+    m: int = 63,
+    num_cores: int = 4,
+    mac_latency: int = 3,
+    read_latency: int = 3,
+    butterfly_latency: int = 1,
+    stage_setup_latency: int = 2,
+    reshuffle_latency: int = 1,
+) -> CycleBudget:
+    """The Table 1 cycle budget for an arbitrary configuration.
+
+    Defaults reproduce the paper exactly: 12192 / 381 / 1040 / 256 /
+    127, total 13996.
+    """
+    fft_size = require_power_of_two(fft_size, "fft_size")
+    require_positive_int(num_cores, "num_cores")
+    if m < 0:
+        raise ConfigurationError(f"m must be >= 0, got {m}")
+    for name, value in (
+        ("mac_latency", mac_latency),
+        ("read_latency", read_latency),
+        ("butterfly_latency", butterfly_latency),
+        ("stage_setup_latency", stage_setup_latency),
+        ("reshuffle_latency", reshuffle_latency),
+    ):
+        require_positive_int(value, name)
+    extent = 2 * m + 1  # P = F
+    tasks = math.ceil(extent / num_cores)  # T
+    stages = fft_size.bit_length() - 1
+    return CycleBudget(
+        multiply_accumulate=extent * tasks * mac_latency,
+        read_data=extent * read_latency,
+        fft=(fft_size // 2) * stages * butterfly_latency
+        + stages * stage_setup_latency,
+        reshuffling=fft_size * reshuffle_latency,
+        initialisation=extent,
+    )

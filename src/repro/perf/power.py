@@ -1,0 +1,36 @@
+"""Power model (Section 5).
+
+"Typical power consumption of a Montium processor is estimated to be
+500 uW/MHz.  When running on 100 MHz, this results for 4 Montium tiles
+in 200 mW."  Power scales linearly in both clock and tile count.
+"""
+
+from __future__ import annotations
+
+from .._util import require_positive_float, require_positive_int
+
+#: Typical Montium power density.
+MONTIUM_POWER_UW_PER_MHZ = 500.0
+
+
+def tile_power_mw(
+    clock_hz: float = 100e6,
+    power_uw_per_mhz: float = MONTIUM_POWER_UW_PER_MHZ,
+) -> float:
+    """Power of one tile in mW at the given clock (50 mW at 100 MHz)."""
+    clock_hz = require_positive_float(clock_hz, "clock_hz")
+    power_uw_per_mhz = require_positive_float(
+        power_uw_per_mhz, "power_uw_per_mhz"
+    )
+    clock_mhz = clock_hz / 1e6
+    return power_uw_per_mhz * clock_mhz / 1000.0
+
+
+def platform_power_mw(
+    num_tiles: int,
+    clock_hz: float = 100e6,
+    power_uw_per_mhz: float = MONTIUM_POWER_UW_PER_MHZ,
+) -> float:
+    """Platform power in mW (paper: 4 tiles at 100 MHz -> 200 mW)."""
+    num_tiles = require_positive_int(num_tiles, "num_tiles")
+    return num_tiles * tile_power_mw(clock_hz, power_uw_per_mhz)

@@ -1,0 +1,39 @@
+"""Report formatting for the benchmark harness."""
+
+from __future__ import annotations
+
+from ..mapping.ascii_art import render_table
+from .cycles import CycleBudget
+from .scaling import ScalingRow
+
+
+def format_budget_table(budget: CycleBudget, title: str = "Table 1") -> str:
+    """Render a :class:`CycleBudget` as the paper's Table 1."""
+    rows = [[task, cycles] for task, cycles in budget.rows()]
+    return render_table(["Task", "#cycles"], rows, title=title)
+
+
+def format_scaling_table(rows: list[ScalingRow], title: str = "Scaling") -> str:
+    """Render a scaling study as a table over Q."""
+    table_rows = [
+        [
+            row.num_tiles,
+            row.tasks_per_core,
+            row.cycles_per_step,
+            f"{row.step_time_us:.2f}",
+            f"{row.analysed_bandwidth_khz:.1f}",
+            f"{row.area_mm2:.1f}",
+            f"{row.power_mw:.1f}",
+        ]
+        for row in rows
+    ]
+    return render_table(
+        ["Q", "T", "cycles", "t_step [us]", "BW [kHz]", "area [mm2]", "power [mW]"],
+        table_rows,
+        title=title,
+    )
+
+
+def format_cycle_rows(rows: list[tuple[str, int]], title: str = "") -> str:
+    """Render (category, cycles) rows from a simulator counter."""
+    return render_table(["Task", "#cycles"], [[t, c] for t, c in rows], title=title)

@@ -1,0 +1,67 @@
+"""The Section 5 scalability study.
+
+"The analysed bandwidth, chip area and power consumption scale
+linearly with the number of Montium processors.  This property can be
+used to estimate performance of other platform configurations."
+
+:func:`scaling_study` sweeps the tile count Q and evaluates, for each
+platform, the integration-step time (from the Table 1 cycle model),
+the analysed bandwidth, the area and the power — the series the paper
+extrapolates from its Q = 4 data point.  The multiply-accumulate term
+dominates and scales as 1/Q, so bandwidth grows close to linearly
+until the fixed FFT/reshuffle overhead caps it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .._util import require_positive_float, require_positive_int
+from ..soc.runner import analysed_bandwidth_hz
+from .area import platform_area_mm2
+from .cycles import table1_budget
+from .power import platform_power_mw
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    """One platform point of the scaling study."""
+
+    num_tiles: int
+    tasks_per_core: int
+    cycles_per_step: int
+    step_time_us: float
+    analysed_bandwidth_khz: float
+    area_mm2: float
+    power_mw: float
+
+
+def scaling_study(
+    tile_counts=(1, 2, 4, 8, 16),
+    fft_size: int = 256,
+    m: int = 63,
+    clock_hz: float = 100e6,
+) -> list[ScalingRow]:
+    """Evaluate the platform across tile counts (paper baseline: Q=4)."""
+    require_positive_float(clock_hz, "clock_hz")
+    rows = []
+    for num_tiles in tile_counts:
+        num_tiles = require_positive_int(num_tiles, "num_tiles")
+        budget = table1_budget(fft_size=fft_size, m=m, num_cores=num_tiles)
+        step_time_s = budget.total / clock_hz
+        rows.append(
+            ScalingRow(
+                num_tiles=num_tiles,
+                tasks_per_core=math.ceil((2 * m + 1) / num_tiles),
+                cycles_per_step=budget.total,
+                step_time_us=step_time_s * 1e6,
+                analysed_bandwidth_khz=analysed_bandwidth_hz(
+                    fft_size, step_time_s
+                )
+                / 1e3,
+                area_mm2=platform_area_mm2(num_tiles),
+                power_mw=platform_power_mw(num_tiles, clock_hz),
+            )
+        )
+    return rows

@@ -1,0 +1,50 @@
+"""Synthetic signal substrate.
+
+The paper senses real RF spectrum; this package provides the synthetic
+equivalent: cyclostationary communication waveforms (linear modulations
+with pulse shaping, AM carriers, OFDM-like multicarrier), AWGN channels
+and cognitive-radio band scenarios with licensed users at controlled
+SNR.  Everything is seeded and reproducible.
+"""
+
+from .carriers import amplitude_modulated_carrier, complex_tone
+from .channel import (
+    apply_cfo,
+    apply_multipath,
+    apply_phase_noise,
+    two_ray_channel,
+)
+from .modulators import LinearModulator, bpsk_signal, msk_signal, qam16_signal, qpsk_signal
+from .noise import awgn, complex_awgn_signal
+from .ofdm import ofdm_signal
+from .pulse import (
+    raised_cosine_taps,
+    rectangular_taps,
+    root_raised_cosine_taps,
+    upsample_and_filter,
+)
+from .scenario import BandOccupancy, BandScenario, LicensedUser
+
+__all__ = [
+    "BandOccupancy",
+    "BandScenario",
+    "LicensedUser",
+    "LinearModulator",
+    "amplitude_modulated_carrier",
+    "apply_cfo",
+    "apply_multipath",
+    "apply_phase_noise",
+    "awgn",
+    "bpsk_signal",
+    "complex_awgn_signal",
+    "complex_tone",
+    "msk_signal",
+    "ofdm_signal",
+    "qam16_signal",
+    "qpsk_signal",
+    "raised_cosine_taps",
+    "rectangular_taps",
+    "root_raised_cosine_taps",
+    "two_ray_channel",
+    "upsample_and_filter",
+]

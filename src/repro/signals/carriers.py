@@ -1,0 +1,63 @@
+"""Carrier-type signals: complex tones and amplitude-modulated carriers.
+
+AM carriers are the textbook cyclostationary example (features at twice
+the carrier frequency); pure tones give the estimator a line spectrum
+to check frequency indexing against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import require_positive_float, require_positive_int
+from ..core.sampling import SampledSignal
+from ..errors import ConfigurationError
+
+
+def complex_tone(
+    num_samples: int,
+    sample_rate_hz: float,
+    tone_hz: float,
+    amplitude: float = 1.0,
+    phase_rad: float = 0.0,
+) -> SampledSignal:
+    """A single complex exponential ``A e^{j(2 pi f t + phi)}``."""
+    num_samples = require_positive_int(num_samples, "num_samples")
+    require_positive_float(sample_rate_hz, "sample_rate_hz")
+    if amplitude <= 0.0:
+        raise ConfigurationError(f"amplitude must be positive, got {amplitude}")
+    t = np.arange(num_samples) / sample_rate_hz
+    samples = amplitude * np.exp(1j * (2.0 * np.pi * tone_hz * t + phase_rad))
+    return SampledSignal(samples, sample_rate_hz)
+
+
+def amplitude_modulated_carrier(
+    num_samples: int,
+    sample_rate_hz: float,
+    carrier_hz: float,
+    modulation_hz: float,
+    modulation_index: float = 0.5,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+) -> SampledSignal:
+    """A sinusoidally amplitude-modulated complex carrier.
+
+    ``x(t) = (1 + m cos(2 pi fm t)) e^{j 2 pi fc t}``, normalised to
+    unit mean power.  Optionally a random initial phase is drawn from
+    *rng*/*seed* so Monte-Carlo trials decorrelate.
+    """
+    num_samples = require_positive_int(num_samples, "num_samples")
+    require_positive_float(sample_rate_hz, "sample_rate_hz")
+    if not 0.0 < modulation_index <= 1.0:
+        raise ConfigurationError(
+            f"modulation_index must be in (0, 1], got {modulation_index}"
+        )
+    phase = 0.0
+    if rng is not None or seed is not None:
+        generator = rng if rng is not None else np.random.default_rng(seed)
+        phase = float(generator.uniform(0.0, 2.0 * np.pi))
+    t = np.arange(num_samples) / sample_rate_hz
+    envelope = 1.0 + modulation_index * np.cos(2.0 * np.pi * modulation_hz * t)
+    samples = envelope * np.exp(1j * (2.0 * np.pi * carrier_hz * t + phase))
+    power = np.mean(np.abs(samples) ** 2)
+    return SampledSignal(samples / np.sqrt(power), sample_rate_hz)

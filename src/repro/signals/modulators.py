@@ -1,0 +1,231 @@
+"""Linearly modulated communication waveforms (BPSK/QPSK/16-QAM) and MSK.
+
+These are the licensed-user signals of the cognitive-radio scenario.  A
+linear modulation with ``sps`` samples per symbol is cyclostationary
+with cycle frequency equal to the symbol rate ``fs / sps``; on the DSCF
+grid of a K-point spectrum its strongest non-zero feature appears at
+offset ``a = K / (2 * sps)`` (cyclic frequency ``alpha = 2a fs / K =
+fs / sps``).  BPSK additionally shows features around twice the carrier
+frequency because its complex envelope is real-valued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import require_positive_float, require_positive_int
+from ..core.sampling import SampledSignal
+from ..errors import ConfigurationError
+from .pulse import rectangular_taps, upsample_and_filter
+
+_CONSTELLATIONS: dict[str, np.ndarray] = {
+    "bpsk": np.array([-1.0 + 0.0j, 1.0 + 0.0j]),
+    "qpsk": np.array([1 + 1j, 1 - 1j, -1 + 1j, -1 - 1j]) / np.sqrt(2.0),
+    "qam16": (
+        np.array(
+            [
+                complex(i, q)
+                for i in (-3.0, -1.0, 1.0, 3.0)
+                for q in (-3.0, -1.0, 1.0, 3.0)
+            ]
+        )
+        / np.sqrt(10.0)
+    ),
+}
+
+
+def constellation(name: str) -> np.ndarray:
+    """Unit-average-power constellation points for *name*."""
+    try:
+        return _CONSTELLATIONS[name].copy()
+    except KeyError:
+        known = ", ".join(sorted(_CONSTELLATIONS))
+        raise ConfigurationError(
+            f"unknown constellation {name!r}; available: {known}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class LinearModulator:
+    """Pulse-shaped linear modulator.
+
+    Parameters
+    ----------
+    constellation_name:
+        One of ``bpsk``, ``qpsk``, ``qam16``.
+    samples_per_symbol:
+        Oversampling factor ``sps`` (sets the symbol rate ``fs / sps``).
+    taps:
+        Pulse-shaping taps; defaults to a rectangular pulse of one
+        symbol (the strongest cyclostationary signature).
+    carrier_offset_bins is expressed by the caller mixing the output.
+    """
+
+    constellation_name: str
+    samples_per_symbol: int
+    taps: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        constellation(self.constellation_name)  # validates the name
+        require_positive_int(self.samples_per_symbol, "samples_per_symbol")
+
+    def symbols(
+        self, num_symbols: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw *num_symbols* uniform constellation points."""
+        num_symbols = require_positive_int(num_symbols, "num_symbols")
+        points = constellation(self.constellation_name)
+        return points[rng.integers(0, points.size, num_symbols)]
+
+    def waveform(
+        self, num_symbols: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Baseband waveform of *num_symbols* random symbols.
+
+        The default rectangular pulse uses causal alignment (an exact
+        sample-and-hold); custom taps use centered alignment (group
+        delay removed).
+        """
+        if self.taps is None:
+            taps = rectangular_taps(self.samples_per_symbol)
+            alignment = "causal"
+        else:
+            taps = self.taps
+            alignment = "center"
+        return upsample_and_filter(
+            self.symbols(num_symbols, rng),
+            self.samples_per_symbol,
+            taps,
+            alignment=alignment,
+        )
+
+    def signal(
+        self,
+        num_samples: int,
+        sample_rate_hz: float,
+        rng: np.random.Generator | None = None,
+        seed: int | None = None,
+        carrier_offset_hz: float = 0.0,
+        carrier_phase_rad: float = 0.0,
+    ) -> SampledSignal:
+        """Generate exactly *num_samples* of modulated signal.
+
+        The waveform is mixed to *carrier_offset_hz* (relative to the
+        center of the sensed band) and normalised to unit mean power.
+        """
+        num_samples = require_positive_int(num_samples, "num_samples")
+        require_positive_float(sample_rate_hz, "sample_rate_hz")
+        generator = _resolve_rng(rng, seed)
+        num_symbols = -(-num_samples // self.samples_per_symbol)  # ceil
+        waveform = self.waveform(num_symbols, generator)[:num_samples]
+        if carrier_offset_hz != 0.0 or carrier_phase_rad != 0.0:
+            t = np.arange(num_samples) / sample_rate_hz
+            waveform = waveform * np.exp(
+                1j * (2.0 * np.pi * carrier_offset_hz * t + carrier_phase_rad)
+            )
+        power = np.mean(np.abs(waveform) ** 2)
+        if power > 0:
+            waveform = waveform / np.sqrt(power)
+        return SampledSignal(waveform, sample_rate_hz)
+
+    def expected_feature_offset(self, fft_size: int) -> float:
+        """DSCF offset ``a = K / (2 sps)`` where the symbol-rate feature sits."""
+        return fft_size / (2.0 * self.samples_per_symbol)
+
+
+def bpsk_signal(
+    num_samples: int,
+    sample_rate_hz: float,
+    samples_per_symbol: int,
+    seed: int | None = None,
+    rng: np.random.Generator | None = None,
+    carrier_offset_hz: float = 0.0,
+) -> SampledSignal:
+    """Rectangular-pulse BPSK at unit power (convenience constructor)."""
+    modulator = LinearModulator("bpsk", samples_per_symbol)
+    return modulator.signal(
+        num_samples,
+        sample_rate_hz,
+        rng=rng,
+        seed=seed,
+        carrier_offset_hz=carrier_offset_hz,
+    )
+
+
+def qpsk_signal(
+    num_samples: int,
+    sample_rate_hz: float,
+    samples_per_symbol: int,
+    seed: int | None = None,
+    rng: np.random.Generator | None = None,
+    carrier_offset_hz: float = 0.0,
+) -> SampledSignal:
+    """Rectangular-pulse QPSK at unit power (convenience constructor)."""
+    modulator = LinearModulator("qpsk", samples_per_symbol)
+    return modulator.signal(
+        num_samples,
+        sample_rate_hz,
+        rng=rng,
+        seed=seed,
+        carrier_offset_hz=carrier_offset_hz,
+    )
+
+
+def qam16_signal(
+    num_samples: int,
+    sample_rate_hz: float,
+    samples_per_symbol: int,
+    seed: int | None = None,
+    rng: np.random.Generator | None = None,
+    carrier_offset_hz: float = 0.0,
+) -> SampledSignal:
+    """Rectangular-pulse 16-QAM at unit power (convenience constructor)."""
+    modulator = LinearModulator("qam16", samples_per_symbol)
+    return modulator.signal(
+        num_samples,
+        sample_rate_hz,
+        rng=rng,
+        seed=seed,
+        carrier_offset_hz=carrier_offset_hz,
+    )
+
+
+def msk_signal(
+    num_samples: int,
+    sample_rate_hz: float,
+    samples_per_symbol: int,
+    seed: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> SampledSignal:
+    """Minimum-shift-keying waveform (continuous-phase FSK, h = 1/2).
+
+    MSK's phase advances by ±pi/2 per symbol; its cyclostationary
+    signature differs from linear modulations (features at half the
+    symbol rate around ±f_deviation), giving the test suite a second
+    family of cyclic structure.
+    """
+    num_samples = require_positive_int(num_samples, "num_samples")
+    require_positive_float(sample_rate_hz, "sample_rate_hz")
+    samples_per_symbol = require_positive_int(
+        samples_per_symbol, "samples_per_symbol"
+    )
+    generator = _resolve_rng(rng, seed)
+    num_symbols = -(-num_samples // samples_per_symbol)
+    bits = generator.integers(0, 2, num_symbols) * 2 - 1  # ±1
+    # phase ramps of ±pi/2 per symbol, continuous across boundaries
+    ramp = np.repeat(bits, samples_per_symbol).astype(np.float64)
+    phase = np.cumsum(ramp) * (np.pi / 2.0) / samples_per_symbol
+    waveform = np.exp(1j * phase)[:num_samples]
+    return SampledSignal(waveform, sample_rate_hz)
+
+
+def _resolve_rng(
+    rng: np.random.Generator | None, seed: int | None
+) -> np.random.Generator:
+    if rng is not None and seed is not None:
+        raise ConfigurationError("pass either rng or seed, not both")
+    if rng is not None:
+        return rng
+    return np.random.default_rng(seed)

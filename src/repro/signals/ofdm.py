@@ -1,0 +1,92 @@
+"""OFDM-like multicarrier waveform.
+
+OFDM with a cyclic prefix is cyclostationary at the *symbol* rate
+``fs / (n_fft + n_cp)`` (the prefix correlates the head and tail of
+each symbol).  It exercises the detector on a wideband, noise-like
+licensed signal — the hard case the paper's Cognitive Radio context
+cares about.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import require_non_negative_int, require_positive_int, require_positive_float
+from ..core.sampling import SampledSignal
+from ..errors import ConfigurationError
+
+
+def ofdm_signal(
+    num_samples: int,
+    sample_rate_hz: float,
+    n_fft: int = 64,
+    n_cp: int = 16,
+    active_subcarriers: int | None = None,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+) -> SampledSignal:
+    """Generate a cyclic-prefixed OFDM waveform of QPSK subcarriers.
+
+    Parameters
+    ----------
+    num_samples:
+        Output length; an integer number of OFDM symbols is generated
+        and truncated.
+    sample_rate_hz:
+        Sampling frequency fs.
+    n_fft:
+        IFFT size (number of subcarrier slots).
+    n_cp:
+        Cyclic-prefix length in samples.
+    active_subcarriers:
+        How many centre subcarriers carry data (default: all but the
+        DC slot).
+    """
+    num_samples = require_positive_int(num_samples, "num_samples")
+    require_positive_float(sample_rate_hz, "sample_rate_hz")
+    n_fft = require_positive_int(n_fft, "n_fft")
+    n_cp = require_non_negative_int(n_cp, "n_cp")
+    if active_subcarriers is None:
+        active_subcarriers = n_fft - 1
+    active_subcarriers = require_positive_int(
+        active_subcarriers, "active_subcarriers"
+    )
+    if active_subcarriers > n_fft - 1:
+        raise ConfigurationError(
+            f"active_subcarriers must be <= n_fft - 1 = {n_fft - 1}, got "
+            f"{active_subcarriers}"
+        )
+    if rng is not None and seed is not None:
+        raise ConfigurationError("pass either rng or seed, not both")
+    generator = rng if rng is not None else np.random.default_rng(seed)
+
+    symbol_length = n_fft + n_cp
+    num_symbols = -(-num_samples // symbol_length)
+    qpsk = np.array([1 + 1j, 1 - 1j, -1 + 1j, -1 - 1j]) / np.sqrt(2.0)
+
+    # centre subcarriers around DC, skipping the DC slot itself
+    half = active_subcarriers // 2
+    offsets = [k for k in range(-half, half + 1) if k != 0][:active_subcarriers]
+    subcarrier_slots = np.array([offset % n_fft for offset in offsets])
+
+    pieces = []
+    for _ in range(num_symbols):
+        grid = np.zeros(n_fft, dtype=np.complex128)
+        grid[subcarrier_slots] = qpsk[
+            generator.integers(0, 4, subcarrier_slots.size)
+        ]
+        time_symbol = np.fft.ifft(grid) * np.sqrt(n_fft)
+        if n_cp:
+            time_symbol = np.concatenate([time_symbol[-n_cp:], time_symbol])
+        pieces.append(time_symbol)
+    waveform = np.concatenate(pieces)[:num_samples]
+    power = np.mean(np.abs(waveform) ** 2)
+    return SampledSignal(waveform / np.sqrt(power), sample_rate_hz)
+
+
+def ofdm_symbol_rate_hz(sample_rate_hz: float, n_fft: int, n_cp: int) -> float:
+    """Cyclic frequency of the CP-induced feature: ``fs / (n_fft + n_cp)``."""
+    require_positive_float(sample_rate_hz, "sample_rate_hz")
+    require_positive_int(n_fft, "n_fft")
+    require_non_negative_int(n_cp, "n_cp")
+    return sample_rate_hz / (n_fft + n_cp)

@@ -1,0 +1,128 @@
+"""Pulse shaping for linear modulations.
+
+The cyclostationary features a detector sees are created by the
+symbol-rate repetition of the transmit pulse; the pulse shape sets the
+feature bandwidth and strength.  We provide the standard shapes:
+rectangular (strongest features, the default in the examples), raised
+cosine, and root-raised cosine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import require_positive_int
+from ..errors import ConfigurationError
+
+
+def rectangular_taps(samples_per_symbol: int) -> np.ndarray:
+    """Unit-amplitude rectangular pulse spanning one symbol."""
+    samples_per_symbol = require_positive_int(
+        samples_per_symbol, "samples_per_symbol"
+    )
+    return np.ones(samples_per_symbol, dtype=np.float64)
+
+
+def _validate_rc_args(
+    samples_per_symbol: int, rolloff: float, span_symbols: int
+) -> None:
+    require_positive_int(samples_per_symbol, "samples_per_symbol")
+    require_positive_int(span_symbols, "span_symbols")
+    if not 0.0 <= rolloff <= 1.0:
+        raise ConfigurationError(
+            f"rolloff must be in [0, 1], got {rolloff}"
+        )
+
+
+def raised_cosine_taps(
+    samples_per_symbol: int, rolloff: float = 0.35, span_symbols: int = 8
+) -> np.ndarray:
+    """Raised-cosine pulse taps spanning *span_symbols* symbols.
+
+    The taps are normalised to unit peak.  Singularities of the closed
+    form (at ``t = 0`` and ``|2 beta t| = 1``) are evaluated by their
+    limits.
+    """
+    _validate_rc_args(samples_per_symbol, rolloff, span_symbols)
+    half = span_symbols * samples_per_symbol // 2
+    t = np.arange(-half, half + 1) / samples_per_symbol  # in symbol periods
+    taps = np.zeros_like(t)
+    for i, ti in enumerate(t):
+        if abs(ti) < 1e-12:
+            taps[i] = 1.0
+        elif rolloff > 0.0 and abs(abs(2.0 * rolloff * ti) - 1.0) < 1e-12:
+            taps[i] = (np.pi / 4.0) * np.sinc(1.0 / (2.0 * rolloff))
+        else:
+            taps[i] = np.sinc(ti) * np.cos(np.pi * rolloff * ti) / (
+                1.0 - (2.0 * rolloff * ti) ** 2
+            )
+    return taps
+
+
+def root_raised_cosine_taps(
+    samples_per_symbol: int, rolloff: float = 0.35, span_symbols: int = 8
+) -> np.ndarray:
+    """Root-raised-cosine pulse taps spanning *span_symbols* symbols.
+
+    Normalised to unit energy.  Limits at the singular points follow
+    the standard closed forms.
+    """
+    _validate_rc_args(samples_per_symbol, rolloff, span_symbols)
+    half = span_symbols * samples_per_symbol // 2
+    t = np.arange(-half, half + 1) / samples_per_symbol
+    taps = np.zeros_like(t)
+    for i, ti in enumerate(t):
+        if abs(ti) < 1e-12:
+            taps[i] = 1.0 - rolloff + 4.0 * rolloff / np.pi
+        elif rolloff > 0.0 and abs(abs(4.0 * rolloff * ti) - 1.0) < 1e-12:
+            taps[i] = (rolloff / np.sqrt(2.0)) * (
+                (1.0 + 2.0 / np.pi) * np.sin(np.pi / (4.0 * rolloff))
+                + (1.0 - 2.0 / np.pi) * np.cos(np.pi / (4.0 * rolloff))
+            )
+        else:
+            numerator = np.sin(np.pi * ti * (1.0 - rolloff)) + 4.0 * rolloff * ti * np.cos(
+                np.pi * ti * (1.0 + rolloff)
+            )
+            denominator = np.pi * ti * (1.0 - (4.0 * rolloff * ti) ** 2)
+            taps[i] = numerator / denominator
+    energy = np.sqrt(np.sum(taps**2))
+    return taps / energy
+
+
+def upsample_and_filter(
+    symbols: np.ndarray,
+    samples_per_symbol: int,
+    taps: np.ndarray,
+    alignment: str = "center",
+) -> np.ndarray:
+    """Zero-stuff *symbols* to the sample rate and convolve with *taps*.
+
+    Returns exactly ``len(symbols) * samples_per_symbol`` samples.
+
+    Parameters
+    ----------
+    alignment:
+        ``"center"`` (default) removes the group delay of a symmetric
+        pulse, so the pulse peak of symbol ``i`` lands at sample
+        ``i * samples_per_symbol``; ``"causal"`` keeps the raw
+        convolution start, which for a one-symbol rectangular pulse is
+        the exact sample-and-hold waveform.
+    """
+    symbols = np.asarray(symbols, dtype=np.complex128)
+    if symbols.ndim != 1 or symbols.size == 0:
+        raise ConfigurationError("symbols must be a non-empty 1-D array")
+    samples_per_symbol = require_positive_int(
+        samples_per_symbol, "samples_per_symbol"
+    )
+    taps = np.asarray(taps, dtype=np.float64)
+    if taps.ndim != 1 or taps.size == 0:
+        raise ConfigurationError("taps must be a non-empty 1-D array")
+    if alignment not in ("center", "causal"):
+        raise ConfigurationError(
+            f"alignment must be 'center' or 'causal', got {alignment!r}"
+        )
+    upsampled = np.zeros(symbols.size * samples_per_symbol, dtype=np.complex128)
+    upsampled[::samples_per_symbol] = symbols
+    filtered = np.convolve(upsampled, taps)
+    delay = (taps.size - 1) // 2 if alignment == "center" else 0
+    return filtered[delay : delay + upsampled.size]

@@ -1,0 +1,164 @@
+"""Cognitive-radio band scenarios.
+
+The AAF project's use case: sense an emergency-communication band and
+decide which channels are occupied by licensed users.  A
+:class:`BandScenario` composes licensed users (each a modulated
+waveform at a carrier offset and SNR) over an AWGN floor and produces
+reproducible realisations for detector experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._util import require_positive_float, require_positive_int
+from ..core.sampling import SampledSignal
+from ..errors import ConfigurationError
+from .modulators import LinearModulator
+from .noise import awgn
+
+
+@dataclass(frozen=True)
+class LicensedUser:
+    """One licensed transmitter in the sensed band.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label used in reports.
+    modulation:
+        Constellation name (``bpsk``, ``qpsk``, ``qam16``).
+    samples_per_symbol:
+        Oversampling factor; symbol rate is ``fs / samples_per_symbol``.
+    carrier_offset_hz:
+        Carrier position relative to the band centre.
+    snr_db:
+        Per-user SNR relative to the scenario noise power.
+    """
+
+    name: str
+    modulation: str
+    samples_per_symbol: int
+    carrier_offset_hz: float
+    snr_db: float
+
+    def __post_init__(self) -> None:
+        LinearModulator(self.modulation, self.samples_per_symbol)  # validates
+
+    def amplitude(self, noise_power: float) -> float:
+        """Linear amplitude scaling achieving :attr:`snr_db` over *noise_power*."""
+        return float(np.sqrt(noise_power * 10.0 ** (self.snr_db / 10.0)))
+
+    def expected_feature_offset(self, fft_size: int) -> float:
+        """DSCF offset bin of the user's symbol-rate feature."""
+        return fft_size / (2.0 * self.samples_per_symbol)
+
+
+@dataclass(frozen=True)
+class BandOccupancy:
+    """Ground truth of one realisation: which users were transmitting."""
+
+    active_users: tuple[str, ...]
+
+    def is_active(self, name: str) -> bool:
+        """True if the named user transmitted in this realisation."""
+        return name in self.active_users
+
+    @property
+    def occupied(self) -> bool:
+        """True if any licensed user transmitted."""
+        return bool(self.active_users)
+
+
+@dataclass
+class BandScenario:
+    """A sensed band: AWGN floor plus optional licensed users.
+
+    Parameters
+    ----------
+    sample_rate_hz:
+        Sampling frequency of the sensing receiver.
+    noise_power:
+        AWGN floor power (per complex sample).
+    users:
+        The licensed users that *may* transmit.
+    """
+
+    sample_rate_hz: float
+    noise_power: float = 1.0
+    users: list[LicensedUser] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        require_positive_float(self.sample_rate_hz, "sample_rate_hz")
+        require_positive_float(self.noise_power, "noise_power")
+        names = [user.name for user in self.users]
+        if len(names) != len(set(names)):
+            raise ConfigurationError("licensed user names must be unique")
+
+    def add_user(self, user: LicensedUser) -> None:
+        """Register an additional licensed user."""
+        if any(existing.name == user.name for existing in self.users):
+            raise ConfigurationError(f"duplicate user name {user.name!r}")
+        self.users.append(user)
+
+    def realize(
+        self,
+        num_samples: int,
+        active: tuple[str, ...] | None = None,
+        seed: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> tuple[SampledSignal, BandOccupancy]:
+        """Draw one band realisation.
+
+        Parameters
+        ----------
+        num_samples:
+            Observation length.
+        active:
+            Names of the users transmitting in this realisation;
+            ``None`` means all registered users, ``()`` means noise
+            only (the H0 hypothesis).
+        seed / rng:
+            Reproducibility controls (mutually exclusive).
+        """
+        num_samples = require_positive_int(num_samples, "num_samples")
+        if rng is not None and seed is not None:
+            raise ConfigurationError("pass either rng or seed, not both")
+        generator = rng if rng is not None else np.random.default_rng(seed)
+        if active is None:
+            active = tuple(user.name for user in self.users)
+        known = {user.name for user in self.users}
+        unknown = [name for name in active if name not in known]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown licensed user(s): {', '.join(unknown)}"
+            )
+
+        total = awgn(num_samples, power=self.noise_power, rng=generator)
+        for user in self.users:
+            if user.name not in active:
+                continue
+            modulator = LinearModulator(user.modulation, user.samples_per_symbol)
+            waveform = modulator.signal(
+                num_samples,
+                self.sample_rate_hz,
+                rng=generator,
+                carrier_offset_hz=user.carrier_offset_hz,
+            )
+            total = total + user.amplitude(self.noise_power) * waveform.samples
+        return (
+            SampledSignal(total, self.sample_rate_hz),
+            BandOccupancy(active_users=tuple(active)),
+        )
+
+    def noise_only(
+        self,
+        num_samples: int,
+        seed: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> SampledSignal:
+        """Convenience: an H0 (noise-only) realisation."""
+        signal, _ = self.realize(num_samples, active=(), seed=seed, rng=rng)
+        return signal

@@ -1,0 +1,30 @@
+"""The tiled SoC: the AAF DRBPF platform of four Montium cores.
+
+* :mod:`repro.soc.config` — platform presets (the paper's 4-tile,
+  100 MHz AAF DRBPF and parameterised variants).
+* :mod:`repro.soc.links` — inter-tile communication channels with
+  rate accounting (the "factor T lower" exchange).
+* :mod:`repro.soc.tile_grid` — the tile array and its lock-step
+  integration-step choreography.
+* :mod:`repro.soc.runner` — end-to-end DSCF computation on the
+  simulated platform, returning values, cycle tables and timing.
+* :mod:`repro.soc.emulation` — the same computation with one OS
+  process per tile (multiprocessing), exchanging boundary values over
+  pipes.
+"""
+
+from .config import PlatformConfig, aaf_drbpf
+from .links import TileLink
+from .runner import SoCRunResult, SoCRunner
+from .tile_grid import TiledSoC
+from .emulation import ParallelSoCEmulation
+
+__all__ = [
+    "ParallelSoCEmulation",
+    "PlatformConfig",
+    "SoCRunResult",
+    "SoCRunner",
+    "TileLink",
+    "TiledSoC",
+    "aaf_drbpf",
+]

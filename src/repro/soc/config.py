@@ -1,0 +1,106 @@
+"""Platform configurations.
+
+The AAF project's Digital Reconfigurable Baseband Processing Fabric
+(DRBPF) — the paper's target — is four Montium tiles at 100 MHz
+analysing 256-point spectra with f, a in [-63, 63].
+:func:`aaf_drbpf` builds exactly that; :class:`PlatformConfig` lets
+experiments sweep tile count, clock and problem size (the Section 5
+scalability study).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from .._util import require_positive_float, require_positive_int
+from ..core.scf import default_m, validate_m
+from ..errors import ConfigurationError
+from ..montium.tile import TileConfig
+from ..montium.timing import MONTIUM_CLOCK_HZ
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """A tiled-SoC platform running the CFD mapping.
+
+    Parameters
+    ----------
+    num_tiles:
+        Q, the number of Montium cores (paper: 4).
+    clock_hz:
+        Tile clock (paper: 100 MHz, the Montium maximum).
+    fft_size:
+        Spectrum size K (paper: 256).
+    m:
+        DSCF half-extent (default: ``default_m(fft_size)``; 63 for 256).
+    datapath:
+        ``"float"`` or ``"q15"`` tile datapath.
+    mac_latency / read_latency:
+        Cycle costs forwarded to the tiles (paper: 3 and 3).
+    """
+
+    num_tiles: int = 4
+    clock_hz: float = MONTIUM_CLOCK_HZ
+    fft_size: int = 256
+    m: int | None = None
+    datapath: str = "float"
+    mac_latency: int = 3
+    read_latency: int = 3
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.num_tiles, "num_tiles")
+        require_positive_float(self.clock_hz, "clock_hz")
+        require_positive_int(self.fft_size, "fft_size")
+        resolved = validate_m(self.fft_size, self.m)
+        object.__setattr__(self, "m", resolved)
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def extent(self) -> int:
+        """P = F = 2M + 1 (127 for the paper)."""
+        return 2 * self.m + 1
+
+    @property
+    def tasks_per_core(self) -> int:
+        """T = ceil(P / Q) (32 for the paper)."""
+        return math.ceil(self.extent / self.num_tiles)
+
+    @property
+    def used_tiles(self) -> int:
+        """Tiles owning at least one valid task."""
+        return math.ceil(self.extent / self.tasks_per_core)
+
+    def tile_config(self, core_index: int) -> TileConfig:
+        """The :class:`TileConfig` of core *core_index*."""
+        if not 0 <= core_index < self.used_tiles:
+            raise ConfigurationError(
+                f"core_index must be in [0, {self.used_tiles - 1}], got "
+                f"{core_index}"
+            )
+        return TileConfig(
+            fft_size=self.fft_size,
+            m=self.m,
+            num_cores=self.num_tiles,
+            core_index=core_index,
+            mac_latency=self.mac_latency,
+            read_latency=self.read_latency,
+            datapath=self.datapath,
+        )
+
+    def with_tiles(self, num_tiles: int) -> "PlatformConfig":
+        """A copy of this platform with a different tile count."""
+        return replace(self, num_tiles=num_tiles)
+
+
+def aaf_drbpf(datapath: str = "float") -> PlatformConfig:
+    """The paper's platform: 4 Montium tiles, 100 MHz, 127 x 127 DSCF."""
+    return PlatformConfig(
+        num_tiles=4,
+        clock_hz=MONTIUM_CLOCK_HZ,
+        fft_size=256,
+        m=63,
+        datapath=datapath,
+    )

@@ -1,0 +1,207 @@
+"""Parallel tile emulation: one OS process per Montium tile.
+
+The lock-step choreography of :class:`~repro.soc.tile_grid.TiledSoC`
+runs all tiles in one Python process.  This module runs each tile in
+its own ``multiprocessing`` process — the closest laptop equivalent of
+four hardware tiles executing concurrently — with the boundary values
+of every window shift exchanged over OS pipes, exactly the traffic the
+hardware's inter-tile network would carry.
+
+Each worker simulates its tile for all N blocks; per frequency step it
+sends its outgoing boundary values to its neighbours and blocks until
+the matching incoming values arrive, so the processes advance in the
+same lock step as the hardware.  The parent process only scatters the
+input blocks and gathers accumulators and cycle counters.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import require_positive_int
+from ..core.sampling import SampledSignal
+from ..core.scf import DSCFResult
+from ..errors import ConfigurationError, SimulationError
+from ..montium.programs import (
+    initial_load_program,
+    mac_group_program,
+    read_data_program,
+)
+from ..montium.programs.fft256 import fft_program
+from ..montium.programs.reshuffle import reshuffle_program
+from ..montium.sequencer import Sequencer
+from ..montium.tile import MontiumTile
+from .config import PlatformConfig
+
+
+@dataclass(frozen=True)
+class _WorkerResult:
+    core_index: int
+    accumulators: np.ndarray
+    cycles: dict
+    instructions: int
+
+
+def _tile_worker(
+    config: PlatformConfig,
+    core_index: int,
+    blocks: np.ndarray,
+    up_send,     # to core_index + 1 (conjugate flow), or None
+    up_recv,     # from core_index + 1 (normal flow), or None
+    down_send,   # to core_index - 1 (normal flow), or None
+    down_recv,   # from core_index - 1 (conjugate flow), or None
+    result_queue,
+) -> None:
+    """Simulate one tile across all blocks (runs in a child process)."""
+    try:
+        tile = MontiumTile(config.tile_config(core_index))
+        sequencer = Sequencer(tile)
+        tile.reset_accumulators()
+        tile_config = tile.config
+        fft = fft_program(tile_config)
+        reshuffle = reshuffle_program(tile_config)
+        init = initial_load_program(tile_config)
+        read = read_data_program(tile_config)
+        mac_groups = [
+            mac_group_program(tile_config, f_index)
+            for f_index in range(tile_config.extent)
+        ]
+        is_first = core_index == 0
+        is_last = up_send is None
+
+        for block in blocks:
+            tile.inject_samples(block)
+            sequencer.run(fft)
+            sequencer.run(reshuffle)
+            sequencer.run(init)
+            for f_index in range(tile_config.extent):
+                sequencer.run(mac_groups[f_index])
+                normal_out, conjugate_out = tile.peek_outgoing()
+                # send before receive: all pipes are buffered, so the
+                # lock step cannot deadlock
+                if up_send is not None:
+                    up_send.send(conjugate_out)
+                if down_send is not None:
+                    down_send.send(normal_out)
+                incoming_bin = f_index + 1
+                if is_first:
+                    conjugate_in = tile.read_conjugate_bin(incoming_bin)
+                else:
+                    conjugate_in = down_recv.recv()
+                if is_last:
+                    normal_in = tile.read_spectrum_bin(incoming_bin)
+                else:
+                    normal_in = up_recv.recv()
+                tile.push_incoming(normal_in, conjugate_in)
+                sequencer.run(read)
+        result_queue.put(
+            _WorkerResult(
+                core_index=core_index,
+                accumulators=tile.accumulator_values(),
+                cycles=dict(tile.cycle_counter.cycles),
+                instructions=sequencer.instructions_executed,
+            )
+        )
+    except Exception as error:  # surface child failures to the parent
+        result_queue.put((core_index, repr(error)))
+
+
+class ParallelSoCEmulation:
+    """Multiprocessing emulation of the tiled platform."""
+
+    def __init__(self, config: PlatformConfig | None = None) -> None:
+        self.config = config if config is not None else PlatformConfig()
+
+    def run(
+        self,
+        signal: SampledSignal | np.ndarray,
+        num_blocks: int,
+    ) -> tuple[DSCFResult, list]:
+        """Compute an N-block DSCF with one process per tile.
+
+        Returns ``(dscf_result, per_tile_cycle_dicts)``.
+        """
+        num_blocks = require_positive_int(num_blocks, "num_blocks")
+        samples = (
+            signal.samples if isinstance(signal, SampledSignal) else np.asarray(signal)
+        )
+        fft_size = self.config.fft_size
+        if samples.size < num_blocks * fft_size:
+            raise ConfigurationError(
+                f"need {num_blocks * fft_size} samples for {num_blocks} "
+                f"blocks of {fft_size}, got {samples.size}"
+            )
+        blocks = samples[: num_blocks * fft_size].reshape(num_blocks, fft_size)
+        used = self.config.used_tiles
+
+        context = mp.get_context()
+        result_queue = context.Queue()
+        # pipes[q] connects tile q and tile q+1 (one duplex pair each way)
+        up_pipes = [context.Pipe() for _ in range(used - 1)]     # conj: q -> q+1
+        down_pipes = [context.Pipe() for _ in range(used - 1)]   # normal: q+1 -> q
+        processes = []
+        for q in range(used):
+            up_send = up_pipes[q][0] if q < used - 1 else None
+            down_recv = up_pipes[q - 1][1] if q > 0 else None
+            down_send = down_pipes[q - 1][0] if q > 0 else None
+            up_recv = down_pipes[q][1] if q < used - 1 else None
+            process = context.Process(
+                target=_tile_worker,
+                args=(
+                    self.config,
+                    q,
+                    blocks,
+                    up_send,
+                    up_recv,
+                    down_send,
+                    down_recv,
+                    result_queue,
+                ),
+            )
+            processes.append(process)
+            process.start()
+
+        results: dict[int, _WorkerResult] = {}
+        failure = None
+        for _ in range(used):
+            item = result_queue.get()
+            if isinstance(item, tuple):
+                failure = item
+                break
+            results[item.core_index] = item
+        for process in processes:
+            process.join(timeout=30)
+            if process.is_alive():
+                process.terminate()
+        if failure is not None:
+            raise SimulationError(
+                f"tile worker {failure[0]} failed: {failure[1]}"
+            )
+
+        extent = self.config.extent
+        tasks = self.config.tasks_per_core
+        scale = fft_size**2 if self.config.datapath == "q15" else 1.0
+        values = np.zeros((extent, extent), dtype=np.complex128)
+        for q in range(used):
+            accumulators = results[q].accumulators
+            for slot in range(tasks):
+                task = q * tasks + slot
+                if task >= extent:
+                    continue
+                values[:, task] = accumulators[:, slot] * scale
+        values /= num_blocks
+        sample_rate = (
+            signal.sample_rate_hz if isinstance(signal, SampledSignal) else None
+        )
+        dscf = DSCFResult(
+            values=values,
+            m=self.config.m,
+            num_blocks=num_blocks,
+            fft_size=fft_size,
+            sample_rate_hz=sample_rate,
+        )
+        cycles = [dict(results[q].cycles) for q in range(used)]
+        return dscf, cycles

@@ -1,0 +1,73 @@
+"""Inter-tile communication links.
+
+The folded architecture exchanges one complex value per chain per
+window shift between adjacent tiles; the shift happens once per T
+multiply-accumulates, so each link carries data at ``f_clk / T`` — "a
+factor T times lower than the rate at which the basic computation is
+executed", the paper's justification for neglecting communication in
+the performance analysis.
+
+:class:`TileLink` models one directed channel and enforces the
+single-value-per-shift contract: a second push before the neighbour
+drains the link raises :class:`CommunicationError`.
+"""
+
+from __future__ import annotations
+
+from .._util import require_non_negative_int
+from ..errors import CommunicationError, ConfigurationError
+
+LINK_KINDS = ("normal", "conjugate")
+
+
+class TileLink:
+    """A directed single-value channel between two adjacent tiles."""
+
+    def __init__(self, source: int, destination: int, kind: str) -> None:
+        source = require_non_negative_int(source, "source")
+        destination = require_non_negative_int(destination, "destination")
+        if abs(source - destination) != 1:
+            raise ConfigurationError(
+                f"links connect adjacent tiles only, got {source} -> "
+                f"{destination}"
+            )
+        if kind not in LINK_KINDS:
+            raise ConfigurationError(
+                f"link kind must be one of {LINK_KINDS}, got {kind!r}"
+            )
+        self.source = source
+        self.destination = destination
+        self.kind = kind
+        self._value: complex | None = None
+        self.transfer_count = 0
+
+    @property
+    def occupied(self) -> bool:
+        """True if a value is waiting to be drained."""
+        return self._value is not None
+
+    def push(self, value: complex) -> None:
+        """Place a value on the link (the sending tile's shift)."""
+        if self._value is not None:
+            raise CommunicationError(
+                f"link {self.source}->{self.destination} ({self.kind}) "
+                "overrun: previous value not yet drained"
+            )
+        self._value = complex(value)
+
+    def pop(self) -> complex:
+        """Drain the value (the receiving tile's shift)."""
+        if self._value is None:
+            raise CommunicationError(
+                f"link {self.source}->{self.destination} ({self.kind}) "
+                "underrun: no value available"
+            )
+        value = self._value
+        self._value = None
+        self.transfer_count += 1
+        return value
+
+    def reset(self) -> None:
+        """Clear state and counters."""
+        self._value = None
+        self.transfer_count = 0

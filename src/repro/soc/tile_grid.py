@@ -1,0 +1,212 @@
+"""The tile array and its lock-step choreography.
+
+:class:`TiledSoC` instantiates the used tiles of a
+:class:`~repro.soc.config.PlatformConfig`, wires the boundary links
+(conjugate values flow toward higher tile indices, normal values
+toward lower), and drives one integration step in lock step:
+
+1. every tile ingests the block, FFTs it and reshuffles the
+   conjugates (the paper budgets the FFT on every tile);
+2. every tile fills its windows (the P-cycle initialisation);
+3. for each of the F frequency steps: all tiles run their T
+   multiply-accumulates, boundary values are exchanged over the
+   links, and all tiles shift their windows (the 3-cycle read).
+
+Because the tiles run the identical schedule, their cycle counters all
+equal Table 1 — which the runner checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..montium.programs import (
+    initial_load_program,
+    mac_group_program,
+    read_data_program,
+)
+from ..montium.programs.fft256 import fft_program
+from ..montium.programs.reshuffle import reshuffle_program
+from ..montium.sequencer import Sequencer
+from ..montium.tile import MontiumTile
+from .config import PlatformConfig
+from .links import TileLink
+
+
+class TiledSoC:
+    """The simulated multi-tile platform.
+
+    Pass ``trace=True`` to record a cycle-stamped
+    :class:`~repro.soc.trace.PhaseEvent` per phase per tile per block
+    in :attr:`trace_events`.
+    """
+
+    def __init__(self, config: PlatformConfig, trace: bool = False) -> None:
+        if not isinstance(config, PlatformConfig):
+            raise ConfigurationError("config must be a PlatformConfig")
+        self.config = config
+        self.trace_enabled = bool(trace)
+        self.trace_events: list = []
+        self.tiles = [
+            MontiumTile(config.tile_config(core))
+            for core in range(config.used_tiles)
+        ]
+        self.sequencers = [Sequencer(tile) for tile in self.tiles]
+        self.conjugate_links = [
+            TileLink(q, q + 1, "conjugate") for q in range(len(self.tiles) - 1)
+        ]
+        self.normal_links = [
+            TileLink(q + 1, q, "normal") for q in range(len(self.tiles) - 1)
+        ]
+        self._blocks_integrated = 0
+        # Cache the static instruction streams (they do not depend on data).
+        self._fft_programs = [fft_program(t.config) for t in self.tiles]
+        self._reshuffle_programs = [reshuffle_program(t.config) for t in self.tiles]
+        self._init_programs = [initial_load_program(t.config) for t in self.tiles]
+        self._read_programs = [read_data_program(t.config) for t in self.tiles]
+        self._mac_programs = [
+            [mac_group_program(t.config, f_index) for f_index in range(config.extent)]
+            for t in self.tiles
+        ]
+
+    @property
+    def num_tiles(self) -> int:
+        """Instantiated (used) tiles."""
+        return len(self.tiles)
+
+    @property
+    def blocks_integrated(self) -> int:
+        """Integration steps run since the last reset."""
+        return self._blocks_integrated
+
+    def reset(self) -> None:
+        """Clear all tiles, links and counters; re-arm the accumulators."""
+        for tile in self.tiles:
+            tile.reset()
+        for link in self.conjugate_links + self.normal_links:
+            link.reset()
+        for tile in self.tiles:
+            tile.reset_accumulators()
+        self._blocks_integrated = 0
+        self.trace_events.clear()
+
+    # ------------------------------------------------------------------
+    # Lock-step integration step
+    # ------------------------------------------------------------------
+    def integrate_block(self, samples: np.ndarray) -> None:
+        """Run one integration step (one n of expression 3) on all tiles."""
+        samples = np.asarray(samples, dtype=np.complex128)
+        if samples.shape != (self.config.fft_size,):
+            raise ConfigurationError(
+                f"block must have shape ({self.config.fft_size},), got "
+                f"{samples.shape}"
+            )
+        for tile in self.tiles:
+            if not tile.accumulators_ready:
+                tile.reset_accumulators()
+        last = self.num_tiles - 1
+        block_index = self._blocks_integrated
+        for index, tile in enumerate(self.tiles):
+            tile.inject_samples(samples)
+            self._run_traced(index, block_index, "FFT", self._fft_programs[index])
+            self._run_traced(
+                index, block_index, "reshuffle", self._reshuffle_programs[index]
+            )
+            self._run_traced(
+                index, block_index, "initial load", self._init_programs[index]
+            )
+        sweep_starts = [tile.cycle_counter.total for tile in self.tiles]
+
+        for f_index in range(self.config.extent):
+            for index in range(self.num_tiles):
+                self.sequencers[index].run(self._mac_programs[index][f_index])
+
+            # Boundary exchange: collect every outgoing value before any
+            # tile shifts (lock-step), then deliver and shift together.
+            incoming_bin = f_index + 1
+            outgoing = [tile.peek_outgoing() for tile in self.tiles]
+            for q, link in enumerate(self.conjugate_links):
+                link.push(outgoing[q][1])  # conjugate leaves tile q upward
+            for q, link in enumerate(self.normal_links):
+                link.push(outgoing[q + 1][0])  # normal leaves tile q+1 down
+
+            for index, tile in enumerate(self.tiles):
+                if index == 0:
+                    conjugate_in = tile.read_conjugate_bin(incoming_bin)
+                else:
+                    conjugate_in = self.conjugate_links[index - 1].pop()
+                if index == last:
+                    normal_in = tile.read_spectrum_bin(incoming_bin)
+                else:
+                    normal_in = self.normal_links[index].pop()
+                tile.push_incoming(normal_in, conjugate_in)
+                self.sequencers[index].run(self._read_programs[index])
+        if self.trace_enabled:
+            from .trace import PhaseEvent
+
+            for index, tile in enumerate(self.tiles):
+                self.trace_events.append(
+                    PhaseEvent(
+                        tile=index,
+                        block=block_index,
+                        phase="mac sweep",
+                        start_cycle=sweep_starts[index],
+                        end_cycle=tile.cycle_counter.total,
+                    )
+                )
+        self._blocks_integrated += 1
+
+    def _run_traced(self, index: int, block: int, phase: str, program) -> None:
+        start = self.tiles[index].cycle_counter.total
+        self.sequencers[index].run(program)
+        if self.trace_enabled:
+            from .trace import PhaseEvent
+
+            self.trace_events.append(
+                PhaseEvent(
+                    tile=index,
+                    block=block,
+                    phase=phase,
+                    start_cycle=start,
+                    end_cycle=self.tiles[index].cycle_counter.total,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Result assembly
+    # ------------------------------------------------------------------
+    def dscf_values(self) -> np.ndarray:
+        """The averaged DSCF, indexed ``[f + M, a + M]``.
+
+        With the q15 datapath the tiles accumulate (X/K) products, so
+        the assembled values are rescaled by K^2 to the reference
+        convention.
+        """
+        if self._blocks_integrated == 0:
+            raise ConfigurationError("no blocks integrated yet")
+        extent = self.config.extent
+        tasks = self.config.tasks_per_core
+        values = np.zeros((extent, extent), dtype=np.complex128)
+        for index, tile in enumerate(self.tiles):
+            accumulators = tile.accumulator_values()
+            scale = 1.0 / (tile.spectrum_scale**2)
+            for slot in range(tasks):
+                task = index * tasks + slot
+                if task >= extent:
+                    continue
+                values[:, task] = accumulators[:, slot] * scale
+        return values / self._blocks_integrated
+
+    def cycle_tables(self) -> list:
+        """Per-tile (category, cycles) rows."""
+        return [tile.cycle_counter.table_rows() for tile in self.tiles]
+
+    def link_transfer_counts(self) -> dict:
+        """Transfers per link since the last reset."""
+        counts = {}
+        for link in self.conjugate_links + self.normal_links:
+            counts[(link.source, link.destination, link.kind)] = (
+                link.transfer_count
+            )
+        return counts

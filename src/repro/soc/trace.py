@@ -1,0 +1,86 @@
+"""Execution traces of the tiled platform.
+
+When enabled on a :class:`~repro.soc.tile_grid.TiledSoC`, every tile
+records one :class:`PhaseEvent` per execution phase (FFT, reshuffle,
+initial load, MAC+read sweep) with its cycle-stamped start and end —
+the simulator's equivalent of a waveform/timeline view.  Used to check
+phase ordering, per-phase durations against Table 1, and to render a
+text timeline for debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+PHASES = ("FFT", "reshuffle", "initial load", "mac sweep")
+
+
+@dataclass(frozen=True)
+class PhaseEvent:
+    """One phase execution on one tile."""
+
+    tile: int
+    block: int
+    phase: str
+    start_cycle: int
+    end_cycle: int
+
+    def __post_init__(self) -> None:
+        if self.phase not in PHASES:
+            raise ConfigurationError(
+                f"phase must be one of {PHASES}, got {self.phase!r}"
+            )
+        if self.end_cycle < self.start_cycle:
+            raise ConfigurationError(
+                f"end_cycle {self.end_cycle} before start_cycle "
+                f"{self.start_cycle}"
+            )
+
+    @property
+    def duration(self) -> int:
+        """Cycles spent in the phase."""
+        return self.end_cycle - self.start_cycle
+
+
+def format_trace(events, limit: int | None = None) -> str:
+    """Render a cycle-stamped timeline of *events*."""
+    lines = []
+    for index, event in enumerate(events):
+        if limit is not None and index >= limit:
+            lines.append(f"... ({len(events) - limit} more events)")
+            break
+        lines.append(
+            f"tile {event.tile} block {event.block:>3d}  "
+            f"[{event.start_cycle:>8d}, {event.end_cycle:>8d})  "
+            f"{event.phase:<13s} {event.duration:>6d} cy"
+        )
+    return "\n".join(lines)
+
+
+def phase_durations(events, tile: int) -> dict:
+    """Total cycles per phase for one tile across all blocks."""
+    durations: dict[str, int] = {}
+    for event in events:
+        if event.tile != tile:
+            continue
+        durations[event.phase] = durations.get(event.phase, 0) + event.duration
+    return durations
+
+
+def check_phase_order(events) -> None:
+    """Verify each tile's per-block phases run in the canonical order.
+
+    Raises :class:`ConfigurationError` naming the first violation.
+    """
+    per_key: dict[tuple[int, int], list[str]] = {}
+    for event in events:
+        per_key.setdefault((event.tile, event.block), []).append(event.phase)
+    expected = list(PHASES)
+    for (tile, block), phases in per_key.items():
+        if phases != expected:
+            raise ConfigurationError(
+                f"tile {tile} block {block} ran phases {phases}, expected "
+                f"{expected}"
+            )

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite.
+
+Small-geometry conventions used throughout: K = 16 gives M = 3, hence a
+7 x 7 DSCF and a 7-PE array — large enough to exercise every structural
+property at a fraction of the paper's K = 256 cost.  Paper-scale
+configurations are exercised in the integration tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fourier import block_spectra
+from repro.signals.noise import awgn
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_k() -> int:
+    """Small spectrum size used across structural tests."""
+    return 16
+
+
+@pytest.fixture
+def small_m() -> int:
+    """default_m(16) = 3 -> a 7x7 DSCF."""
+    return 3
+
+
+@pytest.fixture
+def small_spectra(small_k: int) -> np.ndarray:
+    """Centered block spectra of 6 noise blocks of K = 16."""
+    samples = awgn(small_k * 6, seed=99)
+    return block_spectra(samples, small_k)
+
+
+@pytest.fixture
+def noise_samples(small_k: int) -> np.ndarray:
+    """Raw noise samples covering 6 blocks of K = 16."""
+    return awgn(small_k * 6, seed=99)

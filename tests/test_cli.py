@@ -1,0 +1,97 @@
+"""Tests for the repro-cfd command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestTable1Command:
+    def test_prints_paper_rows(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "12192" in out
+        assert "13996" in out
+        assert "139.96" in out
+
+    def test_simulated_variant_small(self, capsys):
+        assert main([
+            "table1", "--fft-size", "16", "--m", "3", "--tiles", "2",
+            "--blocks", "2", "--simulate",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Executing platform simulation" in out
+
+
+class TestScalingCommand:
+    def test_default_sweep(self, capsys):
+        assert main(["scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "914.5" in out
+        assert "200.0" in out
+
+    def test_custom_tiles(self, capsys):
+        assert main(["scaling", "--tiles", "4"]) == 0
+        assert "13996" in capsys.readouterr().out
+
+
+class TestSenseCommand:
+    def test_occupied_band_detected(self, capsys):
+        code = main([
+            "sense", "--fft-size", "32", "--blocks", "32",
+            "--snr-db", "6", "--sps", "4",
+            "--calibration-trials", "20", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cyclostationary" in out
+        assert "OCCUPIED" in out
+
+    def test_vacant_band(self, capsys):
+        code = main([
+            "sense", "--fft-size", "32", "--blocks", "16", "--vacant",
+            "--calibration-trials", "20",
+        ])
+        assert code == 0
+        assert "vacant" in capsys.readouterr().out
+
+
+class TestClassifyCommand:
+    def test_classifies_correctly(self, capsys):
+        code = main(["classify", "--sps", "8", "--snr-db", "10",
+                     "--samples", "8192", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "classified symbol rate: fs/8" in out
+        assert "correct!" in out
+
+    def test_qpsk_variant(self, capsys):
+        code = main(["classify", "--modulation", "qpsk", "--sps", "4",
+                     "--snr-db", "10", "--samples", "8192"])
+        assert code == 0
+        assert "fs/4" in capsys.readouterr().out
+
+
+class TestMapCommand:
+    def test_paper_defaults(self, capsys):
+        assert main(["map"]) == 0
+        out = capsys.readouterr().out
+        assert "P = F = 127" in out
+        assert "T = 32" in out
+        assert "8 mm^2" in out
+
+    def test_figures_flag(self, capsys):
+        assert main(["map", "--figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "(PE" in out

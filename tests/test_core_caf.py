@@ -1,0 +1,129 @@
+"""Tests for repro.core.cyclic_autocorrelation — the time-domain path."""
+
+import numpy as np
+import pytest
+
+from repro.core.cyclic_autocorrelation import (
+    CAFResult,
+    cyclic_autocorrelation,
+    estimate_symbol_rate,
+    symbol_rate_alpha_grid,
+)
+from repro.core.sampling import SampledSignal
+from repro.errors import ConfigurationError, SignalError
+from repro.signals.modulators import bpsk_signal, qpsk_signal
+from repro.signals.noise import awgn
+
+
+class TestCafEstimation:
+    def test_alpha_zero_tau_zero_is_power(self):
+        samples = awgn(4096, power=2.0, seed=0)
+        result = cyclic_autocorrelation(samples, np.array([0.0]), max_lag=2)
+        assert result.get(0.0, 0).real == pytest.approx(2.0, rel=0.05)
+
+    def test_noise_has_no_cyclic_correlation(self):
+        samples = awgn(8192, seed=1)
+        alphas = np.array([0.0, 0.125, 0.25])
+        result = cyclic_autocorrelation(samples, alphas, max_lag=8)
+        profile = result.magnitude_profile()
+        # alpha = 0 (plain autocorrelation) dominates; others near zero
+        assert profile[0] > 10 * profile[1]
+        assert profile[0] > 10 * profile[2]
+
+    def test_bpsk_feature_at_symbol_rate(self):
+        sps = 8
+        signal = bpsk_signal(16384, 1e6, samples_per_symbol=sps, seed=2)
+        alphas = np.array([1 / 16, 1 / 8, 1 / 4])  # 1/sps = 1/8 is true
+        result = cyclic_autocorrelation(signal, alphas, max_lag=sps)
+        assert result.peak_alpha() == pytest.approx(1 / 8)
+
+    def test_agrees_with_dscf_feature_location(self):
+        """Time-domain and frequency-domain paths find the same cycle
+        frequency: alpha = 1/sps <-> DSCF offset a = K/(2*sps)."""
+        from repro.core.scf import dscf_from_signal
+        from repro.analysis.metrics import peak_cyclic_offsets
+
+        sps, k = 4, 32
+        signal = bpsk_signal(k * 200, 1e6, samples_per_symbol=sps, seed=3)
+        dscf_offset = abs(peak_cyclic_offsets(
+            dscf_from_signal(signal, k), count=1
+        )[0])
+        alpha_from_dscf = 2 * dscf_offset / k
+        caf = cyclic_autocorrelation(
+            signal, np.array([1 / 8, 1 / 4, 1 / 2]), max_lag=sps
+        )
+        assert caf.peak_alpha() == pytest.approx(alpha_from_dscf)
+
+    def test_accepts_sampled_signal(self):
+        signal = SampledSignal(awgn(512, seed=4), 1e6)
+        result = cyclic_autocorrelation(signal, np.array([0.0]), max_lag=4)
+        assert result.max_lag == 4
+
+    def test_needs_enough_samples(self):
+        with pytest.raises(SignalError):
+            cyclic_autocorrelation(awgn(8, seed=0), np.array([0.0]), max_lag=8)
+
+    def test_rejects_empty_alphas(self):
+        with pytest.raises(ConfigurationError):
+            cyclic_autocorrelation(awgn(64, seed=0), np.array([]))
+
+
+class TestCafResult:
+    def make(self):
+        return cyclic_autocorrelation(
+            awgn(1024, seed=5), np.array([0.0, 0.25]), max_lag=3
+        )
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            CAFResult(
+                values=np.zeros((2, 3), dtype=complex),
+                alphas=np.array([0.0, 0.1]),
+                max_lag=3,
+            )
+
+    def test_get_unknown_alpha(self):
+        with pytest.raises(SignalError):
+            self.make().get(0.33, 0)
+
+    def test_get_tau_bounds(self):
+        with pytest.raises(SignalError):
+            self.make().get(0.0, 9)
+
+    def test_peak_alpha_excludes_zero(self):
+        result = self.make()
+        assert result.peak_alpha(exclude_zero=True) == pytest.approx(0.25)
+
+    def test_peak_alpha_requires_candidates(self):
+        result = cyclic_autocorrelation(
+            awgn(512, seed=6), np.array([0.0]), max_lag=2
+        )
+        with pytest.raises(SignalError):
+            result.peak_alpha(exclude_zero=True)
+
+
+class TestSymbolRateClassifier:
+    def test_grid_construction(self):
+        grid = symbol_rate_alpha_grid([4, 8], harmonics=2)
+        assert set(np.round(grid, 6)) == {0.125, 0.25, 0.5}
+
+    def test_grid_validation(self):
+        with pytest.raises(ConfigurationError):
+            symbol_rate_alpha_grid([1])
+        with pytest.raises(ConfigurationError):
+            symbol_rate_alpha_grid([4], harmonics=0)
+
+    @pytest.mark.parametrize("true_sps", [4, 8, 16])
+    def test_classifies_bpsk_symbol_rate(self, true_sps):
+        signal = bpsk_signal(
+            16384, 1e6, samples_per_symbol=true_sps, seed=true_sps
+        )
+        decided = estimate_symbol_rate(
+            signal, [4, 8, 16], max_lag=2 * true_sps
+        )
+        assert decided == true_sps
+
+    def test_classifies_qpsk_in_noise(self):
+        signal = qpsk_signal(16384, 1e6, samples_per_symbol=8, seed=9)
+        noisy = signal.samples + 0.5 * awgn(16384, seed=10)
+        assert estimate_symbol_rate(noisy, [4, 8, 16], max_lag=16) == 8

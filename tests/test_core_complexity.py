@@ -1,0 +1,83 @@
+"""Tests for repro.core.complexity — the Section 2 operation counts."""
+
+import numpy as np
+import pytest
+
+from repro.core.complexity import (
+    ComplexityRow,
+    complexity_table,
+    dscf_complex_multiplications,
+    dscf_complex_multiplications_exact,
+    dscf_to_fft_ratio,
+    fft_complex_multiplications,
+)
+from repro.core.fourier import fft_radix2
+from repro.core.opcount import OperationCounter
+from repro.core.scf import dscf_reference
+from repro.errors import ConfigurationError
+from repro.signals.noise import awgn
+from repro.core.fourier import block_spectra
+
+
+class TestClosedForms:
+    def test_fft_256(self):
+        # (N/2) log2 N = 128 * 8
+        assert fft_complex_multiplications(256) == 1024
+
+    def test_dscf_256(self):
+        # N^2 / 4
+        assert dscf_complex_multiplications(256) == 16384
+
+    def test_paper_ratio_is_16(self):
+        """'calculating the DSCF for a 256 point spectrum involves 16
+        times as many complex multiplications than the determination of
+        the spectrum itself'"""
+        assert dscf_to_fft_ratio(256) == pytest.approx(16.0)
+
+    def test_exact_count_paper_config(self):
+        assert dscf_complex_multiplications_exact(256) == 127 * 127
+
+    def test_exact_close_to_approximation(self):
+        approx = dscf_complex_multiplications(256)
+        exact = dscf_complex_multiplications_exact(256)
+        assert abs(approx - exact) / approx < 0.02
+
+    def test_fft_rejects_non_power(self):
+        with pytest.raises(ConfigurationError):
+            fft_complex_multiplications(100)
+
+
+class TestInstrumentedAgreement:
+    """Closed forms must match counts from executing implementations."""
+
+    @pytest.mark.parametrize("size", [8, 32, 128])
+    def test_fft_counter_matches(self, size):
+        counter = OperationCounter()
+        fft_radix2(np.ones(size), counter=counter)
+        assert counter.complex_multiplications == fft_complex_multiplications(size)
+
+    def test_dscf_counter_matches_exact(self):
+        k, m = 16, 3
+        spectra = block_spectra(awgn(k * 3, seed=0), k)
+        counter = OperationCounter()
+        dscf_reference(spectra, m, counter=counter)
+        per_block = dscf_complex_multiplications_exact(k, m)
+        assert counter.complex_multiplications == per_block * 3
+
+
+class TestTable:
+    def test_default_sizes(self):
+        rows = complexity_table()
+        assert [row.fft_size for row in rows] == [64, 128, 256, 512, 1024]
+
+    def test_row_consistency(self):
+        for row in complexity_table((64, 256)):
+            assert isinstance(row, ComplexityRow)
+            assert row.ratio == pytest.approx(
+                row.dscf_multiplications / row.fft_multiplications
+            )
+
+    def test_ratio_grows_with_size(self):
+        rows = complexity_table((64, 256, 1024))
+        ratios = [row.ratio for row in rows]
+        assert ratios == sorted(ratios)

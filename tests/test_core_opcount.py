@@ -1,0 +1,53 @@
+"""Tests for repro.core.opcount."""
+
+from repro.core.opcount import OperationCounter
+
+
+class TestOperationCounter:
+    def test_starts_at_zero(self):
+        counter = OperationCounter()
+        assert counter.complex_multiplications == 0
+        assert counter.complex_additions == 0
+        assert counter.complex_conjugations == 0
+
+    def test_record_defaults(self):
+        counter = OperationCounter()
+        counter.record_multiplication()
+        counter.record_addition()
+        counter.record_conjugation()
+        assert counter.snapshot() == {
+            "complex_multiplications": 1,
+            "complex_additions": 1,
+            "complex_conjugations": 1,
+        }
+
+    def test_record_bulk(self):
+        counter = OperationCounter()
+        counter.record_multiplication(10)
+        counter.record_addition(5)
+        assert counter.complex_multiplications == 10
+        assert counter.complex_additions == 5
+
+    def test_reset(self):
+        counter = OperationCounter()
+        counter.record_multiplication(3)
+        counter.notes["stage"] = 1
+        counter.reset()
+        assert counter.complex_multiplications == 0
+        assert counter.notes == {}
+
+    def test_addition_merges(self):
+        a = OperationCounter(complex_multiplications=2)
+        b = OperationCounter(complex_additions=3)
+        merged = a + b
+        assert merged.complex_multiplications == 2
+        assert merged.complex_additions == 3
+
+    def test_addition_rejects_other_types(self):
+        counter = OperationCounter()
+        try:
+            counter + 3  # noqa: B018 - deliberate
+        except TypeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected TypeError")

@@ -1,0 +1,137 @@
+"""Tests for repro.core.sampling (expression 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import SampledSignal
+from repro.errors import ConfigurationError, SignalError
+
+
+def make(samples=8, fs=1e6, value=1.0):
+    return SampledSignal(np.full(samples, value, dtype=complex), fs)
+
+
+class TestConstruction:
+    def test_promotes_real_samples(self):
+        signal = SampledSignal(np.ones(4), 1.0)
+        assert signal.samples.dtype == np.complex128
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            SampledSignal(np.array([]), 1.0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigurationError):
+            SampledSignal(np.ones((2, 2)), 1.0)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ConfigurationError):
+            SampledSignal(np.ones(4), 0.0)
+
+
+class TestGeometry:
+    def test_num_samples_and_len(self):
+        signal = make(10)
+        assert signal.num_samples == 10
+        assert len(signal) == 10
+
+    def test_duration(self):
+        signal = make(100, fs=1e3)
+        assert signal.duration_s == pytest.approx(0.1)
+
+    def test_times_match_expression1(self):
+        signal = make(4, fs=2.0)
+        # x_k sampled at k / fs
+        assert np.allclose(signal.times_s, [0.0, 0.5, 1.0, 1.5])
+
+
+class TestBlocks:
+    def test_block_extraction(self):
+        signal = SampledSignal(np.arange(8, dtype=float), 1.0)
+        assert np.allclose(signal.block(2, 3), [2, 3, 4])
+
+    def test_block_out_of_range(self):
+        with pytest.raises(SignalError):
+            make(8).block(5, 4)
+
+    def test_block_negative_offset(self):
+        with pytest.raises(SignalError):
+            make(8).block(-1, 2)
+
+    def test_num_blocks_default_hop(self):
+        assert make(32).num_blocks(8) == 4
+
+    def test_num_blocks_overlapping(self):
+        assert make(32).num_blocks(8, hop=4) == 7
+
+    def test_num_blocks_too_short(self):
+        assert make(4).num_blocks(8) == 0
+
+    def test_blocks_shape_and_content(self):
+        signal = SampledSignal(np.arange(12, dtype=float), 1.0)
+        blocks = signal.blocks(4)
+        assert blocks.shape == (3, 4)
+        assert np.allclose(blocks[1], [4, 5, 6, 7])
+
+    def test_blocks_drop_trailing_partial(self):
+        signal = SampledSignal(np.arange(10, dtype=float), 1.0)
+        assert signal.blocks(4).shape == (2, 4)
+
+    def test_blocks_raises_when_none_fit(self):
+        with pytest.raises(SignalError):
+            make(4).blocks(8)
+
+
+class TestAlgebra:
+    def test_addition_mixes_samples(self):
+        mixed = make(4, value=1.0) + make(4, value=2.0)
+        assert np.allclose(mixed.samples, 3.0)
+
+    def test_addition_rejects_rate_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            make(4, fs=1.0) + make(4, fs=2.0)
+
+    def test_addition_rejects_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            make(4) + make(5)
+
+    def test_scaled(self):
+        assert np.allclose(make(4).scaled(2.0).samples, 2.0)
+
+    def test_head(self):
+        head = make(8).head(3)
+        assert head.num_samples == 3
+
+
+class TestStatistics:
+    def test_power_of_unit_signal(self):
+        assert make(16, value=1.0).power() == pytest.approx(1.0)
+
+    def test_power_dbw(self):
+        assert make(16, value=10.0).power_dbw() == pytest.approx(20.0)
+
+    def test_power_dbw_rejects_zero_signal(self):
+        with pytest.raises(SignalError):
+            make(4, value=0.0).power_dbw()
+
+    def test_rms(self):
+        assert make(8, value=3.0).rms() == pytest.approx(3.0)
+
+    def test_normalized(self):
+        assert make(8, value=5.0).normalized().power() == pytest.approx(1.0)
+
+    def test_normalized_rejects_zero(self):
+        with pytest.raises(SignalError):
+            make(4, value=0.0).normalized()
+
+    def test_snr_db_against(self):
+        signal = make(8, value=2.0)
+        noise = make(8, value=1.0)
+        assert signal.snr_db_against(noise) == pytest.approx(
+            10 * np.log10(4.0)
+        )
+
+    def test_power_is_cached(self):
+        signal = make(8)
+        first = signal.power()
+        assert signal.power() == first

@@ -1,0 +1,95 @@
+"""Tests for repro.core.smoothing — the frequency-smoothed SCF path."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import SampledSignal
+from repro.core.scf import dscf_from_signal
+from repro.core.smoothing import frequency_smoothed_scf
+from repro.errors import ConfigurationError
+from repro.signals.modulators import bpsk_signal
+from repro.signals.noise import awgn
+
+
+class TestValidation:
+    def test_rejects_even_window(self):
+        with pytest.raises(ConfigurationError, match="odd"):
+            frequency_smoothed_scf(awgn(256, seed=0), 256, smoothing_bins=8)
+
+    def test_rejects_window_overflow(self):
+        # m at its maximum leaves no room for smoothing
+        with pytest.raises(ConfigurationError, match="outside"):
+            frequency_smoothed_scf(
+                awgn(256, seed=0), 256, m=63, smoothing_bins=9
+            )
+
+    def test_default_m_needs_shrinking_for_wide_windows(self):
+        result = frequency_smoothed_scf(
+            awgn(1024, seed=0), 1024, m=100, smoothing_bins=21
+        )
+        assert result.m == 100
+
+
+class TestEstimation:
+    def test_psd_column_real_nonnegative(self):
+        result = frequency_smoothed_scf(
+            awgn(512, seed=1), 512, m=50, smoothing_bins=11
+        )
+        column = result.values[:, result.m]
+        assert np.allclose(column.imag, 0.0, atol=1e-9)
+        assert (column.real >= 0).all()
+
+    def test_hermitian_symmetry_in_a(self):
+        result = frequency_smoothed_scf(
+            awgn(512, seed=2), 512, m=40, smoothing_bins=9
+        )
+        assert np.allclose(result.values[:, ::-1], np.conj(result.values))
+
+    def test_noise_features_stay_low(self):
+        result = frequency_smoothed_scf(
+            awgn(2048, seed=3), 2048, m=60, smoothing_bins=33
+        )
+        magnitude = result.magnitude()
+        psd_level = magnitude[:, result.m].mean()
+        off = np.delete(magnitude, result.m, axis=1)
+        assert off.max() < psd_level  # no coherent feature in noise
+
+    def test_carries_sample_rate(self):
+        signal = SampledSignal(awgn(512, seed=4), 1e6)
+        result = frequency_smoothed_scf(signal, 512, m=30, smoothing_bins=9)
+        assert result.sample_rate_hz == 1e6
+
+
+class TestCrossValidationWithDscf:
+    def test_bpsk_feature_location_agrees(self):
+        """Both estimation paths locate the symbol-rate feature at the
+        same relative cyclic frequency."""
+        sps = 8
+        # time-smoothed (DSCF) path: K=64, many blocks
+        signal = bpsk_signal(64 * 128, 1e6, samples_per_symbol=sps, seed=5)
+        dscf_result = dscf_from_signal(signal, 64)
+        dscf_profile = dscf_result.alpha_profile("max")
+        dscf_profile[dscf_result.m] = 0
+        a_axis = dscf_result.a_axis
+        distant = np.abs(a_axis) >= 2
+        dscf_peak = abs(
+            int(a_axis[distant][np.argmax(dscf_profile[distant])])
+        )
+        dscf_alpha = 2 * dscf_peak / 64  # cycles/sample
+
+        # frequency-smoothed path: one long 4096-point block
+        long_signal = bpsk_signal(4096, 1e6, samples_per_symbol=sps, seed=6)
+        smoothed = frequency_smoothed_scf(
+            long_signal, 4096, m=600, smoothing_bins=65
+        )
+        profile = smoothed.alpha_profile("max")
+        profile[smoothed.m] = 0
+        a_axis2 = smoothed.a_axis
+        distant2 = np.abs(a_axis2) >= 100
+        smoothed_peak = abs(
+            int(a_axis2[distant2][np.argmax(profile[distant2])])
+        )
+        smoothed_alpha = 2 * smoothed_peak / 4096
+
+        assert dscf_alpha == pytest.approx(1 / sps)
+        assert smoothed_alpha == pytest.approx(1 / sps, rel=0.05)

@@ -1,0 +1,81 @@
+"""Tests for repro.core.windows."""
+
+import numpy as np
+import pytest
+
+from repro.core.windows import (
+    available_windows,
+    blackman,
+    coherent_gain,
+    get_window,
+    hamming,
+    hann,
+    noise_equivalent_bandwidth,
+    rectangular,
+)
+from repro.errors import ConfigurationError
+
+
+class TestShapes:
+    @pytest.mark.parametrize("name", ["rectangular", "hann", "hamming", "blackman"])
+    def test_length(self, name):
+        assert get_window(name, 32).shape == (32,)
+
+    def test_rectangular_is_ones(self):
+        assert np.allclose(rectangular(8), 1.0)
+
+    def test_hann_starts_at_zero(self):
+        assert hann(16)[0] == pytest.approx(0.0)
+
+    def test_hann_periodic_midpoint(self):
+        assert hann(16)[8] == pytest.approx(1.0)
+
+    def test_hamming_endpoints(self):
+        assert hamming(16)[0] == pytest.approx(0.08)
+
+    def test_blackman_starts_near_zero(self):
+        assert blackman(16)[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_windows_non_negative(self):
+        for name in available_windows():
+            assert (get_window(name, 64) >= -1e-12).all()
+
+
+class TestLookup:
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown window"):
+            get_window("kaiser", 16)
+
+    def test_available_lists_all(self):
+        assert set(available_windows()) == {
+            "rectangular",
+            "hann",
+            "hamming",
+            "blackman",
+        }
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ConfigurationError):
+            get_window("hann", 0)
+
+
+class TestMetrics:
+    def test_coherent_gain_rectangular(self):
+        assert coherent_gain(rectangular(32)) == pytest.approx(1.0)
+
+    def test_coherent_gain_hann(self):
+        assert coherent_gain(hann(4096)) == pytest.approx(0.5, rel=1e-3)
+
+    def test_nebw_rectangular_is_one(self):
+        assert noise_equivalent_bandwidth(rectangular(64)) == pytest.approx(1.0)
+
+    def test_nebw_hann(self):
+        assert noise_equivalent_bandwidth(hann(4096)) == pytest.approx(1.5, rel=1e-3)
+
+    def test_nebw_rejects_zero_sum(self):
+        with pytest.raises(ConfigurationError):
+            noise_equivalent_bandwidth(np.array([1.0, -1.0]))
+
+    def test_metrics_reject_empty(self):
+        with pytest.raises(ConfigurationError):
+            coherent_gain(np.array([]))

@@ -1,0 +1,166 @@
+"""Failure injection: the simulators must fail loudly, not silently.
+
+Hardware-model bugs usually surface as silently wrong numbers; these
+tests check that the simulator instead raises on every contract
+violation we can inject: communication protocol breaches, misrouted
+operands, runaway address generators, unarmed accumulators, and
+datapath misuse.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    CommunicationError,
+    ConfigurationError,
+    MemoryAccessError,
+    ProgramError,
+    SimulationError,
+)
+from repro.montium.agu import AddressGenerator
+from repro.montium.isa import MacStep, ReadData
+from repro.montium.programs import mac_group_program, read_data_program
+from repro.montium.programs.fft256 import fft_program
+from repro.montium.sequencer import Sequencer
+from repro.montium.tile import MontiumTile, TileConfig
+from repro.signals.noise import awgn
+from repro.soc.config import PlatformConfig
+from repro.soc.links import TileLink
+from repro.soc.tile_grid import TiledSoC
+
+
+def make_tile(**kwargs):
+    defaults = dict(fft_size=16, m=3, num_cores=1, core_index=0)
+    defaults.update(kwargs)
+    return MontiumTile(TileConfig(**defaults))
+
+
+class TestCommunicationFailures:
+    def test_link_overrun_detected(self):
+        link = TileLink(0, 1, "conjugate")
+        link.push(1.0)
+        with pytest.raises(CommunicationError):
+            link.push(2.0)
+
+    def test_read_without_incoming_data(self):
+        """A ReadData with an empty port is an underrun, not a hang."""
+        tile = make_tile()
+        tile.reset_accumulators()
+        tile.inject_samples(awgn(16, seed=0))
+        sequencer = Sequencer(tile)
+        sequencer.run(fft_program(tile.config))
+        from repro.montium.programs.reshuffle import reshuffle_program
+        from repro.montium.programs import initial_load_program
+
+        sequencer.run(reshuffle_program(tile.config))
+        sequencer.run(initial_load_program(tile.config))
+        with pytest.raises(CommunicationError, match="no incoming data"):
+            sequencer.run(read_data_program(tile.config))
+
+    def test_crossbar_rejects_unconfigured_route(self):
+        tile = make_tile()
+        with pytest.raises(CommunicationError):
+            tile.crossbar.transfer("M01", "M02", 1.0)
+
+
+class TestProgramFailures:
+    def test_mac_before_fft_reads_uninitialised_memory(self):
+        """Skipping the FFT/init phases hits cold memory, not garbage."""
+        tile = make_tile()
+        tile.reset_accumulators()
+        with pytest.raises((MemoryAccessError, SimulationError)):
+            Sequencer(tile).run(mac_group_program(tile.config, 0))
+
+    def test_mac_into_unarmed_accumulators(self):
+        tile = make_tile()
+        tile.load_windows([1.0] * 7, [1.0] * 7)
+        program = [
+            MacStep(cycles=3, category="multiply accumulate", slot=0,
+                    f_index=0, valid=True)
+        ]
+        with pytest.raises(SimulationError, match="never initialised"):
+            Sequencer(tile).run(program)
+
+    def test_sequencer_rejects_foreign_objects(self):
+        tile = make_tile()
+        with pytest.raises(ProgramError):
+            Sequencer(tile).run([lambda: None])
+
+    def test_instruction_budget_stops_runaway_program(self):
+        tile = make_tile()
+        sequencer = Sequencer(tile, max_instructions=10)
+        endless = [ReadData(cycles=3, category="read data")] * 100
+        for _ in range(10):
+            tile.push_incoming(0.0, 0.0)
+        tile.load_windows([0.0] * 7, [0.0] * 7)
+        with pytest.raises(ProgramError, match="budget"):
+            sequencer.run(endless)
+
+
+class TestAddressingFailures:
+    def test_agu_exhaustion(self):
+        agu = AddressGenerator(base=0, stride=4, length=3)
+        agu.take(3)
+        with pytest.raises(ConfigurationError, match="exhausted"):
+            agu.next()
+
+    def test_agu_negative_escape(self):
+        agu = AddressGenerator(base=2, stride=-3)
+        agu.next()
+        with pytest.raises(ConfigurationError, match="negative"):
+            agu.next()
+
+    def test_memory_address_out_of_bank(self):
+        tile = make_tile()
+        with pytest.raises(MemoryAccessError):
+            tile.memories["M01"].read(4096)
+
+
+class TestPlatformFailures:
+    def test_wrong_block_length_rejected_before_any_state_change(self):
+        soc = TiledSoC(PlatformConfig(num_tiles=2, fft_size=16, m=3))
+        with pytest.raises(ConfigurationError):
+            soc.integrate_block(np.zeros(24, dtype=complex))
+        assert soc.blocks_integrated == 0
+
+    def test_partial_platform_keeps_tiles_consistent(self):
+        """After a failed block, a reset restores a clean platform."""
+        soc = TiledSoC(PlatformConfig(num_tiles=2, fft_size=16, m=3))
+        samples = awgn(16, seed=1)
+        soc.integrate_block(samples)
+        with pytest.raises(ConfigurationError):
+            soc.integrate_block(np.zeros(8, dtype=complex))
+        soc.reset()
+        soc.integrate_block(samples)
+        tables = soc.cycle_tables()
+        assert tables[0] == tables[1]
+
+    def test_multi_padded_core_layout(self):
+        """P=7 on Q=5 cores: T=2, four used cores, the last with one
+        valid task — geometry must stay consistent end to end."""
+        from repro.core.fourier import block_spectra
+        from repro.core.scf import dscf
+
+        config = PlatformConfig(num_tiles=5, fft_size=16, m=3)
+        assert config.used_tiles == 4
+        soc = TiledSoC(config)
+        samples = awgn(16 * 3, seed=2)
+        for n in range(3):
+            soc.integrate_block(samples[n * 16 : (n + 1) * 16])
+        reference = dscf(block_spectra(samples, 16), 3)
+        assert np.allclose(soc.dscf_values(), reference)
+
+
+class TestDatapathMisuse:
+    def test_q15_memory_rejects_float_write(self):
+        tile = make_tile(datapath="q15")
+        with pytest.raises(MemoryAccessError):
+            tile.memories["M01"].write(0, 0.5)
+
+    def test_saturation_is_not_silent_wraparound(self):
+        """Q15 adds clamp instead of wrapping: the sign never flips."""
+        from repro.montium.fixedpoint import Q15_MAX, q15_add
+
+        result = q15_add(Q15_MAX, Q15_MAX)
+        assert result == Q15_MAX
+        assert result > 0  # two's-complement wrap would be negative

@@ -1,0 +1,142 @@
+"""End-to-end reproduction tests at the paper's scale.
+
+These tests assert the headline numbers of the paper directly:
+
+* Table 1 from an *executing* 4-tile platform simulation;
+* 139.96 us per integration step at 100 MHz;
+* ~915 kHz analysed bandwidth;
+* 8 mm^2 / 200 mW platform;
+* functional equivalence of the simulated platform and the numpy
+  reference at K = 256, M = 63.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fourier import block_spectra
+from repro.core.scf import default_m, dscf
+from repro.perf import platform_area_mm2, platform_power_mw, table1_budget
+from repro.signals.modulators import bpsk_signal
+from repro.signals.noise import awgn
+from repro.soc import PlatformConfig, SoCRunner, aaf_drbpf
+
+
+@pytest.fixture(scope="module")
+def paper_run():
+    """One shared 2-block run of the full AAF platform (K=256, Q=4)."""
+    runner = SoCRunner(aaf_drbpf())
+    samples = awgn(256 * 2, seed=2007)
+    return samples, runner.run(samples, 2)
+
+
+class TestTable1FromExecution:
+    def test_per_category_cycles(self, paper_run):
+        _samples, result = paper_run
+        per_step = {
+            task: cycles // 2 for task, cycles in result.cycle_tables[0][:-1]
+        }
+        assert per_step == {
+            "multiply accumulate": 12192,
+            "read data": 381,
+            "FFT": 1040,
+            "reshuffling": 256,
+            "initialisation": 127,
+        }
+
+    def test_total_13996(self, paper_run):
+        _samples, result = paper_run
+        assert result.cycles_per_step == 13996
+
+    def test_step_time_139_96_us(self, paper_run):
+        _samples, result = paper_run
+        assert result.step_time_us == pytest.approx(139.96)
+
+    def test_all_four_tiles_identical(self, paper_run):
+        _samples, result = paper_run
+        tables = result.cycle_tables
+        assert len(tables) == 4
+        assert all(table == tables[0] for table in tables)
+
+
+class TestSection5Evaluation:
+    def test_analysed_bandwidth(self, paper_run):
+        _samples, result = paper_run
+        assert result.analysed_bandwidth_hz == pytest.approx(915e3, rel=0.001)
+
+    def test_area_and_power(self):
+        assert platform_area_mm2(4) == pytest.approx(8.0)
+        assert platform_power_mw(4, 100e6) == pytest.approx(200.0)
+
+
+class TestFunctionalEquivalenceAtScale:
+    def test_platform_dscf_is_127x127(self, paper_run):
+        _samples, result = paper_run
+        assert result.dscf.values.shape == (127, 127)
+        assert result.dscf.m == 63 == default_m(256)
+
+    def test_platform_matches_numpy_reference(self, paper_run):
+        samples, result = paper_run
+        reference = dscf(block_spectra(samples, 256), 63)
+        assert np.allclose(result.dscf.values, reference)
+
+    def test_link_rate_factor_t_lower(self, paper_run):
+        """Each link moves F values per block while each tile executes
+        T*F MAC slots: the exchange rate is a factor T lower."""
+        _samples, result = paper_run
+        transfers = set(result.link_transfers.values())
+        assert transfers == {127 * 2}  # F per block x 2 blocks
+        macs_per_tile = 12192 // 3 * 2  # MAC ops over both blocks
+        per_link = 127 * 2
+        assert macs_per_tile / per_link == pytest.approx(32.0)
+
+
+class TestDetectionAtPaperScale:
+    def test_platform_fidelity_on_bpsk(self):
+        """The simulated platform reproduces the reference DSCF for a
+        structured (licensed-user) input, not just noise."""
+        config = PlatformConfig(num_tiles=4, fft_size=256, m=63)
+        signal = bpsk_signal(256 * 3, 1e6, samples_per_symbol=8, seed=7)
+        result = SoCRunner(config).run(signal, 3)
+        reference = dscf(block_spectra(signal.samples, 256), 63)
+        assert np.allclose(result.dscf.values, reference)
+
+    def test_bpsk_feature_location_at_paper_scale(self):
+        """With enough integration the strongest *distant* cyclic
+        feature of sps=8 BPSK sits at a = K/(2*sps) = 16.  (Small |a|
+        offsets carry rectangular-pulse leakage correlation that decays
+        as 1/N, which is why the paper integrates over many blocks.)"""
+        sps = 8
+        signal = bpsk_signal(256 * 64, 1e6, samples_per_symbol=sps, seed=7)
+        values = dscf(block_spectra(signal.samples, 256), 63)
+        profile = np.abs(values).max(axis=0)
+        a_axis = np.arange(-63, 64)
+        distant = np.abs(a_axis) >= 8
+        peak = abs(int(a_axis[distant][np.argmax(profile[distant])]))
+        assert peak == 16
+
+
+class TestAnalyticExecutableAgreement:
+    @pytest.mark.parametrize("num_cores", [4, 5, 8])
+    def test_budgets_agree_for_feasible_q(self, num_cores):
+        """Q >= 4 keeps T*F within the 4K complex words of M01-M08; for
+        those platforms the analytic Table 1 model and the simulator's
+        program budget agree exactly."""
+        from repro.montium.programs import integration_step_cycle_budget
+        from repro.montium.tile import TileConfig
+
+        analytic = table1_budget(num_cores=num_cores)
+        simulated = integration_step_cycle_budget(
+            TileConfig(fft_size=256, m=63, num_cores=num_cores, core_index=0)
+        )
+        assert simulated["total"] == analytic.total
+
+    @pytest.mark.parametrize("num_cores", [1, 2])
+    def test_small_q_memory_infeasible_on_real_tile(self, num_cores):
+        """The Section 5 extrapolation to Q < 4 is analytic only: the
+        accumulator array T*F no longer fits M01-M08, which the tile
+        model rejects."""
+        from repro.errors import ConfigurationError
+        from repro.montium.tile import TileConfig
+
+        with pytest.raises(ConfigurationError):
+            TileConfig(fft_size=256, m=63, num_cores=num_cores, core_index=0)

@@ -1,0 +1,88 @@
+"""Tests for repro.mapping.ascii_art — the figure renderers."""
+
+import pytest
+
+from repro.mapping.ascii_art import (
+    render_figure1,
+    render_figure5,
+    render_figure7,
+    render_figure9,
+    render_table,
+)
+from repro.mapping.dg import dcfd_dependence_graph_2d, dcfd_dependence_graph_3d
+from repro.mapping.folding import Fold
+from repro.mapping.spacetime import SpaceTimeDelayDiagram
+
+
+class TestFigure1:
+    def test_contains_every_cell(self):
+        graph = dcfd_dependence_graph_2d(2, f_values=(0, 1))
+        art = render_figure1(graph)
+        assert "X+2*X~-2" in art  # node (0, 2)
+        assert "X~" in art
+
+    def test_row_per_frequency(self):
+        graph = dcfd_dependence_graph_2d(1, f_values=(0, 1, 2))
+        art = render_figure1(graph)
+        # header + 3 frequency rows + legend
+        assert len(art.splitlines()) == 5
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            render_figure1(dcfd_dependence_graph_3d(1, 2))
+
+
+class TestFigure5:
+    def test_paper_layout(self):
+        diagram = SpaceTimeDelayDiagram.build(3, f_values=(0, 1, 2, 3))
+        art = render_figure5(diagram)
+        lines = art.splitlines()
+        assert lines[0].startswith("t \\ p")
+        # first data row: t=0 consumes indices 3..-3 left to right
+        assert lines[1].split()[1:] == ["3", "2", "1", "0", "-1", "-2", "-3"]
+
+    def test_flow_annotation(self):
+        art = render_figure5(SpaceTimeDelayDiagram.build(2))
+        assert "left-to-right" in art
+
+
+class TestFigure7:
+    def test_pe_count(self):
+        art = render_figure7(2)
+        assert art.count("(PE") == 5
+
+    def test_register_marks(self):
+        art = render_figure7(2)
+        assert art.count("[R]") == 10  # both chains
+
+
+class TestFigure9:
+    def test_paper_fold_summary(self):
+        art = render_figure9(Fold(127, 4))
+        assert "T = 32" in art
+        assert "1 padded slot" in art
+        assert "core 3" in art
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            render_figure9("not a fold")
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        table = render_table(["Task", "#cycles"], [["FFT", 1040], ["total", 13996]])
+        lines = table.splitlines()
+        assert "Task" in lines[0] and "#cycles" in lines[0]
+        assert "13996" in lines[-1]
+
+    def test_title(self):
+        table = render_table(["a"], [[1]], title="Table 1")
+        assert table.splitlines()[0] == "Table 1"
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_needs_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [])

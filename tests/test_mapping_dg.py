@@ -1,0 +1,149 @@
+"""Tests for repro.mapping.dg — the dependence graphs of Figures 1/2."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mapping.dg import (
+    ACCUMULATE,
+    CONJUGATE,
+    NORMAL,
+    DependenceGraph,
+    Edge,
+    dcfd_dependence_graph_2d,
+    dcfd_dependence_graph_3d,
+    line_direction,
+)
+
+
+class TestEdge:
+    def test_source(self):
+        edge = Edge(node=(1, 2, 3), displacement=(0, 0, 1), kind=ACCUMULATE)
+        assert edge.source == (1, 2, 2)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            Edge(node=(1, 2), displacement=(0, 0, 1), kind=ACCUMULATE)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            Edge(node=(1,), displacement=(1,), kind="wormhole")
+
+
+class TestDependenceGraph:
+    def test_add_node_checks_dimension(self):
+        graph = DependenceGraph(dimension=2)
+        with pytest.raises(ConfigurationError):
+            graph.add_node((1, 2, 3))
+
+    def test_add_edge_requires_nodes(self):
+        graph = DependenceGraph(dimension=1)
+        graph.add_node((0,))
+        with pytest.raises(ConfigurationError):
+            graph.add_edge(Edge(node=(1,), displacement=(1,), kind=ACCUMULATE))
+
+    def test_edge_source_must_exist(self):
+        graph = DependenceGraph(dimension=1)
+        graph.add_node((5,))
+        with pytest.raises(ConfigurationError, match="source"):
+            graph.add_edge(Edge(node=(5,), displacement=(1,), kind=ACCUMULATE))
+
+    def test_set_input_validates(self):
+        graph = DependenceGraph(dimension=2)
+        graph.add_node((0, 0))
+        with pytest.raises(ConfigurationError):
+            graph.set_input((1, 1), NORMAL, 0)
+        with pytest.raises(ConfigurationError):
+            graph.set_input((0, 0), ACCUMULATE, 0)
+
+
+class TestPaperExample2d:
+    """Figure 1: f = 0..3, a = -3..3."""
+
+    @pytest.fixture
+    def graph(self):
+        return dcfd_dependence_graph_2d(3, f_values=(0, 1, 2, 3))
+
+    def test_node_count(self, graph):
+        assert graph.num_nodes == 4 * 7  # 4 frequencies x 7 offsets
+
+    def test_every_node_has_both_inputs(self, graph):
+        """Figure 1's property: every multiplication connects to one
+        normal and one conjugated value."""
+        for node in graph.nodes:
+            labels = graph.inputs[node]
+            assert NORMAL in labels and CONJUGATE in labels
+
+    def test_input_indices(self, graph):
+        assert graph.inputs[(2, 1)] == {NORMAL: 3, CONJUGATE: 1}
+        assert graph.inputs[(0, -3)] == {NORMAL: -3, CONJUGATE: 3}
+
+    def test_conjugate_line_example(self, graph):
+        """The dotted line of X*_3 passes (0,-3), (1,-2), (2,-1), (3,0)."""
+        line = graph.distribution_line(CONJUGATE, 3)
+        assert line == [(0, -3), (1, -2), (2, -1), (3, 0)]
+
+    def test_normal_line_example(self, graph):
+        """The solid line of X_3 passes (0,3), (1,2), (2,1), (3,0)."""
+        line = graph.distribution_line(NORMAL, 3)
+        assert line == [(0, 3), (1, 2), (2, 1), (3, 0)]
+
+    def test_lines_partition_nodes(self, graph):
+        for kind in (NORMAL, CONJUGATE):
+            members = [
+                node
+                for line in graph.distribution_lines(kind).values()
+                for node in line
+            ]
+            assert sorted(members) == sorted(graph.nodes)
+
+    def test_lines_follow_direction(self, graph):
+        for kind in (NORMAL, CONJUGATE):
+            direction = line_direction(kind)
+            for line in graph.distribution_lines(kind).values():
+                for first, second in zip(line, line[1:]):
+                    step = np.subtract(second, first)
+                    assert np.array_equal(step, direction)
+
+    def test_default_f_range_is_full_sweep(self):
+        graph = dcfd_dependence_graph_2d(2)
+        assert graph.num_nodes == 5 * 5
+
+
+class TestFull3d:
+    def test_node_and_edge_counts(self):
+        graph = dcfd_dependence_graph_3d(2, num_blocks=3)
+        # 5 x 5 grid x 3 planes
+        assert graph.num_nodes == 75
+        # accumulate edges between consecutive planes: 5 x 5 x 2
+        assert graph.num_edges == 50
+
+    def test_all_edges_are_accumulation(self):
+        graph = dcfd_dependence_graph_3d(1, num_blocks=2)
+        assert graph.displacement_set() == {(0, 0, 1)}
+        assert all(edge.kind == ACCUMULATE for edge in graph.edges)
+
+    def test_inputs_repeat_per_plane(self):
+        graph = dcfd_dependence_graph_3d(1, num_blocks=2)
+        assert graph.inputs[(1, -1, 0)] == graph.inputs[(1, -1, 1)]
+
+    def test_paper_scale_counts(self):
+        """127 x 127 grid: the N-plane DG of Section 4.1."""
+        graph = dcfd_dependence_graph_2d(63)
+        assert graph.num_nodes == 127 * 127
+
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(ConfigurationError):
+            dcfd_dependence_graph_3d(1, num_blocks=0)
+
+
+class TestLineDirection:
+    def test_normal(self):
+        assert np.array_equal(line_direction(NORMAL), [1, -1])
+
+    def test_conjugate(self):
+        assert np.array_equal(line_direction(CONJUGATE), [1, 1])
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            line_direction(ACCUMULATE)

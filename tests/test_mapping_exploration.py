@@ -1,0 +1,106 @@
+"""Tests for repro.mapping.exploration — the design space of Section 3.1."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mapping.dg import dcfd_dependence_graph_2d, dcfd_dependence_graph_3d
+from repro.mapping.exploration import (
+    enumerate_mappings,
+    matches_paper_step2,
+    pareto_front,
+)
+
+
+@pytest.fixture(scope="module")
+def options_2d():
+    return enumerate_mappings(dcfd_dependence_graph_2d(2))
+
+
+@pytest.fixture(scope="module")
+def options_3d():
+    return enumerate_mappings(dcfd_dependence_graph_3d(1, num_blocks=3))
+
+
+class TestEnumeration2d:
+    def test_finds_valid_options(self, options_2d):
+        assert len(options_2d) > 0
+
+    def test_paper_choice_is_among_them(self, options_2d):
+        assert any(matches_paper_step2(option) for option in options_2d)
+
+    def test_paper_choice_is_optimal(self, options_2d):
+        """The straightforward P2/s2 achieves the best utilization with
+        the minimal linear array — that is why the paper picks it."""
+        paper = next(o for o in options_2d if matches_paper_step2(o))
+        best_utilization = max(o.utilization for o in options_2d)
+        assert paper.utilization == pytest.approx(best_utilization)
+        assert paper.num_processors == 5  # 2M+1 for m=2
+        assert paper.makespan == 5
+
+    def test_all_options_injective(self, options_2d):
+        graph = dcfd_dependence_graph_2d(2)
+        for option in options_2d:
+            assert option.mapping.is_injective_on(graph.nodes)
+
+    def test_sorted_by_utilization(self, options_2d):
+        utilizations = [round(o.utilization, 9) for o in options_2d]
+        assert utilizations == sorted(utilizations, reverse=True)
+
+    def test_labels_are_readable(self, options_2d):
+        label = options_2d[0].label
+        assert label.startswith("P=[") and "s=(" in label
+
+
+class TestEnumeration3d:
+    def test_causality_respected(self, options_3d):
+        """Every surviving option schedules the accumulation edge with
+        a strictly positive delay."""
+        for option in options_3d:
+            _proc, delay = option.mapping.map_displacement((0, 0, 1))
+            assert delay >= 1
+
+    def test_paper_step1_present(self, options_3d):
+        found = False
+        for option in options_3d:
+            assignment = option.mapping.assignment
+            schedule = option.mapping.schedule
+            if (
+                assignment.shape == (3, 2)
+                and np.array_equal(assignment[:, 0], [1, 0, 0])
+                and np.array_equal(assignment[:, 1], [0, 1, 0])
+                and np.array_equal(schedule, [0, 0, 1])
+            ):
+                found = True
+        assert found
+
+    def test_full_utilization_options_exist(self, options_3d):
+        assert any(o.utilization == pytest.approx(1.0) for o in options_3d)
+
+
+class TestParetoFront:
+    def test_front_is_subset(self, options_2d):
+        front = pareto_front(options_2d)
+        assert set(id(o) for o in front) <= set(id(o) for o in options_2d)
+        assert front
+
+    def test_no_front_member_dominated(self, options_2d):
+        front = pareto_front(options_2d)
+        for candidate in front:
+            for other in options_2d:
+                dominates = (
+                    other.num_processors <= candidate.num_processors
+                    and other.makespan <= candidate.makespan
+                    and (
+                        other.num_processors < candidate.num_processors
+                        or other.makespan < candidate.makespan
+                    )
+                )
+                assert not dominates
+
+
+class TestGuards:
+    def test_max_nodes_guard(self):
+        graph = dcfd_dependence_graph_2d(63)  # 16129 nodes
+        with pytest.raises(ConfigurationError, match="small instances"):
+            enumerate_mappings(graph, max_nodes=1000)

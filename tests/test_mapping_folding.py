@@ -1,0 +1,120 @@
+"""Tests for repro.mapping.folding (expressions 8/9, Figures 8/9)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mapping.folding import Fold
+
+
+class TestPaperConfiguration:
+    """P = 127 tasks onto Q = 4 Montium cores."""
+
+    @pytest.fixture
+    def fold(self):
+        return Fold(num_tasks=127, num_cores=4)
+
+    def test_expression_8(self, fold):
+        assert fold.tasks_per_core == 32  # T = ceil(127/4)
+
+    def test_expression_9(self, fold):
+        assert fold.core_of_task(0) == 0
+        assert fold.core_of_task(31) == 0
+        assert fold.core_of_task(32) == 1
+        assert fold.core_of_task(126) == 3
+
+    def test_task_ranges(self, fold):
+        assert fold.tasks_of_core(0) == range(0, 32)
+        assert fold.tasks_of_core(3) == range(96, 127)  # 31 valid tasks
+
+    def test_one_padded_slot(self, fold):
+        assert fold.padded_slots == 1
+
+    def test_memory_requirement_section41(self, fold):
+        """'T * F = 32 * 127 < 4K complex values or less than 8K real
+        values' — fits the 8K words of M01-M08."""
+        complex_values = fold.memory_per_core_complex(127)
+        assert complex_values == 4064
+        assert complex_values < 4096  # < 4K complex
+        assert fold.memory_per_core_words(127) == 8128
+        assert fold.memory_per_core_words(127) < 8192  # < 8K words
+
+    def test_shift_register_length(self, fold):
+        """'Each memory contains 32 complex values' (M09/M10)."""
+        assert fold.shift_register_length() == 32
+
+    def test_exchange_rate(self, fold):
+        """'The rate at which data is exchanged is a factor T times
+        lower' than the computation rate."""
+        assert fold.exchange_rate_ratio() == 32
+
+    def test_switch_schedule(self, fold):
+        schedule = fold.switch_schedule()
+        assert schedule == list(range(32))
+
+
+class TestGeneralProperties:
+    @pytest.mark.parametrize("tasks,cores", [(7, 2), (7, 3), (127, 4), (5, 5), (3, 8)])
+    def test_every_task_assigned_once(self, tasks, cores):
+        fold = Fold(tasks, cores)
+        seen = []
+        for core in range(cores):
+            seen.extend(fold.tasks_of_core(core))
+        assert sorted(seen) == list(range(tasks))
+
+    @pytest.mark.parametrize("tasks,cores", [(7, 2), (127, 4), (100, 7)])
+    def test_assignment_consistency(self, tasks, cores):
+        fold = Fold(tasks, cores)
+        for task in range(tasks):
+            assert task in fold.tasks_of_core(fold.core_of_task(task))
+
+    def test_balanced_load(self):
+        fold = Fold(127, 4)
+        sizes = [len(fold.tasks_of_core(q)) for q in range(4)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_cores_than_tasks(self):
+        fold = Fold(3, 8)
+        assert fold.tasks_per_core == 1
+        assert fold.used_cores == 3
+        assert len(fold.tasks_of_core(7)) == 0
+
+    def test_single_core(self):
+        fold = Fold(127, 1)
+        assert fold.tasks_per_core == 127
+        assert fold.padded_slots == 0
+
+    def test_figure9_example(self):
+        """The paper draws Figure 9 for T = 4."""
+        fold = Fold(7, 2)
+        assert fold.tasks_per_core == 4
+        assert fold.padded_slots == 1
+        assert fold.switch_schedule() == [0, 1, 2, 3]
+
+    def test_assignment_table(self):
+        table = Fold(7, 2).assignment_table()
+        assert table[0] == range(0, 4)
+        assert table[1] == range(4, 7)
+
+
+class TestValidation:
+    def test_task_bounds(self):
+        fold = Fold(10, 2)
+        with pytest.raises(ConfigurationError):
+            fold.core_of_task(10)
+        with pytest.raises(ConfigurationError):
+            fold.core_of_task(-1)
+
+    def test_core_bounds(self):
+        fold = Fold(10, 2)
+        with pytest.raises(ConfigurationError):
+            fold.tasks_of_core(2)
+
+    def test_positive_parameters(self):
+        with pytest.raises(ConfigurationError):
+            Fold(0, 4)
+        with pytest.raises(ConfigurationError):
+            Fold(4, 0)
+
+    def test_memory_rejects_zero_frequencies(self):
+        with pytest.raises(ConfigurationError):
+            Fold(7, 2).memory_per_core_complex(0)

@@ -1,0 +1,154 @@
+"""Tests for repro.mapping.spacetime (Figure 5) and registers (Figures 6/7)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mapping.dg import CONJUGATE, NORMAL
+from repro.mapping.registers import (
+    RegisterChain,
+    chain_register_count,
+    combined_register_count,
+    minimal_register_structure,
+)
+from repro.mapping.spacetime import (
+    SpaceTimeDelayDiagram,
+    ValueTrajectory,
+    conjugate_trajectories,
+    normal_trajectories,
+)
+
+
+class TestTrajectories:
+    def test_paper_figure5_anchor(self):
+        """'X*_{n,3} is used by the leftmost processor at t = 0, used by
+        the adjacent processor at t = 1, and so on.'"""
+        trajectories = {
+            t.index: t for t in conjugate_trajectories(3, f_values=(0, 1, 2, 3))
+        }
+        x3 = trajectories[3]
+        assert x3.visits[0] == (-3, 0)
+        assert x3.visits[1] == (-2, 1)
+        assert x3.visits[2] == (-1, 2)
+
+    def test_conjugate_flow_left_to_right(self):
+        for trajectory in conjugate_trajectories(3):
+            assert trajectory.direction == +1
+            assert trajectory.is_systolic()
+
+    def test_normal_flow_right_to_left(self):
+        for trajectory in normal_trajectories(3):
+            assert trajectory.direction == -1
+            assert trajectory.is_systolic()
+
+    def test_hops_unit_speed(self):
+        for trajectory in conjugate_trajectories(2):
+            for dp, dt in trajectory.hops():
+                assert (dp, dt) == (1, 1)
+
+    def test_every_visit_is_a_node_consumption(self):
+        """processor p consumes conj index t - p at time t."""
+        for trajectory in conjugate_trajectories(2):
+            for processor, time in trajectory.visits:
+                assert trajectory.index == time - processor
+
+    def test_normal_index_relation(self):
+        for trajectory in normal_trajectories(2):
+            for processor, time in trajectory.visits:
+                assert trajectory.index == time + processor
+
+    def test_kind_validated(self):
+        with pytest.raises(ConfigurationError):
+            ValueTrajectory(kind="sideways", index=0, visits=((0, 0),))
+
+
+class TestDiagram:
+    def test_build_conjugate(self):
+        diagram = SpaceTimeDelayDiagram.build(3)
+        assert diagram.kind == CONJUGATE
+        assert diagram.all_systolic()
+
+    def test_build_normal(self):
+        diagram = SpaceTimeDelayDiagram.build(3, kind=NORMAL)
+        assert diagram.all_systolic()
+
+    def test_processors(self):
+        assert SpaceTimeDelayDiagram.build(2).processors == (-2, -1, 0, 1, 2)
+
+    def test_max_delay_is_array_span(self):
+        # a value traversing the whole array needs P-1 = 2M delays
+        diagram = SpaceTimeDelayDiagram.build(3)
+        assert diagram.max_delay() == 6
+
+    def test_delay_grid_relative_times(self):
+        diagram = SpaceTimeDelayDiagram.build(2, f_values=(0, 1, 2))
+        grid = diagram.delay_grid()
+        # each (processor, relative delay) cell holds one value index
+        assert all(isinstance(v, int) for v in grid.values())
+        # a trajectory entering at delay 0 exists
+        assert any(delay == 0 for (_p, delay) in grid)
+
+
+class TestRegisterCounts:
+    def test_chain_register_count(self):
+        assert chain_register_count(127) == 126
+
+    def test_minimal_structure_paper_scale(self):
+        structure = minimal_register_structure(63)
+        assert structure.num_processors == 127
+        assert structure.registers_per_link == 1
+        assert structure.total_registers == 126
+        assert structure.flow_direction == +1
+
+    def test_normal_structure_flows_left(self):
+        structure = minimal_register_structure(3, kind=NORMAL)
+        assert structure.flow_direction == -1
+
+    def test_combined_count_figure7(self):
+        # both counter-flowing chains
+        assert combined_register_count(3) == 12
+        assert combined_register_count(63) == 252
+
+    def test_kind_validated(self):
+        with pytest.raises(ConfigurationError):
+            minimal_register_structure(3, kind="diagonal")
+
+
+class TestRegisterChain:
+    def test_load_and_read(self):
+        chain = RegisterChain(3)
+        chain.load([10, 20, 30])
+        assert chain.read(1) == 20
+
+    def test_load_length_checked(self):
+        with pytest.raises(ConfigurationError):
+            RegisterChain(3).load([1, 2])
+
+    def test_forward_shift(self):
+        chain = RegisterChain(3, direction=+1)
+        chain.load([1, 2, 3])
+        out = chain.clock(99)
+        assert out == 3
+        assert chain.snapshot() == [99, 1, 2]
+
+    def test_backward_shift(self):
+        chain = RegisterChain(3, direction=-1)
+        chain.load([1, 2, 3])
+        out = chain.clock(99)
+        assert out == 1
+        assert chain.snapshot() == [2, 3, 99]
+
+    def test_clock_count(self):
+        chain = RegisterChain(2)
+        chain.load([0, 0])
+        chain.clock(1)
+        chain.clock(2)
+        assert chain.clock_count == 2
+
+    def test_read_bounds(self):
+        chain = RegisterChain(2)
+        with pytest.raises(ConfigurationError):
+            chain.read(2)
+
+    def test_direction_validated(self):
+        with pytest.raises(ConfigurationError):
+            RegisterChain(4, direction=0)

@@ -1,0 +1,179 @@
+"""Tests for repro.mapping.transform and projections (expressions 4-7)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, MappingError
+from repro.mapping.dg import (
+    ACCUMULATE,
+    Edge,
+    dcfd_dependence_graph_2d,
+    dcfd_dependence_graph_3d,
+)
+from repro.mapping.projections import (
+    P1,
+    P2,
+    P2A1,
+    P2A2,
+    P2B,
+    S1,
+    S2,
+    composition_identity_holds,
+    skew_mapping_conjugate,
+    skew_mapping_normal,
+    step1_mapping,
+    step2_mapping,
+)
+from repro.mapping.transform import (
+    MappedGraph,
+    SpaceTimeMapping,
+    composed_assignment,
+)
+
+
+class TestSpaceTimeMapping:
+    def test_defining_equations(self):
+        mapping = step1_mapping()
+        # v_new = P^T v, t = s^T v
+        assert mapping.processor((2, -1, 5)) == (2, -1)
+        assert mapping.time((2, -1, 5)) == 5
+
+    def test_map_displacement(self):
+        mapping = step1_mapping()
+        processor, delay = mapping.map_displacement((0, 0, 1))
+        assert processor == (0, 0)
+        assert delay == 1
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            SpaceTimeMapping(assignment=np.eye(3, dtype=int), schedule=[1, 0])
+
+    def test_node_dimension_checked(self):
+        with pytest.raises(ConfigurationError):
+            step1_mapping().processor((1, 2))
+
+    def test_injectivity_detection(self):
+        nodes = [(0, 0), (1, 1)]
+        # degenerate mapping: processor = 0, time = 0 for everything
+        degenerate = SpaceTimeMapping(
+            assignment=np.zeros((2, 1), dtype=int), schedule=[0, 0]
+        )
+        assert not degenerate.is_injective_on(nodes)
+        assert step2_mapping().is_injective_on(nodes)
+
+    def test_causality_check(self):
+        mapping = step1_mapping()
+        bad_edge = Edge(node=(0, 0, 0), displacement=(0, 0, -1), kind=ACCUMULATE)
+        with pytest.raises(MappingError, match="causality"):
+            mapping.check_causality([bad_edge])
+
+
+class TestStep1:
+    """P1/s1 (expression 4): collapse n."""
+
+    def test_matrices(self):
+        assert P1.shape == (3, 2)
+        assert np.array_equal(S1, [0, 0, 1])
+
+    def test_processor_count_after_mapping(self):
+        graph = dcfd_dependence_graph_3d(2, num_blocks=3)
+        mapped = step1_mapping().apply(graph)
+        assert mapped.num_processors == 25  # the 5x5 (f, a) plane
+
+    def test_accumulation_becomes_register_loop(self):
+        """Figure 3: the (0,0,1) edge maps to the same processor with
+        delay 1 — a register + adder."""
+        graph = dcfd_dependence_graph_3d(1, num_blocks=2)
+        mapped = step1_mapping().apply(graph)
+        for _edge, (displacement, delay) in mapped.mapped_edges:
+            assert displacement == (0, 0)
+            assert delay == 1
+
+    def test_schedule_orders_planes(self):
+        mapping = step1_mapping()
+        assert mapping.time((0, 0, 0)) < mapping.time((0, 0, 1))
+
+    def test_utilization_full(self):
+        graph = dcfd_dependence_graph_3d(1, num_blocks=4)
+        mapped = step1_mapping().apply(graph)
+        assert mapped.utilization() == pytest.approx(1.0)
+
+
+class TestStep2:
+    """P2/s2 (expression 5): collapse f -> linear array over a."""
+
+    def test_matrices(self):
+        assert P2.shape == (2, 1)
+        assert np.array_equal(S2, [1, 0])
+
+    def test_processor_is_a_time_is_f(self):
+        mapping = step2_mapping()
+        assert mapping.processor((5, -2)) == (-2,)
+        assert mapping.time((5, -2)) == 5
+
+    def test_paper_statement_f0_at_t0(self):
+        """'the results for f = 0 are calculated at t = 0'"""
+        assert step2_mapping().time((0, 3)) == 0
+
+    def test_linear_array_size(self):
+        graph = dcfd_dependence_graph_2d(63)
+        mapped = step2_mapping().apply(graph)
+        assert mapped.num_processors == 127  # '127 complex multipliers'
+
+    def test_makespan_is_frequency_count(self):
+        graph = dcfd_dependence_graph_2d(3, f_values=(0, 1, 2, 3))
+        mapped = step2_mapping().apply(graph)
+        assert mapped.makespan == 4
+
+    def test_per_processor_schedule(self):
+        graph = dcfd_dependence_graph_2d(2)
+        mapped = step2_mapping().apply(graph)
+        schedule = mapped.schedule_of((1,))
+        # processor a=1 computes f = -2..2 in order
+        assert [node for _t, node in schedule] == [
+            (-2, 1), (-1, 1), (0, 1), (1, 1), (2, 1)
+        ]
+
+    def test_collision_detection(self):
+        # identity schedule on both axes maps (0,1) and (1,0) to the
+        # same processor/time under a rank-deficient assignment
+        degenerate = SpaceTimeMapping(
+            assignment=np.array([[1], [1]]), schedule=[1, 1]
+        )
+        graph = dcfd_dependence_graph_2d(1, f_values=(0, 1))
+        with pytest.raises(MappingError, match="sends both"):
+            degenerate.apply(graph)
+
+
+class TestTwoStageIdentity:
+    """The paper's composition check below expression 7."""
+
+    def test_identity_holds(self):
+        assert composition_identity_holds()
+
+    def test_explicit_products(self):
+        # P2b^T P2a1^T = (P2a1 P2b)^T = P2^T
+        assert np.array_equal(composed_assignment(P2B, P2A1), P2)
+        assert np.array_equal(composed_assignment(P2B, P2A2), P2)
+
+    def test_composed_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            composed_assignment(np.eye(3, dtype=int), P2A1)
+
+    def test_skew_mappings_exist(self):
+        assert skew_mapping_conjugate().name == "P2a1/s2"
+        assert skew_mapping_normal().name == "P2a2/s2"
+
+
+class TestMappedGraph:
+    def test_time_range(self):
+        graph = dcfd_dependence_graph_2d(2)
+        mapped = step2_mapping().apply(graph)
+        assert mapped.time_range == (-2, 2)
+
+    def test_is_dataclass_frozen(self):
+        graph = dcfd_dependence_graph_2d(1)
+        mapped = step2_mapping().apply(graph)
+        assert isinstance(mapped, MappedGraph)
+        with pytest.raises(AttributeError):
+            mapped.placements = {}

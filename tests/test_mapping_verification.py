@@ -1,0 +1,97 @@
+"""Tests for repro.mapping.verification — mapped-architecture checking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MappingError
+from repro.mapping.dg import ACCUMULATE, DependenceGraph, Edge, dcfd_dependence_graph_3d
+from repro.mapping.projections import step1_mapping
+from repro.mapping.transform import SpaceTimeMapping
+from repro.mapping.verification import (
+    VerificationReport,
+    assert_valid,
+    verify_mapped_graph,
+)
+
+
+def chain_graph(length=4):
+    """A 1-D pipeline: node (i,) depends on (i-1,)."""
+    graph = DependenceGraph(dimension=1)
+    for i in range(length):
+        graph.add_node((i,))
+    for i in range(1, length):
+        graph.add_edge(Edge(node=(i,), displacement=(1,), kind=ACCUMULATE))
+    return graph
+
+
+class TestValidMappings:
+    def test_paper_step1_verifies_clean(self):
+        graph = dcfd_dependence_graph_3d(2, num_blocks=3)
+        mapped = step1_mapping().apply(graph)
+        report = assert_valid(mapped)
+        assert report.ok
+        assert report.dependences_checked == 25 * 2
+        assert report.max_hops_per_step == 0.0  # register loop, no hops
+
+    def test_systolic_chain_within_reach(self):
+        # map the pipeline across processors: processor = i, time = i
+        graph = chain_graph(5)
+        mapping = SpaceTimeMapping(
+            assignment=np.array([[1]]), schedule=[1]
+        )
+        report = verify_mapped_graph(mapping.apply(graph), reach=1)
+        assert report.ok
+        assert report.max_hops_per_step == 1.0
+
+
+class TestViolations:
+    def test_teleporting_dependence_flagged(self):
+        # processor = 2i means data must jump two PEs per step
+        graph = chain_graph(4)
+        mapping = SpaceTimeMapping(
+            assignment=np.array([[2]]), schedule=[1]
+        )
+        report = verify_mapped_graph(mapping.apply(graph), reach=1)
+        assert not report.ok
+        assert any("hops" in violation for violation in report.violations)
+
+    def test_reach_two_accepts_it(self):
+        graph = chain_graph(4)
+        mapping = SpaceTimeMapping(
+            assignment=np.array([[2]]), schedule=[1]
+        )
+        assert verify_mapped_graph(mapping.apply(graph), reach=2).ok
+
+    def test_port_pressure_flagged(self):
+        # two producers feeding one consumer in the same step
+        graph = DependenceGraph(dimension=2)
+        for node in [(0, 0), (0, 1), (1, 0)]:
+            graph.add_node(node)
+        graph.add_edge(Edge(node=(1, 0), displacement=(1, 0), kind=ACCUMULATE))
+        graph.add_edge(Edge(node=(1, 0), displacement=(1, -1), kind=ACCUMULATE))
+        mapping = SpaceTimeMapping(
+            assignment=np.array([[0], [1]]), schedule=[1, 0]
+        )
+        mapped = mapping.apply(graph)
+        report = verify_mapped_graph(mapped, reach=2, max_input_ports=1)
+        assert not report.ok
+        assert any("input" in violation for violation in report.violations)
+
+    def test_assert_valid_raises(self):
+        graph = chain_graph(3)
+        mapping = SpaceTimeMapping(
+            assignment=np.array([[3]]), schedule=[1]
+        )
+        with pytest.raises(MappingError, match="verification"):
+            assert_valid(mapping.apply(graph), reach=1)
+
+    def test_type_guard(self):
+        with pytest.raises(MappingError):
+            verify_mapped_graph("mapped")
+
+
+class TestReport:
+    def test_ok_property(self):
+        clean = VerificationReport(1, 0.0, 1)
+        dirty = VerificationReport(1, 0.0, 1, violations=("bad",))
+        assert clean.ok and not dirty.ok

@@ -1,0 +1,173 @@
+"""Tests for repro.montium.alu, interconnect and timing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicationError, ConfigurationError
+from repro.montium.alu import ComplexALU
+from repro.montium.interconnect import Crossbar
+from repro.montium.timing import (
+    MONTIUM_CLOCK_HZ,
+    TABLE1_CATEGORIES,
+    ClockModel,
+    CycleCounter,
+)
+
+
+class TestComplexALU:
+    def test_float_multiply(self):
+        alu = ComplexALU()
+        assert alu.multiply(1 + 2j, 3 - 1j) == (1 + 2j) * (3 - 1j)
+        assert alu.multiply_count == 1
+
+    def test_mac(self):
+        alu = ComplexALU()
+        assert alu.multiply_accumulate(1j, 2.0, 3.0) == 6.0 + 1j
+
+    def test_butterfly_float(self):
+        alu = ComplexALU()
+        upper, lower = alu.butterfly(1.0, 1.0, -1.0)
+        assert upper == 0.0
+        assert lower == 2.0
+        assert alu.butterfly_count == 1
+
+    def test_butterfly_scaling(self):
+        alu = ComplexALU()
+        upper, lower = alu.butterfly(1.0, 1.0, 1.0, scale=True)
+        assert upper == 1.0 and lower == 0.0
+
+    def test_q15_multiply_quantizes(self):
+        alu = ComplexALU(datapath="q15")
+        product = alu.multiply(0.5, 0.5)
+        assert product.real == pytest.approx(0.25, abs=1e-4)
+
+    def test_q15_add_saturates(self):
+        alu = ComplexALU(datapath="q15")
+        total = alu.add(0.9, 0.9)
+        assert total.real == pytest.approx(32767 / 32768)
+
+    def test_q15_butterfly_matches_float_for_small_values(self):
+        float_alu = ComplexALU()
+        q15_alu = ComplexALU(datapath="q15")
+        w = np.exp(-2j * np.pi / 8)
+        fu, fl = float_alu.butterfly(0.1 + 0.05j, 0.07 - 0.02j, w)
+        qu, ql = q15_alu.butterfly(0.1 + 0.05j, 0.07 - 0.02j, w)
+        assert abs(fu - qu) < 1e-3 and abs(fl - ql) < 1e-3
+
+    def test_counter_reset(self):
+        alu = ComplexALU()
+        alu.multiply(1.0, 1.0)
+        alu.reset_counters()
+        assert alu.multiply_count == 0
+
+    def test_datapath_validated(self):
+        with pytest.raises(ConfigurationError):
+            ComplexALU(datapath="float64")
+
+
+class TestCrossbar:
+    def make(self):
+        return Crossbar(["A", "B", "C"])
+
+    def test_configured_route_transfers(self):
+        xbar = self.make()
+        xbar.configure([("A", "B")])
+        assert xbar.transfer("A", "B", 42) == 42
+        assert xbar.transfer_count == 1
+
+    def test_unconfigured_route_raises(self):
+        xbar = self.make()
+        with pytest.raises(CommunicationError):
+            xbar.transfer("A", "B", 1)
+
+    def test_routes_are_directed(self):
+        xbar = self.make()
+        xbar.configure([("A", "B")])
+        with pytest.raises(CommunicationError):
+            xbar.transfer("B", "A", 1)
+
+    def test_unknown_endpoint_rejected(self):
+        xbar = self.make()
+        with pytest.raises(ConfigurationError):
+            xbar.configure([("A", "Z")])
+
+    def test_self_route_rejected(self):
+        xbar = self.make()
+        with pytest.raises(ConfigurationError):
+            xbar.configure([("A", "A")])
+
+    def test_duplicate_endpoints_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Crossbar(["A", "A"])
+
+    def test_clear_routes(self):
+        xbar = self.make()
+        xbar.configure([("A", "B")])
+        xbar.clear_routes()
+        with pytest.raises(CommunicationError):
+            xbar.transfer("A", "B", 1)
+
+
+class TestCycleCounter:
+    def test_add_and_total(self):
+        counter = CycleCounter()
+        counter.add("FFT", 1040)
+        counter.add("reshuffling", 256)
+        assert counter.total == 1296
+
+    def test_accumulates(self):
+        counter = CycleCounter()
+        counter.add("FFT", 100)
+        counter.add("FFT", 40)
+        assert counter.get("FFT") == 140
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            CycleCounter().add("FFT", -1)
+
+    def test_table_rows_order(self):
+        counter = CycleCounter()
+        for category in reversed(TABLE1_CATEGORIES):
+            counter.add(category, 1)
+        rows = counter.table_rows()
+        assert [row[0] for row in rows[:-1]] == list(TABLE1_CATEGORIES)
+        assert rows[-1] == ("total", 5)
+
+    def test_merge(self):
+        a = CycleCounter()
+        a.add("FFT", 10)
+        b = CycleCounter()
+        b.add("FFT", 5)
+        b.add("read data", 3)
+        a.merge(b)
+        assert a.get("FFT") == 15
+        assert a.get("read data") == 3
+
+    def test_reset(self):
+        counter = CycleCounter()
+        counter.add("FFT", 10)
+        counter.reset()
+        assert counter.total == 0
+
+
+class TestClockModel:
+    def test_paper_headline_number(self):
+        """13996 cycles at 100 MHz = 139.96 us."""
+        clock = ClockModel(MONTIUM_CLOCK_HZ)
+        assert clock.microseconds(13996) == pytest.approx(139.96)
+
+    def test_seconds(self):
+        assert ClockModel(1e6).seconds(1000) == pytest.approx(1e-3)
+
+    def test_cycles_for(self):
+        assert ClockModel(100e6).cycles_for(1e-6) == 100
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ClockModel(1e6).seconds(-1)
+        with pytest.raises(ConfigurationError):
+            ClockModel(1e6).cycles_for(-1.0)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ConfigurationError):
+            ClockModel(0.0)

@@ -1,0 +1,158 @@
+"""Tests for repro.montium.fixedpoint — the Q15 16-bit datapath."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.montium.fixedpoint import (
+    DYNAMIC_RANGE_DB,
+    Q15_MAX,
+    Q15_MIN,
+    complex_to_q15,
+    from_q15,
+    is_q15,
+    q15_add,
+    q15_complex_add,
+    q15_complex_conjugate,
+    q15_complex_multiply,
+    q15_complex_subtract,
+    q15_multiply,
+    q15_shift_right,
+    q15_subtract,
+    q15_to_complex,
+    quantize_complex_array,
+    saturate,
+    to_q15,
+)
+
+
+class TestRange:
+    def test_bounds(self):
+        assert Q15_MAX == 32767
+        assert Q15_MIN == -32768
+
+    def test_dynamic_range_is_papers_96db(self):
+        """Section 4.1: 'for dynamic ranges smaller than 96 dB, the
+        Montium memories are sufficiently large.'"""
+        assert DYNAMIC_RANGE_DB == pytest.approx(96.33, abs=0.01)
+
+    def test_is_q15(self):
+        assert is_q15(0) and is_q15(Q15_MAX) and is_q15(Q15_MIN)
+        assert not is_q15(Q15_MAX + 1)
+        assert not is_q15(0.5)
+
+
+class TestConversion:
+    def test_round_trip_exact_values(self):
+        for value in (0.0, 0.5, -0.5, 0.25):
+            assert from_q15(to_q15(value)) == pytest.approx(value)
+
+    def test_saturates_at_one(self):
+        assert to_q15(1.0) == Q15_MAX
+        assert to_q15(-1.0) == Q15_MIN
+        assert to_q15(2.0) == Q15_MAX
+
+    def test_quantisation_step(self):
+        assert to_q15(1.0 / 32768) == 1
+
+    def test_rejects_nan(self):
+        with pytest.raises(SimulationError):
+            to_q15(float("nan"))
+
+    def test_from_q15_validates(self):
+        with pytest.raises(SimulationError):
+            from_q15(40000)
+
+
+class TestScalarOps:
+    def test_add(self):
+        assert q15_add(to_q15(0.25), to_q15(0.25)) == to_q15(0.5)
+
+    def test_add_saturates(self):
+        assert q15_add(Q15_MAX, 1) == Q15_MAX
+        assert q15_add(Q15_MIN, -1) == Q15_MIN
+
+    def test_subtract_saturates(self):
+        assert q15_subtract(Q15_MIN, 1) == Q15_MIN
+
+    def test_multiply(self):
+        assert from_q15(q15_multiply(to_q15(0.5), to_q15(0.5))) == pytest.approx(
+            0.25, abs=1e-4
+        )
+
+    def test_multiply_minus_one_squared_saturates(self):
+        # -1 x -1 = +1 which is one LSB above Q15_MAX
+        assert q15_multiply(Q15_MIN, Q15_MIN) == Q15_MAX
+
+    def test_multiply_rounds_to_nearest(self):
+        # 1 * 1 (LSBs) -> 1/32768^2, rounds to 0
+        assert q15_multiply(1, 1) == 0
+
+    def test_shift_right(self):
+        assert q15_shift_right(to_q15(0.5)) == to_q15(0.25)
+
+    def test_shift_right_rounds(self):
+        assert q15_shift_right(3, 1) == 2  # (3 + 1) >> 1
+
+    def test_shift_zero_is_identity(self):
+        assert q15_shift_right(123, 0) == 123
+
+    def test_shift_rejects_negative_amount(self):
+        with pytest.raises(SimulationError):
+            q15_shift_right(1, -1)
+
+    def test_operand_validation(self):
+        with pytest.raises(SimulationError):
+            q15_add(0.5, 1)
+        with pytest.raises(SimulationError):
+            q15_multiply(1, 10**6)
+
+
+class TestComplexOps:
+    def test_round_trip(self):
+        value = 0.25 - 0.125j
+        assert q15_to_complex(complex_to_q15(value)) == pytest.approx(value)
+
+    def test_complex_multiply(self):
+        a = complex_to_q15(0.5 + 0.0j)
+        b = complex_to_q15(0.0 + 0.5j)
+        product = q15_to_complex(q15_complex_multiply(a, b))
+        assert product == pytest.approx(0.25j, abs=1e-4)
+
+    def test_complex_add_subtract(self):
+        a = complex_to_q15(0.25 + 0.25j)
+        b = complex_to_q15(0.25 - 0.125j)
+        assert q15_to_complex(q15_complex_add(a, b)) == pytest.approx(
+            0.5 + 0.125j
+        )
+        assert q15_to_complex(q15_complex_subtract(a, b)) == pytest.approx(
+            0.375j
+        )
+
+    def test_conjugate(self):
+        assert q15_to_complex(
+            q15_complex_conjugate(complex_to_q15(0.5 + 0.25j))
+        ) == pytest.approx(0.5 - 0.25j)
+
+    def test_conjugate_saturates_min_imag(self):
+        real, imag = q15_complex_conjugate((0, Q15_MIN))
+        assert imag == Q15_MAX  # -(-1) saturates to the largest positive
+
+    def test_quantize_array_error_bound(self):
+        rng = np.random.default_rng(0)
+        values = (rng.normal(size=100) + 1j * rng.normal(size=100)) * 0.2
+        quantized = quantize_complex_array(values)
+        assert np.abs(quantized - values).max() < 1.0 / 32768
+
+    def test_quantize_array_clips(self):
+        out = quantize_complex_array(np.array([2.0 + 2.0j]))
+        assert out[0].real == pytest.approx(Q15_MAX / 32768)
+
+
+class TestSaturate:
+    def test_in_range_passthrough(self):
+        assert saturate(100) == 100
+
+    def test_clamps(self):
+        assert saturate(10**9) == Q15_MAX
+        assert saturate(-(10**9)) == Q15_MIN

@@ -1,0 +1,115 @@
+"""Tests for repro.montium.listing and repro.montium.energy."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ProgramError
+from repro.montium.energy import EnergyReport, estimate_energy
+from repro.montium.isa import MacStep, ReadData
+from repro.montium.listing import (
+    format_instruction,
+    format_program,
+    program_statistics,
+)
+from repro.montium.programs import run_integration_step
+from repro.montium.programs.fft256 import fft_program
+from repro.montium.programs.reshuffle import reshuffle_program
+from repro.montium.sequencer import Sequencer
+from repro.montium.tile import MontiumTile, TileConfig
+from repro.signals.noise import awgn
+
+
+def make_tile(**kwargs):
+    defaults = dict(fft_size=16, m=3, num_cores=1, core_index=0)
+    defaults.update(kwargs)
+    return MontiumTile(TileConfig(**defaults))
+
+
+class TestListing:
+    def test_mac_line(self):
+        line = format_instruction(
+            MacStep(cycles=3, category="multiply accumulate", slot=5,
+                    f_index=2, valid=True)
+        )
+        assert "MAC" in line and "slot=5" in line and "3 cy" in line
+
+    def test_padded_mac_flagged(self):
+        line = format_instruction(
+            MacStep(cycles=3, category="multiply accumulate", slot=31,
+                    f_index=0, valid=False)
+        )
+        assert "padded" in line
+
+    def test_read_line(self):
+        line = format_instruction(ReadData(cycles=3, category="read data"))
+        assert "READ" in line
+
+    def test_butterfly_and_setup_lines(self):
+        program = fft_program(TileConfig(fft_size=16, m=3))
+        listing = format_program(program, limit=5)
+        assert "FSETUP" in listing
+        assert "BFLY" in listing
+        assert "more instructions" in listing
+
+    def test_reshuffle_line(self):
+        program = reshuffle_program(TileConfig(fft_size=16, m=3))
+        assert "RSHFL" in format_instruction(program[0])
+
+    def test_rejects_non_instruction(self):
+        with pytest.raises(ProgramError):
+            format_instruction("MAC")
+        with pytest.raises(ProgramError):
+            program_statistics(["MAC"])
+
+    def test_statistics_match_budget(self):
+        config = TileConfig(fft_size=16, m=3)
+        program = fft_program(config)
+        stats = program_statistics(program)
+        assert stats.instruction_count == 4 + 32  # setups + butterflies
+        assert stats.cycles_by_category == {"FFT": 40}
+        assert stats.total_cycles == 40
+        assert stats.counts_by_mnemonic["Butterfly"] == 32
+
+
+class TestEnergyModel:
+    def run_tile(self):
+        tile = make_tile()
+        tile.reset_accumulators()
+        run_integration_step(tile, awgn(16, seed=0), Sequencer(tile))
+        return tile
+
+    def test_report_structure(self):
+        report = estimate_energy(self.run_tile())
+        assert isinstance(report, EnergyReport)
+        assert report.memory_accesses > 0
+        assert report.multiplications > 0
+        assert report.cycles == 231  # small-config budget total
+        assert report.total_pj == pytest.approx(
+            report.memory_energy_pj
+            + report.alu_energy_pj
+            + report.baseline_energy_pj
+        )
+
+    def test_average_power_positive(self):
+        report = estimate_energy(self.run_tile())
+        assert report.average_power_mw(100e6) > 0.0
+
+    def test_power_density_same_ballpark_as_paper(self):
+        """The activity-based estimate lands within a factor ~3 of the
+        paper's 500 uW/MHz for the CFD workload."""
+        tile = MontiumTile(
+            TileConfig(fft_size=256, m=63, num_cores=4, core_index=0)
+        )
+        tile.reset_accumulators()
+        run_integration_step(tile, awgn(256, seed=1), Sequencer(tile))
+        density = estimate_energy(tile).power_density_uw_per_mhz(100e6)
+        assert 150.0 < density < 1500.0
+
+    def test_zero_cycle_guard(self):
+        tile = make_tile()
+        report = estimate_energy(tile)
+        with pytest.raises(ConfigurationError):
+            report.average_power_mw(100e6)
+
+    def test_type_guard(self):
+        with pytest.raises(ConfigurationError):
+            estimate_energy("tile")

@@ -1,0 +1,156 @@
+"""Tests for repro.montium.memory, agu and regfile."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MemoryAccessError, SimulationError
+from repro.montium.agu import AddressGenerator, bit_reversed_sequence
+from repro.montium.memory import MEMORY_WORDS, Memory
+from repro.montium.regfile import RegisterFile
+
+
+class TestMemory:
+    def test_default_sizing_matches_paper(self):
+        """8 memories x 1024 words = the paper's 8K 16-bit words."""
+        assert MEMORY_WORDS == 1024
+        assert 8 * MEMORY_WORDS == 8192
+
+    def test_complex_capacity(self):
+        assert Memory("M01").complex_capacity == 512
+
+    def test_write_read(self):
+        memory = Memory("M01")
+        memory.write(5, 1.5)
+        assert memory.read(5) == 1.5
+
+    def test_read_uninitialised_raises(self):
+        with pytest.raises(MemoryAccessError, match="uninitialised"):
+            Memory("M01").read(0)
+
+    def test_bounds(self):
+        memory = Memory("M01", words=8)
+        with pytest.raises(MemoryAccessError):
+            memory.write(8, 0.0)
+        with pytest.raises(MemoryAccessError):
+            memory.read(-1)
+
+    def test_access_counters(self):
+        memory = Memory("M01")
+        memory.write(0, 1.0)
+        memory.write(1, 2.0)
+        memory.read(0)
+        assert memory.write_count == 2
+        assert memory.read_count == 1
+
+    def test_complex_pair_convention(self):
+        memory = Memory("M01")
+        memory.write_complex(3, 1.0 - 2.0j)
+        assert memory.read(6) == 1.0
+        assert memory.read(7) == -2.0
+        assert memory.read_complex(3) == 1.0 - 2.0j
+
+    def test_q15_datapath_stores_ints(self):
+        memory = Memory("M01", datapath="q15")
+        memory.write_complex(0, 0.5 + 0.25j)
+        real, imag = memory.read_complex_q15(0)
+        assert (real, imag) == (16384, 8192)
+
+    def test_q15_rejects_float_word(self):
+        memory = Memory("M01", datapath="q15")
+        with pytest.raises(MemoryAccessError):
+            memory.write(0, 0.5)
+
+    def test_q15_only_methods_guarded(self):
+        memory = Memory("M01", datapath="float")
+        with pytest.raises(MemoryAccessError):
+            memory.read_complex_q15(0)
+        with pytest.raises(MemoryAccessError):
+            memory.write_complex_q15(0, (0, 0))
+
+    def test_clear(self):
+        memory = Memory("M01")
+        memory.write(0, 1.0)
+        memory.clear()
+        assert memory.write_count == 0
+        with pytest.raises(MemoryAccessError):
+            memory.read(0)
+
+    def test_initialised_words(self):
+        memory = Memory("M01")
+        memory.write(0, 1.0)
+        memory.write(5, 1.0)
+        assert memory.initialised_words() == 2
+
+    def test_peek_skips_checks(self):
+        memory = Memory("M01")
+        assert memory.peek(0) is None
+
+    def test_datapath_validated(self):
+        with pytest.raises(ConfigurationError):
+            Memory("M01", datapath="q31")
+
+
+class TestAddressGenerator:
+    def test_affine_sequence(self):
+        agu = AddressGenerator(base=4, stride=2)
+        assert agu.take(3) == [4, 6, 8]
+
+    def test_modulo_wrap(self):
+        agu = AddressGenerator(base=2, stride=1, modulo=4)
+        assert agu.take(5) == [2, 3, 0, 1, 2]
+
+    def test_negative_stride_with_modulo(self):
+        agu = AddressGenerator(base=0, stride=-1, modulo=4)
+        assert agu.take(3) == [0, 3, 2]
+
+    def test_negative_address_without_modulo_raises(self):
+        agu = AddressGenerator(base=0, stride=-1)
+        agu.next()
+        with pytest.raises(ConfigurationError):
+            agu.next()
+
+    def test_length_limit(self):
+        agu = AddressGenerator(length=2)
+        agu.take(2)
+        with pytest.raises(ConfigurationError, match="exhausted"):
+            agu.next()
+
+    def test_reset(self):
+        agu = AddressGenerator(base=1, stride=1)
+        agu.take(3)
+        agu.reset()
+        assert agu.next() == 1
+        assert agu.produced == 1
+
+    def test_base_must_fit_modulo(self):
+        with pytest.raises(ConfigurationError):
+            AddressGenerator(base=4, modulo=4)
+
+    def test_bit_reversed_sequence(self):
+        assert bit_reversed_sequence(8) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_bit_reversed_rejects_non_power(self):
+        with pytest.raises(ConfigurationError):
+            bit_reversed_sequence(6)
+
+
+class TestRegisterFile:
+    def test_write_read(self):
+        rf = RegisterFile("RF01")
+        rf.write(2, 1.5 + 0.5j)
+        assert rf.read(2) == 1.5 + 0.5j
+
+    def test_uninitialised_read_raises(self):
+        with pytest.raises(SimulationError):
+            RegisterFile("RF01").read(0)
+
+    def test_bounds(self):
+        rf = RegisterFile("RF01", size=2)
+        with pytest.raises(SimulationError):
+            rf.write(2, 0.0)
+
+    def test_counters_and_clear(self):
+        rf = RegisterFile("RF01")
+        rf.write(0, 1.0)
+        rf.read(0)
+        rf.clear()
+        assert rf.read_count == 0 and rf.write_count == 0

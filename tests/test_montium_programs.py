@@ -1,0 +1,206 @@
+"""Tests for repro.montium.programs and the sequencer — Table 1 from
+executing instruction streams."""
+
+import numpy as np
+import pytest
+
+from repro.core.fourier import block_spectra
+from repro.core.scf import dscf
+from repro.errors import ProgramError
+from repro.montium.isa import (
+    Butterfly,
+    FftStageSetup,
+    InitialLoad,
+    Instruction,
+    MacStep,
+    ReadData,
+    ReshuffleMove,
+)
+from repro.montium.programs import (
+    initial_load_program,
+    integration_step_cycle_budget,
+    mac_group_program,
+    read_data_program,
+    run_integration_step,
+)
+from repro.montium.programs.fft256 import fft_cycle_count, fft_program
+from repro.montium.programs.reshuffle import reshuffle_program
+from repro.montium.sequencer import Sequencer
+from repro.montium.tile import MontiumTile, TileConfig
+from repro.signals.noise import awgn
+
+
+def make_tile(**kwargs):
+    defaults = dict(fft_size=16, m=3, num_cores=1, core_index=0)
+    defaults.update(kwargs)
+    return MontiumTile(TileConfig(**defaults))
+
+
+class TestFftProgram:
+    def test_cycle_count_paper(self):
+        """The 256-point FFT's 1040 cycles (from [3])."""
+        assert fft_cycle_count(256) == 1040
+
+    def test_cycle_count_formula(self):
+        # (K/2) log2 K butterflies + 2 cycles per stage
+        assert fft_cycle_count(16) == 8 * 4 + 2 * 4
+
+    def test_instruction_mix(self):
+        program = fft_program(TileConfig(fft_size=16, m=3))
+        setups = [i for i in program if isinstance(i, FftStageSetup)]
+        butterflies = [i for i in program if isinstance(i, Butterfly)]
+        assert len(setups) == 4
+        assert len(butterflies) == 32
+
+    def test_executes_correct_fft(self, rng):
+        tile = make_tile()
+        samples = rng.normal(size=16) + 1j * rng.normal(size=16)
+        tile.inject_samples(samples)
+        Sequencer(tile).run(fft_program(tile.config))
+        spectrum = np.array([tile.read_spectrum_bin(v) for v in range(-8, 8)])
+        assert np.allclose(spectrum, np.fft.fftshift(np.fft.fft(samples)))
+
+    def test_q15_fft_scales_by_k(self, rng):
+        tile = make_tile(datapath="q15")
+        samples = 0.3 * (rng.normal(size=16) + 1j * rng.normal(size=16)) / 4
+        tile.inject_samples(samples)
+        Sequencer(tile).run(fft_program(tile.config))
+        spectrum = np.array([tile.read_spectrum_bin(v) for v in range(-8, 8)])
+        expected = np.fft.fftshift(np.fft.fft(samples)) / 16
+        assert tile.spectrum_scale == pytest.approx(1 / 16)
+        assert np.abs(spectrum - expected).max() < 5e-3
+
+
+class TestReshuffleProgram:
+    def test_length_is_k(self):
+        assert len(reshuffle_program(TileConfig(fft_size=16, m=3))) == 16
+
+    def test_produces_conjugated_centered_copy(self, rng):
+        tile = make_tile()
+        samples = rng.normal(size=16) + 1j * rng.normal(size=16)
+        tile.inject_samples(samples)
+        sequencer = Sequencer(tile)
+        sequencer.run(fft_program(tile.config))
+        sequencer.run(reshuffle_program(tile.config))
+        for v in range(-8, 8):
+            assert tile.read_conjugate_bin(v) == pytest.approx(
+                np.conj(tile.read_spectrum_bin(v))
+            )
+
+
+class TestCycleBudget:
+    def test_paper_table1(self):
+        """The closed-form budget reproduces Table 1 row by row."""
+        config = TileConfig(fft_size=256, m=63, num_cores=4, core_index=0)
+        budget = integration_step_cycle_budget(config)
+        assert budget["multiply accumulate"] == 12192
+        assert budget["read data"] == 381
+        assert budget["FFT"] == 1040
+        assert budget["reshuffling"] == 256
+        assert budget["initialisation"] == 127
+        assert budget["total"] == 13996
+
+    def test_executed_cycles_match_budget(self):
+        """Executing the streams must charge exactly the budget."""
+        tile = make_tile()
+        tile.reset_accumulators()
+        run_integration_step(tile, awgn(16, seed=0))
+        budget = integration_step_cycle_budget(tile.config)
+        for category, cycles in tile.cycle_counter.cycles.items():
+            assert cycles == budget[category], category
+        assert tile.cycle_counter.total == budget["total"]
+
+    def test_budget_scales_with_latency(self):
+        fast = integration_step_cycle_budget(
+            TileConfig(fft_size=16, m=3, mac_latency=1)
+        )
+        slow = integration_step_cycle_budget(
+            TileConfig(fft_size=16, m=3, mac_latency=3)
+        )
+        assert slow["multiply accumulate"] == 3 * fast["multiply accumulate"]
+
+
+class TestMacPrograms:
+    def test_group_size_is_t(self):
+        config = TileConfig(fft_size=256, m=63, num_cores=4, core_index=0)
+        assert len(mac_group_program(config, 0)) == 32
+
+    def test_padding_flags(self):
+        config = TileConfig(fft_size=256, m=63, num_cores=4, core_index=3)
+        group = mac_group_program(config, 0)
+        assert [step.valid for step in group[:31]] == [True] * 31
+        assert group[31].valid is False
+
+    def test_f_index_validated(self):
+        config = TileConfig(fft_size=16, m=3)
+        with pytest.raises(ValueError):
+            mac_group_program(config, 7)
+
+    def test_read_program_single_instruction(self):
+        config = TileConfig(fft_size=16, m=3)
+        program = read_data_program(config)
+        assert len(program) == 1
+        assert isinstance(program[0], ReadData)
+
+    def test_initial_load_cycles(self):
+        config = TileConfig(fft_size=256, m=63, num_cores=4, core_index=1)
+        program = initial_load_program(config)
+        assert program[0].cycles == 127
+
+
+class TestSingleTileIntegration:
+    def test_dscf_matches_reference(self):
+        k, m, blocks = 16, 3, 5
+        samples = awgn(k * blocks, seed=17)
+        tile = make_tile()
+        tile.reset_accumulators()
+        sequencer = Sequencer(tile)
+        for n in range(blocks):
+            run_integration_step(tile, samples[n * k : (n + 1) * k], sequencer)
+        values = tile.accumulator_values() / blocks
+        reference = dscf(block_spectra(samples, k), m)
+        assert np.allclose(values, reference)
+
+    def test_q15_dscf_close_to_reference(self):
+        k, m, blocks = 16, 3, 4
+        samples = 0.1 * awgn(k * blocks, seed=18)
+        tile = make_tile(datapath="q15")
+        tile.reset_accumulators()
+        sequencer = Sequencer(tile)
+        for n in range(blocks):
+            run_integration_step(tile, samples[n * k : (n + 1) * k], sequencer)
+        values = tile.accumulator_values() / blocks * k**2
+        reference = dscf(block_spectra(samples, k), m)
+        scale = np.abs(reference).max()
+        assert np.abs(values - reference).max() / scale < 0.05
+
+    def test_type_checks(self):
+        with pytest.raises(TypeError):
+            run_integration_step("tile", np.zeros(16))
+        with pytest.raises(TypeError):
+            integration_step_cycle_budget("config")
+
+
+class TestSequencer:
+    def test_rejects_non_instruction(self):
+        tile = make_tile()
+        with pytest.raises(ProgramError):
+            Sequencer(tile).run(["not an instruction"])
+
+    def test_instruction_budget(self):
+        tile = make_tile()
+        sequencer = Sequencer(tile, max_instructions=2)
+        program = [FftStageSetup(cycles=1, category="FFT")] * 3
+        with pytest.raises(ProgramError, match="budget"):
+            sequencer.run(program)
+
+    def test_returns_cycles_spent(self):
+        tile = make_tile()
+        spent = Sequencer(tile).run(
+            [FftStageSetup(cycles=7, category="FFT")]
+        )
+        assert spent == 7
+
+    def test_instruction_negative_cycles_rejected(self):
+        with pytest.raises(ProgramError):
+            Instruction(cycles=-1, category="FFT")

@@ -1,0 +1,220 @@
+"""Tests for repro.montium.tile — configuration and tile state."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    CommunicationError,
+    ConfigurationError,
+    SimulationError,
+)
+from repro.montium.memory import MEMORY_WORDS
+from repro.montium.tile import MontiumTile, TileConfig
+
+
+def make_config(**kwargs):
+    defaults = dict(fft_size=16, m=3, num_cores=1, core_index=0)
+    defaults.update(kwargs)
+    return TileConfig(**defaults)
+
+
+class TestTileConfig:
+    def test_paper_geometry(self):
+        config = TileConfig(fft_size=256, m=63, num_cores=4, core_index=0)
+        assert config.extent == 127
+        assert config.tasks_per_core == 32
+        assert config.valid_slots == 32
+        assert config.effective_init_latency == 127
+
+    def test_last_core_padding(self):
+        config = TileConfig(fft_size=256, m=63, num_cores=4, core_index=3)
+        assert config.first_task == 96
+        assert config.valid_slots == 31  # one padded slot
+        assert config.entry_slot == 30
+
+    def test_slot_validity(self):
+        config = TileConfig(fft_size=256, m=63, num_cores=4, core_index=3)
+        assert config.slot_is_valid(30)
+        assert not config.slot_is_valid(31)
+
+    def test_task_of_slot(self):
+        config = TileConfig(fft_size=256, m=63, num_cores=4, core_index=2)
+        assert config.task_of_slot(0) == 64
+        with pytest.raises(ConfigurationError):
+            config.task_of_slot(32)
+
+    def test_core_index_bounds(self):
+        with pytest.raises(ConfigurationError):
+            TileConfig(fft_size=16, m=3, num_cores=2, core_index=2)
+
+    def test_idle_core_rejected(self):
+        # P = 7, Q = 8 -> core 7 would own nothing
+        with pytest.raises(ConfigurationError):
+            TileConfig(fft_size=16, m=3, num_cores=8, core_index=7)
+
+    def test_fft_size_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            TileConfig(fft_size=100, m=10)
+
+    def test_m_validated_against_k(self):
+        with pytest.raises(ConfigurationError):
+            TileConfig(fft_size=16, m=4)
+
+    def test_memory_capacity_guard(self):
+        # T + K complex must fit one memory's 512 slots
+        with pytest.raises(ConfigurationError):
+            TileConfig(fft_size=1024, m=255, num_cores=1, core_index=0)
+
+    def test_datapath_validated(self):
+        with pytest.raises(ConfigurationError):
+            make_config(datapath="q31")
+
+    def test_init_latency_override(self):
+        assert make_config(init_latency=42).effective_init_latency == 42
+
+
+class TestTileMemoryMap:
+    def test_accumulator_banks(self):
+        tile = MontiumTile(TileConfig(fft_size=256, m=63, num_cores=4, core_index=0))
+        # j = f*T + slot; bank capacity = 512 complex
+        name, slot = tile.accumulator_location(0, 0)
+        assert (name, slot) == ("M01", 0)
+        name, slot = tile.accumulator_location(16, 0)  # j = 512
+        assert (name, slot) == ("M02", 0)
+        name, slot = tile.accumulator_location(126, 31)  # j = 4063
+        assert name == "M08"
+
+    def test_accumulator_bounds(self):
+        tile = MontiumTile(make_config())
+        with pytest.raises(SimulationError):
+            tile.accumulator_location(7, 0)
+        with pytest.raises(SimulationError):
+            tile.accumulator_location(0, 7)
+
+    def test_spectrum_slots_follow_window(self):
+        tile = MontiumTile(make_config())
+        assert tile.spectrum_slot(0) == tile.config.tasks_per_core
+        with pytest.raises(SimulationError):
+            tile.spectrum_slot(16)
+
+    def test_memory_word_usage_fits(self):
+        """Paper's feasibility: accumulators < 8K words, window+spectrum
+        fit M09/M10."""
+        config = TileConfig(fft_size=256, m=63, num_cores=4, core_index=0)
+        used_words = 2 * config.extent * config.tasks_per_core
+        assert used_words == 8128  # < 8K = 8192
+        assert used_words <= 8 * MEMORY_WORDS
+        m09_slots = config.tasks_per_core + config.fft_size
+        assert m09_slots <= MEMORY_WORDS // 2
+
+
+class TestInjectAndReadBins:
+    def test_spectrum_read_back(self):
+        tile = MontiumTile(make_config())
+        samples = np.exp(2j * np.pi * 3 * np.arange(16) / 16)  # tone at bin 3
+        tile.inject_samples(samples)
+        from repro.montium.programs.fft256 import fft_program
+        from repro.montium.sequencer import Sequencer
+
+        Sequencer(tile).run(fft_program(tile.config))
+        assert abs(tile.read_spectrum_bin(3)) == pytest.approx(16.0)
+        assert abs(tile.read_spectrum_bin(5)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_inject_shape_checked(self):
+        tile = MontiumTile(make_config())
+        with pytest.raises(ConfigurationError):
+            tile.inject_samples(np.zeros(8, dtype=complex))
+
+    def test_conjugate_bin_range_checked(self):
+        tile = MontiumTile(make_config())
+        with pytest.raises(SimulationError):
+            tile.read_conjugate_bin(8)  # K=16 -> centered range [-8, 7]
+
+
+class TestWindows:
+    def make_loaded_tile(self):
+        tile = MontiumTile(make_config())  # T = 7 (single core)
+        tile.load_windows(
+            normal_values=[complex(i, 0) for i in range(7)],
+            conjugate_values=[complex(0, i) for i in range(7)],
+        )
+        return tile
+
+    def test_load_and_read(self):
+        tile = self.make_loaded_tile()
+        assert tile.read_window("normal", 3) == 3.0
+        assert tile.read_window("conjugate", 2) == 2j
+
+    def test_load_length_checked(self):
+        tile = MontiumTile(make_config())
+        with pytest.raises(ConfigurationError):
+            tile.load_windows([1.0], [1.0])
+
+    def test_unknown_kind(self):
+        tile = self.make_loaded_tile()
+        with pytest.raises(SimulationError):
+            tile.read_window("sideways", 0)
+
+    def test_shift_semantics(self):
+        tile = self.make_loaded_tile()
+        normal_out, conjugate_out = tile.peek_outgoing()
+        assert normal_out == 0.0       # normal exits at logical 0
+        assert conjugate_out == 6j     # conjugate exits at the entry slot
+        tile.shift_windows(incoming_normal=99.0, incoming_conjugate=88j)
+        # conjugate chain moved up: new logical 0 is the incoming value
+        assert tile.read_window("conjugate", 0) == 88j
+        assert tile.read_window("conjugate", 1) == 0j * 1  # old logical 0
+        # normal chain moved down: new entry slot holds the incoming value
+        assert tile.read_window("normal", tile.config.entry_slot) == 99.0
+        assert tile.read_window("normal", 0) == 1.0  # old logical 1
+
+    def test_last_outgoing_recorded(self):
+        tile = self.make_loaded_tile()
+        tile.shift_windows(0.0, 0.0)
+        assert tile.last_outgoing == (0.0, 6j)
+
+    def test_repeated_shifts_preserve_order(self):
+        tile = self.make_loaded_tile()
+        for step in range(5):
+            tile.shift_windows(
+                incoming_normal=100.0 + step, incoming_conjugate=0j
+            )
+        # after 5 shifts, normal logical positions 2..6 hold incoming values
+        assert tile.read_window("normal", tile.config.entry_slot) == 104.0
+        assert tile.read_window("normal", 0) == 5.0
+
+
+class TestPorts:
+    def test_fifo_order(self):
+        tile = MontiumTile(make_config())
+        tile.push_incoming(1.0, 2.0)
+        tile.push_incoming(3.0, 4.0)
+        assert tile.pop_incoming() == (1.0, 2.0)
+        assert tile.incoming_depth == 1
+
+    def test_underrun_raises(self):
+        tile = MontiumTile(make_config())
+        with pytest.raises(CommunicationError):
+            tile.pop_incoming()
+
+
+class TestAccumulators:
+    def test_must_be_armed(self):
+        tile = MontiumTile(make_config())
+        with pytest.raises(SimulationError, match="never initialised"):
+            tile.accumulate(0, 0, 1.0)
+
+    def test_accumulate_rmw(self):
+        tile = MontiumTile(make_config())
+        tile.reset_accumulators()
+        tile.accumulate(2, 3, 1.0 + 1j)
+        tile.accumulate(2, 3, 2.0)
+        assert tile.accumulator_values()[2, 3] == 3.0 + 1j
+
+    def test_reset_clears_everything(self):
+        tile = MontiumTile(make_config())
+        tile.reset_accumulators()
+        tile.accumulate(0, 0, 5.0)
+        tile.reset()
+        assert not tile.accumulators_ready
+        assert tile.cycle_counter.total == 0

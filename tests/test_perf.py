@@ -1,0 +1,130 @@
+"""Tests for repro.perf — Table 1 closed form, area, power, scaling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.area import MONTIUM_AREA_MM2, platform_area_mm2
+from repro.perf.cycles import CycleBudget, table1_budget
+from repro.perf.power import (
+    MONTIUM_POWER_UW_PER_MHZ,
+    platform_power_mw,
+    tile_power_mw,
+)
+from repro.perf.report import (
+    format_budget_table,
+    format_cycle_rows,
+    format_scaling_table,
+)
+from repro.perf.scaling import scaling_study
+
+
+class TestTable1Budget:
+    def test_paper_rows(self):
+        budget = table1_budget()
+        assert budget.multiply_accumulate == 12192
+        assert budget.read_data == 381
+        assert budget.fft == 1040
+        assert budget.reshuffling == 256
+        assert budget.initialisation == 127
+        assert budget.total == 13996
+
+    def test_headline_time(self):
+        """'the time required ... equals 139.96 us'"""
+        assert table1_budget().step_time_us(100e6) == pytest.approx(139.96)
+
+    def test_rows_order(self):
+        rows = table1_budget().rows()
+        assert [r[0] for r in rows] == [
+            "multiply accumulate",
+            "read data",
+            "FFT",
+            "reshuffling",
+            "initialisation",
+            "total",
+        ]
+
+    def test_matches_montium_simulation_budget(self):
+        """Analytic model == the simulator's program budget."""
+        from repro.montium.programs import integration_step_cycle_budget
+        from repro.montium.tile import TileConfig
+
+        config = TileConfig(fft_size=256, m=63, num_cores=4, core_index=0)
+        simulated = integration_step_cycle_budget(config)
+        analytic = table1_budget()
+        assert simulated["total"] == analytic.total
+        assert simulated["multiply accumulate"] == analytic.multiply_accumulate
+
+    def test_single_core_case(self):
+        budget = table1_budget(num_cores=1)
+        assert budget.multiply_accumulate == 127 * 127 * 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            table1_budget(fft_size=100)
+        with pytest.raises(ConfigurationError):
+            table1_budget(m=-1)
+
+
+class TestAreaPower:
+    def test_paper_area(self):
+        """'A platform consisting of 4 Montium processors will occupy
+        approximately 8 mm^2.'"""
+        assert MONTIUM_AREA_MM2 == 2.0
+        assert platform_area_mm2(4) == pytest.approx(8.0)
+
+    def test_paper_power(self):
+        """'this results for 4 Montium tiles in 200 mW'"""
+        assert MONTIUM_POWER_UW_PER_MHZ == 500.0
+        assert tile_power_mw(100e6) == pytest.approx(50.0)
+        assert platform_power_mw(4, 100e6) == pytest.approx(200.0)
+
+    def test_linear_in_clock(self):
+        assert platform_power_mw(4, 50e6) == pytest.approx(100.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            platform_area_mm2(0)
+        with pytest.raises(ValueError):
+            platform_area_mm2(2, tile_area_mm2=0.0)
+
+
+class TestScalingStudy:
+    def test_paper_point_q4(self):
+        rows = {row.num_tiles: row for row in scaling_study()}
+        paper = rows[4]
+        assert paper.cycles_per_step == 13996
+        assert paper.step_time_us == pytest.approx(139.96)
+        assert paper.analysed_bandwidth_khz == pytest.approx(915, rel=0.001)
+        assert paper.area_mm2 == pytest.approx(8.0)
+        assert paper.power_mw == pytest.approx(200.0)
+
+    def test_area_power_scale_exactly_linearly(self):
+        rows = scaling_study((1, 2, 4, 8))
+        for row in rows:
+            assert row.area_mm2 == pytest.approx(2.0 * row.num_tiles)
+            assert row.power_mw == pytest.approx(50.0 * row.num_tiles)
+
+    def test_bandwidth_grows_with_tiles(self):
+        rows = scaling_study((1, 2, 4, 8, 16))
+        bandwidths = [row.analysed_bandwidth_khz for row in rows]
+        assert bandwidths == sorted(bandwidths)
+
+    def test_bandwidth_near_linear_while_mac_dominates(self):
+        rows = {row.num_tiles: row for row in scaling_study((1, 4))}
+        ratio = rows[4].analysed_bandwidth_khz / rows[1].analysed_bandwidth_khz
+        assert 3.0 < ratio < 4.0  # close to 4x, capped by fixed FFT overhead
+
+
+class TestReport:
+    def test_budget_table_contains_totals(self):
+        table = format_budget_table(table1_budget())
+        assert "13996" in table
+        assert "multiply accumulate" in table
+
+    def test_scaling_table(self):
+        table = format_scaling_table(scaling_study((1, 4)))
+        assert "914.5" in table or "915" in table
+
+    def test_cycle_rows(self):
+        text = format_cycle_rows([("FFT", 1040), ("total", 1040)])
+        assert "1040" in text

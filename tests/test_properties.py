@@ -1,0 +1,266 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Four invariant families:
+
+* Q15 arithmetic: closure, saturation bounds, commutativity.
+* The DSCF estimators: vectorised == literal triple loop on arbitrary
+  complex spectra; Hermitian symmetry in a.
+* Space-time mapping algebra: linearity and the fold's partition
+  property for arbitrary (P, Q).
+* The executable systolic array: equivalence with the estimator for
+  arbitrary signals.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fourier import block_spectra, fft_radix2
+from repro.core.scf import dscf, dscf_reference
+from repro.mapping.architecture import FoldedArray
+from repro.mapping.folding import Fold
+from repro.mapping.projections import step2_mapping
+from repro.montium.fixedpoint import (
+    Q15_MAX,
+    Q15_MIN,
+    from_q15,
+    q15_add,
+    q15_multiply,
+    to_q15,
+)
+
+q15_values = st.integers(min_value=Q15_MIN, max_value=Q15_MAX)
+small_floats = st.floats(
+    min_value=-2.0, max_value=2.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestQ15Properties:
+    @given(q15_values, q15_values)
+    def test_add_closed_and_bounded(self, a, b):
+        result = q15_add(a, b)
+        assert Q15_MIN <= result <= Q15_MAX
+
+    @given(q15_values, q15_values)
+    def test_add_commutative(self, a, b):
+        assert q15_add(a, b) == q15_add(b, a)
+
+    @given(q15_values, q15_values)
+    def test_multiply_closed_and_bounded(self, a, b):
+        result = q15_multiply(a, b)
+        assert Q15_MIN <= result <= Q15_MAX
+
+    @given(q15_values, q15_values)
+    def test_multiply_commutative(self, a, b):
+        assert q15_multiply(a, b) == q15_multiply(b, a)
+
+    @given(q15_values)
+    def test_multiply_by_zero(self, a):
+        assert q15_multiply(a, 0) == 0
+
+    @given(small_floats)
+    def test_to_q15_error_bounded(self, x):
+        quantised = from_q15(to_q15(x))
+        clipped = min(max(x, Q15_MIN / 32768), Q15_MAX / 32768)
+        assert abs(quantised - clipped) <= 0.5 / 32768 + 1e-12
+
+    @given(q15_values, q15_values)
+    def test_multiply_magnitude_contraction(self, a, b):
+        # |a*b| <= max(|a|, |b|) in Q15 (fractional multiply), modulo
+        # the single saturating corner
+        result = q15_multiply(a, b)
+        assert abs(result) <= max(abs(a), abs(b)) + 1
+
+
+def complex_arrays(num_blocks, size):
+    return st.lists(
+        st.tuples(small_floats, small_floats),
+        min_size=num_blocks * size,
+        max_size=num_blocks * size,
+    ).map(
+        lambda pairs: np.array(
+            [complex(re, im) for re, im in pairs]
+        ).reshape(num_blocks, size)
+    )
+
+
+class TestDscfProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(complex_arrays(2, 8))
+    def test_vectorised_equals_reference(self, spectra):
+        assert np.allclose(dscf_reference(spectra, 1), dscf(spectra, 1))
+
+    @settings(max_examples=20, deadline=None)
+    @given(complex_arrays(3, 8))
+    def test_hermitian_symmetry(self, spectra):
+        values = dscf(spectra, 1)
+        assert np.allclose(values[:, ::-1], np.conj(values))
+
+    @settings(max_examples=20, deadline=None)
+    @given(complex_arrays(2, 8), small_floats.filter(lambda g: abs(g) > 1e-3))
+    def test_quadratic_scaling(self, spectra, gain):
+        # S(g x) = |g|^2 S(x)
+        base = dscf(spectra, 1)
+        scaled = dscf(gain * spectra, 1)
+        assert np.allclose(scaled, gain * gain * base, atol=1e-9)
+
+
+class TestFftProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(small_floats, small_floats), min_size=16, max_size=16
+        )
+    )
+    def test_matches_numpy(self, pairs):
+        x = np.array([complex(re, im) for re, im in pairs])
+        assert np.allclose(fft_radix2(x), np.fft.fft(x), atol=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(small_floats, small_floats), min_size=8, max_size=8
+        )
+    )
+    def test_linearity(self, pairs):
+        x = np.array([complex(re, im) for re, im in pairs])
+        assert np.allclose(fft_radix2(2.0 * x), 2.0 * fft_radix2(x))
+
+
+class TestMappingProperties:
+    @given(
+        st.integers(min_value=-50, max_value=50),
+        st.integers(min_value=-50, max_value=50),
+    )
+    def test_step2_equations(self, f, a):
+        mapping = step2_mapping()
+        assert mapping.processor((f, a)) == (a,)
+        assert mapping.time((f, a)) == f
+
+    @given(
+        st.integers(min_value=1, max_value=300),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_fold_partitions_tasks(self, tasks, cores):
+        fold = Fold(tasks, cores)
+        seen = []
+        for core in range(cores):
+            seen.extend(fold.tasks_of_core(core))
+        assert sorted(seen) == list(range(tasks))
+
+    @given(
+        st.integers(min_value=1, max_value=300),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_fold_respects_expression_9(self, tasks, cores):
+        fold = Fold(tasks, cores)
+        t = fold.tasks_per_core
+        for task in range(0, tasks, max(1, tasks // 7)):
+            assert fold.core_of_task(task) == task // t
+
+    @given(st.integers(min_value=1, max_value=300))
+    def test_fold_slot_budget_covers_tasks(self, tasks):
+        for cores in (1, 2, 4, 8):
+            fold = Fold(tasks, cores)
+            assert fold.num_cores * fold.tasks_per_core >= tasks
+            assert fold.padded_slots < fold.tasks_per_core * fold.num_cores
+
+
+class TestRegisterChainProperties:
+    @given(
+        st.lists(st.integers(-100, 100), min_size=2, max_size=12),
+        st.lists(st.integers(-100, 100), min_size=1, max_size=20),
+    )
+    def test_forward_chain_is_fifo(self, initial, incoming):
+        """A +1 chain emits values in exactly the order they entered
+        (initial tail-to-head first, then the incoming stream)."""
+        from repro.mapping.registers import RegisterChain
+
+        chain = RegisterChain(len(initial), direction=+1)
+        chain.load(list(initial))
+        emitted = [chain.clock(value) for value in incoming]
+        expected_stream = list(reversed(initial)) + list(incoming)
+        assert emitted == expected_stream[: len(incoming)]
+
+    @given(
+        st.lists(st.integers(-100, 100), min_size=2, max_size=12),
+        st.lists(st.integers(-100, 100), min_size=1, max_size=20),
+    )
+    def test_backward_chain_is_fifo(self, initial, incoming):
+        from repro.mapping.registers import RegisterChain
+
+        chain = RegisterChain(len(initial), direction=-1)
+        chain.load(list(initial))
+        emitted = [chain.clock(value) for value in incoming]
+        expected_stream = list(initial) + list(incoming)
+        assert emitted == expected_stream[: len(incoming)]
+
+    @given(st.lists(st.integers(-5, 5), min_size=3, max_size=8))
+    def test_chain_conserves_contents(self, initial):
+        from repro.mapping.registers import RegisterChain
+
+        chain = RegisterChain(len(initial), direction=+1)
+        chain.load(list(initial))
+        out = chain.clock(999)
+        snapshot = chain.snapshot()
+        assert sorted(snapshot + [out]) == sorted(initial + [999])
+
+
+class TestAguProperties:
+    @given(
+        st.integers(0, 15),
+        st.integers(-4, 4).filter(lambda s: s != 0),
+        st.integers(1, 16),
+    )
+    def test_modulo_addresses_stay_in_range(self, base, stride, modulo):
+        from repro.montium.agu import AddressGenerator
+
+        if base >= modulo:
+            base = base % modulo
+        agu = AddressGenerator(base=base, stride=stride, modulo=modulo)
+        for address in agu.take(32):
+            assert 0 <= address < modulo
+
+    @given(st.integers(1, 6))
+    def test_bit_reversal_is_involution(self, bits):
+        from repro.montium.agu import bit_reversed_sequence
+
+        sequence = bit_reversed_sequence(2**bits)
+        assert [sequence[sequence[i]] for i in range(2**bits)] == list(
+            range(2**bits)
+        )
+
+
+class TestQ15RoundTripProperties:
+    @given(st.lists(st.tuples(small_floats, small_floats), min_size=1,
+                    max_size=32))
+    def test_memory_q15_round_trip_error_bounded(self, pairs):
+        from repro.montium.memory import Memory
+
+        memory = Memory("M01", datapath="q15")
+        for slot, (re, im) in enumerate(pairs):
+            value = complex(
+                min(max(re, -0.999), 0.999), min(max(im, -0.999), 0.999)
+            )
+            memory.write_complex(slot, value)
+            read_back = memory.read_complex(slot)
+            assert abs(read_back - value) < 1.0 / 32768
+
+
+class TestArchitectureProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(small_floats, small_floats),
+            min_size=32,
+            max_size=32,
+        ),
+        st.integers(min_value=1, max_value=7),
+    )
+    def test_folded_array_equals_estimator(self, pairs, cores):
+        samples = np.array([complex(re, im) for re, im in pairs])
+        spectra = block_spectra(samples, 16)
+        array = FoldedArray(3, 16, num_cores=cores)
+        for spectrum in spectra:
+            array.integrate_block(spectrum)
+        assert np.allclose(array.result(), dscf(spectra, 3), atol=1e-9)

@@ -1,0 +1,106 @@
+"""Tests for repro.signals.channel and detector robustness to impairments."""
+
+import numpy as np
+import pytest
+
+from repro.core.scf import dscf_from_signal
+from repro.errors import ConfigurationError
+from repro.signals.channel import (
+    apply_cfo,
+    apply_multipath,
+    apply_phase_noise,
+    two_ray_channel,
+)
+from repro.signals.modulators import bpsk_signal
+from repro.signals.noise import complex_awgn_signal
+
+
+def feature_offset(signal, k=64):
+    """Strongest non-zero DSCF offset of *signal* (abs value)."""
+    result = dscf_from_signal(signal, k)
+    profile = result.alpha_profile("max")
+    profile[result.m] = 0
+    return abs(int(result.a_axis[np.argmax(profile)])), result
+
+
+class TestCfo:
+    def test_preserves_power(self):
+        signal = bpsk_signal(4096, 1e6, 8, seed=0)
+        shifted = apply_cfo(signal, 12_500.0)
+        assert shifted.power() == pytest.approx(signal.power())
+
+    def test_moves_spectrum_not_cyclic_feature(self):
+        """CFO translates f but alpha (the a offset) is invariant —
+        the key practical robustness of cyclic-feature detection."""
+        k, fs = 64, 1e6
+        signal = bpsk_signal(k * 150, fs, samples_per_symbol=8, seed=1)
+        clean_offset, clean = feature_offset(signal, k)
+        shifted = apply_cfo(signal, 8 * fs / k)  # 8-bin CFO
+        shifted_offset, moved = feature_offset(shifted, k)
+        assert shifted_offset == clean_offset == 4
+        # but the PSD peak did move by ~8 bins
+        clean_psd_peak = int(np.argmax(clean.psd_column()))
+        moved_psd_peak = int(np.argmax(moved.psd_column()))
+        assert abs(moved_psd_peak - clean_psd_peak) >= 6
+
+    def test_type_guard(self):
+        with pytest.raises(ConfigurationError):
+            apply_cfo(np.ones(4), 100.0)
+
+
+class TestMultipath:
+    def test_two_ray_profile(self):
+        taps = two_ray_channel(3, 0.5j)
+        assert taps[0] == 1.0
+        assert taps[3] == 0.5j
+        assert taps.size == 4
+
+    def test_two_ray_validation(self):
+        with pytest.raises(ConfigurationError):
+            two_ray_channel(0, 0.5)
+        with pytest.raises(ConfigurationError):
+            two_ray_channel(2, 1.5)
+
+    def test_power_renormalised(self):
+        signal = bpsk_signal(8192, 1e6, 8, seed=2)
+        faded = apply_multipath(signal, two_ray_channel(5, 0.7))
+        assert faded.power() == pytest.approx(signal.power(), rel=1e-9)
+
+    def test_cyclic_feature_survives_multipath(self):
+        k = 64
+        signal = bpsk_signal(k * 150, 1e6, samples_per_symbol=8, seed=3)
+        faded = apply_multipath(signal, two_ray_channel(4, 0.6))
+        offset, _ = feature_offset(faded, k)
+        assert offset == 4
+
+    def test_identity_channel_is_noop(self):
+        signal = bpsk_signal(1024, 1e6, 8, seed=4)
+        same = apply_multipath(signal, np.array([1.0]))
+        assert np.allclose(same.samples, signal.samples)
+
+
+class TestPhaseNoise:
+    def test_constant_envelope_preserved(self):
+        signal = bpsk_signal(4096, 1e6, 8, seed=5)
+        noisy = apply_phase_noise(signal, linewidth_hz=100.0, seed=6)
+        assert np.allclose(np.abs(noisy.samples), np.abs(signal.samples))
+
+    def test_reproducible(self):
+        signal = complex_awgn_signal(512, 1e6, seed=7)
+        a = apply_phase_noise(signal, 50.0, seed=8)
+        b = apply_phase_noise(signal, 50.0, seed=8)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_small_linewidth_keeps_feature(self):
+        k = 64
+        signal = bpsk_signal(k * 150, 1e6, samples_per_symbol=8, seed=9)
+        noisy = apply_phase_noise(signal, linewidth_hz=20.0, seed=10)
+        offset, _ = feature_offset(noisy, k)
+        assert offset == 4
+
+    def test_rng_seed_exclusive(self):
+        signal = complex_awgn_signal(64, 1e6, seed=11)
+        with pytest.raises(ConfigurationError):
+            apply_phase_noise(
+                signal, 10.0, rng=np.random.default_rng(0), seed=1
+            )

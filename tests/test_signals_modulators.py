@@ -1,0 +1,156 @@
+"""Tests for repro.signals.modulators, carriers and ofdm."""
+
+import numpy as np
+import pytest
+
+from repro.core.fourier import block_spectra
+from repro.core.scf import dscf_from_signal
+from repro.errors import ConfigurationError
+from repro.signals.carriers import amplitude_modulated_carrier, complex_tone
+from repro.signals.modulators import (
+    LinearModulator,
+    bpsk_signal,
+    constellation,
+    msk_signal,
+    qam16_signal,
+    qpsk_signal,
+)
+from repro.signals.ofdm import ofdm_signal, ofdm_symbol_rate_hz
+
+
+class TestConstellations:
+    @pytest.mark.parametrize("name", ["bpsk", "qpsk", "qam16"])
+    def test_unit_average_power(self, name):
+        points = constellation(name)
+        assert np.mean(np.abs(points) ** 2) == pytest.approx(1.0)
+
+    def test_sizes(self):
+        assert constellation("bpsk").size == 2
+        assert constellation("qpsk").size == 4
+        assert constellation("qam16").size == 16
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            constellation("psk8")
+
+
+class TestLinearModulator:
+    def test_signal_length_and_power(self):
+        signal = bpsk_signal(1000, 1e6, samples_per_symbol=8, seed=0)
+        assert signal.num_samples == 1000
+        assert signal.power() == pytest.approx(1.0, rel=1e-6)
+
+    def test_seed_reproducibility(self):
+        a = qpsk_signal(256, 1e6, 4, seed=5)
+        b = qpsk_signal(256, 1e6, 4, seed=5)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_rng_seed_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            bpsk_signal(64, 1e6, 4, seed=1, rng=np.random.default_rng(0))
+
+    def test_carrier_offset_moves_spectrum(self):
+        k, fs = 64, 1e6
+        offset_bin = 8
+        signal = bpsk_signal(
+            k * 100, fs, samples_per_symbol=16, seed=1,
+            carrier_offset_hz=offset_bin * fs / k,
+        )
+        spectra = block_spectra(signal.samples, k)
+        psd = np.mean(np.abs(spectra) ** 2, axis=0)
+        center_of_mass = np.sum(np.arange(-32, 32) * psd) / np.sum(psd)
+        assert abs(center_of_mass - offset_bin) < 2.0
+
+    def test_expected_feature_offset(self):
+        modulator = LinearModulator("bpsk", samples_per_symbol=8)
+        assert modulator.expected_feature_offset(256) == pytest.approx(16.0)
+
+    @pytest.mark.parametrize(
+        "factory", [bpsk_signal, qpsk_signal, qam16_signal]
+    )
+    def test_symbol_rate_feature_present(self, factory):
+        sps, k = 8, 64
+        signal = factory(k * 150, 1e6, samples_per_symbol=sps, seed=2)
+        result = dscf_from_signal(signal, k)
+        profile = result.alpha_profile("max")
+        profile[result.m] = 0
+        peak = abs(int(result.a_axis[np.argmax(profile)]))
+        assert peak == k // (2 * sps)
+
+
+class TestMsk:
+    def test_constant_envelope(self):
+        signal = msk_signal(4096, 1e6, samples_per_symbol=8, seed=3)
+        assert np.allclose(np.abs(signal.samples), 1.0)
+
+    def test_phase_continuity(self):
+        signal = msk_signal(1024, 1e6, samples_per_symbol=8, seed=4)
+        phase = np.unwrap(np.angle(signal.samples))
+        steps = np.abs(np.diff(phase))
+        assert steps.max() <= np.pi / 2 / 8 + 1e-9
+
+    def test_reproducible(self):
+        a = msk_signal(128, 1e6, 4, seed=6)
+        b = msk_signal(128, 1e6, 4, seed=6)
+        assert np.array_equal(a.samples, b.samples)
+
+
+class TestCarriers:
+    def test_tone_lands_on_bin(self):
+        k, fs = 64, 1e6
+        tone = complex_tone(k * 4, fs, tone_hz=5 * fs / k)
+        spectra = block_spectra(tone.samples, k, centered=False)
+        hottest = np.argmax(np.abs(spectra[0]))
+        assert hottest == 5
+
+    def test_tone_rejects_bad_amplitude(self):
+        with pytest.raises(ConfigurationError):
+            complex_tone(16, 1e6, 0.0, amplitude=0.0)
+
+    def test_am_unit_power(self):
+        signal = amplitude_modulated_carrier(
+            8192, 1e6, carrier_hz=1e5, modulation_hz=1e4
+        )
+        assert signal.power() == pytest.approx(1.0, rel=1e-6)
+
+    def test_am_modulation_index_validated(self):
+        with pytest.raises(ConfigurationError):
+            amplitude_modulated_carrier(64, 1e6, 1e5, 1e4, modulation_index=0.0)
+
+    def test_am_sidebands_present(self):
+        k, fs = 64, 1e6
+        carrier_bin, mod_bin = 8, 4
+        signal = amplitude_modulated_carrier(
+            k * 8, fs, carrier_hz=carrier_bin * fs / k,
+            modulation_hz=mod_bin * fs / k, modulation_index=1.0,
+        )
+        spectra = block_spectra(signal.samples, k, centered=False)
+        psd = np.mean(np.abs(spectra) ** 2, axis=0)
+        assert psd[carrier_bin] > 10 * np.median(psd)
+        assert psd[carrier_bin + mod_bin] > 3 * np.median(psd)
+        assert psd[carrier_bin - mod_bin] > 3 * np.median(psd)
+
+
+class TestOfdm:
+    def test_length_and_power(self):
+        signal = ofdm_signal(2048, 1e6, n_fft=64, n_cp=16, seed=0)
+        assert signal.num_samples == 2048
+        assert signal.power() == pytest.approx(1.0, rel=1e-6)
+
+    def test_cp_correlation(self):
+        # cyclic prefix: head of each symbol equals its tail
+        n_fft, n_cp = 64, 16
+        signal = ofdm_signal(5 * (n_fft + n_cp), 1e6, n_fft, n_cp, seed=1)
+        symbol = signal.samples[: n_fft + n_cp]
+        assert np.allclose(symbol[:n_cp], symbol[n_fft:])
+
+    def test_symbol_rate_helper(self):
+        assert ofdm_symbol_rate_hz(1e6, 64, 16) == pytest.approx(12500.0)
+
+    def test_active_subcarrier_limit(self):
+        with pytest.raises(ConfigurationError):
+            ofdm_signal(256, 1e6, n_fft=16, n_cp=4, active_subcarriers=16)
+
+    def test_rng_seed_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            ofdm_signal(256, 1e6, rng=np.random.default_rng(0), seed=1)

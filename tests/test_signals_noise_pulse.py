@@ -1,0 +1,131 @@
+"""Tests for repro.signals.noise and repro.signals.pulse."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.signals.noise import awgn, complex_awgn_signal
+from repro.signals.pulse import (
+    raised_cosine_taps,
+    rectangular_taps,
+    root_raised_cosine_taps,
+    upsample_and_filter,
+)
+
+
+class TestAwgn:
+    def test_power_calibration(self):
+        noise = awgn(200_000, power=2.0, seed=0)
+        assert np.mean(np.abs(noise) ** 2) == pytest.approx(2.0, rel=0.02)
+
+    def test_circular_symmetry(self):
+        noise = awgn(100_000, seed=1)
+        # real/imag have equal power and near-zero correlation
+        assert np.var(noise.real) == pytest.approx(np.var(noise.imag), rel=0.05)
+        assert abs(np.mean(noise.real * noise.imag)) < 0.01
+
+    def test_seed_reproducibility(self):
+        assert np.array_equal(awgn(64, seed=7), awgn(64, seed=7))
+
+    def test_rng_and_seed_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            awgn(8, rng=np.random.default_rng(0), seed=1)
+
+    def test_signal_wrapper_carries_rate(self):
+        signal = complex_awgn_signal(128, 1e6, seed=2)
+        assert signal.sample_rate_hz == 1e6
+        assert signal.num_samples == 128
+
+
+class TestRectangularTaps:
+    def test_all_ones(self):
+        assert np.allclose(rectangular_taps(8), 1.0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            rectangular_taps(0)
+
+
+class TestRaisedCosine:
+    def test_unit_peak_at_center(self):
+        taps = raised_cosine_taps(8, rolloff=0.35, span_symbols=8)
+        assert taps[len(taps) // 2] == pytest.approx(1.0)
+
+    def test_zero_crossings_at_symbol_instants(self):
+        # Nyquist criterion: zeros at nonzero multiples of the symbol time
+        sps = 8
+        taps = raised_cosine_taps(sps, rolloff=0.35, span_symbols=8)
+        center = len(taps) // 2
+        for k in (1, 2, 3):
+            assert taps[center + k * sps] == pytest.approx(0.0, abs=1e-9)
+
+    def test_zero_rolloff_is_sinc(self):
+        sps = 4
+        taps = raised_cosine_taps(sps, rolloff=0.0, span_symbols=6)
+        center = len(taps) // 2
+        assert taps[center + sps // 2] == pytest.approx(
+            np.sinc(0.5), abs=1e-9
+        )
+
+    def test_rejects_bad_rolloff(self):
+        with pytest.raises(ConfigurationError):
+            raised_cosine_taps(8, rolloff=1.5)
+
+    def test_singularity_handled(self):
+        # |2 beta t| = 1 lands on a tap for rolloff 0.5, sps even
+        taps = raised_cosine_taps(8, rolloff=0.5, span_symbols=4)
+        assert np.isfinite(taps).all()
+
+
+class TestRootRaisedCosine:
+    def test_unit_energy(self):
+        taps = root_raised_cosine_taps(8, rolloff=0.25, span_symbols=10)
+        assert np.sum(taps**2) == pytest.approx(1.0)
+
+    def test_rrc_convolved_is_nyquist(self):
+        # RRC * RRC ~ RC: zero ISI at symbol spacing
+        sps = 4
+        taps = root_raised_cosine_taps(sps, rolloff=0.3, span_symbols=12)
+        cascade = np.convolve(taps, taps)
+        center = len(cascade) // 2
+        peak = cascade[center]
+        for k in (1, 2, 3):
+            assert abs(cascade[center + k * sps] / peak) < 0.02
+
+    def test_singularity_handled(self):
+        taps = root_raised_cosine_taps(8, rolloff=0.25, span_symbols=4)
+        assert np.isfinite(taps).all()
+
+
+class TestUpsampleAndFilter:
+    def test_output_length(self):
+        symbols = np.ones(10, dtype=complex)
+        out = upsample_and_filter(symbols, 4, rectangular_taps(4))
+        assert out.shape == (40,)
+
+    def test_rectangular_hold_causal(self):
+        symbols = np.array([1.0, -1.0, 1.0], dtype=complex)
+        out = upsample_and_filter(
+            symbols, 3, rectangular_taps(3), alignment="causal"
+        )
+        assert np.allclose(out, np.repeat(symbols, 3))
+
+    def test_center_alignment_peaks_on_symbol_instants(self):
+        sps = 4
+        taps = raised_cosine_taps(sps, rolloff=0.3, span_symbols=8)
+        symbols = np.array([1.0, 0.0, 0.0, -1.0, 0.0, 0.0], dtype=complex)
+        out = upsample_and_filter(symbols, sps, taps, alignment="center")
+        assert out[0] == pytest.approx(1.0, abs=1e-6)
+        assert out[3 * sps] == pytest.approx(-1.0, abs=1e-6)
+
+    def test_rejects_unknown_alignment(self):
+        with pytest.raises(ConfigurationError):
+            upsample_and_filter(np.ones(4), 2, rectangular_taps(2), "late")
+
+    def test_rejects_empty_symbols(self):
+        with pytest.raises(ConfigurationError):
+            upsample_and_filter(np.array([]), 4, rectangular_taps(4))
+
+    def test_rejects_empty_taps(self):
+        with pytest.raises(ConfigurationError):
+            upsample_and_filter(np.ones(4), 4, np.array([]))

@@ -1,0 +1,119 @@
+"""Tests for repro.signals.scenario — cognitive-radio band scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.signals.scenario import BandOccupancy, BandScenario, LicensedUser
+
+
+def make_user(name="tv", snr_db=0.0, sps=8):
+    return LicensedUser(
+        name=name,
+        modulation="bpsk",
+        samples_per_symbol=sps,
+        carrier_offset_hz=0.0,
+        snr_db=snr_db,
+    )
+
+
+class TestLicensedUser:
+    def test_validates_modulation(self):
+        with pytest.raises(ConfigurationError):
+            LicensedUser("x", "am", 8, 0.0, 0.0)
+
+    def test_amplitude_matches_snr(self):
+        user = make_user(snr_db=3.0)
+        # unit-power waveform scaled by amplitude over unit noise
+        assert user.amplitude(1.0) ** 2 == pytest.approx(10 ** 0.3)
+
+    def test_expected_feature_offset(self):
+        assert make_user(sps=8).expected_feature_offset(256) == pytest.approx(16.0)
+
+
+class TestBandOccupancy:
+    def test_queries(self):
+        occupancy = BandOccupancy(active_users=("tv",))
+        assert occupancy.is_active("tv")
+        assert not occupancy.is_active("radar")
+        assert occupancy.occupied
+
+    def test_vacant(self):
+        assert not BandOccupancy(active_users=()).occupied
+
+
+class TestBandScenario:
+    def test_rejects_duplicate_users(self):
+        with pytest.raises(ConfigurationError):
+            BandScenario(1e6, users=[make_user(), make_user()])
+
+    def test_add_user_rejects_duplicate(self):
+        scenario = BandScenario(1e6, users=[make_user()])
+        with pytest.raises(ConfigurationError):
+            scenario.add_user(make_user())
+
+    def test_noise_only_power(self):
+        scenario = BandScenario(1e6, noise_power=2.0)
+        signal = scenario.noise_only(100_000, seed=0)
+        assert signal.power() == pytest.approx(2.0, rel=0.05)
+
+    def test_active_user_raises_power(self):
+        scenario = BandScenario(1e6, users=[make_user(snr_db=0.0)])
+        occupied, occupancy = scenario.realize(50_000, seed=1)
+        vacant = scenario.noise_only(50_000, seed=1)
+        # 0 dB SNR roughly doubles the received power
+        assert occupied.power() == pytest.approx(2.0 * vacant.power(), rel=0.1)
+        assert occupancy.occupied
+
+    def test_unknown_active_user_rejected(self):
+        scenario = BandScenario(1e6, users=[make_user()])
+        with pytest.raises(ConfigurationError, match="radar"):
+            scenario.realize(1024, active=("radar",))
+
+    def test_default_active_is_all(self):
+        scenario = BandScenario(
+            1e6, users=[make_user("a"), make_user("b")]
+        )
+        _, occupancy = scenario.realize(1024, seed=2)
+        assert set(occupancy.active_users) == {"a", "b"}
+
+    def test_selective_activation(self):
+        scenario = BandScenario(
+            1e6, users=[make_user("a"), make_user("b")]
+        )
+        _, occupancy = scenario.realize(1024, active=("a",), seed=3)
+        assert occupancy.is_active("a") and not occupancy.is_active("b")
+
+    def test_seed_reproducibility(self):
+        scenario = BandScenario(1e6, users=[make_user()])
+        first, _ = scenario.realize(2048, seed=4)
+        second, _ = scenario.realize(2048, seed=4)
+        assert np.array_equal(first.samples, second.samples)
+
+    def test_rng_seed_exclusive(self):
+        scenario = BandScenario(1e6)
+        with pytest.raises(ConfigurationError):
+            scenario.realize(64, seed=0, rng=np.random.default_rng(1))
+
+    def test_carrier_offsets_separate_users(self):
+        from repro.core.fourier import block_spectra
+
+        k, fs = 64, 1e6
+        scenario = BandScenario(
+            fs,
+            noise_power=0.01,
+            users=[
+                LicensedUser("low", "qpsk", 16, -16 * fs / k, 10.0),
+                LicensedUser("high", "qpsk", 16, +16 * fs / k, 10.0),
+            ],
+        )
+        signal, _ = scenario.realize(k * 64, seed=5)
+        psd = np.mean(np.abs(block_spectra(signal.samples, k)) ** 2, axis=0)
+        lower = psd[: k // 2].sum()
+        upper = psd[k // 2 :].sum()
+        assert lower == pytest.approx(upper, rel=0.5)
+        signal_low, _ = scenario.realize(k * 64, active=("low",), seed=5)
+        psd_low = np.mean(
+            np.abs(block_spectra(signal_low.samples, k)) ** 2, axis=0
+        )
+        assert psd_low[: k // 2].sum() > 3 * psd_low[k // 2 :].sum()

@@ -1,0 +1,169 @@
+"""Tests for repro.soc — platform config, links, lock-step grid, runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.fourier import block_spectra
+from repro.core.sampling import SampledSignal
+from repro.core.scf import dscf
+from repro.errors import CommunicationError, ConfigurationError
+from repro.signals.noise import awgn
+from repro.soc.config import PlatformConfig, aaf_drbpf
+from repro.soc.links import TileLink
+from repro.soc.runner import SoCRunner, analysed_bandwidth_hz
+from repro.soc.tile_grid import TiledSoC
+
+
+class TestPlatformConfig:
+    def test_aaf_preset(self):
+        config = aaf_drbpf()
+        assert config.num_tiles == 4
+        assert config.clock_hz == 100e6
+        assert config.fft_size == 256
+        assert config.m == 63
+        assert config.extent == 127
+        assert config.tasks_per_core == 32
+
+    def test_default_m_resolved(self):
+        config = PlatformConfig(fft_size=64)
+        assert config.m == 15
+
+    def test_used_tiles(self):
+        # P = 7, Q = 8 -> only 7 tiles own work
+        config = PlatformConfig(num_tiles=8, fft_size=16, m=3)
+        assert config.used_tiles == 7
+
+    def test_tile_config_bounds(self):
+        config = PlatformConfig(num_tiles=4, fft_size=16, m=3)
+        with pytest.raises(ConfigurationError):
+            config.tile_config(4)
+
+    def test_with_tiles(self):
+        assert aaf_drbpf().with_tiles(8).num_tiles == 8
+
+    def test_m_validated(self):
+        with pytest.raises(ConfigurationError):
+            PlatformConfig(fft_size=16, m=9)
+
+
+class TestTileLink:
+    def test_push_pop(self):
+        link = TileLink(0, 1, "conjugate")
+        link.push(1 + 2j)
+        assert link.pop() == 1 + 2j
+        assert link.transfer_count == 1
+
+    def test_overrun(self):
+        link = TileLink(0, 1, "conjugate")
+        link.push(1.0)
+        with pytest.raises(CommunicationError, match="overrun"):
+            link.push(2.0)
+
+    def test_underrun(self):
+        link = TileLink(1, 0, "normal")
+        with pytest.raises(CommunicationError, match="underrun"):
+            link.pop()
+
+    def test_adjacency_required(self):
+        with pytest.raises(ConfigurationError):
+            TileLink(0, 2, "normal")
+
+    def test_kind_validated(self):
+        with pytest.raises(ConfigurationError):
+            TileLink(0, 1, "diagonal")
+
+    def test_reset(self):
+        link = TileLink(0, 1, "normal")
+        link.push(1.0)
+        link.reset()
+        assert not link.occupied
+        assert link.transfer_count == 0
+
+
+class TestTiledSoC:
+    @pytest.fixture
+    def small_platform(self):
+        return PlatformConfig(num_tiles=3, fft_size=16, m=3)
+
+    def test_tile_count(self, small_platform):
+        assert TiledSoC(small_platform).num_tiles == 3
+
+    def test_matches_reference(self, small_platform):
+        soc = TiledSoC(small_platform)
+        samples = awgn(16 * 4, seed=30)
+        for n in range(4):
+            soc.integrate_block(samples[n * 16 : (n + 1) * 16])
+        reference = dscf(block_spectra(samples, 16), 3)
+        assert np.allclose(soc.dscf_values(), reference)
+
+    def test_all_tiles_same_cycles(self, small_platform):
+        soc = TiledSoC(small_platform)
+        soc.integrate_block(awgn(16, seed=31))
+        tables = soc.cycle_tables()
+        assert all(table == tables[0] for table in tables)
+
+    def test_link_transfers_per_block(self, small_platform):
+        soc = TiledSoC(small_platform)
+        soc.integrate_block(awgn(16, seed=32))
+        # F shifts per block (one per frequency step) on every link
+        for count in soc.link_transfer_counts().values():
+            assert count == 7
+
+    def test_block_shape_checked(self, small_platform):
+        soc = TiledSoC(small_platform)
+        with pytest.raises(ConfigurationError):
+            soc.integrate_block(np.zeros(8, dtype=complex))
+
+    def test_result_requires_blocks(self, small_platform):
+        with pytest.raises(ConfigurationError):
+            TiledSoC(small_platform).dscf_values()
+
+    def test_reset(self, small_platform):
+        soc = TiledSoC(small_platform)
+        soc.integrate_block(awgn(16, seed=33))
+        soc.reset()
+        assert soc.blocks_integrated == 0
+
+
+class TestSoCRunner:
+    def test_result_fields(self):
+        config = PlatformConfig(num_tiles=2, fft_size=16, m=3, clock_hz=1e8)
+        runner = SoCRunner(config)
+        signal = SampledSignal(awgn(16 * 3, seed=34), 1e6)
+        result = runner.run(signal, 3)
+        assert result.num_blocks == 3
+        assert result.dscf.sample_rate_hz == 1e6
+        assert result.total_cycles == 3 * result.cycles_per_step
+        assert result.step_time_us == pytest.approx(
+            result.cycles_per_step / 100.0
+        )
+
+    def test_matches_reference(self):
+        config = PlatformConfig(num_tiles=2, fft_size=16, m=3)
+        samples = awgn(16 * 5, seed=35)
+        result = SoCRunner(config).run(samples, 5)
+        reference = dscf(block_spectra(samples, 16), 3)
+        assert np.allclose(result.dscf.values, reference)
+
+    def test_insufficient_samples(self):
+        config = PlatformConfig(num_tiles=2, fft_size=16, m=3)
+        with pytest.raises(ConfigurationError):
+            SoCRunner(config).run(awgn(16, seed=0), 2)
+
+    def test_cycles_by_category(self):
+        config = PlatformConfig(num_tiles=2, fft_size=16, m=3)
+        result = SoCRunner(config).run(awgn(32, seed=36), 2)
+        categories = result.cycles_by_category()
+        assert "multiply accumulate" in categories
+        assert sum(categories.values()) == result.total_cycles
+
+
+class TestAnalysedBandwidth:
+    def test_paper_value(self):
+        """256 samples / 139.96 us / 2 ~ 915 kHz."""
+        bandwidth = analysed_bandwidth_hz(256, 139.96e-6)
+        assert bandwidth == pytest.approx(915e3, rel=0.001)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            analysed_bandwidth_hz(256, 0.0)

@@ -1,0 +1,61 @@
+"""Tests for repro.soc.emulation — the multiprocessing tile emulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.fourier import block_spectra
+from repro.core.scf import dscf
+from repro.errors import ConfigurationError
+from repro.signals.noise import awgn
+from repro.soc.config import PlatformConfig
+from repro.soc.emulation import ParallelSoCEmulation
+from repro.soc.runner import SoCRunner
+
+
+@pytest.fixture
+def small_platform():
+    return PlatformConfig(num_tiles=3, fft_size=16, m=3)
+
+
+class TestParallelEmulation:
+    def test_matches_reference(self, small_platform):
+        samples = awgn(16 * 4, seed=40)
+        emulation = ParallelSoCEmulation(small_platform)
+        result, _cycles = emulation.run(samples, 4)
+        reference = dscf(block_spectra(samples, 16), 3)
+        assert np.allclose(result.values, reference)
+
+    def test_matches_sequential_runner(self, small_platform):
+        samples = awgn(16 * 3, seed=41)
+        parallel, parallel_cycles = ParallelSoCEmulation(small_platform).run(
+            samples, 3
+        )
+        sequential = SoCRunner(small_platform).run(samples, 3)
+        assert np.allclose(parallel.values, sequential.dscf.values)
+        # identical cycle accounting in both execution styles
+        assert parallel_cycles[0] == sequential.cycles_by_category()
+
+    def test_cycle_tables_per_tile(self, small_platform):
+        samples = awgn(16 * 2, seed=42)
+        _result, cycles = ParallelSoCEmulation(small_platform).run(samples, 2)
+        assert len(cycles) == 3
+        assert all(c == cycles[0] for c in cycles)
+
+    def test_single_tile(self):
+        config = PlatformConfig(num_tiles=1, fft_size=16, m=3)
+        samples = awgn(16 * 2, seed=43)
+        result, cycles = ParallelSoCEmulation(config).run(samples, 2)
+        reference = dscf(block_spectra(samples, 16), 3)
+        assert np.allclose(result.values, reference)
+        assert len(cycles) == 1
+
+    def test_insufficient_samples(self, small_platform):
+        with pytest.raises(ConfigurationError):
+            ParallelSoCEmulation(small_platform).run(awgn(16, seed=0), 4)
+
+    def test_carries_sample_rate(self, small_platform):
+        from repro.core.sampling import SampledSignal
+
+        signal = SampledSignal(awgn(16 * 2, seed=44), 2e6)
+        result, _ = ParallelSoCEmulation(small_platform).run(signal, 2)
+        assert result.sample_rate_hz == 2e6

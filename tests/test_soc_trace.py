@@ -1,0 +1,89 @@
+"""Tests for repro.soc.trace — the platform execution timeline."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.cycles import table1_budget
+from repro.signals.noise import awgn
+from repro.soc.config import PlatformConfig
+from repro.soc.tile_grid import TiledSoC
+from repro.soc.trace import (
+    PhaseEvent,
+    check_phase_order,
+    format_trace,
+    phase_durations,
+)
+
+
+@pytest.fixture
+def traced_soc():
+    soc = TiledSoC(PlatformConfig(num_tiles=2, fft_size=16, m=3), trace=True)
+    samples = awgn(16 * 2, seed=60)
+    soc.integrate_block(samples[:16])
+    soc.integrate_block(samples[16:])
+    return soc
+
+
+class TestPhaseEvent:
+    def test_duration(self):
+        event = PhaseEvent(0, 0, "FFT", 10, 50)
+        assert event.duration == 40
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ConfigurationError):
+            PhaseEvent(0, 0, "dma", 0, 1)
+
+    def test_rejects_time_travel(self):
+        with pytest.raises(ConfigurationError):
+            PhaseEvent(0, 0, "FFT", 10, 5)
+
+
+class TestTracedExecution:
+    def test_event_count(self, traced_soc):
+        # 4 phases x 2 tiles x 2 blocks
+        assert len(traced_soc.trace_events) == 16
+
+    def test_phase_order(self, traced_soc):
+        check_phase_order(traced_soc.trace_events)
+
+    def test_durations_match_budget(self, traced_soc):
+        budget = table1_budget(fft_size=16, m=3, num_cores=2)
+        durations = phase_durations(traced_soc.trace_events, tile=0)
+        assert durations["FFT"] == 2 * budget.fft
+        assert durations["reshuffle"] == 2 * budget.reshuffling
+        assert durations["initial load"] == 2 * budget.initialisation
+        assert durations["mac sweep"] == 2 * (
+            budget.multiply_accumulate + budget.read_data
+        )
+
+    def test_events_contiguous_per_tile(self, traced_soc):
+        events = [e for e in traced_soc.trace_events if e.tile == 0]
+        events.sort(key=lambda e: e.start_cycle)
+        for first, second in zip(events, events[1:]):
+            assert second.start_cycle == first.end_cycle
+
+    def test_reset_clears_trace(self, traced_soc):
+        traced_soc.reset()
+        assert traced_soc.trace_events == []
+
+    def test_disabled_by_default(self):
+        soc = TiledSoC(PlatformConfig(num_tiles=2, fft_size=16, m=3))
+        soc.integrate_block(awgn(16, seed=61))
+        assert soc.trace_events == []
+
+
+class TestFormatting:
+    def test_format_trace(self, traced_soc):
+        text = format_trace(traced_soc.trace_events, limit=5)
+        assert "FFT" in text
+        assert "more events" in text
+
+    def test_check_phase_order_detects_violation(self):
+        events = [
+            PhaseEvent(0, 0, "reshuffle", 0, 1),
+            PhaseEvent(0, 0, "FFT", 1, 2),
+            PhaseEvent(0, 0, "initial load", 2, 3),
+            PhaseEvent(0, 0, "mac sweep", 3, 4),
+        ]
+        with pytest.raises(ConfigurationError, match="expected"):
+            check_phase_order(events)

@@ -1,0 +1,125 @@
+"""Tests for the internal validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    as_complex_vector,
+    is_power_of_two,
+    require,
+    require_in_range,
+    require_non_negative_int,
+    require_positive_float,
+    require_positive_int,
+    require_power_of_two,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRequire:
+    def test_passes_on_true(self):
+        require(True, "never raised")
+
+    def test_raises_on_false(self):
+        with pytest.raises(ConfigurationError, match="boom"):
+            require(False, "boom")
+
+
+class TestRequirePositiveInt:
+    def test_accepts_positive(self):
+        assert require_positive_int(5, "x") == 5
+
+    def test_accepts_numpy_integer(self):
+        assert require_positive_int(np.int64(7), "x") == 7
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError, match="x"):
+            require_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            require_positive_int(-3, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ConfigurationError):
+            require_positive_int(2.0, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            require_positive_int(True, "x")
+
+
+class TestRequireNonNegativeInt:
+    def test_accepts_zero(self):
+        assert require_non_negative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            require_non_negative_int(-1, "x")
+
+
+class TestRequirePowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 256, 1024])
+    def test_accepts_powers(self, value):
+        assert require_power_of_two(value, "x") == value
+
+    @pytest.mark.parametrize("value", [3, 6, 12, 255, 0, -4])
+    def test_rejects_non_powers(self, value):
+        with pytest.raises(ConfigurationError):
+            require_power_of_two(value, "x")
+
+
+class TestRequirePositiveFloat:
+    def test_accepts_float(self):
+        assert require_positive_float(2.5, "x") == 2.5
+
+    def test_accepts_int(self):
+        assert require_positive_float(3, "x") == 3.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            require_positive_float(0.0, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            require_positive_float(float("nan"), "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ConfigurationError):
+            require_positive_float(float("inf"), "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(ConfigurationError):
+            require_positive_float("fast", "x")
+
+
+class TestRequireInRange:
+    def test_accepts_bounds(self):
+        assert require_in_range(0, 0, 5, "x") == 0
+        assert require_in_range(5, 0, 5, "x") == 5
+
+    def test_rejects_outside(self):
+        with pytest.raises(ConfigurationError):
+            require_in_range(6, 0, 5, "x")
+
+
+class TestAsComplexVector:
+    def test_promotes_real_input(self):
+        out = as_complex_vector([1.0, 2.0], "x")
+        assert out.dtype == np.complex128
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            as_complex_vector(np.array([]), "x")
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ConfigurationError):
+            as_complex_vector(np.zeros((2, 2)), "x")
+
+
+class TestIsPowerOfTwo:
+    def test_true_cases(self):
+        assert all(is_power_of_two(v) for v in (1, 2, 8, 4096))
+
+    def test_false_cases(self):
+        assert not any(is_power_of_two(v) for v in (0, -2, 3, 12))
