@@ -1,21 +1,50 @@
-"""Harness health — throughput of the DSCF estimator implementations.
+"""Harness health — throughput of the DSCF estimator backends.
 
-Not a paper artifact: measures the host-side cost of the three
-equivalent estimators (literal triple loop, vectorised numpy,
-streaming accumulator) so regressions in the reference implementations
-are visible.
+Not a paper artifact: measures the host-side cost of the equivalent
+estimator substrates (literal triple loop, vectorised numpy, streaming
+accumulator, batched Gram-matrix pipeline) so regressions in the
+reference implementations are visible, and emits the machine-readable
+``BENCH_estimators.json`` at the repo root so the performance
+trajectory — in particular the batch-vs-loop Monte-Carlo speedup at
+the paper's K = 256, 127 x 127 operating point — is tracked across
+PRs.
+
+Run under pytest-benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_estimators.py --benchmark-only -s
+
+or regenerate just the JSON without pytest::
+
+    PYTHONPATH=src python benchmarks/bench_estimators.py
 """
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
 
 import numpy as np
 
+from repro.core.detection import CyclostationaryFeatureDetector, calibrate_threshold
 from repro.core.fourier import block_spectra
 from repro.core.scf import StreamingDSCF, dscf, dscf_reference
+from repro.pipeline import BatchRunner, PipelineConfig, available_backends, get_backend
 from repro.signals.noise import awgn
 
 K = 64
 BLOCKS = 16
 SPECTRA = block_spectra(awgn(K * BLOCKS, seed=70), K)
 M = 7  # small m so the literal loop stays affordable
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_estimators.json"
+
+# The Monte-Carlo operating point of the emitted speedup figure: the
+# paper's K = 256 / 127 x 127 grid, a realistic integration length
+# (the CLI's `sense` default is 64 blocks) and a calibration-sized
+# trial count.
+MC_CONFIG = PipelineConfig(fft_size=256, num_blocks=32, trial_chunk=4)
+MC_TRIALS = 64
 
 
 def test_vectorised_estimator(benchmark):
@@ -46,3 +75,152 @@ def test_paper_grid_vectorised(benchmark):
     spectra = block_spectra(awgn(256 * 8, seed=71), 256)
     values = benchmark(dscf, spectra, 63)
     assert values.shape == (127, 127)
+
+
+def test_batched_monte_carlo(benchmark):
+    """Batched threshold calibration at the paper's operating point."""
+    runner = BatchRunner(MC_CONFIG)
+    signals = np.stack(
+        [awgn(MC_CONFIG.samples_per_decision, seed=70 + t) for t in range(16)]
+    )
+    statistics = benchmark(runner.statistics, signals)
+    assert statistics.shape == (16,)
+
+
+# ----------------------------------------------------------------------
+# Machine-readable benchmark emission
+# ----------------------------------------------------------------------
+def _median_seconds(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - started)
+    return float(np.median(times))
+
+
+def _backend_throughput() -> dict:
+    """Seconds per DSCF estimate for every registered backend.
+
+    The cycle-level SoC backend runs a reduced problem (it simulates
+    every MAC of every tile); its entry records its own operating
+    point.
+    """
+    rows = {}
+    small = PipelineConfig(fft_size=K, num_blocks=BLOCKS, m=M)
+    tiny = PipelineConfig(fft_size=16, num_blocks=4, m=3, soc_tiles=2)
+    for name in available_backends():
+        backend = get_backend(name)
+        config = tiny if backend.capabilities.cycle_accurate else small
+        signal = awgn(config.samples_per_decision, seed=72)
+        backend.compute(signal, config)  # warm-up
+        seconds = _median_seconds(
+            lambda: backend.compute(signal, config), repeats=3
+        )
+        rows[name] = {
+            "fft_size": config.fft_size,
+            "num_blocks": config.num_blocks,
+            "m": config.m,
+            "seconds_per_estimate": seconds,
+            "estimates_per_second": 1.0 / seconds if seconds > 0 else None,
+        }
+    return rows
+
+
+def _batch_vs_loop() -> dict:
+    """Monte-Carlo calibration: BatchRunner vs the per-trial loop."""
+    runner = BatchRunner(MC_CONFIG)
+    detector = CyclostationaryFeatureDetector(
+        MC_CONFIG.fft_size, MC_CONFIG.num_blocks, m=MC_CONFIG.m
+    )
+    factory = runner.default_noise_factory()
+    signals = np.stack([factory(t) for t in range(MC_TRIALS)])
+    runner.statistics(signals[:4])  # warm-up
+    detector.statistic(signals[0])
+
+    loop_seconds = _median_seconds(
+        lambda: [detector.statistic(s) for s in signals], repeats=3
+    )
+    batch_seconds = _median_seconds(
+        lambda: runner.statistics(signals), repeats=5
+    )
+    batch_stats = runner.statistics(signals)
+    loop_stats = np.array([detector.statistic(s) for s in signals])
+    per_trial = np.array([runner.statistics(s[None])[0] for s in signals])
+    return {
+        "fft_size": MC_CONFIG.fft_size,
+        "dscf_grid": f"{MC_CONFIG.extent}x{MC_CONFIG.extent}",
+        "num_blocks": MC_CONFIG.num_blocks,
+        "trials": MC_TRIALS,
+        "loop_seconds": loop_seconds,
+        "batch_seconds": batch_seconds,
+        "speedup": loop_seconds / batch_seconds,
+        "loop_seconds_per_trial": loop_seconds / MC_TRIALS,
+        "batch_seconds_per_trial": batch_seconds / MC_TRIALS,
+        "batch_matches_detector_loop": bool(
+            np.allclose(batch_stats, loop_stats, rtol=1e-9)
+        ),
+        "batch_bitwise_equals_per_trial_runner": bool(
+            (batch_stats == per_trial).all()
+        ),
+    }
+
+
+def collect_metrics() -> dict:
+    """Gather the full benchmark record written to BENCH_estimators.json."""
+    return {
+        "benchmark": "bench_estimators",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "backends": _backend_throughput(),
+        "batch_vs_loop": _batch_vs_loop(),
+    }
+
+
+def emit_benchmark_json(path: Path = BENCH_JSON) -> dict:
+    metrics = collect_metrics()
+    path.write_text(json.dumps(metrics, indent=2) + "\n")
+    return metrics
+
+
+def test_emit_benchmark_json():
+    """Write BENCH_estimators.json and gate the batched speedup.
+
+    The acceptance bar is >= 5x at the K = 256, 127 x 127 operating
+    point; the assertion keeps a safety margin for noisy CI boxes
+    while the JSON records the actual figure.
+    """
+    metrics = emit_benchmark_json()
+    record = metrics["batch_vs_loop"]
+    print(
+        f"\nbatch vs loop at K=256, {record['dscf_grid']}, "
+        f"N={record['num_blocks']}, T={record['trials']}: "
+        f"{record['speedup']:.1f}x "
+        f"(loop {record['loop_seconds'] * 1e3:.0f} ms, "
+        f"batch {record['batch_seconds'] * 1e3:.0f} ms)"
+    )
+    assert record["batch_matches_detector_loop"]
+    assert record["batch_bitwise_equals_per_trial_runner"]
+    assert record["speedup"] >= 3.0, (
+        "batched Monte-Carlo calibration lost its speedup: "
+        f"{record['speedup']:.2f}x"
+    )
+
+
+def main() -> int:
+    metrics = emit_benchmark_json()
+    print(json.dumps(metrics, indent=2))
+    record = metrics["batch_vs_loop"]
+    meets_bar = record["speedup"] >= 5.0
+    print(
+        f"\nbatch-vs-loop speedup: {record['speedup']:.1f}x "
+        f"({'meets' if meets_bar else 'BELOW'} the 5x acceptance bar)"
+    )
+    # Exit-gate with the same 3x margin as the pytest assertion so a
+    # noisy shared CI box doesn't fail unrelated PRs; the JSON records
+    # the actual figure either way.
+    return 0 if record["speedup"] >= 3.0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,11 @@ MAC sweep with inter-tile boundary exchange — and checks the platform's
 DSCF against the numpy reference bit for bit.  Then repeats the run
 with one OS process per tile (the multiprocessing emulation).
 
+Both the platform run and the software reference go through the
+estimator-backend pipeline: the ``soc`` backend drives the cycle-level
+simulation, the ``vectorized`` backend provides the numpy ground truth
+— the same chain the paper's claim of substrate-independence requires.
+
 Run:  python examples/tile_emulation.py
 """
 
@@ -13,9 +18,9 @@ import time
 
 import numpy as np
 
-from repro import bpsk_signal, block_spectra, dscf
+from repro import DetectionPipeline, PipelineConfig, bpsk_signal
 from repro.perf.report import format_cycle_rows
-from repro.soc import ParallelSoCEmulation, SoCRunner, aaf_drbpf
+from repro.soc import ParallelSoCEmulation, aaf_drbpf
 
 NUM_BLOCKS = 3
 
@@ -33,9 +38,18 @@ def main() -> None:
     )
     print(f"integrating N = {NUM_BLOCKS} blocks of {platform.fft_size} samples\n")
 
+    config = PipelineConfig(
+        fft_size=platform.fft_size,
+        num_blocks=NUM_BLOCKS,
+        m=platform.m,
+        backend="soc",
+        soc_tiles=platform.num_tiles,
+    )
+    soc_pipeline = DetectionPipeline(config)
+
     started = time.perf_counter()
-    runner = SoCRunner(platform)
-    result = runner.run(signal, NUM_BLOCKS)
+    platform_dscf = soc_pipeline.compute(signal)
+    result = soc_pipeline.backend.last_run
     elapsed = time.perf_counter() - started
 
     print("per-tile cycle budget for one integration step (Table 1):")
@@ -55,8 +69,9 @@ def main() -> None:
     )
     print(f"inter-tile transfers: {result.link_transfers}")
 
-    reference = dscf(block_spectra(signal.samples, platform.fft_size), platform.m)
-    error = np.abs(result.dscf.values - reference).max()
+    software = DetectionPipeline(config.with_backend("vectorized"))
+    reference = software.compute(signal).values
+    error = np.abs(platform_dscf.values - reference).max()
     print(
         f"\nplatform DSCF vs numpy reference: max |error| = {error:.3e} "
         f"({'exact' if error < 1e-9 else 'MISMATCH'})"

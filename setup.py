@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml (PEP 621).  This file exists so
+`python setup.py develop` still works on machines without network
+access to fetch the `wheel` build dependency; with network (e.g. CI),
+use the standard `pip install -e .`.
+"""
+
+from setuptools import setup
+
+setup()

@@ -18,6 +18,10 @@ The package is organised in layers:
   sequential and multiprocessing emulation of the 4-tile platform.
 * :mod:`repro.perf` — analytic cycle/area/power models reproducing
   Table 1 and the Section 5 evaluation.
+* :mod:`repro.pipeline` — the unified estimator-backend pipeline: one
+  typed configuration drives the same detection chain on any
+  registered substrate (reference, vectorised, streaming, SoC), with
+  batched multi-trial execution for Monte-Carlo workloads.
 
 Quickstart
 ----------
@@ -27,6 +31,14 @@ Quickstart
 >>> result = dscf_from_signal(sig, fft_size=256)
 >>> result.extent            # the paper's 127 x 127 DSCF
 127
+
+Pipeline quickstart
+-------------------
+>>> from repro import DetectionPipeline, PipelineConfig
+>>> pipeline = DetectionPipeline(PipelineConfig(fft_size=64,
+...                                             num_blocks=32))
+>>> pipeline.backend.name
+'vectorized'
 """
 
 from .core import (
@@ -53,6 +65,15 @@ from .errors import (
     SignalError,
     SimulationError,
 )
+from .pipeline import (
+    BatchRunner,
+    DetectionPipeline,
+    EstimatorBackend,
+    PipelineConfig,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from .signals import (
     BandScenario,
     LicensedUser,
@@ -67,10 +88,17 @@ from .signals import (
     qpsk_signal,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BandScenario",
+    "BatchRunner",
+    "DetectionPipeline",
+    "EstimatorBackend",
+    "PipelineConfig",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "CommunicationError",
     "ConfigurationError",
     "CyclostationaryFeatureDetector",

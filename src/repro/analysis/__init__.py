@@ -8,6 +8,7 @@ from .metrics import (
 from .roc import (
     RocCurve,
     auc,
+    batched_monte_carlo_statistics,
     detection_probability,
     monte_carlo_statistics,
     roc_curve,
@@ -19,6 +20,7 @@ __all__ = [
     "RocCurve",
     "SweepPoint",
     "auc",
+    "batched_monte_carlo_statistics",
     "detection_probability",
     "estimate_symbol_rate_bins",
     "monte_carlo_statistics",

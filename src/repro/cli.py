@@ -17,6 +17,9 @@ Subcommands
 ``classify``
     Estimate the symbol rate of a synthetic licensed user from its
     cyclic-autocorrelation features.
+``backends``
+    List the registered estimator backends the detection pipeline can
+    execute on (``sense --backend <name>`` selects one).
 """
 
 from __future__ import annotations
@@ -27,8 +30,14 @@ import sys
 import numpy as np
 
 from . import __version__
-from .core.detection import CyclostationaryFeatureDetector, EnergyDetector, calibrate_threshold
+from .core.detection import EnergyDetector
 from .core.scf import default_m
+from .pipeline import (
+    DetectionPipeline,
+    PipelineConfig,
+    available_backends,
+    get_backend,
+)
 from .mapping import Fold, SpaceTimeDelayDiagram, minimal_register_structure
 from .mapping.ascii_art import render_figure5, render_figure7, render_figure9
 from .perf import (
@@ -84,7 +93,6 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
 
 def _cmd_sense(args: argparse.Namespace) -> int:
     fft_size = args.fft_size
-    m = default_m(fft_size)
     num_blocks = args.blocks
     samples_needed = fft_size * num_blocks
     rng = np.random.default_rng(args.seed)
@@ -99,14 +107,17 @@ def _cmd_sense(args: argparse.Namespace) -> int:
     else:
         samples = noise
 
-    detector = CyclostationaryFeatureDetector(fft_size, num_blocks, m=m)
-    threshold = calibrate_threshold(
-        detector.statistic,
-        lambda trial: awgn(samples_needed, power=1.0, seed=10_000 + trial),
-        pfa=args.pfa,
-        trials=args.calibration_trials,
+    pipeline = DetectionPipeline(
+        PipelineConfig(
+            fft_size=fft_size,
+            num_blocks=num_blocks,
+            backend=args.backend,
+            pfa=args.pfa,
+            calibration_trials=args.calibration_trials,
+        )
     )
-    report = detector.detect(samples, threshold)
+    pipeline.calibrate()
+    report = pipeline.detect(samples)
     print(report)
 
     energy = EnergyDetector(
@@ -187,6 +198,24 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     return 0 if decided == args.sps else 1
 
 
+def _cmd_backends(args: argparse.Namespace) -> int:
+    print("registered estimator backends (sense --backend <name>):\n")
+    for name in available_backends():
+        capabilities = get_backend(name).capabilities
+        flags = ", ".join(
+            label
+            for label, enabled in (
+                ("batch", capabilities.supports_batch),
+                ("streaming", capabilities.supports_streaming),
+                ("cycle-accurate", capabilities.cycle_accurate),
+            )
+            if enabled
+        )
+        print(f"  {name:<12s} {capabilities.description}")
+        print(f"  {'':<12s} [{flags or 'sequential'}]")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro-cfd`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -231,7 +260,18 @@ def build_parser() -> argparse.ArgumentParser:
     sense.add_argument("--vacant", action="store_true", help="noise only")
     sense.add_argument("--noise-uncertainty-db", type=float, default=0.0)
     sense.add_argument("--calibration-trials", type=int, default=50)
+    sense.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="vectorized",
+        help="estimator backend executing the DSCF (see `backends`)",
+    )
     sense.set_defaults(func=_cmd_sense)
+
+    backends = subparsers.add_parser(
+        "backends", help="list the registered estimator backends"
+    )
+    backends.set_defaults(func=_cmd_backends)
 
     mapping = subparsers.add_parser("map", help="walk the mapping methodology")
     mapping.add_argument("--fft-size", type=int, default=256)

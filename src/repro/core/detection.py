@@ -26,6 +26,15 @@ Thresholds are set either analytically (energy detector, via the
 Gaussian approximation to the chi-square statistic) or by Monte-Carlo
 calibration on noise-only trials (:func:`calibrate_threshold`), which
 works for every detector.
+
+For cyclostationary sensing the recommended entry points live in
+:mod:`repro.pipeline`: ``DetectionPipeline`` composes scenario ->
+channel -> estimator backend -> detector behind one ``PipelineConfig``
+(selectable substrate, same statistic as
+:class:`CyclostationaryFeatureDetector`), and
+``BatchRunner.calibrate_threshold`` performs the Monte-Carlo
+calibration below as one vectorised pass instead of a per-trial loop.
+The classes here remain the per-decision building blocks.
 """
 
 from __future__ import annotations
@@ -82,6 +91,39 @@ def inverse_q_function(probability: float) -> float:
     numerator = ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
     denominator = (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
     return float(-numerator / denominator)
+
+
+def validate_pfa(pfa: float) -> float:
+    """Validate a false-alarm probability (must lie strictly in (0, 1))."""
+    if not 0.0 < pfa < 1.0:
+        raise ConfigurationError(f"pfa must be in (0, 1), got {pfa}")
+    return float(pfa)
+
+
+def validate_cyclic_bins(
+    cyclic_bins, m: int
+) -> tuple[int, ...] | None:
+    """Validate (or pass through ``None``) a searched cyclic-offset set.
+
+    Offsets must be non-zero (``a = 0`` is the PSD, present for any
+    signal) and lie within the computed grid ``[-M, M]``.  The single
+    source of this rule for the detector, ``PipelineConfig`` and the
+    batched runner.
+    """
+    if cyclic_bins is None:
+        return None
+    cyclic_bins = tuple(int(a) for a in cyclic_bins)
+    for a in cyclic_bins:
+        if a == 0:
+            raise ConfigurationError(
+                "cyclic_bins must not contain 0 (a=0 is the PSD, "
+                "present for any signal)"
+            )
+        if not -m <= a <= m:
+            raise ConfigurationError(
+                f"cyclic bin {a} outside [-{m}, {m}]"
+            )
+    return cyclic_bins
 
 
 @dataclass(frozen=True)
@@ -279,19 +321,7 @@ class CyclostationaryFeatureDetector:
         from .scf import validate_m  # local import avoids cycle at module load
 
         self._m = validate_m(fft_size, m)
-        if cyclic_bins is not None:
-            cyclic_bins = tuple(int(a) for a in cyclic_bins)
-            for a in cyclic_bins:
-                if a == 0:
-                    raise ConfigurationError(
-                        "cyclic_bins must not contain 0 (a=0 is the PSD, "
-                        "present for any signal)"
-                    )
-                if not -self._m <= a <= self._m:
-                    raise ConfigurationError(
-                        f"cyclic bin {a} outside [-{self._m}, {self._m}]"
-                    )
-        self._cyclic_bins = cyclic_bins
+        self._cyclic_bins = validate_cyclic_bins(cyclic_bins, self._m)
         self._normalize = bool(normalize)
 
     @property
@@ -366,6 +396,12 @@ def calibrate_threshold(
 ) -> float:
     """Monte-Carlo threshold: the (1 - pfa) quantile of noise-only statistics.
 
+    This is the generic per-trial loop (works with any callable).  For
+    cyclostationary detectors prefer the batched equivalent,
+    :meth:`repro.pipeline.BatchRunner.calibrate_threshold` /
+    :meth:`repro.pipeline.DetectionPipeline.calibrate`, which computes
+    the same quantile from one vectorised pass.
+
     Parameters
     ----------
     statistic_fn:
@@ -378,8 +414,7 @@ def calibrate_threshold(
     trials:
         Number of noise-only trials.
     """
-    if not 0.0 < pfa < 1.0:
-        raise ConfigurationError(f"pfa must be in (0, 1), got {pfa}")
+    pfa = validate_pfa(pfa)
     trials = require_positive_int(trials, "trials")
     statistics = np.array(
         [statistic_fn(noise_factory(trial)) for trial in range(trials)]

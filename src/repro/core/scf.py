@@ -25,6 +25,12 @@ Three estimators are provided and verified against each other:
 ``StreamingDSCF``
     Block-at-a-time accumulator mirroring the hardware integration step
     (Figure 3: multiply + running sum in a register/memory).
+
+All three (plus the cycle-level SoC emulation) are registered as named
+estimator backends behind :mod:`repro.pipeline` — the recommended API:
+``DetectionPipeline`` selects a substrate by name, and ``BatchRunner``
+evaluates many trials in one vectorised pass.  The functions here
+remain the single-shot building blocks those backends adapt.
 """
 
 from __future__ import annotations

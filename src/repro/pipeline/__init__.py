@@ -1,0 +1,53 @@
+"""Unified estimator-backend pipeline with batched execution.
+
+This package is the spine that lets every consumer — CLI, analysis
+sweeps, SoC experiments, benchmarks, examples — run the *same* DSCF
+detection chain on interchangeable execution substrates:
+
+* :mod:`repro.pipeline.config` — :class:`PipelineConfig`, the single
+  typed object describing a sensing operating point;
+* :mod:`repro.pipeline.backends` — the :class:`EstimatorBackend`
+  protocol and the registered substrates (``reference``,
+  ``vectorized``, ``streaming``, ``soc``);
+* :mod:`repro.pipeline.batch` — :class:`BatchRunner`, the vectorised
+  multi-trial executor (one bulk FFT, cached plans, Gram-matrix DSCF);
+* :mod:`repro.pipeline.pipeline` — :class:`DetectionPipeline`, the
+  composed scenario -> channel -> backend -> detector chain.
+
+Quickstart
+----------
+>>> from repro.pipeline import DetectionPipeline, PipelineConfig
+>>> pipeline = DetectionPipeline(
+...     PipelineConfig(fft_size=64, num_blocks=32, backend="streaming"))
+>>> result = pipeline.compute(samples)               # doctest: +SKIP
+"""
+
+from .backends import (
+    BackendCapabilities,
+    EstimatorBackend,
+    ReferenceBackend,
+    SoCBackend,
+    StreamingBackend,
+    VectorizedBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from .batch import BatchRunner
+from .config import PipelineConfig
+from .pipeline import DetectionPipeline
+
+__all__ = [
+    "BackendCapabilities",
+    "BatchRunner",
+    "DetectionPipeline",
+    "EstimatorBackend",
+    "PipelineConfig",
+    "ReferenceBackend",
+    "SoCBackend",
+    "StreamingBackend",
+    "VectorizedBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]

@@ -1,0 +1,120 @@
+"""Typed configuration driving the estimator/detection pipeline.
+
+One :class:`PipelineConfig` carries every knob of a sensing deployment
+— the DSCF operating point (K, N, M, hop, window), the estimator
+backend to execute on, the detection statistic options, and the
+Monte-Carlo calibration policy — so every consumer (CLI, analysis
+sweeps, examples, benchmarks) is driven by the same object instead of
+loose keyword arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .._util import require_positive_int
+from ..core.detection import validate_cyclic_bins, validate_pfa
+from ..core.scf import validate_m
+from ..core.windows import get_window
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Operating point of a :class:`~repro.pipeline.DetectionPipeline`.
+
+    Parameters
+    ----------
+    fft_size:
+        Block length K (paper: 256).
+    num_blocks:
+        Integration length N (blocks averaged per decision).
+    m:
+        DSCF half-extent M; ``None`` resolves to
+        :func:`repro.core.scf.default_m` (63 for K = 256, the paper's
+        127 x 127 grid).
+    hop:
+        Block stride; ``None`` means ``fft_size`` (non-overlapping, the
+        paper's operating point).
+    window:
+        Analysis window name (default rectangular, as the paper).
+    backend:
+        Registered :class:`~repro.pipeline.backends.EstimatorBackend`
+        name — one of ``reference``, ``vectorized``, ``streaming``,
+        ``soc`` (see :func:`~repro.pipeline.backends.available_backends`).
+    normalize:
+        If True (default) the detection statistic uses the spectral
+        coherence (scale-invariant); if False the raw ``|S_f^a|``.
+    cyclic_bins:
+        Optional tuple of non-zero offsets ``a`` to search; ``None``
+        scans every non-zero offset (the Cognitive-Radio case where the
+        licensed user's symbol rate is unknown).
+    pfa:
+        Target false-alarm probability for threshold calibration.
+    calibration_trials:
+        Noise-only Monte-Carlo trials used by
+        :meth:`~repro.pipeline.DetectionPipeline.calibrate`.
+    calibration_seed:
+        Base seed for the default calibration noise factory (trial *t*
+        uses ``calibration_seed + t``).
+    sample_rate_hz:
+        Optional sampling frequency carried into results for
+        physical-unit axes.
+    soc_tiles:
+        Tile count Q used when ``backend="soc"`` (paper: 4).
+    trial_chunk:
+        Trials processed per vectorised slab by the
+        :class:`~repro.pipeline.BatchRunner` (bounds peak memory at
+        roughly ``trial_chunk * (4M+1)^2`` complex values).
+    """
+
+    fft_size: int = 256
+    num_blocks: int = 8
+    m: int | None = None
+    hop: int | None = None
+    window: str = "rectangular"
+    backend: str = "vectorized"
+    normalize: bool = True
+    cyclic_bins: tuple[int, ...] | None = None
+    pfa: float = 0.05
+    calibration_trials: int = 50
+    calibration_seed: int = 10_000
+    sample_rate_hz: float | None = None
+    soc_tiles: int = 4
+    trial_chunk: int = 4
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.fft_size, "fft_size")
+        require_positive_int(self.num_blocks, "num_blocks")
+        object.__setattr__(self, "m", validate_m(self.fft_size, self.m))
+        object.__setattr__(
+            self,
+            "hop",
+            self.fft_size
+            if self.hop is None
+            else require_positive_int(self.hop, "hop"),
+        )
+        get_window(self.window, self.fft_size)  # validates the name
+        require_positive_int(self.soc_tiles, "soc_tiles")
+        require_positive_int(self.trial_chunk, "trial_chunk")
+        require_positive_int(self.calibration_trials, "calibration_trials")
+        validate_pfa(self.pfa)
+        object.__setattr__(
+            self, "cyclic_bins", validate_cyclic_bins(self.cyclic_bins, self.m)
+        )
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+    @property
+    def extent(self) -> int:
+        """DSCF side length ``2M + 1`` (127 for the paper)."""
+        return 2 * self.m + 1
+
+    @property
+    def samples_per_decision(self) -> int:
+        """Observation length consumed by one sensing decision."""
+        return (self.num_blocks - 1) * self.hop + self.fft_size
+
+    def with_backend(self, backend: str) -> "PipelineConfig":
+        """A copy of this configuration on a different backend."""
+        return replace(self, backend=backend)

@@ -1,0 +1,228 @@
+"""The detection pipeline: scenario -> channel -> backend -> decision.
+
+:class:`DetectionPipeline` composes the full sensing chain behind one
+typed :class:`~repro.pipeline.config.PipelineConfig`:
+
+1. a signal source — raw samples, a
+   :class:`~repro.core.sampling.SampledSignal`, or a
+   :class:`~repro.signals.scenario.BandScenario` realisation;
+2. an optional channel stage (any ``SampledSignal -> SampledSignal``
+   callable, e.g. :func:`repro.signals.channel.apply_cfo`);
+3. a named :class:`~repro.pipeline.backends.EstimatorBackend` producing
+   the DSCF;
+4. the cyclostationary detection statistic and threshold test,
+   yielding a :class:`~repro.core.detection.DetectionReport`.
+
+Single decisions on a batch-capable backend, and every Monte-Carlo
+workload, route through the :class:`~repro.pipeline.batch.BatchRunner`
+so the per-trial and batched paths share one implementation (and are
+therefore bit-for-bit consistent).
+
+>>> from repro.pipeline import DetectionPipeline, PipelineConfig
+>>> pipeline = DetectionPipeline(PipelineConfig(fft_size=32,
+...                                             num_blocks=16,
+...                                             calibration_trials=20))
+>>> threshold = pipeline.calibrate()
+>>> report = pipeline.detect(some_samples)           # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..core.detection import DetectionReport
+from ..core.sampling import SampledSignal
+from ..core.scf import DSCFResult, spectral_coherence
+from ..errors import ConfigurationError
+from ..signals.scenario import BandOccupancy, BandScenario
+from .backends import EstimatorBackend, get_backend
+from .batch import BatchRunner
+from .config import PipelineConfig
+
+Channel = Callable[[SampledSignal], SampledSignal]
+
+
+def _samples_of(signal: SampledSignal | np.ndarray) -> np.ndarray:
+    return (
+        signal.samples if isinstance(signal, SampledSignal) else np.asarray(signal)
+    )
+
+
+class DetectionPipeline:
+    """One configured sensing chain, executable on any backend.
+
+    Parameters
+    ----------
+    config:
+        The pipeline's operating point (defaults to the paper's
+        vectorised K = 256 configuration).
+    channel:
+        Optional impairment stage applied to scenario realisations
+        before estimation (see :mod:`repro.signals.channel`).
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        channel: Channel | None = None,
+    ) -> None:
+        self.config = config if config is not None else PipelineConfig()
+        self.channel = channel
+        registered = get_backend(self.config.backend)
+        # Backends with per-run state (e.g. SoCBackend.last_run) expose
+        # fresh() so each pipeline gets a private instance; registered
+        # instances without it are used as-is, preserving whatever
+        # configuration the extension author gave them.
+        fresh = getattr(registered, "fresh", None)
+        self._backend: EstimatorBackend = fresh() if callable(fresh) else registered
+        self._runner = BatchRunner(self.config)
+        self._threshold: float | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> EstimatorBackend:
+        """The estimator backend the pipeline executes on."""
+        return self._backend
+
+    @property
+    def batch(self) -> BatchRunner:
+        """The batched executor sharing this pipeline's configuration."""
+        return self._runner
+
+    @property
+    def detector_name(self) -> str:
+        """Label used in detection reports."""
+        return f"cyclostationary/{self._backend.name}"
+
+    @property
+    def threshold(self) -> float | None:
+        """The calibrated threshold, if :meth:`calibrate` has run."""
+        return self._threshold
+
+    # ------------------------------------------------------------------
+    # Stages
+    # ------------------------------------------------------------------
+    def _apply_channel(
+        self, signal: SampledSignal | np.ndarray
+    ) -> SampledSignal | np.ndarray:
+        if self.channel is None:
+            return signal
+        if not isinstance(signal, SampledSignal):
+            sample_rate = self.config.sample_rate_hz
+            if sample_rate is None:
+                raise ConfigurationError(
+                    "a channel stage needs a SampledSignal (or a "
+                    "config.sample_rate_hz to wrap raw samples)"
+                )
+            signal = SampledSignal(np.asarray(signal), sample_rate)
+        return self.channel(signal)
+
+    def compute(self, signal: SampledSignal | np.ndarray) -> DSCFResult:
+        """Run source -> channel -> backend, returning the DSCF."""
+        return self._backend.compute(self._apply_channel(signal), self.config)
+
+    def _surface(self, signal: SampledSignal | np.ndarray) -> np.ndarray:
+        """Detection surface of a channel-applied signal."""
+        samples = _samples_of(signal)
+        if self._backend.capabilities.supports_batch:
+            return self._runner.surfaces(samples[None])[0]
+        spectra = self._runner.block_spectra(samples[None])[0]
+        source = spectra if self._backend.capabilities.accepts_spectra else signal
+        result = self._backend.compute(source, self.config)
+        if not self.config.normalize:
+            return result.magnitude()
+        mean_square = np.mean(np.abs(spectra) ** 2, axis=0)
+        return spectral_coherence(result, mean_square)
+
+    def feature_surface(self, signal: SampledSignal | np.ndarray) -> np.ndarray:
+        """The ``(2M+1, 2M+1)`` detection surface on this backend."""
+        return self._surface(self._apply_channel(signal))
+
+    def statistic(self, signal: SampledSignal | np.ndarray) -> float:
+        """Scalar test statistic: peak surface over searched offsets."""
+        return self._statistic_no_channel(self._apply_channel(signal))
+
+    def _statistic_no_channel(
+        self, signal: SampledSignal | np.ndarray
+    ) -> float:
+        if self._backend.capabilities.supports_batch:
+            return float(self._runner.statistics(_samples_of(signal)[None])[0])
+        surface = self._surface(signal)
+        return float(surface[:, self._runner.searched_columns].max())
+
+    # ------------------------------------------------------------------
+    # Calibration and decision
+    # ------------------------------------------------------------------
+    def calibrate(
+        self,
+        noise_factory: Callable[[int], np.ndarray] | None = None,
+        trials: int | None = None,
+    ) -> float:
+        """Monte-Carlo threshold at ``config.pfa``, cached on the pipeline.
+
+        Uses the batched pass when the backend supports it; otherwise
+        loops noise-only trials through the backend itself so the
+        threshold matches the statistics the backend will produce.
+
+        The channel stage is *not* applied to the calibration noise on
+        either path: it models the licensed user's propagation, while
+        the factory's realisations stand for noise added at the
+        receiver itself.
+        """
+        trials = self.config.calibration_trials if trials is None else trials
+        if noise_factory is None:
+            noise_factory = self._runner.default_noise_factory()
+        if self._backend.capabilities.supports_batch:
+            threshold = self._runner.calibrate_threshold(
+                noise_factory=noise_factory, trials=trials
+            )
+        else:
+            statistics = np.array(
+                [
+                    self._statistic_no_channel(noise_factory(trial))
+                    for trial in range(trials)
+                ]
+            )
+            threshold = float(np.quantile(statistics, 1.0 - self.config.pfa))
+        self._threshold = threshold
+        return threshold
+
+    def detect(
+        self,
+        signal: SampledSignal | np.ndarray,
+        threshold: float | None = None,
+    ) -> DetectionReport:
+        """Full decision: statistic vs (given or calibrated) threshold."""
+        if threshold is None:
+            threshold = self._threshold
+        if threshold is None:
+            threshold = self.calibrate()
+        statistic = self.statistic(signal)
+        return DetectionReport(
+            statistic=statistic,
+            threshold=float(threshold),
+            detected=statistic > threshold,
+            detector=self.detector_name,
+        )
+
+    def sense(
+        self,
+        scenario: BandScenario,
+        active: tuple[str, ...] | None = None,
+        seed: int | None = None,
+        threshold: float | None = None,
+    ) -> tuple[DetectionReport, BandOccupancy]:
+        """Sense one scenario realisation end to end.
+
+        Draws a realisation (source), applies the channel stage, runs
+        the backend and the threshold test; returns the decision plus
+        the ground-truth occupancy for scoring.
+        """
+        signal, occupancy = scenario.realize(
+            self.config.samples_per_decision, active=active, seed=seed
+        )
+        return self.detect(signal, threshold=threshold), occupancy

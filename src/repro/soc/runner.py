@@ -9,6 +9,12 @@
   platform clock (the paper's 13996 cycles -> 139.96 us per step);
 * the derived analysed bandwidth (Section 5's ~915 kHz);
 * link transfer statistics (the factor-T communication rate).
+
+For estimation-only workloads prefer the pipeline layer: the runner is
+registered as the ``soc`` estimator backend, so
+``DetectionPipeline(PipelineConfig(backend="soc"))`` (or the CLI's
+``sense --backend soc``) runs the same detection chain as every other
+substrate while this module keeps the timing bookkeeping.
 """
 
 from __future__ import annotations
@@ -121,6 +127,19 @@ class SoCRunner:
             link_transfers=self.soc.link_transfer_counts(),
             num_blocks=num_blocks,
         )
+
+    def compute(
+        self,
+        signal: SampledSignal | np.ndarray,
+        num_blocks: int,
+    ) -> DSCFResult:
+        """Estimator-backend view of a platform run: just the DSCF.
+
+        The adapter used by the pipeline's ``soc`` backend; timing and
+        link statistics of the same run remain available through
+        :meth:`run`.
+        """
+        return self.run(signal, num_blocks).dscf
 
 
 def analysed_bandwidth_hz(fft_size: int, step_time_s: float) -> float:
