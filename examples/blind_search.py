@@ -1,0 +1,121 @@
+"""Blind cyclostationary search: find an unknown symbol rate with FAM/SSCA.
+
+The paper's detector evaluates the DSCF at a handful of candidate
+cycle frequencies — fine when the licensed user's symbol rate is
+known.  A cognitive radio scanning an unfamiliar band has no such
+candidates: it must search the *whole* (f, alpha) plane.  That is the
+job of the full-plane estimator family in :mod:`repro.estimators`:
+
+* the **FAM** resolves cyclic frequency to fs/(P L) from channel-pair
+  products;
+* the **SSCA** resolves it to fs/N — every alpha an N-sample
+  observation can distinguish — from strip products against the
+  full-rate signal.
+
+This example hides a BPSK licensed user with a randomly chosen symbol
+rate inside noise, lets both estimators sweep the plane blind, and
+checks that the strongest extracted feature lands on the true symbol
+rate.  The DSCF-backed pipeline then confirms the find: its searched
+cyclic bins are *restricted to the recovered alpha*, turning the blind
+search into a cheap targeted detector.
+
+Run:  python examples/blind_search.py
+"""
+
+import numpy as np
+
+from repro import DetectionPipeline, PipelineConfig, awgn, bpsk_signal
+from repro.estimators import FAMEstimator, SSCAEstimator
+
+SAMPLE_RATE_HZ = 1e6
+FFT_SIZE = 256
+NUM_BLOCKS = 32
+SNR_DB = 3.0
+TRUE_SPS = 8  # the "unknown" the blind search must recover
+CANDIDATE_SPS = (4, 5, 8, 10, 16)
+
+
+def make_observation(seed: int) -> np.ndarray:
+    num_samples = FFT_SIZE * NUM_BLOCKS
+    rng = np.random.default_rng(seed)
+    user = bpsk_signal(
+        num_samples, SAMPLE_RATE_HZ, samples_per_symbol=TRUE_SPS, rng=rng
+    )
+    amplitude = float(np.sqrt(10.0 ** (SNR_DB / 10.0)))
+    return amplitude * user.samples + awgn(num_samples, power=1.0, rng=rng)
+
+
+def main() -> None:
+    observation = make_observation(seed=11)
+    true_alpha = SAMPLE_RATE_HZ / TRUE_SPS
+    print(
+        f"blind search over {FFT_SIZE * NUM_BLOCKS} samples at "
+        f"{SAMPLE_RATE_HZ / 1e6:.1f} MHz; hidden BPSK user at "
+        f"{SNR_DB:+.1f} dB SNR, symbol rate fs/{TRUE_SPS} "
+        f"= {true_alpha / 1e3:.1f} kHz (the estimators don't know this)\n"
+    )
+
+    estimators = (
+        FAMEstimator(num_channels=64, sample_rate_hz=SAMPLE_RATE_HZ),
+        SSCAEstimator(num_channels=64, sample_rate_hz=SAMPLE_RATE_HZ),
+    )
+    recovered = {}
+    for estimator in estimators:
+        spectrum = estimator.estimate(observation)
+        # Guard out the low-|alpha| region around the power spectrum;
+        # everything beyond it is searched exhaustively.
+        guard_hz = 16 * spectrum.alpha_resolution_hz
+        peaks = spectrum.top_peaks(count=3, min_alpha_hz=guard_hz)
+        print(
+            f"{estimator.name.upper():4s}: plane {spectrum.shape[0]} x "
+            f"{spectrum.shape[1]} cells, "
+            f"df = {spectrum.freq_resolution_hz / 1e3:.2f} kHz, "
+            f"da = {spectrum.alpha_resolution_hz:.1f} Hz"
+        )
+        for rank, peak in enumerate(peaks, start=1):
+            print(f"       #{rank} {peak}")
+        best = peaks[0]
+        recovered[estimator.name] = abs(best.alpha_hz)
+        error_bins = abs(abs(best.alpha_hz) - true_alpha)
+        error_bins /= spectrum.alpha_resolution_hz
+        print(
+            f"       -> |alpha| = {abs(best.alpha_hz) / 1e3:.2f} kHz, "
+            f"{error_bins:.1f} alpha-bins from the true symbol rate\n"
+        )
+
+    # Classify against the candidate symbol-rate set (the paper's
+    # K = 256 operating point scans candidates; here they come from the
+    # blind search instead of prior knowledge).
+    alpha_estimate = float(np.median(list(recovered.values())))
+    candidates = {sps: SAMPLE_RATE_HZ / sps for sps in CANDIDATE_SPS}
+    decided = min(
+        candidates, key=lambda sps: abs(candidates[sps] - alpha_estimate)
+    )
+    print(
+        f"candidate symbol rates {sorted(CANDIDATE_SPS)} -> blind search "
+        f"classifies fs/{decided} "
+        f"({'correct' if decided == TRUE_SPS else 'WRONG'})"
+    )
+
+    # Confirm with the DSCF pipeline, searching only the recovered bin:
+    # alpha = 2 a fs / K  ->  a = alpha K / (2 fs).
+    bin_estimate = int(round(alpha_estimate * FFT_SIZE / (2 * SAMPLE_RATE_HZ)))
+    pipeline = DetectionPipeline(
+        PipelineConfig(
+            fft_size=FFT_SIZE,
+            num_blocks=NUM_BLOCKS,
+            cyclic_bins=(bin_estimate, -bin_estimate),
+            calibration_trials=25,
+            sample_rate_hz=SAMPLE_RATE_HZ,
+        )
+    )
+    pipeline.calibrate()
+    report = pipeline.detect(observation)
+    print(
+        f"\nDSCF pipeline confirming at cyclic bin a = +-{bin_estimate}: "
+        f"{report}"
+    )
+
+
+if __name__ == "__main__":
+    main()

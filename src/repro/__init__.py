@@ -22,6 +22,12 @@ The package is organised in layers:
   typed configuration drives the same detection chain on any
   registered substrate (reference, vectorised, streaming, SoC), with
   batched multi-trial execution for Monte-Carlo workloads.
+* :mod:`repro.estimators` — the full (f, alpha)-plane estimator
+  family: a shared channelizer front-end feeding the FFT Accumulation
+  Method (``fam``) and the Strip Spectral Correlation Analyzer
+  (``ssca``), both registered as pipeline backends and returning
+  physical-axis :class:`~repro.estimators.CyclicSpectrum` planes for
+  blind (unknown-alpha) searches.
 
 Quickstart
 ----------
@@ -74,6 +80,16 @@ from .pipeline import (
     get_backend,
     register_backend,
 )
+
+# After .pipeline: importing the pipeline package is what registers the
+# full-plane backends, so the estimator re-exports must follow it.
+from .estimators import (
+    ChannelizerPlan,
+    CyclicPeak,
+    CyclicSpectrum,
+    FAMEstimator,
+    SSCAEstimator,
+)
 from .signals import (
     BandScenario,
     LicensedUser,
@@ -88,14 +104,19 @@ from .signals import (
     qpsk_signal,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BandScenario",
     "BatchRunner",
+    "ChannelizerPlan",
+    "CyclicPeak",
+    "CyclicSpectrum",
     "DetectionPipeline",
     "EstimatorBackend",
+    "FAMEstimator",
     "PipelineConfig",
+    "SSCAEstimator",
     "available_backends",
     "get_backend",
     "register_backend",

@@ -10,6 +10,10 @@ Statistics can be gathered two ways: the generic per-trial loop
 batched pass (:func:`batched_monte_carlo_statistics`), which pushes
 every realisation through a :class:`repro.pipeline.BatchRunner` in one
 vectorised sweep — the recommended path for cyclostationary detectors.
+The runner executes whichever estimator backend its configuration
+names, so ROC curves for the full-plane ``fam``/``ssca`` estimators
+come from the same machinery as the DSCF's: pass a runner built from
+``config.with_backend("fam")``.
 """
 
 from __future__ import annotations

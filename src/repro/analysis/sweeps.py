@@ -8,7 +8,10 @@ benchmarks and the detection-curves example.
 Pass ``runner=`` (a :class:`repro.pipeline.BatchRunner`) to evaluate
 every Monte-Carlo trial of the sweep in vectorised batches instead of
 a per-trial Python loop; the per-point results are identical, the
-wall-clock is not.
+wall-clock is not.  The runner honours its configuration's estimator
+backend, so the same sweep runs on the DSCF or on the full-plane
+``fam``/``ssca`` estimators — :func:`pd_vs_snr_by_backend` builds the
+side-by-side comparison directly.
 """
 
 from __future__ import annotations
@@ -139,3 +142,54 @@ def pd_vs_snr(
     return DetectionSweep(
         detector_name=detector_name, pfa=pfa, points=tuple(points)
     )
+
+
+def pd_vs_snr_by_backend(
+    config,
+    h0_factory: Callable[[int], np.ndarray],
+    h1_factory: Callable[[float, int], np.ndarray],
+    snrs_db,
+    backends: tuple[str, ...] = ("vectorized", "fam", "ssca"),
+    pfa: float = 0.1,
+    trials: int = 40,
+) -> dict:
+    """One Pd-vs-SNR sweep per estimator backend, batched.
+
+    Runs :func:`pd_vs_snr` once per name in *backends*, each through a
+    :class:`repro.pipeline.BatchRunner` configured for that backend —
+    the direct way to compare the paper's DSCF detector against the
+    full-plane FAM/SSCA estimators on identical realisations (the
+    factories are re-invoked with the same trial indices for every
+    backend, so seeded factories give a paired comparison).
+
+    Parameters
+    ----------
+    config:
+        A :class:`repro.pipeline.PipelineConfig`; its ``backend`` field
+        is overridden per sweep.
+    backends:
+        Registered backend names to sweep (each must advertise
+        ``supports_batch``).
+
+    Returns
+    -------
+    dict
+        ``{backend_name: DetectionSweep}`` in *backends* order.
+    """
+    # Deferred: analysis stays importable without the pipeline package.
+    from ..pipeline import BatchRunner
+
+    sweeps = {}
+    for name in backends:
+        runner = BatchRunner(config.with_backend(name))
+        sweeps[name] = pd_vs_snr(
+            None,
+            h0_factory,
+            h1_factory,
+            snrs_db,
+            pfa=pfa,
+            trials=trials,
+            detector_name=f"cyclostationary/{name}",
+            runner=runner,
+        )
+    return sweeps

@@ -19,7 +19,10 @@ Subcommands
     cyclic-autocorrelation features.
 ``backends``
     List the registered estimator backends the detection pipeline can
-    execute on (``sense --backend <name>`` selects one).
+    execute on (``sense --backend <name>`` selects one), with their
+    one-line descriptions and complexity classes — including the
+    full-plane ``fam``/``ssca`` estimators from
+    :mod:`repro.estimators`.
 """
 
 from __future__ import annotations
@@ -208,10 +211,13 @@ def _cmd_backends(args: argparse.Namespace) -> int:
                 ("batch", capabilities.supports_batch),
                 ("streaming", capabilities.supports_streaming),
                 ("cycle-accurate", capabilities.cycle_accurate),
+                ("full-plane", not capabilities.dscf_exact),
             )
             if enabled
         )
         print(f"  {name:<12s} {capabilities.description}")
+        if capabilities.complexity:
+            print(f"  {'':<12s} complexity {capabilities.complexity}")
         print(f"  {'':<12s} [{flags or 'sequential'}]")
     return 0
 

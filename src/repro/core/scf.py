@@ -46,6 +46,12 @@ from .opcount import OperationCounter
 from .sampling import SampledSignal
 
 
+# Denominator floor shared by every coherence normalisation (the DSCF
+# batch path and the FAM/SSCA estimator planes): keeps empty spectral
+# bins from dividing by zero without disturbing real coherence values.
+COHERENCE_FLOOR = 1e-30
+
+
 def default_m(fft_size: int) -> int:
     """Largest offset bound M such that ``f±a`` stay within the spectrum.
 
@@ -396,7 +402,7 @@ class StreamingDSCF:
 
 
 def spectral_coherence(
-    result: DSCFResult, psd: np.ndarray, floor: float = 1e-30
+    result: DSCFResult, psd: np.ndarray, floor: float = COHERENCE_FLOOR
 ) -> np.ndarray:
     """Normalise a DSCF into a spectral coherence in [0, 1].
 

@@ -1,0 +1,203 @@
+"""Binning estimator lattices onto regular (f, alpha) grids.
+
+FAM and SSCA do not natively produce a rectangular image: each output
+coefficient is a *point estimate* of the cyclic spectrum at a lattice
+location ``(f, alpha)`` determined by its channel pair / strip and FFT
+bin.  Two consumers need those scattered points on regular grids:
+
+* :func:`bin_to_plane` rasterises the full lattice into a
+  :class:`~repro.estimators.result.CyclicSpectrum` (max-magnitude per
+  cell, keeping the winning complex value) for blind-search analysis;
+* :class:`LatticeProjection` resamples the lattice onto the paper's
+  DSCF ``(f, a)`` grid — ``f = f_bin * fs / K``,
+  ``alpha = 2 * a_bin * fs / K`` — which is what lets the full-plane
+  estimators serve as drop-in pipeline backends.  The cell membership
+  is geometry-only, so it is precomputed once and the per-trial work
+  reduces to a gather plus one ``maximum.reduceat`` — the batched hot
+  path.
+
+All frequencies here are *normalized* (cycles/sample); physical axes
+are applied by the callers, which know the sample rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .result import CyclicSpectrum
+
+
+def bin_to_plane(
+    f_norm: np.ndarray,
+    alpha_norm: np.ndarray,
+    values: np.ndarray,
+    freq_step: float,
+    alpha_step: float,
+    sample_rate_hz: float,
+    estimator: str,
+) -> CyclicSpectrum:
+    """Rasterise lattice point estimates into a regular-plane spectrum.
+
+    Cells take the complex value of their maximum-magnitude member
+    point; empty cells are exactly 0.  Axes are built from the given
+    resolutions and span the lattice extent symmetrically.
+
+    Parameters
+    ----------
+    f_norm, alpha_norm, values:
+        Flattened matched arrays: normalized lattice coordinates
+        (cycles/sample) and the complex estimates there.
+    freq_step, alpha_step:
+        Grid resolutions in cycles/sample (the estimator's Delta-f and
+        Delta-alpha).
+    sample_rate_hz:
+        Physical sampling frequency for the result axes.
+    estimator:
+        Name recorded on the result.
+    """
+    f_norm = np.asarray(f_norm, dtype=np.float64).ravel()
+    alpha_norm = np.asarray(alpha_norm, dtype=np.float64).ravel()
+    values = np.asarray(values, dtype=np.complex128).ravel()
+    if not (f_norm.size == alpha_norm.size == values.size and values.size):
+        raise ConfigurationError(
+            "f_norm, alpha_norm and values must be non-empty matched arrays"
+        )
+    if freq_step <= 0 or alpha_step <= 0:
+        raise ConfigurationError("freq_step and alpha_step must be positive")
+
+    f_cells = np.rint(f_norm / freq_step).astype(np.int64)
+    a_cells = np.rint(alpha_norm / alpha_step).astype(np.int64)
+    f_half = int(np.abs(f_cells).max())
+    a_half = int(np.abs(a_cells).max())
+    num_freqs = 2 * f_half + 1
+    num_alphas = 2 * a_half + 1
+
+    grid = np.zeros(num_freqs * num_alphas, dtype=np.complex128)
+    flat = (f_cells + f_half) * num_alphas + (a_cells + a_half)
+    # Ascending-magnitude scatter: the last write per cell wins, so each
+    # cell ends up holding its strongest member's complex value.
+    order = np.argsort(np.abs(values), kind="stable")
+    grid[flat[order]] = values[order]
+
+    scale = float(sample_rate_hz)
+    return CyclicSpectrum(
+        values=grid.reshape(num_freqs, num_alphas),
+        freq_hz=np.arange(-f_half, f_half + 1) * freq_step * scale,
+        alpha_hz=np.arange(-a_half, a_half + 1) * alpha_step * scale,
+        sample_rate_hz=scale,
+        estimator=estimator,
+    )
+
+
+class LatticeProjection:
+    """Max-reduction from an estimator lattice onto the DSCF (f, a) grid.
+
+    DSCF cell ``(f_bin, a_bin)`` (both in ``[-M, M]``) sits at
+    normalized frequency ``f_bin / K`` and cyclic frequency
+    ``2 a_bin / K``; every lattice point is assigned to its nearest
+    cell and points falling outside the grid are dropped.  Cell
+    membership depends only on geometry, so the constructor sorts the
+    lattice once and :meth:`project` is a gather + ``reduceat`` per
+    call — vectorised across leading (trial) axes.
+    """
+
+    def __init__(
+        self,
+        f_norm: np.ndarray,
+        alpha_norm: np.ndarray,
+        fft_size: int,
+        m: int,
+        point_map: np.ndarray | None = None,
+        num_points: int | None = None,
+    ) -> None:
+        """Plan the projection.
+
+        Parameters
+        ----------
+        f_norm, alpha_norm:
+            Matched flattened lattice coordinates (cycles/sample).
+        fft_size, m:
+            Target DSCF geometry (K and half-extent M).
+        point_map:
+            Optional map from lattice entry to magnitude index; lets
+            several lattice entries share one magnitude, e.g. FAM's
+            Hermitian mirror ``|S(f, -alpha)| = |S(f, alpha)|``
+            projecting each upper-triangle coefficient onto both alpha
+            signs.  Default: entry ``n`` reads ``magnitudes[..., n]``.
+        num_points:
+            Length of the magnitude axis :meth:`project` expects;
+            required with *point_map*, derived otherwise.
+        """
+        f_norm = np.asarray(f_norm, dtype=np.float64).ravel()
+        alpha_norm = np.asarray(alpha_norm, dtype=np.float64).ravel()
+        if f_norm.size != alpha_norm.size or f_norm.size == 0:
+            raise ConfigurationError(
+                "f_norm and alpha_norm must be non-empty matched arrays"
+            )
+        self.fft_size = int(fft_size)
+        self.m = int(m)
+        self.extent = 2 * self.m + 1
+        if point_map is None:
+            magnitude_index = np.arange(f_norm.size)
+            self.num_points = f_norm.size
+        else:
+            magnitude_index = np.asarray(point_map, dtype=np.int64).ravel()
+            if magnitude_index.size != f_norm.size:
+                raise ConfigurationError(
+                    "point_map must have one entry per lattice point"
+                )
+            if num_points is None:
+                raise ConfigurationError(
+                    "num_points is required when point_map is given"
+                )
+            self.num_points = int(num_points)
+
+        f_bins = np.rint(f_norm * self.fft_size).astype(np.int64)
+        a_bins = np.rint(alpha_norm * self.fft_size / 2.0).astype(np.int64)
+        inside = (np.abs(f_bins) <= self.m) & (np.abs(a_bins) <= self.m)
+        flat = (f_bins[inside] + self.m) * self.extent + (a_bins[inside] + self.m)
+        source = magnitude_index[np.flatnonzero(inside)]
+        order = np.argsort(flat, kind="stable")
+        sorted_cells = flat[order]
+        # Gather order for magnitudes, and the segment boundaries of each
+        # occupied cell in that order.
+        self._gather = source[order]
+        boundaries = np.flatnonzero(np.diff(sorted_cells)) + 1
+        self._starts = np.concatenate([[0], boundaries])
+        self._cells = sorted_cells[self._starts] if sorted_cells.size else sorted_cells
+
+    @property
+    def covered_cells(self) -> int:
+        """Number of DSCF grid cells at least one lattice point maps to."""
+        return int(self._cells.size)
+
+    def project(self, magnitudes: np.ndarray) -> np.ndarray:
+        """Max-reduce per-point magnitudes onto the DSCF grid.
+
+        Parameters
+        ----------
+        magnitudes:
+            ``(..., num_points)`` real array, the lattice magnitudes in
+            the constructor's point order (leading axes are typically
+            trials).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(..., 2M+1, 2M+1)`` grid; cells no point maps to are 0.
+        """
+        magnitudes = np.asarray(magnitudes, dtype=np.float64)
+        if magnitudes.shape[-1] != self.num_points:
+            raise ConfigurationError(
+                f"magnitudes must have {self.num_points} lattice points on "
+                f"the last axis, got {magnitudes.shape[-1]}"
+            )
+        lead = magnitudes.shape[:-1]
+        grid = np.zeros(lead + (self.extent * self.extent,), dtype=np.float64)
+        if self._cells.size:
+            gathered = magnitudes[..., self._gather]
+            grid[..., self._cells] = np.maximum.reduceat(
+                gathered, self._starts, axis=-1
+            )
+        return grid.reshape(lead + (self.extent, self.extent))

@@ -1,0 +1,218 @@
+"""``CyclicSpectrum`` — a full (f, alpha)-plane cyclic-spectrum estimate.
+
+The paper's DSCF evaluates spectral correlation on the square
+``(f, a)`` grid of expression 3, whose cyclic resolution is tied to the
+block length K.  The full-plane estimators (FAM, SSCA) instead cover
+the whole bi-frequency plane with a much finer cyclic-frequency
+resolution, so their result carries *physical* axes rather than the
+DSCF's centered bin indices:
+
+* rows sweep spectral frequency ``f`` (Hz), columns sweep cyclic
+  frequency ``alpha`` (Hz) — the same rows-f / columns-alpha
+  orientation as :class:`repro.core.scf.DSCFResult`;
+* :meth:`alpha_profile` performs the same f-collapse reduction as
+  ``DSCFResult.alpha_profile`` (``max`` or ``sum`` over f), so
+  detector code written against the DSCF profile works unchanged;
+* :meth:`peak` / :meth:`top_peaks` extract cyclic features for blind
+  (unknown-alpha) searches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import require_positive_int
+from ..errors import ConfigurationError, SignalError
+
+
+@dataclass(frozen=True)
+class CyclicPeak:
+    """One extracted cyclic feature: a local plane maximum."""
+
+    freq_hz: float
+    alpha_hz: float
+    magnitude: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"peak |S|={self.magnitude:.4g} at f={self.freq_hz:+.6g} Hz, "
+            f"alpha={self.alpha_hz:+.6g} Hz"
+        )
+
+
+def _validate_axis(axis: np.ndarray, name: str) -> np.ndarray:
+    axis = np.asarray(axis, dtype=np.float64)
+    if axis.ndim != 1 or axis.size == 0:
+        raise ConfigurationError(f"{name} must be a non-empty 1-D array")
+    if axis.size > 1 and not (np.diff(axis) > 0).all():
+        raise ConfigurationError(f"{name} must be strictly increasing")
+    return axis
+
+
+@dataclass(frozen=True)
+class CyclicSpectrum:
+    """A cyclic-spectrum estimate over the full (f, alpha) plane.
+
+    Attributes
+    ----------
+    values:
+        Complex array of shape ``(len(freq_hz), len(alpha_hz))``; rows
+        sweep spectral frequency, columns sweep cyclic frequency.
+        Empty plane cells (no estimator lattice point maps there) are
+        exactly 0.
+    freq_hz:
+        Spectral-frequency axis in Hz, strictly increasing.
+    alpha_hz:
+        Cyclic-frequency axis in Hz, strictly increasing.
+    sample_rate_hz:
+        The sampling frequency the axes are referenced to.
+    estimator:
+        Name of the producing estimator (``"fam"`` or ``"ssca"``).
+    """
+
+    values: np.ndarray
+    freq_hz: np.ndarray
+    alpha_hz: np.ndarray
+    sample_rate_hz: float
+    estimator: str
+
+    def __post_init__(self) -> None:
+        freq = _validate_axis(self.freq_hz, "freq_hz")
+        alpha = _validate_axis(self.alpha_hz, "alpha_hz")
+        object.__setattr__(self, "freq_hz", freq)
+        object.__setattr__(self, "alpha_hz", alpha)
+        values = np.asarray(self.values, dtype=np.complex128)
+        if values.shape != (freq.size, alpha.size):
+            raise ConfigurationError(
+                f"values must have shape ({freq.size}, {alpha.size}) "
+                f"matching the axes, got {values.shape}"
+            )
+        object.__setattr__(self, "values", values)
+        if not self.sample_rate_hz > 0:
+            raise ConfigurationError(
+                f"sample_rate_hz must be positive, got {self.sample_rate_hz}"
+            )
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(num_freqs, num_alphas)`` plane dimensions."""
+        return self.values.shape
+
+    @property
+    def freq_resolution_hz(self) -> float:
+        """Spectral-frequency cell width Delta-f."""
+        if self.freq_hz.size < 2:
+            return float(self.sample_rate_hz)
+        return float(self.freq_hz[1] - self.freq_hz[0])
+
+    @property
+    def alpha_resolution_hz(self) -> float:
+        """Cyclic-frequency cell width Delta-alpha."""
+        if self.alpha_hz.size < 2:
+            return float(self.sample_rate_hz)
+        return float(self.alpha_hz[1] - self.alpha_hz[0])
+
+    # ------------------------------------------------------------------
+    # Reductions (DSCFResult-compatible)
+    # ------------------------------------------------------------------
+    def magnitude(self) -> np.ndarray:
+        """``|S(f, alpha)|`` with the same indexing as :attr:`values`."""
+        return np.abs(self.values)
+
+    def alpha_profile(self, reducer: str = "max") -> np.ndarray:
+        """Collapse the f-dimension to a per-alpha feature profile.
+
+        Same contract as
+        :meth:`repro.core.scf.DSCFResult.alpha_profile`: ``reducer`` is
+        ``"max"`` (peak magnitude over f) or ``"sum"`` (total
+        magnitude), and the ``alpha = 0`` column — ordinarily the
+        strongest, being the power spectrum — is *included*.
+        """
+        magnitude = self.magnitude()
+        if reducer == "max":
+            return magnitude.max(axis=0)
+        if reducer == "sum":
+            return magnitude.sum(axis=0)
+        raise ConfigurationError(
+            f"reducer must be 'max' or 'sum', got {reducer!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Peak extraction
+    # ------------------------------------------------------------------
+    def peak(self, min_alpha_hz: float = 0.0) -> CyclicPeak:
+        """The strongest plane cell with ``|alpha| >= min_alpha_hz``.
+
+        ``min_alpha_hz`` masks out the low-|alpha| region around the
+        power spectrum (which dominates any magnitude search); pass the
+        estimator's :attr:`alpha_resolution_hz` times a few bins, or a
+        physically motivated guard such as ``fs / (2 L)`` for FAM.
+        """
+        magnitude = self.magnitude()
+        searched = np.abs(self.alpha_hz) >= min_alpha_hz
+        if not searched.any():
+            raise SignalError(
+                f"no alpha cells at |alpha| >= {min_alpha_hz} Hz "
+                f"(axis spans +-{abs(self.alpha_hz).max():.6g} Hz)"
+            )
+        sub = magnitude[:, searched]
+        row, col = np.unravel_index(int(np.argmax(sub)), sub.shape)
+        alpha_index = np.flatnonzero(searched)[col]
+        return CyclicPeak(
+            freq_hz=float(self.freq_hz[row]),
+            alpha_hz=float(self.alpha_hz[alpha_index]),
+            magnitude=float(sub[row, col]),
+        )
+
+    def top_peaks(
+        self,
+        count: int = 5,
+        min_alpha_hz: float = 0.0,
+        min_separation_hz: float | None = None,
+    ) -> tuple[CyclicPeak, ...]:
+        """Up to *count* strongest features at distinct cyclic frequencies.
+
+        Peaks are extracted greedily from the per-alpha profile
+        (strongest first); a candidate within ``min_separation_hz`` of
+        an already-accepted peak's alpha is skipped, so one broad
+        feature does not fill the whole list.  The default separation
+        is two alpha cells.
+        """
+        count = require_positive_int(count, "count")
+        if min_separation_hz is None:
+            min_separation_hz = 2.0 * self.alpha_resolution_hz
+        magnitude = self.magnitude()
+        profile = magnitude.max(axis=0)
+        rows = np.argmax(magnitude, axis=0)
+        searched = np.abs(self.alpha_hz) >= min_alpha_hz
+        order = np.argsort(profile)[::-1]
+        peaks: list[CyclicPeak] = []
+        for index in order:
+            if not searched[index]:
+                continue
+            alpha = float(self.alpha_hz[index])
+            if any(
+                abs(alpha - accepted.alpha_hz) < min_separation_hz
+                for accepted in peaks
+            ):
+                continue
+            peaks.append(
+                CyclicPeak(
+                    freq_hz=float(self.freq_hz[rows[index]]),
+                    alpha_hz=alpha,
+                    magnitude=float(profile[index]),
+                )
+            )
+            if len(peaks) == count:
+                break
+        return tuple(peaks)
+
+    def alpha_cut(self, alpha_hz: float) -> np.ndarray:
+        """The plane column nearest to *alpha_hz* (an f-slice)."""
+        index = int(np.argmin(np.abs(self.alpha_hz - alpha_hz)))
+        return self.values[:, index].copy()

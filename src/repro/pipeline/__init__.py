@@ -8,7 +8,8 @@ detection chain on interchangeable execution substrates:
   typed object describing a sensing operating point;
 * :mod:`repro.pipeline.backends` — the :class:`EstimatorBackend`
   protocol and the registered substrates (``reference``,
-  ``vectorized``, ``streaming``, ``soc``);
+  ``vectorized``, ``streaming``, ``soc``, plus the full-plane
+  ``fam``/``ssca`` estimators from :mod:`repro.estimators`);
 * :mod:`repro.pipeline.batch` — :class:`BatchRunner`, the vectorised
   multi-trial executor (one bulk FFT, cached plans, Gram-matrix DSCF);
 * :mod:`repro.pipeline.pipeline` — :class:`DetectionPipeline`, the
@@ -37,7 +38,13 @@ from .batch import BatchRunner
 from .config import PipelineConfig
 from .pipeline import DetectionPipeline
 
+# Importing the adapters registers the full-plane estimator backends
+# (``fam``, ``ssca``); kept last so the registry above already exists.
+from ..estimators.backends import FAMBackend, SSCABackend
+
 __all__ = [
+    "FAMBackend",
+    "SSCABackend",
     "BackendCapabilities",
     "BatchRunner",
     "DetectionPipeline",

@@ -54,6 +54,14 @@ class BackendCapabilities:
         The backend also produces platform cycle counts.
     description:
         One-line summary shown by ``repro-cfd backends``.
+    complexity:
+        Complexity class / resolution note shown by ``repro-cfd
+        backends`` (e.g. ``"O(N (2M+1)^2)"``).
+    dscf_exact:
+        The backend evaluates expression 3 exactly on the ``(f, a)``
+        grid; full-plane estimators (FAM, SSCA) resample their own
+        lattice onto that grid instead, so value-level parity tests
+        must skip them and compare peak locations.
     """
 
     supports_batch: bool
@@ -61,6 +69,8 @@ class BackendCapabilities:
     accepts_spectra: bool
     cycle_accurate: bool
     description: str
+    complexity: str = ""
+    dscf_exact: bool = True
 
 
 @runtime_checkable
@@ -143,7 +153,8 @@ class ReferenceBackend:
         supports_streaming=False,
         accepts_spectra=True,
         cycle_accurate=False,
-        description="literal triple-loop DSCF (ground truth, O(N M^2))",
+        description="literal triple-loop DSCF (ground truth)",
+        complexity="O(N (2M+1)^2) python-loop, df=fs/K, da=2fs/K",
     )
 
     def compute(
@@ -170,6 +181,7 @@ class VectorizedBackend:
         accepts_spectra=True,
         cycle_accurate=False,
         description="vectorised numpy einsum estimator (production software)",
+        complexity="O(N (2M+1)^2) BLAS, df=fs/K, da=2fs/K",
     )
 
     def compute(
@@ -195,6 +207,7 @@ class StreamingBackend:
         accepts_spectra=True,
         cycle_accurate=False,
         description="block-at-a-time accumulator (hardware-style integration)",
+        complexity="O(N (2M+1)^2), df=fs/K, da=2fs/K",
     )
 
     def compute(
@@ -232,6 +245,7 @@ class SoCBackend:
         accepts_spectra=False,
         cycle_accurate=True,
         description="cycle-level tiled-SoC emulation (Montium tiles + links)",
+        complexity="O(N (2M+1)^2) MACs, cycle-counted, df=fs/K, da=2fs/K",
     )
 
     def __init__(self) -> None:

@@ -42,12 +42,11 @@ import numpy as np
 
 from .._util import require_positive_int
 from ..core.detection import validate_pfa
-from ..core.scf import DSCFResult
+from ..core.scf import COHERENCE_FLOOR, DSCFResult
 from ..errors import ConfigurationError
 from ..signals.noise import awgn
+from .backends import get_backend
 from .config import PipelineConfig
-
-_COHERENCE_FLOOR = 1e-30
 
 
 class BatchRunner:
@@ -99,6 +98,20 @@ class BatchRunner:
         else:
             columns = np.arange(2 * m + 1)
             self._columns = columns[columns != m]
+        # Full-plane backends (fam, ssca) carry their own vectorised
+        # executor; when the configured backend exposes one, surfaces
+        # and DSCF values route through it instead of the Gram-matrix
+        # DSCF mathematics below.  Plans are geometry-only, so sharing
+        # the registered backend's cache across runners is safe.
+        backend = get_backend(cfg.backend)
+        plan_factory = getattr(backend, "batch_plan", None)
+        self._plan = plan_factory(cfg) if callable(plan_factory) else None
+
+    @property
+    def estimator_plan(self):
+        """The configured backend's batched executor, if it has one
+        (``BatchedFAM`` / ``BatchedSSCA``), else ``None``."""
+        return self._plan
 
     @property
     def searched_columns(self) -> np.ndarray:
@@ -150,8 +163,13 @@ class BatchRunner:
 
         Each trial's grid is the Gram gather described in the module
         docstring, streamed in ``config.trial_chunk`` slabs into a
-        preallocated accumulator.
+        preallocated accumulator.  On a full-plane backend the grid is
+        instead the estimator lattice's per-cell peak magnitudes (cast
+        to complex — max-binned cells have no meaningful phase).
         """
+        if self._plan is not None:
+            batch = self._as_batch(signals)
+            return self._plan.magnitudes(batch).astype(np.complex128)
         if spectra is None:
             spectra = self.block_spectra(signals)
         cfg = self.config
@@ -172,6 +190,8 @@ class BatchRunner:
     ) -> np.ndarray:
         """Per-trial detection surfaces (coherence, or ``|S|`` when
         ``config.normalize`` is False)."""
+        if self._plan is not None:
+            return self._plan.surfaces(self._as_batch(signals))
         if spectra is None:
             spectra = self.block_spectra(signals)
         values = self.dscf_values(signals, spectra=spectra)
@@ -181,7 +201,7 @@ class BatchRunner:
         denominator = np.sqrt(
             mean_square[:, self._plus] * mean_square[:, self._minus]
         )
-        denominator = np.maximum(denominator, _COHERENCE_FLOOR)
+        denominator = np.maximum(denominator, COHERENCE_FLOOR)
         return np.abs(values) / denominator
 
     def statistics(self, signals: np.ndarray) -> np.ndarray:
@@ -198,11 +218,14 @@ class BatchRunner:
         """Batched DSCFs wrapped per trial in :class:`DSCFResult`."""
         cfg = self.config
         values = self.dscf_values(signals)
+        num_blocks = (
+            cfg.num_blocks if self._plan is None else self._plan.averaging_length
+        )
         return [
             DSCFResult(
                 values=trial_values,
                 m=cfg.m,
-                num_blocks=cfg.num_blocks,
+                num_blocks=num_blocks,
                 fft_size=cfg.fft_size,
                 sample_rate_hz=cfg.sample_rate_hz,
             )

@@ -64,7 +64,24 @@ class PipelineConfig:
     trial_chunk:
         Trials processed per vectorised slab by the
         :class:`~repro.pipeline.BatchRunner` (bounds peak memory at
-        roughly ``trial_chunk * (4M+1)^2`` complex values).
+        roughly ``trial_chunk * (4M+1)^2`` complex values; for the
+        full-plane backends it bounds the ``(chunk, P, N', N')`` /
+        ``(chunk, N, N')`` product tensors instead).
+    fam_channels:
+        Channelizer length N' for ``backend="fam"``; ``None`` derives
+        ``clamp(fft_size // 4, 8, 64)`` (64 at the paper's K = 256).
+    fam_hop:
+        FAM channelizer decimation L; ``None`` means ``N' // 4``.
+    fam_blocks:
+        Demodulate count P for FAM's second FFT; ``None`` uses every
+        complete frame of the decision window.
+    ssca_channels:
+        Strip count N' for ``backend="ssca"``; ``None`` derives the
+        same default as ``fam_channels``.
+    estimator_window:
+        Analysis window of the FAM/SSCA channelizer front-end (default
+        Hann — overlapped channelizers want a taper even though the
+        paper's DSCF blocks are rectangular).
     """
 
     fft_size: int = 256
@@ -81,6 +98,11 @@ class PipelineConfig:
     sample_rate_hz: float | None = None
     soc_tiles: int = 4
     trial_chunk: int = 4
+    fam_channels: int | None = None
+    fam_hop: int | None = None
+    fam_blocks: int | None = None
+    ssca_channels: int | None = None
+    estimator_window: str = "hann"
 
     def __post_init__(self) -> None:
         require_positive_int(self.fft_size, "fft_size")
@@ -94,6 +116,12 @@ class PipelineConfig:
             else require_positive_int(self.hop, "hop"),
         )
         get_window(self.window, self.fft_size)  # validates the name
+        get_window(self.estimator_window, 8)  # validates the name
+        for field_name in ("fam_channels", "fam_hop", "fam_blocks",
+                           "ssca_channels"):
+            value = getattr(self, field_name)
+            if value is not None:
+                require_positive_int(value, field_name)
         require_positive_int(self.soc_tiles, "soc_tiles")
         require_positive_int(self.trial_chunk, "trial_chunk")
         require_positive_int(self.calibration_trials, "calibration_trials")

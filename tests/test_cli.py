@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import __version__
 from repro.cli import build_parser, main
 
 
@@ -14,6 +15,7 @@ class TestParser:
         with pytest.raises(SystemExit) as excinfo:
             build_parser().parse_args(["--version"])
         assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
 
 
 class TestTable1Command:
@@ -80,6 +82,34 @@ class TestClassifyCommand:
                      "--snr-db", "10", "--samples", "8192"])
         assert code == 0
         assert "fs/4" in capsys.readouterr().out
+
+
+class TestBackendsCommand:
+    def test_lists_full_plane_estimators(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "fam" in out
+        assert "ssca" in out
+        assert "full-plane" in out
+
+    def test_prints_descriptions_and_complexity(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "complexity O(" in out
+        assert "FFT Accumulation Method" in out
+        assert "Strip Spectral Correlation Analyzer" in out
+
+    def test_sense_runs_on_fam_backend(self, capsys):
+        code = main([
+            "sense", "--fft-size", "32", "--blocks", "32",
+            "--snr-db", "6", "--sps", "4",
+            "--calibration-trials", "25", "--seed", "3",
+            "--backend", "fam",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cyclostationary/fam" in out
+        assert "OCCUPIED" in out
 
 
 class TestMapCommand:
