@@ -1,0 +1,206 @@
+"""Perf-regression guard over the committed ``BENCH_*.json`` baselines.
+
+Compares every timing figure (any key in :data:`TIMING_KEYS`) in
+freshly-generated benchmark JSON against the committed baselines and
+fails when any entry regresses by more than the tolerance factor
+(default 2x — wide enough to absorb runner noise, tight enough to
+catch a backend accidentally falling off its fast path).
+
+Entries are matched by their JSON path (file, then nested keys).  A
+record is only compared when its *operating point* — the geometry
+keys listed in :data:`OPERATING_POINT_KEYS` that appear in both
+records — is identical; a smoke-geometry run therefore skips the
+full-geometry baselines instead of producing an apples-to-oranges
+failure.  New and retired entries are reported as informational.
+
+Because the committed baselines come from whatever machine last
+regenerated them, absolute ratios conflate machine speed with real
+regressions.  The default ``--calibrate median`` mode therefore
+normalises every ratio by the median current/baseline ratio across
+all compared entries (when at least three are compared): a uniformly
+slower CI runner shifts the median and passes, while a single backend
+falling off its fast path sticks out and fails.  The raw ratios are
+always printed.  ``--calibrate none`` restores absolute comparison.
+
+CI usage (the bench-smoke job)::
+
+    cp BENCH_*.json bench-baseline/         # before regenerating
+    python benchmarks/bench_estimators.py --smoke
+    ...
+    python benchmarks/check_perf_regression.py \
+        --baseline bench-baseline --current . --tolerance 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Geometry keys that must match for a timing comparison to be valid.
+OPERATING_POINT_KEYS = (
+    "fft_size",
+    "num_blocks",
+    "m",
+    "tiles",
+    "num_channels",
+    "num_samples",
+    "trials",
+    "averaging_length",
+    "dscf_grid",
+)
+
+#: Recognised timing fields (seconds; lower is better).
+TIMING_KEYS = (
+    "seconds_per_estimate",
+    "interpreted_seconds_per_estimate",
+    "compiled_seconds_per_estimate",
+)
+
+
+def collect_timings(node, path=()):
+    """Yield ``(path, record)`` for every dict carrying a timing."""
+    if isinstance(node, dict):
+        if any(key in node for key in TIMING_KEYS):
+            yield path, node
+        for key, value in node.items():
+            yield from collect_timings(value, path + (str(key),))
+
+
+def operating_points_match(baseline: dict, current: dict) -> bool:
+    """True when every shared geometry key is identical."""
+    return all(
+        baseline[key] == current[key]
+        for key in OPERATING_POINT_KEYS
+        if key in baseline and key in current
+    )
+
+
+def gather_comparisons(name: str, baseline: dict, current: dict):
+    """Pair up timings of one benchmark JSON file.
+
+    Returns ``(comparisons, notes)``: comparisons are
+    ``(label, baseline_seconds, current_seconds)`` rows ready for the
+    tolerance check, notes are informational strings (new entries,
+    retired entries, operating-point changes).
+    """
+    baseline_entries = dict(collect_timings(baseline))
+    current_entries = dict(collect_timings(current))
+    comparisons, notes = [], []
+    for path, record in current_entries.items():
+        prefix = f"{name}:{'.'.join(path)}"
+        reference = baseline_entries.get(path)
+        if reference is None:
+            notes.append(f"{prefix}: new entry (no baseline)")
+            continue
+        if not operating_points_match(reference, record):
+            notes.append(f"{prefix}: operating point changed - skipped")
+            continue
+        for key in TIMING_KEYS:
+            if key not in record or key not in reference:
+                continue
+            base_seconds = reference[key]
+            now_seconds = record[key]
+            label = prefix if key == TIMING_KEYS[0] else f"{prefix}.{key}"
+            if not isinstance(base_seconds, (int, float)) or base_seconds <= 0:
+                notes.append(f"{label}: unusable baseline - skipped")
+                continue
+            comparisons.append((label, float(base_seconds), float(now_seconds)))
+    for path in baseline_entries:
+        if path not in current_entries:
+            notes.append(
+                f"{name}:{'.'.join(path)}: retired entry (in baseline, "
+                "absent from current run)"
+            )
+    return comparisons, notes
+
+
+def _median(values):
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return 0.5 * (ordered[middle - 1] + ordered[middle])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, required=True,
+        help="directory holding the committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--current", type=Path, default=Path("."),
+        help="directory holding the freshly generated BENCH_*.json",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=2.0,
+        help="maximum allowed current/baseline slowdown factor (default 2.0)",
+    )
+    parser.add_argument(
+        "--calibrate", choices=("median", "none"), default="median",
+        help="normalise ratios by the median across entries to cancel "
+        "machine-speed differences (default median)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_files = sorted(args.baseline.glob("BENCH_*.json"))
+    if not baseline_files:
+        print(f"no BENCH_*.json baselines under {args.baseline}", file=sys.stderr)
+        return 2
+
+    comparisons, notes = [], []
+    for baseline_path in baseline_files:
+        current_path = args.current / baseline_path.name
+        if not current_path.exists():
+            notes.append(f"{baseline_path.name}: no current run - skipped")
+            continue
+        file_comparisons, file_notes = gather_comparisons(
+            baseline_path.name,
+            json.loads(baseline_path.read_text()),
+            json.loads(current_path.read_text()),
+        )
+        comparisons.extend(file_comparisons)
+        notes.extend(file_notes)
+
+    calibration = 1.0
+    if args.calibrate == "median" and len(comparisons) >= 3:
+        calibration = max(
+            _median([now / base for _label, base, now in comparisons]), 1e-12
+        )
+        print(
+            f"machine-speed calibration factor (median current/baseline): "
+            f"{calibration:.2f}x"
+        )
+
+    failures = []
+    for label, base_seconds, now_seconds in comparisons:
+        ratio = now_seconds / base_seconds
+        normalised = ratio / calibration
+        verdict = f"{ratio:.2f}x"
+        if args.calibrate == "median":
+            verdict += f" (norm {normalised:.2f}x)"
+        if normalised > args.tolerance:
+            verdict += f"  REGRESSION (> {args.tolerance:.1f}x)"
+            failures.append(label)
+        print(
+            f"  {label:<70s} {base_seconds * 1e3:10.3f} ms -> "
+            f"{now_seconds * 1e3:10.3f} ms  {verdict}"
+        )
+    for note in notes:
+        print(f"  [info] {note}")
+
+    if failures:
+        print(
+            f"\n{len(failures)} timing(s) regressed beyond "
+            f"{args.tolerance:.1f}x: " + ", ".join(failures),
+            file=sys.stderr,
+        )
+        return 1
+    print("\nno perf regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -166,10 +166,15 @@ def pd_vs_snr_by_backend(
     ----------
     config:
         A :class:`repro.pipeline.PipelineConfig`; its ``backend`` field
-        is overridden per sweep.
+        is overridden per sweep.  With ``soc_compiled=True`` the
+        ``"soc"`` backend may be swept too: the cycle-exact platform
+        model runs as batched trace replay (see
+        ``examples/soc_roc_sweep.py``), which an interpreted soc sweep
+        is far too slow for.
     backends:
-        Registered backend names to sweep (each must advertise
-        ``supports_batch``).
+        Registered backend names to sweep (each must either advertise
+        ``supports_batch`` or hand the runner a batched plan, like the
+        compiled soc backend).
 
     Returns
     -------
@@ -177,11 +182,23 @@ def pd_vs_snr_by_backend(
         ``{backend_name: DetectionSweep}`` in *backends* order.
     """
     # Deferred: analysis stays importable without the pipeline package.
-    from ..pipeline import BatchRunner
+    from ..pipeline import BatchRunner, get_backend
 
     sweeps = {}
     for name in backends:
         runner = BatchRunner(config.with_backend(name))
+        if not (
+            get_backend(name).capabilities.supports_batch
+            or runner.estimator_plan is not None
+        ):
+            # Without this guard the runner would silently fall back to
+            # its host Gram-matrix mathematics and label the curve with
+            # the requested backend's name.
+            raise ConfigurationError(
+                f"backend {name!r} has no batched executor at this "
+                "configuration; the cycle-level soc backend requires "
+                "soc_compiled=True to be swept"
+            )
         sweeps[name] = pd_vs_snr(
             None,
             h0_factory,

@@ -35,6 +35,7 @@ import numpy as np
 from . import __version__
 from .core.detection import EnergyDetector
 from .core.scf import default_m
+from .errors import ConfigurationError
 from .pipeline import (
     DetectionPipeline,
     PipelineConfig,
@@ -95,6 +96,11 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
 
 
 def _cmd_sense(args: argparse.Namespace) -> int:
+    if args.soc_compiled and args.backend != "soc":
+        raise ConfigurationError(
+            "--soc-compiled selects the trace-compiled SoC engine and "
+            f"only applies to --backend soc (got {args.backend!r})"
+        )
     fft_size = args.fft_size
     num_blocks = args.blocks
     samples_needed = fft_size * num_blocks
@@ -115,6 +121,7 @@ def _cmd_sense(args: argparse.Namespace) -> int:
             fft_size=fft_size,
             num_blocks=num_blocks,
             backend=args.backend,
+            soc_compiled=args.soc_compiled,
             pfa=args.pfa,
             calibration_trials=args.calibration_trials,
         )
@@ -271,6 +278,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_backends(),
         default="vectorized",
         help="estimator backend executing the DSCF (see `backends`)",
+    )
+    sense.add_argument(
+        "--soc-compiled",
+        action="store_true",
+        help="with --backend soc: execute on the trace-compiled engine "
+        "(bit-identical results, vectorised replay, batched calibration)",
     )
     sense.set_defaults(func=_cmd_sense)
 

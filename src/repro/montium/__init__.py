@@ -23,10 +23,14 @@ instruction streams:
 * :mod:`repro.montium.tile` — the assembled MontiumTile.
 * :mod:`repro.montium.programs` — the CFD kernel, the 256-point FFT
   and the conjugate reshuffle as instruction-stream generators.
+* :mod:`repro.montium.compiler` — trace compilation: interpret each
+  program once per configuration, record the deterministic schedule,
+  replay it as vectorised NumPy operations (the fast SoC path).
 """
 
 from .alu import ComplexALU
 from .agu import AddressGenerator
+from .compiler import MontiumTrace, compile_platform
 from .energy import EnergyReport, estimate_energy
 from .listing import format_instruction, format_program, program_statistics
 from .fixedpoint import (
@@ -55,11 +59,13 @@ __all__ = [
     "EnergyReport",
     "Memory",
     "MontiumTile",
+    "MontiumTrace",
     "Q15_MAX",
     "Q15_MIN",
     "RegisterFile",
     "Sequencer",
     "TileConfig",
+    "compile_platform",
     "estimate_energy",
     "format_instruction",
     "format_program",

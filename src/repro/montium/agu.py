@@ -88,22 +88,34 @@ class AddressGenerator:
         self._produced = 0
 
 
+#: Computed bit-reversal patterns, keyed by length.  Every tile (and the
+#: trace compiler) asks for the same few lengths over and over; caching
+#: the immutable pattern makes repeated tile construction O(K) copies
+#: instead of O(K log K) recomputation.
+_BITREV_CACHE: dict[int, tuple[int, ...]] = {}
+
+
 def bit_reversed_sequence(length: int) -> list[int]:
     """The bit-reversal address pattern for a power-of-two *length*.
 
     Used by the FFT program generator to emulate the AGU's
-    bit-reversed addressing mode.
+    bit-reversed addressing mode.  Patterns are cached at module level;
+    callers receive a fresh list they may mutate freely.
     """
     length = require_positive_int(length, "length")
     if length & (length - 1) != 0:
         raise ConfigurationError(
             f"bit reversal needs a power-of-two length, got {length}"
         )
-    bits = length.bit_length() - 1
-    sequence = []
-    for index in range(length):
-        reversed_index = 0
-        for bit in range(bits):
-            reversed_index |= ((index >> bit) & 1) << (bits - 1 - bit)
-        sequence.append(reversed_index)
-    return sequence
+    cached = _BITREV_CACHE.get(length)
+    if cached is None:
+        bits = length.bit_length() - 1
+        sequence = []
+        for index in range(length):
+            reversed_index = 0
+            for bit in range(bits):
+                reversed_index |= ((index >> bit) & 1) << (bits - 1 - bit)
+            sequence.append(reversed_index)
+        cached = tuple(sequence)
+        _BITREV_CACHE[length] = cached
+    return list(cached)

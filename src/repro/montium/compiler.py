@@ -1,0 +1,688 @@
+"""Trace compilation of the Montium CFD programs.
+
+**Interpretation vs trace compilation.**  The cycle-level simulator
+(:mod:`repro.montium.sequencer` driving a
+:class:`~repro.montium.tile.MontiumTile`) executes the CFD task set one
+instruction at a time: every butterfly, reshuffle move and
+multiply-accumulate pays Python dispatch, crossbar routing and
+bounds-checked memory access.  That fidelity is the point of the
+interpreter — and the reason it is the slowest estimator substrate in
+the repo (see ``BENCH_estimators.json``).
+
+The Montium's schedule, however, is *static*: the AGU address streams,
+ALU opcodes, crossbar routes and window shifts of one integration step
+are fixed by the configuration ``(K, M, Q)`` and never depend on the
+data flowing through.  Hardware implementations of these estimators
+exploit exactly this — configure the dataflow once, then stream — and
+so can software: this module runs each Montium program (``read_data``,
+``mac_group``, ``fft256``, ``reshuffle``) through the existing
+interpreter **once per configuration**, records the deterministic
+per-cycle schedule into flat index arrays (a :class:`MontiumTrace`),
+and replays that trace as bulk NumPy gather/compute/scatter operations
+over whole blocks — and, batched, over whole Monte-Carlo trial sets.
+
+The compile step performs three recordings:
+
+1. **program traces** — the FFT butterfly schedule (per-stage
+   upper/lower slot indices and twiddle factors) and the reshuffle
+   source permutation are lifted directly from the instruction streams
+   the existing program generators emit;
+2. **schedule probe** — real tiles, sequencers and
+   :class:`~repro.soc.links.TileLink` boundary exchanges execute one
+   full window-shift sweep over planted *marker* values, and the
+   products decoded from the integration memories recover exactly
+   which spectrum bin fed every multiply-accumulate of every frequency
+   step (the AGU/window address streams, resolved to data sources);
+3. **activity probe** — one block runs through a real
+   :class:`~repro.soc.tile_grid.TiledSoC`, recording the per-tile
+   per-block cycle table, memory/ALU event counts, instruction count
+   and link transfers, so replayed runs report cycles and energy as
+   O(1) arithmetic on the trace instead of per-cycle increments.
+
+Replay is **bit-exact** with the interpreter in both datapaths.  The
+``q15`` path replays the saturating fixed-point lattice directly as
+integer arrays.  The ``float`` path carries split real/imaginary
+float64 arrays and composes complex multiplies as ``ac - bd`` /
+``ad + bc`` explicitly — NumPy's *complex* ufunc may contract those
+products with FMA, which is 1 ulp away from the interpreter's Python
+``complex`` arithmetic, while real elementwise ops are correctly
+rounded and therefore vectorisation-invariant.  Every compile
+self-validates: the replayed probe block must reproduce the
+interpreter's accumulators bitwise, or compilation fails loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..errors import ConfigurationError, SimulationError
+from .agu import bit_reversed_sequence
+from .fixedpoint import Q15_MAX, Q15_MIN, Q15_SCALE, complex_to_q15
+from .isa import Butterfly, FftStageSetup, ReshuffleMove
+from .sequencer import Sequencer
+from .tile import MontiumTile
+from .programs import (
+    initial_load_program,
+    mac_group_program,
+    read_data_program,
+)
+from .programs.fft256 import fft_program
+from .programs.reshuffle import reshuffle_program
+
+#: Seed of the deterministic activity-probe block (any data works; the
+#: schedule and counts are data-independent, the value parity check is
+#: not).
+_PROBE_SEED = 0x5C0C
+_TRACE_CACHE_LIMIT = 8
+
+_TRACE_CACHE: dict = {}
+
+
+@dataclass(frozen=True, eq=False)
+class FftStageTrace:
+    """One FFT stage as flat arrays: ``K/2`` independent butterflies."""
+
+    upper: np.ndarray        #: (K/2,) upper working-area slots
+    lower: np.ndarray        #: (K/2,) lower working-area slots
+    twiddle_real: np.ndarray  #: (K/2,) float64 twiddle real parts
+    twiddle_imag: np.ndarray  #: (K/2,) float64 twiddle imaginary parts
+    twiddle_q15_real: np.ndarray  #: (K/2,) int64 Q15-quantised twiddles
+    twiddle_q15_imag: np.ndarray
+    scale: bool              #: per-stage 1/2 scaling (q15 datapath)
+
+
+@dataclass(frozen=True)
+class TileActivity:
+    """Per-tile interpreter activity recorded from the probe block.
+
+    ``cycles`` and the event counts are *per integration step*;
+    ``reset_writes`` is the one-off accumulator-reset baseline.  An
+    N-block replay reports ``baseline + N * per_block`` for each.
+    """
+
+    cycles: tuple            #: ((category, cycles_per_block), ...)
+    memory_reads: int
+    memory_writes: int
+    alu_multiplies: int
+    alu_adds: int
+    alu_butterflies: int
+    instructions: int
+    reset_writes: int
+    readout_reads: int       #: per result assembly (dscf_values call)
+
+    @property
+    def cycles_per_block(self) -> int:
+        """Total cycles of one integration step."""
+        return sum(cycles for _category, cycles in self.cycles)
+
+
+@dataclass(frozen=True, eq=False)
+class MontiumTrace:
+    """The recorded schedule of one platform configuration.
+
+    ``normal_src[f, t]`` is the natural-order spectrum bin whose value
+    the multiply-accumulate of frequency step ``f``, global task ``t``
+    reads through the normal window; ``conjugate_src[f, t]`` is the
+    centered M10 reshuffle-area index feeding the conjugate side.
+    Both were decoded from an interpreted marker sweep, so they embody
+    the window shifts *and* the inter-tile boundary exchange.
+    """
+
+    platform: object         #: the compiled PlatformConfig
+    fft_size: int
+    extent: int              #: F = P = 2M + 1
+    tasks_per_core: int
+    used_tiles: int
+    datapath: str
+    spectrum_scale: float
+    bitrev: np.ndarray       #: (K,) injection permutation
+    fft_stages: tuple        #: FftStageTrace per stage
+    reshuffle_src: np.ndarray  #: (K,) natural bin feeding centered slot
+    normal_src: np.ndarray   #: (F, P) int64
+    conjugate_src: np.ndarray  #: (F, P) int64
+    activities: tuple        #: TileActivity per used tile
+    link_transfers_per_block: tuple  #: (((src, dst, kind), count), ...)
+
+    @property
+    def num_blocks_compiled(self) -> int:
+        """Interpreted blocks spent recording this trace (the probes)."""
+        return 2  # one activity probe + one marker schedule sweep
+
+    def tile_tasks(self, core_index: int) -> range:
+        """Global task columns owned by tile *core_index*."""
+        first = core_index * self.tasks_per_core
+        return range(first, min(first + self.tasks_per_core, self.extent))
+
+
+# ----------------------------------------------------------------------
+# Q15 vector kernels — elementwise replicas of repro.montium.fixedpoint
+# ----------------------------------------------------------------------
+def _q15_sat(values: np.ndarray) -> np.ndarray:
+    return np.clip(values, Q15_MIN, Q15_MAX)
+
+
+def _q15_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return _q15_sat((a * b + (Q15_SCALE >> 1)) >> 15)
+
+
+def _q15_cmul(ar, ai, br, bi):
+    real = _q15_sat(_q15_mul(ar, br) - _q15_mul(ai, bi))
+    imag = _q15_sat(_q15_mul(ar, bi) + _q15_mul(ai, br))
+    return real, imag
+
+
+def _q15_halve(a: np.ndarray) -> np.ndarray:
+    return _q15_sat((a + 1) >> 1)
+
+
+def _to_q15_array(values: np.ndarray) -> np.ndarray:
+    if not np.isfinite(values).all():
+        raise SimulationError("cannot quantise non-finite sample values")
+    return _q15_sat(np.rint(values * float(Q15_SCALE))).astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# Replay kernels
+# ----------------------------------------------------------------------
+def _spectra_float(trace: MontiumTrace, blocks: np.ndarray):
+    """FFT + reshuffle replay, float datapath.
+
+    *blocks* is ``(..., K)`` complex; returns split re/im float64
+    arrays ``(work_re, work_im, resh_re, resh_im)``.
+    """
+    work_re = np.empty(blocks.shape, dtype=np.float64)
+    work_im = np.empty(blocks.shape, dtype=np.float64)
+    work_re[..., trace.bitrev] = blocks.real
+    work_im[..., trace.bitrev] = blocks.imag
+    for stage in trace.fft_stages:
+        upper_re = work_re[..., stage.upper]
+        upper_im = work_im[..., stage.upper]
+        lower_re = work_re[..., stage.lower]
+        lower_im = work_im[..., stage.lower]
+        # product = lower * twiddle, composed from real ops so the
+        # rounding matches Python complex multiplication exactly.
+        product_re = lower_re * stage.twiddle_real - lower_im * stage.twiddle_imag
+        product_im = lower_re * stage.twiddle_imag + lower_im * stage.twiddle_real
+        out_upper_re = upper_re + product_re
+        out_upper_im = upper_im + product_im
+        out_lower_re = upper_re - product_re
+        out_lower_im = upper_im - product_im
+        if stage.scale:
+            out_upper_re = out_upper_re * 0.5
+            out_upper_im = out_upper_im * 0.5
+            out_lower_re = out_lower_re * 0.5
+            out_lower_im = out_lower_im * 0.5
+        work_re[..., stage.upper] = out_upper_re
+        work_im[..., stage.upper] = out_upper_im
+        work_re[..., stage.lower] = out_lower_re
+        work_im[..., stage.lower] = out_lower_im
+    resh_re = work_re[..., trace.reshuffle_src]
+    resh_im = -work_im[..., trace.reshuffle_src]
+    return work_re, work_im, resh_re, resh_im
+
+
+def _spectra_q15(trace: MontiumTrace, blocks: np.ndarray):
+    """FFT + reshuffle replay on the saturating Q15 integer lattice."""
+    re = _to_q15_array(blocks.real)
+    im = _to_q15_array(blocks.imag)
+    work_re = np.empty(blocks.shape, dtype=np.int64)
+    work_im = np.empty(blocks.shape, dtype=np.int64)
+    work_re[..., trace.bitrev] = re
+    work_im[..., trace.bitrev] = im
+    for stage in trace.fft_stages:
+        upper_re = work_re[..., stage.upper]
+        upper_im = work_im[..., stage.upper]
+        lower_re = work_re[..., stage.lower]
+        lower_im = work_im[..., stage.lower]
+        product_re, product_im = _q15_cmul(
+            lower_re, lower_im, stage.twiddle_q15_real, stage.twiddle_q15_imag
+        )
+        out_upper_re = _q15_sat(upper_re + product_re)
+        out_upper_im = _q15_sat(upper_im + product_im)
+        out_lower_re = _q15_sat(upper_re - product_re)
+        out_lower_im = _q15_sat(upper_im - product_im)
+        if stage.scale:
+            out_upper_re = _q15_halve(out_upper_re)
+            out_upper_im = _q15_halve(out_upper_im)
+            out_lower_re = _q15_halve(out_lower_re)
+            out_lower_im = _q15_halve(out_lower_im)
+        work_re[..., stage.upper] = out_upper_re
+        work_im[..., stage.upper] = out_upper_im
+        work_re[..., stage.lower] = out_lower_re
+        work_im[..., stage.lower] = out_lower_im
+    resh_re = work_re[..., trace.reshuffle_src]
+    # conjugation saturates -Q15_MIN, exactly like q15_complex_conjugate
+    resh_im = _q15_sat(-work_im[..., trace.reshuffle_src])
+    return work_re, work_im, resh_re, resh_im
+
+
+def _check_blocks(trace: MontiumTrace, blocks) -> np.ndarray:
+    blocks = np.asarray(blocks, dtype=np.complex128)
+    if blocks.ndim < 2 or blocks.shape[-1] != trace.fft_size:
+        raise ConfigurationError(
+            f"blocks must have shape (..., N, {trace.fft_size}), got "
+            f"{blocks.shape}"
+        )
+    return blocks
+
+
+def replay_accumulators(
+    trace: MontiumTrace, blocks, tasks: np.ndarray | None = None
+) -> np.ndarray:
+    """Replay N integration steps; return the raw accumulator sums.
+
+    Parameters
+    ----------
+    trace:
+        A compiled :class:`MontiumTrace`.
+    blocks:
+        ``(..., N, K)`` complex blocks (leading axes are batch axes,
+        e.g. Monte-Carlo trials).
+    tasks:
+        Optional global task columns to compute (default: all ``P``) —
+        the per-tile emulation workers pass their own slice.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(..., F, len(tasks))`` complex raw sums, bit-for-bit equal to
+        the interpreter's integration memories after the same blocks.
+    """
+    blocks = _check_blocks(trace, blocks)
+    normal_src = trace.normal_src
+    conjugate_src = trace.conjugate_src
+    if tasks is not None:
+        tasks = np.asarray(tasks, dtype=np.int64)
+        normal_src = normal_src[:, tasks]
+        conjugate_src = conjugate_src[:, tasks]
+    batch_shape = blocks.shape[:-2]
+    num_blocks = blocks.shape[-2]
+    grid_shape = batch_shape + normal_src.shape
+    if trace.datapath == "q15":
+        accumulator_re = np.zeros(grid_shape, dtype=np.int64)
+        accumulator_im = np.zeros(grid_shape, dtype=np.int64)
+        work_re, work_im, resh_re, resh_im = _spectra_q15(trace, blocks)
+        for n in range(num_blocks):
+            product_re, product_im = _q15_cmul(
+                work_re[..., n, :][..., normal_src],
+                work_im[..., n, :][..., normal_src],
+                resh_re[..., n, :][..., conjugate_src],
+                resh_im[..., n, :][..., conjugate_src],
+            )
+            accumulator_re = _q15_sat(accumulator_re + product_re)
+            accumulator_im = _q15_sat(accumulator_im + product_im)
+        values = np.empty(grid_shape, dtype=np.complex128)
+        values.real = accumulator_re / float(Q15_SCALE)
+        values.imag = accumulator_im / float(Q15_SCALE)
+        return values
+    accumulator_re = np.zeros(grid_shape, dtype=np.float64)
+    accumulator_im = np.zeros(grid_shape, dtype=np.float64)
+    work_re, work_im, resh_re, resh_im = _spectra_float(trace, blocks)
+    for n in range(num_blocks):
+        normal_re = work_re[..., n, :][..., normal_src]
+        normal_im = work_im[..., n, :][..., normal_src]
+        conj_re = resh_re[..., n, :][..., conjugate_src]
+        conj_im = resh_im[..., n, :][..., conjugate_src]
+        accumulator_re += normal_re * conj_re - normal_im * conj_im
+        accumulator_im += normal_re * conj_im + normal_im * conj_re
+    values = np.empty(grid_shape, dtype=np.complex128)
+    values.real = accumulator_re
+    values.imag = accumulator_im
+    return values
+
+
+def replay_block_products(trace: MontiumTrace, block) -> tuple:
+    """MAC products of one block in the datapath's native domain.
+
+    *block* is ``(..., K)`` complex samples of one integration step;
+    returns ``(product_re, product_im)`` arrays of shape
+    ``(..., F, P)`` — ``int64`` on the Q15 lattice for the ``q15``
+    datapath, ``float64`` otherwise.  The building block of the
+    incremental (block-at-a-time) compiled engine.
+    """
+    block = np.asarray(block, dtype=np.complex128)
+    if block.shape[-1] != trace.fft_size:
+        raise ConfigurationError(
+            f"block must have shape (..., {trace.fft_size}), got "
+            f"{block.shape}"
+        )
+    normal_src = trace.normal_src
+    conjugate_src = trace.conjugate_src
+    if trace.datapath == "q15":
+        work_re, work_im, resh_re, resh_im = _spectra_q15(trace, block)
+        return _q15_cmul(
+            work_re[..., normal_src],
+            work_im[..., normal_src],
+            resh_re[..., conjugate_src],
+            resh_im[..., conjugate_src],
+        )
+    work_re, work_im, resh_re, resh_im = _spectra_float(trace, block)
+    normal_re = work_re[..., normal_src]
+    normal_im = work_im[..., normal_src]
+    conj_re = resh_re[..., conjugate_src]
+    conj_im = resh_im[..., conjugate_src]
+    return (
+        normal_re * conj_re - normal_im * conj_im,
+        normal_re * conj_im + normal_im * conj_re,
+    )
+
+
+def accumulate_products(
+    trace: MontiumTrace, accumulator: tuple, products: tuple
+) -> tuple:
+    """Add one block's products into native-domain accumulator state.
+
+    Mirrors the interpreter's read-modify-write: float accumulators
+    add componentwise, Q15 accumulators add with saturation.
+    """
+    accumulator_re, accumulator_im = accumulator
+    product_re, product_im = products
+    if trace.datapath == "q15":
+        return (
+            _q15_sat(accumulator_re + product_re),
+            _q15_sat(accumulator_im + product_im),
+        )
+    return accumulator_re + product_re, accumulator_im + product_im
+
+
+def zero_accumulators(trace: MontiumTrace) -> tuple:
+    """Fresh native-domain accumulator state (the reset memories)."""
+    shape = (trace.extent, trace.extent)
+    dtype = np.int64 if trace.datapath == "q15" else np.float64
+    return np.zeros(shape, dtype=dtype), np.zeros(shape, dtype=dtype)
+
+
+def accumulators_complex(trace: MontiumTrace, accumulator: tuple) -> np.ndarray:
+    """Native-domain accumulator state as the complex values the
+    interpreter's ``accumulator_values()`` reads back."""
+    accumulator_re, accumulator_im = accumulator
+    values = np.empty(accumulator_re.shape, dtype=np.complex128)
+    if trace.datapath == "q15":
+        values.real = accumulator_re / float(Q15_SCALE)
+        values.imag = accumulator_im / float(Q15_SCALE)
+        return values
+    values.real = accumulator_re
+    values.imag = accumulator_im
+    return values
+
+
+def replay_dscf_values(trace: MontiumTrace, blocks) -> np.ndarray:
+    """Replay N integration steps and assemble the averaged DSCF.
+
+    The ``(..., F, P)`` result is bit-for-bit what
+    :meth:`repro.soc.tile_grid.TiledSoC.dscf_values` assembles after
+    interpreting the same blocks.
+    """
+    blocks = _check_blocks(trace, blocks)
+    accumulators = replay_accumulators(trace, blocks)
+    scale = 1.0 / (trace.spectrum_scale**2)
+    return accumulators * scale / blocks.shape[-2]
+
+
+# ----------------------------------------------------------------------
+# Recording passes
+# ----------------------------------------------------------------------
+def _fft_stage_traces(config) -> tuple:
+    stages: list[dict] = []
+    for instruction in fft_program(config):
+        if isinstance(instruction, FftStageSetup):
+            stages.append({"upper": [], "lower": [], "twiddle": []})
+        elif isinstance(instruction, Butterfly):
+            stage = stages[-1]
+            stage["upper"].append(instruction.slot_upper)
+            stage["lower"].append(instruction.slot_lower)
+            stage["twiddle"].append(instruction.twiddle)
+    scale = config.datapath == "q15"
+    traces = []
+    for stage in stages:
+        twiddles = np.asarray(stage["twiddle"], dtype=np.complex128)
+        quantised = [complex_to_q15(twiddle) for twiddle in stage["twiddle"]]
+        traces.append(
+            FftStageTrace(
+                upper=np.asarray(stage["upper"], dtype=np.int64),
+                lower=np.asarray(stage["lower"], dtype=np.int64),
+                twiddle_real=np.ascontiguousarray(twiddles.real),
+                twiddle_imag=np.ascontiguousarray(twiddles.imag),
+                twiddle_q15_real=np.asarray(
+                    [pair[0] for pair in quantised], dtype=np.int64
+                ),
+                twiddle_q15_imag=np.asarray(
+                    [pair[1] for pair in quantised], dtype=np.int64
+                ),
+                scale=scale,
+            )
+        )
+    return tuple(traces)
+
+
+def _reshuffle_trace(config) -> np.ndarray:
+    fft_size = config.fft_size
+    source = np.empty(fft_size, dtype=np.int64)
+    for instruction in reshuffle_program(config):
+        if isinstance(instruction, ReshuffleMove):
+            centered = instruction.centered_index
+            source[centered] = (centered - fft_size // 2) % fft_size
+    return source
+
+
+def _record_mac_schedule(platform) -> tuple[np.ndarray, np.ndarray]:
+    """Interpret one marker sweep; decode the MAC source schedule.
+
+    Plants ``X[k] = (k+1)`` in the spectrum area and
+    ``(c+1) + 1j`` in the reshuffle area, runs the *real* initial-load
+    and window-shift programs (boundary exchange included, over real
+    :class:`~repro.soc.links.TileLink` channels), and factorises each
+    accumulator's single product back into its ``(spectrum bin,
+    reshuffle slot)`` sources.
+    """
+    from ..soc.links import TileLink
+
+    if platform.datapath != "float":
+        platform = replace(platform, datapath="float")
+    used = platform.used_tiles
+    extent = platform.extent
+    tasks = platform.tasks_per_core
+    fft_size = platform.fft_size
+    tiles = [MontiumTile(platform.tile_config(q)) for q in range(used)]
+    sequencers = [Sequencer(tile) for tile in tiles]
+    for tile in tiles:
+        tile.reset_accumulators()
+        for k in range(fft_size):
+            tile.write_spectrum_bin(k, complex(float(k + 1), 0.0))
+        for c in range(fft_size):
+            tile.write_reshuffled_bin(c, complex(float(c + 1), 1.0))
+    for q, tile in enumerate(tiles):
+        sequencers[q].run(initial_load_program(tile.config))
+
+    conjugate_links = [TileLink(q, q + 1, "conjugate") for q in range(used - 1)]
+    normal_links = [TileLink(q + 1, q, "normal") for q in range(used - 1)]
+    mac_programs = [
+        [mac_group_program(tile.config, f_index) for f_index in range(extent)]
+        for tile in tiles
+    ]
+    read_programs = [read_data_program(tile.config) for tile in tiles]
+    last = used - 1
+    for f_index in range(extent):
+        for q in range(used):
+            sequencers[q].run(mac_programs[q][f_index])
+        incoming_bin = f_index + 1
+        outgoing = [tile.peek_outgoing() for tile in tiles]
+        for q, link in enumerate(conjugate_links):
+            link.push(outgoing[q][1])
+        for q, link in enumerate(normal_links):
+            link.push(outgoing[q + 1][0])
+        for q, tile in enumerate(tiles):
+            if q == 0:
+                conjugate_in = tile.read_conjugate_bin(incoming_bin)
+            else:
+                conjugate_in = conjugate_links[q - 1].pop()
+            if q == last:
+                normal_in = tile.read_spectrum_bin(incoming_bin)
+            else:
+                normal_in = normal_links[q].pop()
+            tile.push_incoming(normal_in, conjugate_in)
+            sequencers[q].run(read_programs[q])
+
+    normal_src = np.zeros((extent, extent), dtype=np.int64)
+    conjugate_src = np.zeros((extent, extent), dtype=np.int64)
+    for q, tile in enumerate(tiles):
+        accumulators = tile.accumulator_values()
+        for slot in range(tasks):
+            task = q * tasks + slot
+            if task >= extent:
+                continue
+            column = accumulators[:, slot]
+            normal_marker = np.rint(column.imag)
+            normal_ok = (
+                (column.imag == normal_marker)
+                & (normal_marker >= 1)
+                & (normal_marker <= fft_size)
+            )
+            if not normal_ok.all():
+                raise SimulationError(
+                    f"schedule probe on tile {q} produced non-marker "
+                    f"products in task column {task}; the recorded trace "
+                    "cannot be trusted"
+                )
+            conjugate_marker = np.rint(column.real / normal_marker)
+            exact = (
+                (column.real == normal_marker * conjugate_marker)
+                & (conjugate_marker >= 1)
+                & (conjugate_marker <= fft_size)
+            )
+            if not exact.all():
+                raise SimulationError(
+                    f"schedule probe on tile {q} produced non-marker "
+                    f"products in task column {task}; the recorded trace "
+                    "cannot be trusted"
+                )
+            normal_src[:, task] = normal_marker.astype(np.int64) - 1
+            conjugate_src[:, task] = conjugate_marker.astype(np.int64) - 1
+    return normal_src, conjugate_src
+
+
+def _record_block_activity(platform):
+    """Interpret one real block; record per-tile counts and results."""
+    from ..soc.tile_grid import TiledSoC
+
+    soc = TiledSoC(platform)
+    soc.reset()
+    reset_writes = [
+        sum(memory.write_count for memory in tile.memories.values())
+        + sum(rf.write_count for rf in tile.register_files.values())
+        for tile in soc.tiles
+    ]
+    rng = np.random.default_rng(_PROBE_SEED)
+    probe_block = (
+        rng.standard_normal(platform.fft_size)
+        + 1j * rng.standard_normal(platform.fft_size)
+    ) * np.sqrt(0.5)
+    soc.integrate_block(probe_block)
+
+    def tile_reads(tile) -> int:
+        return sum(
+            memory.read_count for memory in tile.memories.values()
+        ) + sum(rf.read_count for rf in tile.register_files.values())
+
+    block_reads = [tile_reads(tile) for tile in soc.tiles]
+    block_writes = [
+        sum(memory.write_count for memory in tile.memories.values())
+        + sum(rf.write_count for rf in tile.register_files.values())
+        for tile in soc.tiles
+    ]
+    link_transfers = tuple(sorted(soc.link_transfer_counts().items()))
+
+    # Result assembly (what TiledSoC.dscf_values reads per call).
+    extent = platform.extent
+    tasks = platform.tasks_per_core
+    probe_accumulators = np.zeros((extent, extent), dtype=np.complex128)
+    for q, tile in enumerate(soc.tiles):
+        accumulators = tile.accumulator_values()
+        for slot in range(tasks):
+            task = q * tasks + slot
+            if task >= extent:
+                continue
+            probe_accumulators[:, task] = accumulators[:, slot]
+
+    activities = []
+    for q, tile in enumerate(soc.tiles):
+        activities.append(
+            TileActivity(
+                cycles=tuple(tile.cycle_counter.cycles.items()),
+                memory_reads=block_reads[q],
+                memory_writes=block_writes[q] - reset_writes[q],
+                alu_multiplies=tile.alu.multiply_count,
+                alu_adds=tile.alu.add_count,
+                alu_butterflies=tile.alu.butterfly_count,
+                instructions=soc.sequencers[q].instructions_executed,
+                reset_writes=reset_writes[q],
+                readout_reads=tile_reads(tile) - block_reads[q],
+            )
+        )
+    return tuple(activities), link_transfers, probe_block, probe_accumulators
+
+
+def clear_trace_cache() -> None:
+    """Drop every cached trace (benchmarks time cold compiles with it)."""
+    _TRACE_CACHE.clear()
+
+
+def compile_platform(platform, use_cache: bool = True) -> MontiumTrace:
+    """Compile a platform's CFD schedule into a replayable trace.
+
+    Runs the interpreter probes described in the module docstring,
+    assembles the :class:`MontiumTrace` and **validates** it: the
+    vectorised replay of the probe block must reproduce the
+    interpreter's integration memories bit for bit, in the platform's
+    configured datapath, or a :class:`~repro.errors.SimulationError`
+    is raised.
+
+    Traces are cached per :class:`~repro.soc.config.PlatformConfig`
+    (they are immutable and geometry-only), so Monte-Carlo workloads
+    pay the two interpreted probe blocks once per configuration.
+    """
+    from ..soc.config import PlatformConfig
+
+    if not isinstance(platform, PlatformConfig):
+        raise ConfigurationError("platform must be a PlatformConfig")
+    if use_cache:
+        cached = _TRACE_CACHE.get(platform)
+        if cached is not None:
+            return cached
+
+    tile_config = platform.tile_config(0)
+    normal_src, conjugate_src = _record_mac_schedule(platform)
+    activities, link_transfers, probe_block, probe_accumulators = (
+        _record_block_activity(platform)
+    )
+    reference_tile = MontiumTile(tile_config)
+    trace = MontiumTrace(
+        platform=platform,
+        fft_size=platform.fft_size,
+        extent=platform.extent,
+        tasks_per_core=platform.tasks_per_core,
+        used_tiles=platform.used_tiles,
+        datapath=platform.datapath,
+        spectrum_scale=reference_tile.spectrum_scale,
+        bitrev=np.asarray(bit_reversed_sequence(platform.fft_size), dtype=np.int64),
+        fft_stages=_fft_stage_traces(tile_config),
+        reshuffle_src=_reshuffle_trace(tile_config),
+        normal_src=normal_src,
+        conjugate_src=conjugate_src,
+        activities=activities,
+        link_transfers_per_block=link_transfers,
+    )
+    replayed = replay_accumulators(trace, probe_block[None, :])
+    if not np.array_equal(replayed, probe_accumulators):
+        raise SimulationError(
+            "trace compilation diverged from the interpreter: the "
+            "replayed probe block does not reproduce the interpreted "
+            "accumulators bit for bit"
+        )
+    if use_cache:
+        if len(_TRACE_CACHE) >= _TRACE_CACHE_LIMIT:
+            _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
+        _TRACE_CACHE[platform] = trace
+    return trace

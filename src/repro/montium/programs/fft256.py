@@ -24,6 +24,23 @@ from ..tile import TileConfig
 from ..timing import CATEGORY_FFT
 
 
+#: Per-stage twiddle tables ``exp(-2j pi k / span)``, keyed by span.
+#: Shared by every program generation for every tile; computing them
+#: once keeps repeated tile/program construction from re-evaluating the
+#: complex exponentials.  The cached arrays are read-only.
+_TWIDDLE_CACHE: dict[int, np.ndarray] = {}
+
+
+def stage_twiddles(span: int) -> np.ndarray:
+    """The (read-only, cached) twiddle factors of one FFT stage."""
+    twiddles = _TWIDDLE_CACHE.get(span)
+    if twiddles is None:
+        twiddles = np.exp(-2j * np.pi * np.arange(span // 2) / span)
+        twiddles.setflags(write=False)
+        _TWIDDLE_CACHE[span] = twiddles
+    return twiddles
+
+
 def fft_cycle_count(fft_size: int, butterfly_latency: int = 1, stage_setup_latency: int = 2) -> int:
     """Closed-form cycle count of the generated FFT stream."""
     fft_size = require_power_of_two(fft_size, "fft_size")
@@ -55,7 +72,7 @@ def fft_program(config: TileConfig) -> list:
             )
         )
         half = span // 2
-        twiddles = np.exp(-2j * np.pi * np.arange(half) / span)
+        twiddles = stage_twiddles(span)
         for start in range(0, fft_size, span):
             for offset in range(half):
                 program.append(

@@ -282,6 +282,30 @@ class MontiumTile:
         return self.memories["M10"].read_complex(self.conjugate_slot(centered))
 
     # ------------------------------------------------------------------
+    # Trace-compilation hooks (see repro.montium.compiler)
+    # ------------------------------------------------------------------
+    def write_spectrum_bin(self, natural_index: int, value: complex) -> None:
+        """Overwrite FFT working-area bin *natural_index* in M09.
+
+        A hook for the trace compiler's schedule probe: it plants
+        distinguishable marker values in the spectrum area so the
+        recorded MAC schedule can be decoded back to spectrum bins.
+        """
+        self.memories["M09"].write_complex(
+            self.spectrum_slot(natural_index), complex(value)
+        )
+
+    def write_reshuffled_bin(self, centered_index: int, value: complex) -> None:
+        """Overwrite reshuffle-area slot *centered_index* in M10.
+
+        The companion trace-compilation hook for the conjugate side;
+        see :meth:`write_spectrum_bin`.
+        """
+        self.memories["M10"].write_complex(
+            self.conjugate_slot(centered_index), complex(value)
+        )
+
+    # ------------------------------------------------------------------
     # Sample injection (streaming input, overlapped with compute)
     # ------------------------------------------------------------------
     def inject_samples(self, samples: np.ndarray) -> None:

@@ -228,6 +228,13 @@ class SoCBackend:
     reshuffle, folded MAC sweep with inter-tile boundary exchange) and
     returns the platform's DSCF.
 
+    With ``config.soc_compiled`` the same runner executes on the
+    trace-compiled engine (:mod:`repro.soc.compiled`) — identical
+    values, cycle tables and energy, replayed as vectorised NumPy —
+    and :meth:`batch_plan` additionally hands
+    :class:`~repro.pipeline.BatchRunner` a batched multi-trial
+    executor so Monte-Carlo workloads run in bulk.
+
     :attr:`last_run` holds the :class:`~repro.soc.runner.SoCRunResult`
     of the *most recent* :meth:`compute` on this instance — read it
     immediately after the compute you care about (every
@@ -244,16 +251,40 @@ class SoCBackend:
         supports_streaming=True,
         accepts_spectra=False,
         cycle_accurate=True,
-        description="cycle-level tiled-SoC emulation (Montium tiles + links)",
+        description=(
+            "cycle-level tiled-SoC emulation (Montium tiles + links); "
+            "soc_compiled=True replays the compiled trace"
+        ),
         complexity="O(N (2M+1)^2) MACs, cycle-counted, df=fs/K, da=2fs/K",
     )
 
+    _PLAN_CACHE_LIMIT = 8
+
     def __init__(self) -> None:
         self.last_run = None
+        self._plans: dict[PipelineConfig, object] = {}
 
     def fresh(self) -> "SoCBackend":
         """A private instance for one pipeline (isolates :attr:`last_run`)."""
         return SoCBackend()
+
+    def batch_plan(self, config: PipelineConfig):
+        """The batched trace-replay executor, when the configuration
+        opts in via ``soc_compiled``; ``None`` otherwise (the
+        interpreter is inherently per-trial, so
+        :class:`~repro.pipeline.BatchRunner` falls back to the loop).
+        """
+        if not config.soc_compiled:
+            return None
+        plan = self._plans.get(config)
+        if plan is None:
+            from ..soc.compiled import CompiledSoCPlan
+
+            plan = CompiledSoCPlan(config)
+            if len(self._plans) >= self._PLAN_CACHE_LIMIT:
+                self._plans.pop(next(iter(self._plans)))
+            self._plans[config] = plan
+        return plan
 
     def compute(
         self, signal: SampledSignal | np.ndarray, config: PipelineConfig
@@ -279,7 +310,7 @@ class SoCBackend:
             fft_size=config.fft_size,
             m=config.m,
         )
-        runner = SoCRunner(platform)
+        runner = SoCRunner(platform, compiled=config.soc_compiled)
         run = runner.run(samples, config.num_blocks)
         self.last_run = run
         if sample_rate is not None and run.dscf.sample_rate_hz is None:

@@ -98,14 +98,20 @@ class BatchRunner:
         else:
             columns = np.arange(2 * m + 1)
             self._columns = columns[columns != m]
-        # Full-plane backends (fam, ssca) carry their own vectorised
-        # executor; when the configured backend exposes one, surfaces
-        # and DSCF values route through it instead of the Gram-matrix
-        # DSCF mathematics below.  Plans are geometry-only, so sharing
-        # the registered backend's cache across runners is safe.
+        # Backends may carry their own vectorised executor; when the
+        # configured backend exposes one, surfaces and DSCF values
+        # route through it instead of the Gram-matrix DSCF mathematics
+        # below.  Plans are geometry-only, so sharing the registered
+        # backend's cache across runners is safe.  Two plan flavours
+        # exist: the full-plane estimators (fam, ssca) bin peak
+        # magnitudes onto the (f, a) grid (``magnitudes``/``surfaces``),
+        # while the compiled SoC plan marks itself ``dscf_exact`` and
+        # produces exact complex expression-3 values (``values``), so
+        # the runner's own coherence normalisation applies unchanged.
         backend = get_backend(cfg.backend)
         plan_factory = getattr(backend, "batch_plan", None)
         self._plan = plan_factory(cfg) if callable(plan_factory) else None
+        self._plan_exact = bool(getattr(self._plan, "dscf_exact", False))
 
     @property
     def estimator_plan(self):
@@ -165,10 +171,14 @@ class BatchRunner:
         docstring, streamed in ``config.trial_chunk`` slabs into a
         preallocated accumulator.  On a full-plane backend the grid is
         instead the estimator lattice's per-cell peak magnitudes (cast
-        to complex — max-binned cells have no meaningful phase).
+        to complex — max-binned cells have no meaningful phase); on the
+        compiled SoC backend it is the platform's exact complex DSCF,
+        bit-for-bit equal to a per-trial cycle-level run.
         """
         if self._plan is not None:
             batch = self._as_batch(signals)
+            if self._plan_exact:
+                return self._plan.values(batch)
             return self._plan.magnitudes(batch).astype(np.complex128)
         if spectra is None:
             spectra = self.block_spectra(signals)
@@ -190,13 +200,18 @@ class BatchRunner:
     ) -> np.ndarray:
         """Per-trial detection surfaces (coherence, or ``|S|`` when
         ``config.normalize`` is False)."""
-        if self._plan is not None:
+        if self._plan is not None and not self._plan_exact:
             return self._plan.surfaces(self._as_batch(signals))
-        if spectra is None:
+        if spectra is None and self._plan is None:
             spectra = self.block_spectra(signals)
         values = self.dscf_values(signals, spectra=spectra)
         if not self.config.normalize:
             return np.abs(values)
+        if spectra is None:
+            # exact plan: values come from the platform replay, but the
+            # coherence denominator uses the host block spectra — the
+            # same convention as the per-trial pipeline path.
+            spectra = self.block_spectra(signals)
         mean_square = np.mean(np.abs(spectra) ** 2, axis=1)
         denominator = np.sqrt(
             mean_square[:, self._plus] * mean_square[:, self._minus]

@@ -61,6 +61,16 @@ class PipelineConfig:
         physical-unit axes.
     soc_tiles:
         Tile count Q used when ``backend="soc"`` (paper: 4).
+    soc_compiled:
+        If True, ``backend="soc"`` executes on the trace-compiled
+        engine (:mod:`repro.soc.compiled`): the Montium programs are
+        interpreted once per configuration and replayed as vectorised
+        NumPy operations — bit-for-bit the interpreter's results
+        (values, cycles, energy) at a fraction of the cost — and the
+        backend hands :class:`~repro.pipeline.BatchRunner` a batched
+        multi-trial executor, so soc Monte-Carlo sweeps run like the
+        DSCF batch paths.  Default False (instruction-level
+        interpretation).
     trial_chunk:
         Trials processed per vectorised slab by the
         :class:`~repro.pipeline.BatchRunner` (bounds peak memory at
@@ -97,6 +107,7 @@ class PipelineConfig:
     calibration_seed: int = 10_000
     sample_rate_hz: float | None = None
     soc_tiles: int = 4
+    soc_compiled: bool = False
     trial_chunk: int = 4
     fam_channels: int | None = None
     fam_hop: int | None = None

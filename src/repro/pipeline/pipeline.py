@@ -78,6 +78,13 @@ class DetectionPipeline:
         fresh = getattr(registered, "fresh", None)
         self._backend: EstimatorBackend = fresh() if callable(fresh) else registered
         self._runner = BatchRunner(self.config)
+        # Batched execution applies when the backend advertises it OR
+        # hands the runner a vectorised plan (e.g. the compiled SoC
+        # engine behind config.soc_compiled).
+        self._batched = (
+            self._backend.capabilities.supports_batch
+            or self._runner.estimator_plan is not None
+        )
         self._threshold: float | None = None
 
     # ------------------------------------------------------------------
@@ -128,7 +135,7 @@ class DetectionPipeline:
     def _surface(self, signal: SampledSignal | np.ndarray) -> np.ndarray:
         """Detection surface of a channel-applied signal."""
         samples = _samples_of(signal)
-        if self._backend.capabilities.supports_batch:
+        if self._batched:
             return self._runner.surfaces(samples[None])[0]
         spectra = self._runner.block_spectra(samples[None])[0]
         source = spectra if self._backend.capabilities.accepts_spectra else signal
@@ -149,7 +156,7 @@ class DetectionPipeline:
     def _statistic_no_channel(
         self, signal: SampledSignal | np.ndarray
     ) -> float:
-        if self._backend.capabilities.supports_batch:
+        if self._batched:
             return float(self._runner.statistics(_samples_of(signal)[None])[0])
         surface = self._surface(signal)
         return float(surface[:, self._runner.searched_columns].max())
@@ -176,7 +183,7 @@ class DetectionPipeline:
         trials = self.config.calibration_trials if trials is None else trials
         if noise_factory is None:
             noise_factory = self._runner.default_noise_factory()
-        if self._backend.capabilities.supports_batch:
+        if self._batched:
             threshold = self._runner.calibrate_threshold(
                 noise_factory=noise_factory, trials=trials
             )

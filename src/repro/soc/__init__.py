@@ -11,6 +11,10 @@
 * :mod:`repro.soc.emulation` — the same computation with one OS
   process per tile (multiprocessing), exchanging boundary values over
   pipes.
+* :mod:`repro.soc.compiled` — the trace-compiled execution engine:
+  the same cycle-exact results replayed as vectorised NumPy operations
+  (see :mod:`repro.montium.compiler`), plus the batched Monte-Carlo
+  plan behind ``PipelineConfig.soc_compiled``.
 """
 
 from .config import PlatformConfig, aaf_drbpf
@@ -18,8 +22,11 @@ from .links import TileLink
 from .runner import SoCRunResult, SoCRunner
 from .tile_grid import TiledSoC
 from .emulation import ParallelSoCEmulation
+from .compiled import CompiledSoC, CompiledSoCPlan
 
 __all__ = [
+    "CompiledSoC",
+    "CompiledSoCPlan",
     "ParallelSoCEmulation",
     "PlatformConfig",
     "SoCRunResult",

@@ -109,11 +109,49 @@ def _tile_worker(
         result_queue.put((core_index, repr(error)))
 
 
-class ParallelSoCEmulation:
-    """Multiprocessing emulation of the tiled platform."""
+def _compiled_tile_worker(trace, core_index, blocks, result_queue) -> None:
+    """Replay one tile's share of a compiled trace (child process).
 
-    def __init__(self, config: PlatformConfig | None = None) -> None:
+    The trace resolves the boundary exchange statically, so compiled
+    workers need no pipes: each replays the shared FFT/reshuffle and
+    gathers only its own task columns, reporting the same accumulators
+    and cycle totals the interpreting worker would.
+    """
+    try:
+        from .compiled import replay_tile_accumulators
+
+        num_blocks = len(blocks)
+        activity = trace.activities[core_index]
+        result_queue.put(
+            _WorkerResult(
+                core_index=core_index,
+                accumulators=replay_tile_accumulators(trace, core_index, blocks),
+                cycles={
+                    category: cycles * num_blocks
+                    for category, cycles in activity.cycles
+                },
+                instructions=activity.instructions * num_blocks,
+            )
+        )
+    except Exception as error:  # surface child failures to the parent
+        result_queue.put((core_index, repr(error)))
+
+
+class ParallelSoCEmulation:
+    """Multiprocessing emulation of the tiled platform.
+
+    Pass ``compiled=True`` to run each tile worker as vectorised trace
+    replay (:mod:`repro.montium.compiler`) instead of instruction
+    interpretation; results and cycle accounting are identical, and no
+    inter-process pipes are needed because the compiled schedule
+    resolves the boundary exchange statically.
+    """
+
+    def __init__(
+        self, config: PlatformConfig | None = None, compiled: bool = False
+    ) -> None:
         self.config = config if config is not None else PlatformConfig()
+        self.compiled = bool(compiled)
 
     def run(
         self,
@@ -139,30 +177,42 @@ class ParallelSoCEmulation:
 
         context = mp.get_context()
         result_queue = context.Queue()
-        # pipes[q] connects tile q and tile q+1 (one duplex pair each way)
-        up_pipes = [context.Pipe() for _ in range(used - 1)]     # conj: q -> q+1
-        down_pipes = [context.Pipe() for _ in range(used - 1)]   # normal: q+1 -> q
         processes = []
-        for q in range(used):
-            up_send = up_pipes[q][0] if q < used - 1 else None
-            down_recv = up_pipes[q - 1][1] if q > 0 else None
-            down_send = down_pipes[q - 1][0] if q > 0 else None
-            up_recv = down_pipes[q][1] if q < used - 1 else None
-            process = context.Process(
-                target=_tile_worker,
-                args=(
-                    self.config,
-                    q,
-                    blocks,
-                    up_send,
-                    up_recv,
-                    down_send,
-                    down_recv,
-                    result_queue,
-                ),
-            )
-            processes.append(process)
-            process.start()
+        if self.compiled:
+            from ..montium.compiler import compile_platform
+
+            trace = compile_platform(self.config)
+            for q in range(used):
+                process = context.Process(
+                    target=_compiled_tile_worker,
+                    args=(trace, q, blocks, result_queue),
+                )
+                processes.append(process)
+                process.start()
+        else:
+            # pipes[q] connects tile q and tile q+1 (one duplex pair each way)
+            up_pipes = [context.Pipe() for _ in range(used - 1)]   # conj: q -> q+1
+            down_pipes = [context.Pipe() for _ in range(used - 1)]  # normal: q+1 -> q
+            for q in range(used):
+                up_send = up_pipes[q][0] if q < used - 1 else None
+                down_recv = up_pipes[q - 1][1] if q > 0 else None
+                down_send = down_pipes[q - 1][0] if q > 0 else None
+                up_recv = down_pipes[q][1] if q < used - 1 else None
+                process = context.Process(
+                    target=_tile_worker,
+                    args=(
+                        self.config,
+                        q,
+                        blocks,
+                        up_send,
+                        up_recv,
+                        down_send,
+                        down_recv,
+                        result_queue,
+                    ),
+                )
+                processes.append(process)
+                process.start()
 
         results: dict[int, _WorkerResult] = {}
         failure = None

@@ -56,13 +56,35 @@ class SoCRunner:
 
     Pass ``trace=True`` to record cycle-stamped phase events on
     :attr:`soc`'s ``trace_events`` (see :mod:`repro.soc.trace`).
+
+    Pass ``compiled=True`` to execute on the trace-compiled engine
+    (:class:`~repro.soc.compiled.CompiledSoC`) instead of the
+    instruction-level interpreter: the run result — DSCF values, cycle
+    tables, timing, link statistics — is identical bit for bit, only
+    computed as vectorised trace replay (see
+    :mod:`repro.montium.compiler`).  Phase tracing requires the
+    interpreter, so ``trace`` and ``compiled`` are mutually exclusive.
     """
 
     def __init__(
-        self, config: PlatformConfig | None = None, trace: bool = False
+        self,
+        config: PlatformConfig | None = None,
+        trace: bool = False,
+        compiled: bool = False,
     ) -> None:
         self.config = config if config is not None else PlatformConfig()
-        self.soc = TiledSoC(self.config, trace=trace)
+        self.compiled = bool(compiled)
+        if self.compiled:
+            if trace:
+                raise ConfigurationError(
+                    "phase tracing records interpreter events; it is not "
+                    "available with compiled=True"
+                )
+            from .compiled import CompiledSoC
+
+            self.soc = CompiledSoC(self.config)
+        else:
+            self.soc = TiledSoC(self.config, trace=trace)
         self.clock = ClockModel(self.config.clock_hz)
 
     def run(

@@ -111,6 +111,30 @@ class TestBackendsCommand:
         assert "cyclostationary/fam" in out
         assert "OCCUPIED" in out
 
+    def test_sense_runs_on_compiled_soc_backend(self, capsys):
+        code = main([
+            "sense", "--fft-size", "16", "--blocks", "8",
+            "--snr-db", "10", "--sps", "4",
+            "--calibration-trials", "10", "--seed", "3",
+            "--backend", "soc", "--soc-compiled",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cyclostationary/soc" in out
+
+    def test_backends_mentions_compiled_mode(self, capsys):
+        assert main(["backends"]) == 0
+        assert "soc_compiled=True" in capsys.readouterr().out
+
+    def test_soc_compiled_rejected_for_other_backends(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main([
+                "sense", "--fft-size", "16", "--blocks", "4",
+                "--backend", "vectorized", "--soc-compiled",
+            ])
+
 
 class TestMapCommand:
     def test_paper_defaults(self, capsys):
