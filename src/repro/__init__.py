@@ -28,6 +28,13 @@ The package is organised in layers:
   (``ssca``), both registered as pipeline backends and returning
   physical-axis :class:`~repro.estimators.CyclicSpectrum` planes for
   blind (unknown-alpha) searches.
+* :mod:`repro.scanner` — blind wideband scanning: a polyphase
+  channelizer splits a multi-emitter capture into sub-bands, every
+  sub-band runs any registered backend (batched across sub-bands x
+  trials), and the per-band decisions aggregate into an
+  :class:`~repro.scanner.OccupancyMap` with blind modulation-class
+  attribution — fed by the wideband multi-emitter scenario engine in
+  :mod:`repro.signals.wideband`.
 
 Quickstart
 ----------
@@ -90,10 +97,13 @@ from .estimators import (
     FAMEstimator,
     SSCAEstimator,
 )
+from .scanner import BandScanner, OccupancyMap
 from .signals import (
     BandScenario,
+    EmitterSpec,
     LicensedUser,
     LinearModulator,
+    WidebandScenario,
     amplitude_modulated_carrier,
     awgn,
     bpsk_signal,
@@ -102,13 +112,21 @@ from .signals import (
     ofdm_signal,
     qam16_signal,
     qpsk_signal,
+    scenario_preset,
+    scfdma_signal,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "BandScanner",
     "BandScenario",
     "BatchRunner",
+    "EmitterSpec",
+    "OccupancyMap",
+    "WidebandScenario",
+    "scenario_preset",
+    "scfdma_signal",
     "ChannelizerPlan",
     "CyclicPeak",
     "CyclicSpectrum",

@@ -83,3 +83,18 @@ def as_complex_vector(samples: Sequence[complex] | np.ndarray, name: str) -> np.
 def is_power_of_two(value: int) -> bool:
     """Return True if *value* is a positive power of two."""
     return value > 0 and value & (value - 1) == 0
+
+
+def resolve_rng(
+    rng: np.random.Generator | None, seed: int | None
+) -> np.random.Generator:
+    """The package-wide rng/seed exclusivity contract.
+
+    Returns *rng* when given, else a fresh generator from *seed*;
+    passing both raises :class:`ConfigurationError`.
+    """
+    if rng is not None and seed is not None:
+        raise ConfigurationError("pass either rng or seed, not both")
+    if rng is not None:
+        return rng
+    return np.random.default_rng(seed)

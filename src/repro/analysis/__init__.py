@@ -1,9 +1,17 @@
-"""Detection-performance analysis: ROC curves and feature metrics."""
+"""Detection-performance analysis: ROC curves, feature metrics and
+wideband occupancy scoring."""
 
 from .metrics import (
     estimate_symbol_rate_bins,
     peak_cyclic_offsets,
     peak_to_average_ratio,
+)
+from .occupancy import (
+    EmitterAttribution,
+    OccupancyConfusion,
+    attribute_emitters,
+    format_attribution,
+    occupancy_confusion,
 )
 from .roc import (
     RocCurve,
@@ -17,13 +25,18 @@ from .sweeps import DetectionSweep, SweepPoint, pd_vs_snr
 
 __all__ = [
     "DetectionSweep",
+    "EmitterAttribution",
+    "OccupancyConfusion",
     "RocCurve",
     "SweepPoint",
+    "attribute_emitters",
     "auc",
     "batched_monte_carlo_statistics",
     "detection_probability",
     "estimate_symbol_rate_bins",
+    "format_attribution",
     "monte_carlo_statistics",
+    "occupancy_confusion",
     "pd_vs_snr",
     "peak_cyclic_offsets",
     "peak_to_average_ratio",

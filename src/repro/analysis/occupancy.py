@@ -1,0 +1,155 @@
+"""Scoring wideband scans against ground truth.
+
+A scan produces an :class:`~repro.scanner.occupancy.OccupancyMap`; a
+:class:`~repro.signals.wideband.WidebandScenario` realisation carries
+the matching :class:`~repro.signals.wideband.WidebandOccupancy` truth.
+This module compares the two:
+
+* :func:`occupancy_confusion` — band-level confusion counts and the
+  derived precision/recall/F1/accuracy;
+* :func:`attribute_emitters` — per-emitter attribution: was each
+  planted emitter's band detected, and did the blind classifier name
+  the right modulation class?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..signals.wideband import WidebandOccupancy
+
+
+@dataclass(frozen=True)
+class OccupancyConfusion:
+    """Band-level confusion counts of one scan (or an aggregate)."""
+
+    true_positive: int
+    false_positive: int
+    false_negative: int
+    true_negative: int
+
+    @property
+    def num_bands(self) -> int:
+        """Total bands scored."""
+        return (
+            self.true_positive
+            + self.false_positive
+            + self.false_negative
+            + self.true_negative
+        )
+
+    @property
+    def precision(self) -> float:
+        """Detected-band precision (1.0 when nothing was detected)."""
+        detected = self.true_positive + self.false_positive
+        return self.true_positive / detected if detected else 1.0
+
+    @property
+    def recall(self) -> float:
+        """Occupied-band recall (1.0 when nothing was occupied)."""
+        occupied = self.true_positive + self.false_negative
+        return self.true_positive / occupied if occupied else 1.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        total = self.precision + self.recall
+        return 2.0 * self.precision * self.recall / total if total else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of bands decided correctly."""
+        return (self.true_positive + self.true_negative) / self.num_bands
+
+    def __add__(self, other: "OccupancyConfusion") -> "OccupancyConfusion":
+        return OccupancyConfusion(
+            self.true_positive + other.true_positive,
+            self.false_positive + other.false_positive,
+            self.false_negative + other.false_negative,
+            self.true_negative + other.true_negative,
+        )
+
+
+def occupancy_confusion(truth_mask, decisions) -> OccupancyConfusion:
+    """Band-level confusion of *decisions* against *truth_mask*.
+
+    Both arguments are boolean per-band arrays of equal length (the
+    truth from :meth:`WidebandOccupancy.band_mask`, the decisions from
+    :attr:`OccupancyMap.decisions`).
+    """
+    truth = np.asarray(truth_mask, dtype=bool)
+    decided = np.asarray(decisions, dtype=bool)
+    if truth.shape != decided.shape or truth.ndim != 1:
+        raise ConfigurationError(
+            f"truth and decisions must be equal-length 1-D masks, got "
+            f"{truth.shape} and {decided.shape}"
+        )
+    return OccupancyConfusion(
+        true_positive=int(np.sum(truth & decided)),
+        false_positive=int(np.sum(~truth & decided)),
+        false_negative=int(np.sum(truth & ~decided)),
+        true_negative=int(np.sum(~truth & ~decided)),
+    )
+
+
+@dataclass(frozen=True)
+class EmitterAttribution:
+    """One planted emitter's recovery record."""
+
+    name: str
+    band_index: int
+    detected: bool
+    expected_class: str
+    label: str | None
+    class_correct: bool
+
+    @property
+    def recovered(self) -> bool:
+        """Band detected *and* modulation class named correctly."""
+        return self.detected and self.class_correct
+
+
+def attribute_emitters(
+    truth: WidebandOccupancy, occupancy_map
+) -> tuple[EmitterAttribution, ...]:
+    """Match every active emitter to the scan's verdict on its band.
+
+    Each emitter is looked up by the band holding its centre frequency;
+    the attribution records whether that band was declared occupied and
+    whether the blind label equals the emitter's
+    :attr:`~repro.signals.wideband.EmitterTruth.modulation_class`.
+    """
+    num_bands = occupancy_map.num_bands
+    attributions = []
+    for emitter in truth.emitters:
+        band_index = truth.emitter_band(emitter.name, num_bands)
+        decision = occupancy_map.band(band_index)
+        attributions.append(
+            EmitterAttribution(
+                name=emitter.name,
+                band_index=band_index,
+                detected=decision.occupied,
+                expected_class=emitter.modulation_class,
+                label=decision.label,
+                class_correct=decision.label == emitter.modulation_class,
+            )
+        )
+    return tuple(attributions)
+
+
+def format_attribution(attributions) -> str:
+    """Human-readable per-emitter attribution table."""
+    lines = ["emitter attribution:"]
+    for entry in attributions:
+        verdict = "recovered" if entry.recovered else (
+            "detected, misclassified" if entry.detected else "MISSED"
+        )
+        lines.append(
+            f"  {entry.name:<12s} band {entry.band_index}  "
+            f"expected {entry.expected_class:<10s} "
+            f"labelled {str(entry.label):<10s} -> {verdict}"
+        )
+    return "\n".join(lines)

@@ -23,6 +23,13 @@ Subcommands
     one-line descriptions and complexity classes — including the
     full-plane ``fam``/``ssca`` estimators from
     :mod:`repro.estimators`.
+``scan``
+    Blindly scan a wideband multi-emitter scenario preset with the
+    :class:`~repro.scanner.BandScanner`: channelize, detect per
+    sub-band on any registered backend, attribute modulation classes,
+    and score the occupancy map against the planted ground truth.
+    ``--smoke`` runs a small geometry and writes batched-vs-per-band
+    timings to ``BENCH_scanner.json`` for the CI bench-smoke job.
 """
 
 from __future__ import annotations
@@ -208,6 +215,130 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     return 0 if decided == args.sps else 1
 
 
+def _cmd_scan(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from .analysis.occupancy import (
+        attribute_emitters,
+        format_attribution,
+        occupancy_confusion,
+    )
+    from .scanner import BandScanner
+    from .signals.wideband import scenario_preset
+
+    if args.soc_compiled and args.backend != "soc":
+        raise ConfigurationError(
+            "--soc-compiled selects the trace-compiled SoC engine and "
+            f"only applies to --backend soc (got {args.backend!r})"
+        )
+    # --smoke only swaps in CI-sized defaults; explicit flags win.
+    if args.smoke:
+        preset_default, geometry_default = "linear-pair", (32, 32, 10)
+        if args.bench_json is None:
+            args.bench_json = "BENCH_scanner.json"
+    else:
+        preset_default, geometry_default = "five-emitter", (64, 64, 40)
+    preset = preset_default if args.preset is None else args.preset
+    fft_size = geometry_default[0] if args.fft_size is None else args.fft_size
+    blocks = geometry_default[1] if args.blocks is None else args.blocks
+    trials = (
+        geometry_default[2]
+        if args.calibration_trials is None
+        else args.calibration_trials
+    )
+
+    sample_rate = args.sample_rate_mhz * 1e6
+    scenario, num_bands = scenario_preset(preset, sample_rate_hz=sample_rate)
+    config = PipelineConfig(
+        fft_size=fft_size,
+        num_blocks=blocks,
+        backend=args.backend,
+        soc_compiled=args.soc_compiled,
+        pfa=args.pfa,
+        calibration_trials=trials,
+        scan_bands=num_bands,
+        sample_rate_hz=sample_rate,
+    )
+    scanner = BandScanner(config, leak_margin=args.leak_margin)
+    capture, truth = scenario.realize(scanner.required_samples, seed=args.seed)
+    scanner.calibrate()
+
+    print(
+        f"scanning preset {preset!r}: {len(scenario.emitters)} emitters, "
+        f"{num_bands} bands x {scanner.band_samples} sub-band samples "
+        f"({scanner.required_samples} capture samples at "
+        f"{args.sample_rate_mhz:.1f} MHz), backend {args.backend}"
+    )
+    occupancy = scanner.scan(capture)
+    print(occupancy.summary())
+
+    attributions = attribute_emitters(truth, occupancy)
+    print(format_attribution(attributions))
+    confusion = occupancy_confusion(
+        truth.band_mask(num_bands), occupancy.decisions
+    )
+    print(
+        f"band confusion: tp={confusion.true_positive} "
+        f"fp={confusion.false_positive} fn={confusion.false_negative} "
+        f"tn={confusion.true_negative}  precision {confusion.precision:.2f} "
+        f"recall {confusion.recall:.2f} f1 {confusion.f1:.2f}"
+    )
+
+    if args.bench_json:
+        bands = scanner.channelize(capture)
+
+        def best_of(callable_, repeats=3):
+            timings = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                callable_()
+                timings.append(time.perf_counter() - start)
+            return min(timings)
+
+        batched = best_of(
+            lambda: scanner.band_statistics(bands, batched=True)
+        )
+        per_band = best_of(
+            lambda: scanner.band_statistics(bands, batched=False)
+        )
+        point = {
+            "fft_size": fft_size,
+            "num_blocks": blocks,
+            "num_samples": scanner.band_samples,
+            "trials": num_bands,
+        }
+        payload = {
+            "scanner": {
+                "preset": preset,
+                "backend": args.backend,
+                "num_bands": num_bands,
+                "batched": {
+                    **point,
+                    "seconds_per_estimate": batched / num_bands,
+                    "seconds_per_scan": batched,
+                },
+                "per_band": {
+                    **point,
+                    "seconds_per_estimate": per_band / num_bands,
+                    "seconds_per_scan": per_band,
+                },
+                "speedup": per_band / batched if batched > 0 else None,
+            }
+        }
+        with open(args.bench_json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(
+            f"\nwrote {args.bench_json}: batched {batched * 1e3:.2f} ms vs "
+            f"per-band {per_band * 1e3:.2f} ms per scan "
+            f"({per_band / batched:.1f}x)"
+        )
+
+    recovered = all(entry.detected for entry in attributions)
+    return 0 if recovered else 1
+
+
 def _cmd_backends(args: argparse.Namespace) -> int:
     print("registered estimator backends (sense --backend <name>):\n")
     for name in available_backends():
@@ -291,6 +422,59 @@ def build_parser() -> argparse.ArgumentParser:
         "backends", help="list the registered estimator backends"
     )
     backends.set_defaults(func=_cmd_backends)
+
+    scan = subparsers.add_parser(
+        "scan", help="blindly scan a wideband multi-emitter scenario"
+    )
+    from .signals.wideband import SCENARIO_PRESETS
+
+    scan.add_argument(
+        "--preset",
+        choices=sorted(SCENARIO_PRESETS),
+        default=None,
+        help="wideband scenario preset to plant and recover "
+        "(default: five-emitter, or linear-pair under --smoke)",
+    )
+    scan.add_argument("--fft-size", type=int, default=None,
+                      help="per-sub-band DSCF block length K "
+                      "(default 64, or 32 under --smoke)")
+    scan.add_argument("--blocks", type=int, default=None,
+                      help="per-sub-band integration length N "
+                      "(default 64, or 32 under --smoke)")
+    scan.add_argument("--sample-rate-mhz", type=float, default=8.0)
+    scan.add_argument("--seed", type=int, default=7)
+    scan.add_argument("--pfa", type=float, default=0.05)
+    scan.add_argument("--calibration-trials", type=int, default=None,
+                      help="noise-only Monte-Carlo trials "
+                      "(default 40, or 10 under --smoke)")
+    scan.add_argument(
+        "--leak-margin", type=float, default=1.6,
+        help="threshold guard rejecting channelizer-sidelobe leakage "
+        "from strong adjacent emitters (1.0 = pure CFAR)",
+    )
+    scan.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="vectorized",
+        help="estimator backend deciding each sub-band (see `backends`)",
+    )
+    scan.add_argument(
+        "--soc-compiled",
+        action="store_true",
+        help="with --backend soc: execute on the trace-compiled engine",
+    )
+    scan.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run; writes BENCH_scanner.json unless "
+        "--bench-json overrides the path",
+    )
+    scan.add_argument(
+        "--bench-json",
+        default=None,
+        help="write batched-vs-per-band scan timings to this JSON file",
+    )
+    scan.set_defaults(func=_cmd_scan)
 
     mapping = subparsers.add_parser("map", help="walk the mapping methodology")
     mapping.add_argument("--fft-size", type=int, default=256)

@@ -88,6 +88,11 @@ class PipelineConfig:
     ssca_channels:
         Strip count N' for ``backend="ssca"``; ``None`` derives the
         same default as ``fam_channels``.
+    scan_bands:
+        Sub-band count C used by :class:`~repro.scanner.BandScanner`
+        when this configuration drives a wideband scan; the rest of
+        the configuration then describes the *per-sub-band* operating
+        point (and ``sample_rate_hz``, when given, the capture rate).
     estimator_window:
         Analysis window of the FAM/SSCA channelizer front-end (default
         Hann — overlapped channelizers want a taper even though the
@@ -113,6 +118,7 @@ class PipelineConfig:
     fam_hop: int | None = None
     fam_blocks: int | None = None
     ssca_channels: int | None = None
+    scan_bands: int = 8
     estimator_window: str = "hann"
 
     def __post_init__(self) -> None:
@@ -133,6 +139,7 @@ class PipelineConfig:
             value = getattr(self, field_name)
             if value is not None:
                 require_positive_int(value, field_name)
+        require_positive_int(self.scan_bands, "scan_bands")
         require_positive_int(self.soc_tiles, "soc_tiles")
         require_positive_int(self.trial_chunk, "trial_chunk")
         require_positive_int(self.calibration_trials, "calibration_trials")

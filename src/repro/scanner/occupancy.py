@@ -1,0 +1,116 @@
+"""The scanner's aggregated verdict: an occupancy map over the band plan."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BandDecision:
+    """One sub-band's scan outcome."""
+
+    index: int
+    f_low_hz: float | None
+    f_high_hz: float | None
+    statistic: float
+    occupied: bool
+    label: str | None = None
+
+    @property
+    def center_hz(self) -> float | None:
+        """Sub-band centre frequency, when physical axes are known."""
+        if self.f_low_hz is None or self.f_high_hz is None:
+            return None
+        return 0.5 * (self.f_low_hz + self.f_high_hz)
+
+
+@dataclass(frozen=True)
+class OccupancyMap:
+    """Per-band decisions of one wideband scan.
+
+    Attributes
+    ----------
+    bands:
+        One :class:`BandDecision` per sub-band, low to high frequency.
+    threshold:
+        The noise-calibrated decision threshold shared by all bands.
+    backend:
+        Name of the estimator backend that produced the statistics.
+    sample_rate_hz:
+        Capture sample rate, when known (``None`` leaves the map on
+        index axes).
+    """
+
+    bands: tuple[BandDecision, ...]
+    threshold: float
+    backend: str
+    sample_rate_hz: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.bands:
+            raise ConfigurationError("an OccupancyMap needs at least one band")
+        if [band.index for band in self.bands] != list(range(len(self.bands))):
+            raise ConfigurationError(
+                "bands must be indexed 0..C-1 in ascending frequency order"
+            )
+
+    @property
+    def num_bands(self) -> int:
+        """Sub-band count C."""
+        return len(self.bands)
+
+    @property
+    def statistics(self) -> np.ndarray:
+        """Per-band detection statistics, shape ``(C,)``."""
+        return np.array([band.statistic for band in self.bands])
+
+    @property
+    def decisions(self) -> np.ndarray:
+        """Boolean per-band occupancy decisions, shape ``(C,)``."""
+        return np.array([band.occupied for band in self.bands])
+
+    @property
+    def occupied_bands(self) -> tuple[int, ...]:
+        """Indices of the bands declared occupied."""
+        return tuple(band.index for band in self.bands if band.occupied)
+
+    @property
+    def labels(self) -> tuple[str | None, ...]:
+        """Per-band modulation-class guesses (``None`` when unclassified)."""
+        return tuple(band.label for band in self.bands)
+
+    def band(self, index: int) -> BandDecision:
+        """The decision record of sub-band *index*."""
+        try:
+            return self.bands[index]
+        except IndexError:
+            raise ConfigurationError(
+                f"band index must be in [0, {self.num_bands - 1}], "
+                f"got {index}"
+            ) from None
+
+    def summary(self) -> str:
+        """Human-readable occupancy table."""
+        lines = [
+            f"occupancy map ({self.backend} backend, "
+            f"threshold {self.threshold:.4f}):"
+        ]
+        for band in self.bands:
+            if band.f_low_hz is not None:
+                extent = (
+                    f"[{band.f_low_hz / 1e6:+8.3f}, "
+                    f"{band.f_high_hz / 1e6:+8.3f}] MHz"
+                )
+            else:
+                extent = f"band {band.index}"
+            verdict = "OCCUPIED" if band.occupied else "vacant"
+            label = f"  {band.label}" if band.label else ""
+            lines.append(
+                f"  band {band.index}  {extent}  stat {band.statistic:8.4f}"
+                f"  {verdict}{label}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,290 @@
+"""Extended receiver/propagation impairment stack.
+
+:mod:`repro.signals.channel` models the three classic impairments (CFO,
+static multipath, phase noise).  Real wideband captures add more, and
+every op here composes with those ``apply_*`` functions — each is a
+``SampledSignal -> SampledSignal`` map, chainable by hand or through
+:class:`ImpairmentChain`:
+
+* **frequency-selective fading** — random Rayleigh (or Rician, with a
+  line-of-sight component) FIR taps on an exponential power-delay
+  profile, applied through :func:`repro.signals.channel.apply_multipath`
+  so the output is renormalised to the input power (energy
+  conservation, property-tested);
+* **CFO drift** — a linearly drifting carrier offset (quadratic phase),
+  exactly invertible by negating the parameters;
+* **IQ imbalance** — receiver gain/phase mismatch ``y = mu x +
+  nu conj(x)``, invertible via :func:`undo_iq_imbalance` whenever the
+  image rejection is finite;
+* **quantization** — a mid-rise uniform ADC on I and Q.
+
+Seeded ops accept ``rng``/``seed`` with the package's usual exclusivity
+contract, so impairment chains are reproducible across processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .._util import require_positive_float, require_positive_int, resolve_rng
+from ..core.sampling import SampledSignal
+from ..errors import ConfigurationError
+from .channel import apply_multipath
+
+
+# ----------------------------------------------------------------------
+# Frequency-selective fading
+# ----------------------------------------------------------------------
+def fading_taps(
+    num_taps: int,
+    rician_k_db: float | None = None,
+    decay: float = 1.0,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Draw one frequency-selective fading channel realisation.
+
+    Taps are independent circular complex Gaussians on an exponential
+    power-delay profile ``exp(-decay * delay)``, normalised to unit
+    total power.  With *rician_k_db* the first tap additionally carries
+    a deterministic line-of-sight component with K-factor
+    ``10^(K/10)`` (Rician fading); ``None`` is pure Rayleigh.
+
+    Parameters
+    ----------
+    num_taps:
+        Channel length (1 gives flat fading).
+    rician_k_db:
+        LOS-to-scatter power ratio in dB, or ``None`` for Rayleigh.
+    decay:
+        Exponential power-delay decay rate per tap (>= 0).
+    """
+    num_taps = require_positive_int(num_taps, "num_taps")
+    if decay < 0.0 or not np.isfinite(decay):
+        raise ConfigurationError(
+            f"decay must be finite and non-negative, got {decay}"
+        )
+    generator = resolve_rng(rng, seed)
+    profile = np.exp(-decay * np.arange(num_taps))
+    profile /= profile.sum()
+    scale = np.sqrt(profile / 2.0)
+    taps = scale * (
+        generator.normal(size=num_taps) + 1j * generator.normal(size=num_taps)
+    )
+    if rician_k_db is not None:
+        k_linear = 10.0 ** (float(rician_k_db) / 10.0)
+        # First tap: LOS amplitude sqrt(K/(K+1)), scatter sqrt(1/(K+1)).
+        los = np.sqrt(k_linear / (k_linear + 1.0) * profile[0])
+        taps[0] = los + taps[0] / np.sqrt(k_linear + 1.0)
+    power = np.sum(np.abs(taps) ** 2)
+    if power == 0.0:  # pragma: no cover - probability zero
+        raise ConfigurationError("degenerate fading draw (all-zero taps)")
+    return taps / np.sqrt(power)
+
+
+def apply_fading(
+    signal: SampledSignal,
+    num_taps: int = 4,
+    rician_k_db: float | None = None,
+    decay: float = 1.0,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+) -> SampledSignal:
+    """One Rayleigh/Rician frequency-selective fading realisation.
+
+    Draws :func:`fading_taps` and convolves through
+    :func:`repro.signals.channel.apply_multipath`, whose output is
+    renormalised to the input's mean power — fading colours the
+    spectrum without changing the energy bookkeeping.
+    """
+    taps = fading_taps(
+        num_taps, rician_k_db=rician_k_db, decay=decay, rng=rng, seed=seed
+    )
+    return apply_multipath(signal, taps)
+
+
+# ----------------------------------------------------------------------
+# CFO drift
+# ----------------------------------------------------------------------
+def apply_cfo_drift(
+    signal: SampledSignal,
+    offset_hz: float,
+    drift_hz_per_s: float = 0.0,
+    phase_rad: float = 0.0,
+) -> SampledSignal:
+    """Mix by a linearly drifting carrier offset.
+
+    The instantaneous offset is ``offset_hz + drift_hz_per_s * t``, so
+    the applied phase is ``2 pi (offset t + drift t^2 / 2) + phase``.
+    ``apply_cfo_drift(y, -offset, -drift, -phase)`` inverts the op to
+    floating-point round-off (the rotation is purely multiplicative).
+    """
+    if not isinstance(signal, SampledSignal):
+        raise ConfigurationError("apply_cfo_drift expects a SampledSignal")
+    t = np.arange(signal.num_samples) / signal.sample_rate_hz
+    phase = (
+        2.0 * np.pi * (offset_hz * t + 0.5 * drift_hz_per_s * t * t)
+        + phase_rad
+    )
+    return SampledSignal(
+        signal.samples * np.exp(1j * phase), signal.sample_rate_hz
+    )
+
+
+# ----------------------------------------------------------------------
+# IQ imbalance
+# ----------------------------------------------------------------------
+def _iq_coefficients(gain_db: float, phase_deg: float) -> tuple[complex, complex]:
+    g = 10.0 ** (float(gain_db) / 20.0)
+    phi = np.deg2rad(float(phase_deg))
+    mu = 0.5 * (1.0 + g * np.exp(-1j * phi))
+    nu = 0.5 * (1.0 - g * np.exp(1j * phi))
+    return complex(mu), complex(nu)
+
+
+def apply_iq_imbalance(
+    signal: SampledSignal, gain_db: float = 0.0, phase_deg: float = 0.0
+) -> SampledSignal:
+    """Receiver IQ gain/phase mismatch: ``y = mu x + nu conj(x)``.
+
+    ``mu = (1 + g e^{-j phi}) / 2`` and ``nu = (1 - g e^{j phi}) / 2``
+    with ``g`` the linear gain mismatch and ``phi`` the quadrature
+    skew; perfect balance gives ``mu = 1, nu = 0``.  The conjugate term
+    mirrors every emitter across DC at the image-rejection level — a
+    spectral artefact the scanner has to tolerate.
+    """
+    if not isinstance(signal, SampledSignal):
+        raise ConfigurationError("apply_iq_imbalance expects a SampledSignal")
+    mu, nu = _iq_coefficients(gain_db, phase_deg)
+    mixed = mu * signal.samples + nu * np.conj(signal.samples)
+    return SampledSignal(mixed, signal.sample_rate_hz)
+
+
+def undo_iq_imbalance(
+    signal: SampledSignal, gain_db: float = 0.0, phase_deg: float = 0.0
+) -> SampledSignal:
+    """Exact inverse of :func:`apply_iq_imbalance` for the same parameters.
+
+    Solves the 2x2 widely-linear system: ``x = (conj(mu) y -
+    nu conj(y)) / (|mu|^2 - |nu|^2)``; rejects parameter sets whose
+    mixing matrix is singular (``|mu| == |nu|``).
+    """
+    if not isinstance(signal, SampledSignal):
+        raise ConfigurationError("undo_iq_imbalance expects a SampledSignal")
+    mu, nu = _iq_coefficients(gain_db, phase_deg)
+    determinant = abs(mu) ** 2 - abs(nu) ** 2
+    if abs(determinant) < 1e-12:
+        raise ConfigurationError(
+            "IQ imbalance is not invertible: |mu| == |nu| "
+            f"(gain_db={gain_db}, phase_deg={phase_deg})"
+        )
+    recovered = (
+        np.conj(mu) * signal.samples - nu * np.conj(signal.samples)
+    ) / determinant
+    return SampledSignal(recovered, signal.sample_rate_hz)
+
+
+# ----------------------------------------------------------------------
+# Quantization
+# ----------------------------------------------------------------------
+def apply_quantization(
+    signal: SampledSignal, bits: int, full_scale: float | None = None
+) -> SampledSignal:
+    """Mid-rise uniform quantization of I and Q (an ideal ADC).
+
+    Parameters
+    ----------
+    bits:
+        Resolution per rail; the quantizer has ``2^bits`` levels of
+        step ``2 full_scale / 2^bits`` and clips at ``+-full_scale``.
+    full_scale:
+        Converter full-scale amplitude; default is the signal's own
+        peak rail amplitude (no clipping).
+    """
+    if not isinstance(signal, SampledSignal):
+        raise ConfigurationError("apply_quantization expects a SampledSignal")
+    bits = require_positive_int(bits, "bits")
+    if full_scale is None:
+        peak = float(
+            max(
+                np.max(np.abs(signal.samples.real)),
+                np.max(np.abs(signal.samples.imag)),
+            )
+        )
+        full_scale = peak if peak > 0.0 else 1.0
+    full_scale = require_positive_float(full_scale, "full_scale")
+    step = 2.0 * full_scale / (2**bits)
+    levels = 2 ** (bits - 1)
+
+    def quantize_rail(rail: np.ndarray) -> np.ndarray:
+        codes = np.clip(np.floor(rail / step), -levels, levels - 1)
+        return (codes + 0.5) * step
+
+    quantized = quantize_rail(signal.samples.real) + 1j * quantize_rail(
+        signal.samples.imag
+    )
+    return SampledSignal(quantized, signal.sample_rate_hz)
+
+
+# ----------------------------------------------------------------------
+# Composition
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ImpairmentChain:
+    """An ordered pipeline of named impairment stages.
+
+    Each stage is any ``SampledSignal -> SampledSignal`` callable —
+    the ops in this module, the :mod:`repro.signals.channel` ``apply_*``
+    functions (partially applied), or custom callables — so the
+    extended stack composes freely with the existing one:
+
+    >>> from functools import partial
+    >>> from repro.signals.channel import apply_cfo
+    >>> chain = ImpairmentChain((
+    ...     ("fading", partial(apply_fading, num_taps=3, seed=7)),
+    ...     ("cfo", partial(apply_cfo, offset_hz=120.0)),
+    ...     ("adc", partial(apply_quantization, bits=10)),
+    ... ))
+    """
+
+    stages: tuple[tuple[str, Callable[[SampledSignal], SampledSignal]], ...]
+
+    def __post_init__(self) -> None:
+        for entry in self.stages:
+            if (
+                not isinstance(entry, tuple)
+                or len(entry) != 2
+                or not isinstance(entry[0], str)
+                or not callable(entry[1])
+            ):
+                raise ConfigurationError(
+                    "each ImpairmentChain stage must be a (name, callable) "
+                    f"pair, got {entry!r}"
+                )
+        names = [name for name, _stage in self.stages]
+        if len(names) != len(set(names)):
+            raise ConfigurationError("impairment stage names must be unique")
+
+    @property
+    def stage_names(self) -> tuple[str, ...]:
+        """The chain's stage names, in application order."""
+        return tuple(name for name, _stage in self.stages)
+
+    def __call__(self, signal: SampledSignal) -> SampledSignal:
+        if not isinstance(signal, SampledSignal):
+            raise ConfigurationError("ImpairmentChain expects a SampledSignal")
+        for _name, stage in self.stages:
+            signal = stage(signal)
+            if not isinstance(signal, SampledSignal):
+                raise ConfigurationError(
+                    f"impairment stage {_name!r} must return a SampledSignal, "
+                    f"got {type(signal).__name__}"
+                )
+        return signal
+
+    def describe(self) -> str:
+        """One-line summary, e.g. ``fading -> cfo -> adc``."""
+        return " -> ".join(self.stage_names) if self.stages else "(identity)"

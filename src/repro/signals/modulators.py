@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .._util import require_positive_float, require_positive_int
+from .._util import require_positive_float, require_positive_int, resolve_rng
 from ..core.sampling import SampledSignal
 from ..errors import ConfigurationError
 from .pulse import rectangular_taps, upsample_and_filter
@@ -117,7 +117,7 @@ class LinearModulator:
         """
         num_samples = require_positive_int(num_samples, "num_samples")
         require_positive_float(sample_rate_hz, "sample_rate_hz")
-        generator = _resolve_rng(rng, seed)
+        generator = resolve_rng(rng, seed)
         num_symbols = -(-num_samples // self.samples_per_symbol)  # ceil
         waveform = self.waveform(num_symbols, generator)[:num_samples]
         if carrier_offset_hz != 0.0 or carrier_phase_rad != 0.0:
@@ -211,7 +211,7 @@ def msk_signal(
     samples_per_symbol = require_positive_int(
         samples_per_symbol, "samples_per_symbol"
     )
-    generator = _resolve_rng(rng, seed)
+    generator = resolve_rng(rng, seed)
     num_symbols = -(-num_samples // samples_per_symbol)
     bits = generator.integers(0, 2, num_symbols) * 2 - 1  # ±1
     # phase ramps of ±pi/2 per symbol, continuous across boundaries
@@ -220,12 +220,3 @@ def msk_signal(
     waveform = np.exp(1j * phase)[:num_samples]
     return SampledSignal(waveform, sample_rate_hz)
 
-
-def _resolve_rng(
-    rng: np.random.Generator | None, seed: int | None
-) -> np.random.Generator:
-    if rng is not None and seed is not None:
-        raise ConfigurationError("pass either rng or seed, not both")
-    if rng is not None:
-        return rng
-    return np.random.default_rng(seed)

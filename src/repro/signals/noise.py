@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .._util import require_positive_float, require_positive_int
+from .._util import require_positive_float, require_positive_int, resolve_rng
 from ..core.sampling import SampledSignal
 
 
@@ -36,7 +36,7 @@ def awgn(
     """
     num_samples = require_positive_int(num_samples, "num_samples")
     power = require_positive_float(power, "power")
-    generator = _resolve_rng(rng, seed)
+    generator = resolve_rng(rng, seed)
     scale = np.sqrt(power / 2.0)
     real = generator.normal(0.0, scale, num_samples)
     imag = generator.normal(0.0, scale, num_samples)
@@ -55,13 +55,3 @@ def complex_awgn_signal(
         awgn(num_samples, power=power, rng=rng, seed=seed),
         sample_rate_hz=sample_rate_hz,
     )
-
-
-def _resolve_rng(
-    rng: np.random.Generator | None, seed: int | None
-) -> np.random.Generator:
-    if rng is not None and seed is not None:
-        raise ValueError("pass either rng or seed, not both")
-    if rng is not None:
-        return rng
-    return np.random.default_rng(seed)

@@ -5,15 +5,102 @@ OFDM with a cyclic prefix is cyclostationary at the *symbol* rate
 each symbol).  It exercises the detector on a wideband, noise-like
 licensed signal — the hard case the paper's Cognitive Radio context
 cares about.
+
+The module-private helpers (:func:`subcarrier_slots`,
+:func:`build_cp_waveform`) are shared with the SC-FDMA variant in
+:mod:`repro.signals.scfdma`, which differs only by DFT-precoding each
+symbol before the subcarrier mapping.
 """
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
-from .._util import require_non_negative_int, require_positive_int, require_positive_float
+from .._util import (
+    require_non_negative_int,
+    require_positive_float,
+    require_positive_int,
+    resolve_rng,
+)
 from ..core.sampling import SampledSignal
 from ..errors import ConfigurationError
+
+QPSK_POINTS = np.array([1 + 1j, 1 - 1j, -1 + 1j, -1 - 1j]) / np.sqrt(2.0)
+
+
+def subcarrier_slots(n_fft: int, active_subcarriers: int) -> np.ndarray:
+    """FFT slots of exactly *active_subcarriers* centre subcarriers.
+
+    Centred around (and skipping) the DC slot; odd counts place the
+    extra subcarrier on the positive-frequency side.
+    """
+    half = active_subcarriers // 2
+    offsets = [
+        k
+        for k in range(-half, active_subcarriers - half + 1)
+        if k != 0
+    ][:active_subcarriers]
+    return np.array([offset % n_fft for offset in offsets])
+
+
+def validate_cp_args(
+    num_samples: int,
+    sample_rate_hz: float,
+    n_fft: int,
+    n_cp: int,
+    active_subcarriers: int | None,
+    rng: np.random.Generator | None,
+    seed: int | None,
+) -> tuple[int, np.random.Generator]:
+    """Shared validation of the CP-waveform constructors.
+
+    Returns the resolved ``(active_subcarriers, generator)``.
+    """
+    require_positive_int(num_samples, "num_samples")
+    require_positive_float(sample_rate_hz, "sample_rate_hz")
+    require_positive_int(n_fft, "n_fft")
+    require_non_negative_int(n_cp, "n_cp")
+    if active_subcarriers is None:
+        active_subcarriers = n_fft - 1
+    active_subcarriers = require_positive_int(
+        active_subcarriers, "active_subcarriers"
+    )
+    if active_subcarriers > n_fft - 1:
+        raise ConfigurationError(
+            f"active_subcarriers must be <= n_fft - 1 = {n_fft - 1}, got "
+            f"{active_subcarriers}"
+        )
+    return active_subcarriers, resolve_rng(rng, seed)
+
+
+def build_cp_waveform(
+    num_samples: int,
+    n_fft: int,
+    n_cp: int,
+    slots: np.ndarray,
+    symbol_values: Callable[[], np.ndarray],
+) -> np.ndarray:
+    """Assemble a cyclic-prefixed multicarrier waveform at unit power.
+
+    Per symbol, ``symbol_values()`` supplies the frequency-domain
+    values of the ``slots``; the symbol is IFFT'd, CP-prefixed, and
+    the stream truncated to *num_samples*.
+    """
+    symbol_length = n_fft + n_cp
+    num_symbols = -(-num_samples // symbol_length)  # ceil
+    pieces = []
+    for _ in range(num_symbols):
+        grid = np.zeros(n_fft, dtype=np.complex128)
+        grid[slots] = symbol_values()
+        time_symbol = np.fft.ifft(grid) * np.sqrt(n_fft)
+        if n_cp:
+            time_symbol = np.concatenate([time_symbol[-n_cp:], time_symbol])
+        pieces.append(time_symbol)
+    waveform = np.concatenate(pieces)[:num_samples]
+    power = np.mean(np.abs(waveform) ** 2)
+    return waveform / np.sqrt(power)
 
 
 def ofdm_signal(
@@ -42,46 +129,19 @@ def ofdm_signal(
         How many centre subcarriers carry data (default: all but the
         DC slot).
     """
-    num_samples = require_positive_int(num_samples, "num_samples")
-    require_positive_float(sample_rate_hz, "sample_rate_hz")
-    n_fft = require_positive_int(n_fft, "n_fft")
-    n_cp = require_non_negative_int(n_cp, "n_cp")
-    if active_subcarriers is None:
-        active_subcarriers = n_fft - 1
-    active_subcarriers = require_positive_int(
-        active_subcarriers, "active_subcarriers"
+    active_subcarriers, generator = validate_cp_args(
+        num_samples, sample_rate_hz, n_fft, n_cp, active_subcarriers,
+        rng, seed,
     )
-    if active_subcarriers > n_fft - 1:
-        raise ConfigurationError(
-            f"active_subcarriers must be <= n_fft - 1 = {n_fft - 1}, got "
-            f"{active_subcarriers}"
-        )
-    if rng is not None and seed is not None:
-        raise ConfigurationError("pass either rng or seed, not both")
-    generator = rng if rng is not None else np.random.default_rng(seed)
+    slots = subcarrier_slots(n_fft, active_subcarriers)
 
-    symbol_length = n_fft + n_cp
-    num_symbols = -(-num_samples // symbol_length)
-    qpsk = np.array([1 + 1j, 1 - 1j, -1 + 1j, -1 - 1j]) / np.sqrt(2.0)
+    def symbol_values() -> np.ndarray:
+        return QPSK_POINTS[generator.integers(0, 4, slots.size)]
 
-    # centre subcarriers around DC, skipping the DC slot itself
-    half = active_subcarriers // 2
-    offsets = [k for k in range(-half, half + 1) if k != 0][:active_subcarriers]
-    subcarrier_slots = np.array([offset % n_fft for offset in offsets])
-
-    pieces = []
-    for _ in range(num_symbols):
-        grid = np.zeros(n_fft, dtype=np.complex128)
-        grid[subcarrier_slots] = qpsk[
-            generator.integers(0, 4, subcarrier_slots.size)
-        ]
-        time_symbol = np.fft.ifft(grid) * np.sqrt(n_fft)
-        if n_cp:
-            time_symbol = np.concatenate([time_symbol[-n_cp:], time_symbol])
-        pieces.append(time_symbol)
-    waveform = np.concatenate(pieces)[:num_samples]
-    power = np.mean(np.abs(waveform) ** 2)
-    return SampledSignal(waveform / np.sqrt(power), sample_rate_hz)
+    waveform = build_cp_waveform(
+        num_samples, n_fft, n_cp, slots, symbol_values
+    )
+    return SampledSignal(waveform, sample_rate_hz)
 
 
 def ofdm_symbol_rate_hz(sample_rate_hz: float, n_fft: int, n_cp: int) -> float:

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .._util import require_positive_float, require_positive_int
+from .._util import require_positive_float, require_positive_int, resolve_rng
 from ..core.sampling import SampledSignal
 from ..errors import ConfigurationError
 from .modulators import LinearModulator
@@ -55,12 +55,41 @@ class LicensedUser:
         """DSCF offset bin of the user's symbol-rate feature."""
         return fft_size / (2.0 * self.samples_per_symbol)
 
+    def occupied_band(self, sample_rate_hz: float) -> tuple[float, float]:
+        """Occupied frequency extent ``carrier +- fs / (2 sps)``.
+
+        The symbol-rate lobe of the rectangular-pulse modulation; used
+        by :meth:`BandScenario.overlapping_users` to flag adjacent
+        users whose bands collide.
+        """
+        half = 0.5 * sample_rate_hz / self.samples_per_symbol
+        return (self.carrier_offset_hz - half, self.carrier_offset_hz + half)
+
 
 @dataclass(frozen=True)
 class BandOccupancy:
-    """Ground truth of one realisation: which users were transmitting."""
+    """Ground truth of one realisation: which users were transmitting.
+
+    Overlapping users are a *union*, not a conflict: when two adjacent
+    users' occupied bands collide (see
+    :meth:`BandScenario.overlapping_users`), their waveforms superpose
+    linearly in the realisation and both names appear here — the
+    occupancy answers "who transmitted", not "who owns which disjoint
+    channel".
+    """
 
     active_users: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.active_users, tuple):
+            raise ConfigurationError(
+                "active_users must be a tuple of user names, got "
+                f"{type(self.active_users).__name__}"
+            )
+        if any(not isinstance(name, str) for name in self.active_users):
+            raise ConfigurationError("active_users entries must be strings")
+        if len(self.active_users) != len(set(self.active_users)):
+            raise ConfigurationError("active_users must not repeat a name")
 
     def is_active(self, name: str) -> bool:
         """True if the named user transmitted in this realisation."""
@@ -103,6 +132,26 @@ class BandScenario:
             raise ConfigurationError(f"duplicate user name {user.name!r}")
         self.users.append(user)
 
+    def overlapping_users(self) -> tuple[tuple[str, str], ...]:
+        """Pairs of registered users whose occupied bands overlap.
+
+        Overlap is legal — the scenario superposes the waveforms and
+        the resulting :class:`BandOccupancy` reports *both* users
+        active — but a detector cannot attribute a single band to one
+        user, so experiment code may want to warn on (or avoid) these
+        pairs.  Bands touching exactly at an edge do not count.
+        """
+        from .wideband import bands_overlap
+
+        pairs = []
+        for i, first in enumerate(self.users):
+            band_a = first.occupied_band(self.sample_rate_hz)
+            for second in self.users[i + 1 :]:
+                band_b = second.occupied_band(self.sample_rate_hz)
+                if bands_overlap(band_a, band_b, self.sample_rate_hz):
+                    pairs.append((first.name, second.name))
+        return tuple(pairs)
+
     def realize(
         self,
         num_samples: int,
@@ -124,9 +173,7 @@ class BandScenario:
             Reproducibility controls (mutually exclusive).
         """
         num_samples = require_positive_int(num_samples, "num_samples")
-        if rng is not None and seed is not None:
-            raise ConfigurationError("pass either rng or seed, not both")
-        generator = rng if rng is not None else np.random.default_rng(seed)
+        generator = resolve_rng(rng, seed)
         if active is None:
             active = tuple(user.name for user in self.users)
         known = {user.name for user in self.users}

@@ -1,0 +1,90 @@
+"""SC-FDMA-style DFT-spread OFDM waveform.
+
+LTE uplinks transmit SC-FDMA: QPSK symbols are DFT-precoded before the
+subcarrier mapping and IFFT, so the transmitted waveform keeps a
+single-carrier envelope (low PAPR) while retaining the cyclic prefix.
+The CP makes the signal cyclostationary at the *symbol* rate
+``fs / (n_fft + n_cp)`` — the same CP-induced feature OFDM shows
+(Jerjawi, Eldemerdash, Dobre 2017 detect LTE SC-FDMA exactly this way)
+— but the fourth-order statistics differ: DFT-spread symbols stay close
+to the constant-modulus single-carrier kurtosis while plain OFDM is
+Gaussian.  The band scanner's modulation classifier exploits that gap.
+
+Symbol-grid assembly (validation, DC-skipping slot layout, CP prepend,
+normalisation) is shared with :mod:`repro.signals.ofdm` — the only
+difference is the per-symbol DFT precoding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import (
+    require_non_negative_int,
+    require_positive_float,
+    require_positive_int,
+)
+from ..core.sampling import SampledSignal
+from .ofdm import (
+    QPSK_POINTS,
+    build_cp_waveform,
+    subcarrier_slots,
+    validate_cp_args,
+)
+
+
+def scfdma_signal(
+    num_samples: int,
+    sample_rate_hz: float,
+    n_fft: int = 64,
+    n_cp: int = 16,
+    active_subcarriers: int | None = None,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+) -> SampledSignal:
+    """Generate a cyclic-prefixed DFT-spread-OFDM (SC-FDMA-style) waveform.
+
+    Per symbol, ``active_subcarriers`` QPSK points are M-point
+    DFT-precoded, mapped onto contiguous centre subcarriers (localized
+    mapping, skipping the DC slot), IFFT'd to ``n_fft`` samples and
+    prefixed with the last ``n_cp`` samples.
+
+    Parameters
+    ----------
+    num_samples:
+        Output length; an integer number of SC-FDMA symbols is
+        generated and truncated.
+    sample_rate_hz:
+        Sampling frequency fs.
+    n_fft:
+        IFFT size (number of subcarrier slots).
+    n_cp:
+        Cyclic-prefix length in samples.
+    active_subcarriers:
+        DFT-precoder size M (occupied bandwidth ``~ M fs / n_fft``);
+        default: all but the DC slot.
+    """
+    active_subcarriers, generator = validate_cp_args(
+        num_samples, sample_rate_hz, n_fft, n_cp, active_subcarriers,
+        rng, seed,
+    )
+    slots = subcarrier_slots(n_fft, active_subcarriers)
+
+    def symbol_values() -> np.ndarray:
+        data = QPSK_POINTS[generator.integers(0, 4, slots.size)]
+        return np.fft.fft(data) / np.sqrt(slots.size)
+
+    waveform = build_cp_waveform(
+        num_samples, n_fft, n_cp, slots, symbol_values
+    )
+    return SampledSignal(waveform, sample_rate_hz)
+
+
+def scfdma_symbol_rate_hz(
+    sample_rate_hz: float, n_fft: int, n_cp: int
+) -> float:
+    """Cyclic frequency of the CP-induced feature: ``fs / (n_fft + n_cp)``."""
+    require_positive_float(sample_rate_hz, "sample_rate_hz")
+    require_positive_int(n_fft, "n_fft")
+    require_non_negative_int(n_cp, "n_cp")
+    return sample_rate_hz / (n_fft + n_cp)

@@ -1,0 +1,678 @@
+"""Wideband multi-emitter scenario engine.
+
+:class:`~repro.signals.scenario.BandScenario` synthesises one licensed
+user per realisation — the paper's single-band experiment.  Real
+cognitive-radio sensing watches a *wide* capture holding many
+independent emitters at different centre frequencies, bandwidths, SNRs
+and duty cycles.  This module composes exactly that:
+
+* :class:`EmitterSpec` — one transmitter: a modulation family
+  (``bpsk``/``qpsk``/``qam16`` linear, ``ofdm``/``scfdma``
+  cyclic-prefixed multicarrier), a centre frequency, an SNR, an
+  optional burst duty cycle and an optional per-emitter
+  :class:`~repro.signals.impairments.ImpairmentChain`;
+* :class:`WidebandScenario` — N emitters over one AWGN floor, drawn
+  into a single complex capture with per-emitter independent random
+  substreams (an emitter's waveform does not depend on which other
+  emitters are active, and a fixed seed reproduces the capture across
+  process boundaries);
+* :class:`WidebandOccupancy` / :class:`EmitterTruth` — the ground
+  truth: which emitters transmitted, where their occupied bands sit,
+  and which scanner sub-bands they cover;
+* :data:`SCENARIO_PRESETS` — named scenario factories shared by the
+  test battery, the ``repro scan`` CLI and the wideband-scan example.
+
+The sub-band geometry helpers (:func:`band_edges_hz`,
+:func:`band_index_of`) define the centred, uniform band plan the
+:class:`~repro.scanner.BandScanner` channelizes onto.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._util import (
+    require_non_negative_int,
+    require_positive_float,
+    require_positive_int,
+    resolve_rng,
+)
+from ..core.sampling import SampledSignal
+from ..errors import ConfigurationError
+from .impairments import ImpairmentChain
+from .modulators import LinearModulator
+from .noise import awgn
+from .ofdm import ofdm_signal
+from .scfdma import scfdma_signal
+
+#: Modulation families an :class:`EmitterSpec` can synthesize, with the
+#: class label the scanner's blind classifier is scored against.
+MODULATION_CLASSES: dict[str, str] = {
+    "bpsk": "bpsk",
+    "qpsk": "qpsk",
+    "qam16": "qam16",
+    "ofdm": "cp-ofdm",
+    "scfdma": "cp-scfdma",
+}
+
+_LINEAR = ("bpsk", "qpsk", "qam16")
+_MULTICARRIER = ("ofdm", "scfdma")
+
+
+# ----------------------------------------------------------------------
+# Band-plan geometry (shared with repro.scanner)
+# ----------------------------------------------------------------------
+def band_edges_hz(
+    num_bands: int, sample_rate_hz: float
+) -> tuple[tuple[float, float], ...]:
+    """Frequency extents of the centred uniform band plan.
+
+    Band ``b`` covers the centred FFT bin ``k = b - num_bands // 2``,
+    i.e. frequencies ``[(k - 1/2) fs / C, (k + 1/2) fs / C)`` — the
+    exact partition the critically-sampled scanner channelizer
+    produces.  Bands are ordered low to high frequency.
+    """
+    num_bands = require_positive_int(num_bands, "num_bands")
+    sample_rate_hz = require_positive_float(sample_rate_hz, "sample_rate_hz")
+    width = sample_rate_hz / num_bands
+    half = num_bands // 2
+    return tuple(
+        ((b - half - 0.5) * width, (b - half + 0.5) * width)
+        for b in range(num_bands)
+    )
+
+
+def bands_overlap(
+    first: tuple[float, float],
+    second: tuple[float, float],
+    sample_rate_hz: float,
+) -> bool:
+    """True when two frequency intervals overlap with positive measure.
+
+    The shared occupancy rule: intervals touching exactly at an edge
+    do **not** overlap (guarded by an epsilon of ``1e-9 * fs``).  Used
+    by :meth:`WidebandOccupancy.band_mask` and
+    :meth:`repro.signals.scenario.BandScenario.overlapping_users`.
+    """
+    epsilon = 1e-9 * sample_rate_hz
+    return max(first[0], second[0]) < min(first[1], second[1]) - epsilon
+
+
+def band_index_of(
+    freq_hz: float, num_bands: int, sample_rate_hz: float
+) -> int:
+    """The band-plan index whose extent contains *freq_hz*."""
+    edges = band_edges_hz(num_bands, sample_rate_hz)
+    if not edges[0][0] <= freq_hz < edges[-1][1]:
+        raise ConfigurationError(
+            f"freq_hz must lie in [{edges[0][0]:.6g}, {edges[-1][1]:.6g}) "
+            f"for {num_bands} bands at fs={sample_rate_hz:.6g}, got {freq_hz}"
+        )
+    width = sample_rate_hz / num_bands
+    index = int(np.floor(freq_hz / width + 0.5)) + num_bands // 2
+    return min(max(index, 0), num_bands - 1)
+
+
+# ----------------------------------------------------------------------
+# Emitters
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EmitterSpec:
+    """One independent transmitter inside a wideband capture.
+
+    Parameters
+    ----------
+    name:
+        Unique label used in ground truth and reports.
+    modulation:
+        One of :data:`MODULATION_CLASSES`.
+    center_freq_hz:
+        Carrier position relative to the capture centre.
+    snr_db:
+        **On-air** SNR over the scenario noise floor: the transmitted
+        samples (while bursting) carry ``noise_power * 10^(snr/10)``;
+        a duty-cycled emitter's *average* power is that times
+        ``duty_cycle``.
+    samples_per_symbol:
+        Linear modulations: oversampling at the capture rate (occupied
+        bandwidth ``~ fs / sps``).
+    n_fft / n_cp / active_subcarriers:
+        Multicarrier modulations: IFFT size, cyclic-prefix length and
+        occupied subcarrier count (bandwidth
+        ``active_subcarriers * fs / n_fft``; CP feature at
+        ``fs / (n_fft + n_cp)``).
+    duty_cycle:
+        Fraction of each burst period the emitter is on (1.0 =
+        continuous).
+    burst_period:
+        Burst period in samples (required when ``duty_cycle < 1``);
+        the burst phase is drawn from the emitter's substream.
+    impairments:
+        Optional per-emitter chain applied to the emitter's baseband
+        waveform before upconversion (transmit/propagation
+        impairments; receiver-wide ones belong on
+        :attr:`WidebandScenario.receiver_impairments`).
+    """
+
+    name: str
+    modulation: str
+    center_freq_hz: float
+    snr_db: float
+    samples_per_symbol: int = 16
+    n_fft: int = 64
+    n_cp: int = 16
+    active_subcarriers: int | None = None
+    duty_cycle: float = 1.0
+    burst_period: int | None = None
+    impairments: ImpairmentChain | None = None
+
+    def __post_init__(self) -> None:
+        if self.modulation not in MODULATION_CLASSES:
+            known = ", ".join(sorted(MODULATION_CLASSES))
+            raise ConfigurationError(
+                f"unknown emitter modulation {self.modulation!r}; "
+                f"available: {known}"
+            )
+        if self.modulation in _LINEAR:
+            LinearModulator(self.modulation, self.samples_per_symbol)
+        else:
+            require_positive_int(self.n_fft, "n_fft")
+            require_non_negative_int(self.n_cp, "n_cp")
+        if not 0.0 < self.duty_cycle <= 1.0:
+            raise ConfigurationError(
+                f"duty_cycle must be in (0, 1], got {self.duty_cycle}"
+            )
+        if self.duty_cycle < 1.0:
+            if self.burst_period is None:
+                raise ConfigurationError(
+                    "a duty-cycled emitter needs a burst_period"
+                )
+            require_positive_int(self.burst_period, "burst_period")
+            if round(self.duty_cycle * self.burst_period) < 1:
+                raise ConfigurationError(
+                    f"duty_cycle {self.duty_cycle} x burst_period "
+                    f"{self.burst_period} rounds to zero on-samples; the "
+                    "emitter would never transmit"
+                )
+        if self.impairments is not None and not isinstance(
+            self.impairments, ImpairmentChain
+        ):
+            raise ConfigurationError(
+                "impairments must be an ImpairmentChain, got "
+                f"{type(self.impairments).__name__}"
+            )
+
+    # ------------------------------------------------------------------
+    # Spectral geometry
+    # ------------------------------------------------------------------
+    @property
+    def modulation_class(self) -> str:
+        """The class label the blind classifier is scored against."""
+        return MODULATION_CLASSES[self.modulation]
+
+    def bandwidth_hz(self, sample_rate_hz: float) -> float:
+        """Occupied bandwidth at the capture rate *sample_rate_hz*."""
+        sample_rate_hz = require_positive_float(
+            sample_rate_hz, "sample_rate_hz"
+        )
+        if self.modulation in _LINEAR:
+            return sample_rate_hz / self.samples_per_symbol
+        active = (
+            self.n_fft - 1
+            if self.active_subcarriers is None
+            else self.active_subcarriers
+        )
+        return (active + 1) * sample_rate_hz / self.n_fft
+
+    def occupied_band(
+        self, sample_rate_hz: float
+    ) -> tuple[float, float]:
+        """Frequency extent ``center +- bandwidth / 2``."""
+        half = 0.5 * self.bandwidth_hz(sample_rate_hz)
+        return (self.center_freq_hz - half, self.center_freq_hz + half)
+
+    def expected_alpha_hz(self, sample_rate_hz: float) -> float:
+        """The emitter's strongest cyclic frequency.
+
+        Symbol rate ``fs / sps`` for linear modulations; the CP-induced
+        ``fs / (n_fft + n_cp)`` for multicarrier ones.
+        """
+        sample_rate_hz = require_positive_float(
+            sample_rate_hz, "sample_rate_hz"
+        )
+        if self.modulation in _LINEAR:
+            return sample_rate_hz / self.samples_per_symbol
+        return sample_rate_hz / (self.n_fft + self.n_cp)
+
+    def amplitude(self, noise_power: float) -> float:
+        """Linear on-air amplitude achieving :attr:`snr_db` over *noise_power*."""
+        return float(np.sqrt(noise_power * 10.0 ** (self.snr_db / 10.0)))
+
+    # ------------------------------------------------------------------
+    # Synthesis
+    # ------------------------------------------------------------------
+    def baseband(
+        self,
+        num_samples: int,
+        sample_rate_hz: float,
+        rng: np.random.Generator,
+    ) -> SampledSignal:
+        """Unit-power complex baseband waveform (no carrier, no burst gate)."""
+        if self.modulation in _LINEAR:
+            modulator = LinearModulator(self.modulation, self.samples_per_symbol)
+            return modulator.signal(num_samples, sample_rate_hz, rng=rng)
+        factory = ofdm_signal if self.modulation == "ofdm" else scfdma_signal
+        return factory(
+            num_samples,
+            sample_rate_hz,
+            n_fft=self.n_fft,
+            n_cp=self.n_cp,
+            active_subcarriers=self.active_subcarriers,
+            rng=rng,
+        )
+
+    def waveform(
+        self,
+        num_samples: int,
+        sample_rate_hz: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """The emitter's on-channel samples at unit on-air power.
+
+        baseband -> per-emitter impairments -> burst gate -> carrier.
+        """
+        signal = self.baseband(num_samples, sample_rate_hz, rng)
+        if self.impairments is not None:
+            signal = self.impairments(signal)
+        samples = signal.samples
+        if self.duty_cycle < 1.0:
+            phase = int(rng.integers(0, self.burst_period))
+            position = (np.arange(num_samples) + phase) % self.burst_period
+            on_length = int(round(self.duty_cycle * self.burst_period))
+            samples = np.where(position < on_length, samples, 0.0)
+        if self.center_freq_hz != 0.0:
+            t = np.arange(num_samples) / sample_rate_hz
+            samples = samples * np.exp(
+                2j * np.pi * self.center_freq_hz * t
+            )
+        return samples
+
+
+# ----------------------------------------------------------------------
+# Ground truth
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EmitterTruth:
+    """One emitter's ground truth inside a realisation."""
+
+    name: str
+    modulation: str
+    modulation_class: str
+    center_freq_hz: float
+    bandwidth_hz: float
+    alpha_hz: float
+
+    @property
+    def occupied_band(self) -> tuple[float, float]:
+        """Frequency extent ``center +- bandwidth / 2``."""
+        half = 0.5 * self.bandwidth_hz
+        return (self.center_freq_hz - half, self.center_freq_hz + half)
+
+
+@dataclass(frozen=True)
+class WidebandOccupancy:
+    """Ground truth of one wideband realisation."""
+
+    sample_rate_hz: float
+    emitters: tuple[EmitterTruth, ...]
+
+    def __post_init__(self) -> None:
+        require_positive_float(self.sample_rate_hz, "sample_rate_hz")
+        names = [truth.name for truth in self.emitters]
+        if len(names) != len(set(names)):
+            raise ConfigurationError("emitter truth names must be unique")
+
+    @property
+    def occupied(self) -> bool:
+        """True if any emitter transmitted."""
+        return bool(self.emitters)
+
+    @property
+    def active_names(self) -> tuple[str, ...]:
+        """Names of the transmitting emitters."""
+        return tuple(truth.name for truth in self.emitters)
+
+    def truth_of(self, name: str) -> EmitterTruth:
+        """The named emitter's truth record."""
+        for truth in self.emitters:
+            if truth.name == name:
+                return truth
+        raise ConfigurationError(f"no active emitter named {name!r}")
+
+    def emitter_band(self, name: str, num_bands: int) -> int:
+        """Band-plan index holding the named emitter's centre frequency."""
+        return band_index_of(
+            self.truth_of(name).center_freq_hz, num_bands, self.sample_rate_hz
+        )
+
+    def band_mask(self, num_bands: int) -> np.ndarray:
+        """Boolean occupancy per band-plan sub-band.
+
+        A band is occupied when any active emitter's occupied band
+        overlaps its extent with positive measure (touching exactly at
+        an edge does not count).
+        """
+        edges = band_edges_hz(num_bands, self.sample_rate_hz)
+        mask = np.zeros(num_bands, dtype=bool)
+        for truth in self.emitters:
+            for index, band in enumerate(edges):
+                if bands_overlap(truth.occupied_band, band,
+                                 self.sample_rate_hz):
+                    mask[index] = True
+        return mask
+
+
+# ----------------------------------------------------------------------
+# The scenario
+# ----------------------------------------------------------------------
+@dataclass
+class WidebandScenario:
+    """N independent emitters over one AWGN floor, in one capture.
+
+    Parameters
+    ----------
+    sample_rate_hz:
+        Capture sampling frequency.
+    noise_power:
+        AWGN floor power per complex sample.
+    emitters:
+        The transmitters that *may* be active.
+    receiver_impairments:
+        Optional chain applied to the summed capture (signal plus
+        noise) — the place for receiver-side effects like IQ imbalance
+        and ADC quantization.
+
+    Each emitter draws from its own substream, seeded from the master
+    generator *before* any waveform is synthesised, so a given
+    emitter's waveform is identical whichever subset of emitters is
+    active, and a fixed integer seed reproduces the capture bit-for-bit
+    across process boundaries.
+    """
+
+    sample_rate_hz: float
+    noise_power: float = 1.0
+    emitters: list[EmitterSpec] = field(default_factory=list)
+    receiver_impairments: ImpairmentChain | None = None
+
+    def __post_init__(self) -> None:
+        require_positive_float(self.sample_rate_hz, "sample_rate_hz")
+        require_positive_float(self.noise_power, "noise_power")
+        names = [spec.name for spec in self.emitters]
+        if len(names) != len(set(names)):
+            raise ConfigurationError("emitter names must be unique")
+        nyquist = self.sample_rate_hz / 2.0
+        for spec in self.emitters:
+            low, high = spec.occupied_band(self.sample_rate_hz)
+            if low < -nyquist or high > nyquist:
+                raise ConfigurationError(
+                    f"emitter {spec.name!r} occupies [{low:.6g}, {high:.6g}] "
+                    f"Hz, outside the capture's +-{nyquist:.6g} Hz"
+                )
+
+    def add_emitter(self, spec: EmitterSpec) -> None:
+        """Register an additional emitter."""
+        if any(existing.name == spec.name for existing in self.emitters):
+            raise ConfigurationError(f"duplicate emitter name {spec.name!r}")
+        self.emitters.append(spec)
+        try:
+            self.__post_init__()
+        except ConfigurationError:
+            self.emitters.pop()
+            raise
+
+    def realize(
+        self,
+        num_samples: int,
+        active: tuple[str, ...] | None = None,
+        seed: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> tuple[SampledSignal, WidebandOccupancy]:
+        """Draw one wideband capture.
+
+        Parameters
+        ----------
+        num_samples:
+            Capture length.
+        active:
+            Names of the transmitting emitters; ``None`` means all,
+            ``()`` noise only.
+        seed / rng:
+            Reproducibility controls (mutually exclusive).
+        """
+        num_samples = require_positive_int(num_samples, "num_samples")
+        generator = resolve_rng(rng, seed)
+        if active is None:
+            active = tuple(spec.name for spec in self.emitters)
+        known = {spec.name for spec in self.emitters}
+        unknown = [name for name in active if name not in known]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown emitter(s): {', '.join(unknown)}"
+            )
+
+        total = awgn(num_samples, power=self.noise_power, rng=generator)
+        # Substream seeds are drawn for *every* emitter, active or not,
+        # so one emitter's waveform is invariant to the active set.
+        substream_seeds = generator.integers(
+            0, 2**63, size=max(len(self.emitters), 1)
+        )
+        truths = []
+        for spec, substream_seed in zip(self.emitters, substream_seeds):
+            if spec.name not in active:
+                continue
+            emitter_rng = np.random.default_rng(int(substream_seed))
+            total = total + spec.amplitude(self.noise_power) * spec.waveform(
+                num_samples, self.sample_rate_hz, emitter_rng
+            )
+            truths.append(
+                EmitterTruth(
+                    name=spec.name,
+                    modulation=spec.modulation,
+                    modulation_class=spec.modulation_class,
+                    center_freq_hz=spec.center_freq_hz,
+                    bandwidth_hz=spec.bandwidth_hz(self.sample_rate_hz),
+                    alpha_hz=spec.expected_alpha_hz(self.sample_rate_hz),
+                )
+            )
+        capture = SampledSignal(total, self.sample_rate_hz)
+        if self.receiver_impairments is not None:
+            capture = self.receiver_impairments(capture)
+        return capture, WidebandOccupancy(
+            sample_rate_hz=self.sample_rate_hz, emitters=tuple(truths)
+        )
+
+    def noise_only(
+        self,
+        num_samples: int,
+        seed: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> SampledSignal:
+        """Convenience: an all-vacant (H0) capture."""
+        signal, _ = self.realize(num_samples, active=(), seed=seed, rng=rng)
+        return signal
+
+
+# ----------------------------------------------------------------------
+# Presets (shared by tests, CLI and the wideband-scan example)
+# ----------------------------------------------------------------------
+def _preset_single_qpsk(sample_rate_hz: float):
+    scenario = WidebandScenario(
+        sample_rate_hz,
+        emitters=[
+            EmitterSpec(
+                "qpsk-0",
+                "qpsk",
+                center_freq_hz=sample_rate_hz / 4.0,
+                snr_db=8.0,
+                samples_per_symbol=16,
+            ),
+        ],
+    )
+    return scenario, 4
+
+
+def _preset_linear_pair(sample_rate_hz: float):
+    scenario = WidebandScenario(
+        sample_rate_hz,
+        emitters=[
+            EmitterSpec(
+                "bpsk-low",
+                "bpsk",
+                center_freq_hz=-sample_rate_hz / 4.0,
+                snr_db=8.0,
+                samples_per_symbol=16,
+            ),
+            EmitterSpec(
+                "qpsk-high",
+                "qpsk",
+                center_freq_hz=sample_rate_hz / 4.0,
+                snr_db=8.0,
+                samples_per_symbol=32,
+            ),
+        ],
+    )
+    return scenario, 4
+
+
+def _preset_cp_pair(sample_rate_hz: float):
+    scenario = WidebandScenario(
+        sample_rate_hz,
+        emitters=[
+            EmitterSpec(
+                "ofdm-low",
+                "ofdm",
+                center_freq_hz=-sample_rate_hz / 4.0,
+                snr_db=12.0,
+                n_fft=96,
+                n_cp=32,
+                active_subcarriers=21,
+            ),
+            EmitterSpec(
+                "scfdma-high",
+                "scfdma",
+                center_freq_hz=sample_rate_hz / 4.0,
+                snr_db=12.0,
+                n_fft=96,
+                n_cp=32,
+                active_subcarriers=21,
+            ),
+        ],
+    )
+    return scenario, 4
+
+
+def _preset_bursty(sample_rate_hz: float):
+    scenario = WidebandScenario(
+        sample_rate_hz,
+        emitters=[
+            EmitterSpec(
+                "burst-bpsk",
+                "bpsk",
+                center_freq_hz=-sample_rate_hz / 4.0,
+                snr_db=10.0,
+                samples_per_symbol=16,
+                duty_cycle=0.6,
+                burst_period=2048,
+            ),
+            EmitterSpec(
+                "qpsk-cw",
+                "qpsk",
+                center_freq_hz=sample_rate_hz / 4.0,
+                snr_db=8.0,
+                samples_per_symbol=16,
+            ),
+        ],
+    )
+    return scenario, 4
+
+
+def _preset_five_emitter(sample_rate_hz: float):
+    band = sample_rate_hz / 8.0
+    scenario = WidebandScenario(
+        sample_rate_hz,
+        emitters=[
+            EmitterSpec(
+                "bpsk-a",
+                "bpsk",
+                center_freq_hz=-3.0 * band,
+                snr_db=6.0,
+                samples_per_symbol=32,
+            ),
+            EmitterSpec(
+                "qpsk-b",
+                "qpsk",
+                center_freq_hz=-1.0 * band,
+                snr_db=6.0,
+                samples_per_symbol=64,
+            ),
+            EmitterSpec(
+                "ofdm-c",
+                "ofdm",
+                center_freq_hz=0.0,
+                snr_db=8.0,
+                n_fft=192,
+                n_cp=64,
+                active_subcarriers=21,
+            ),
+            EmitterSpec(
+                "scfdma-d",
+                "scfdma",
+                center_freq_hz=1.0 * band,
+                snr_db=8.0,
+                n_fft=192,
+                n_cp=64,
+                active_subcarriers=21,
+            ),
+            EmitterSpec(
+                "burst-e",
+                "bpsk",
+                center_freq_hz=3.0 * band,
+                snr_db=8.0,
+                samples_per_symbol=32,
+                duty_cycle=0.6,
+                burst_period=4096,
+            ),
+        ],
+    )
+    return scenario, 8
+
+
+#: Named scenario factories: name -> callable(sample_rate_hz) returning
+#: ``(WidebandScenario, recommended num_bands)``.
+SCENARIO_PRESETS = {
+    "single-qpsk": _preset_single_qpsk,
+    "linear-pair": _preset_linear_pair,
+    "cp-pair": _preset_cp_pair,
+    "bursty": _preset_bursty,
+    "five-emitter": _preset_five_emitter,
+}
+
+
+def scenario_preset(
+    name: str, sample_rate_hz: float = 8e6
+) -> tuple[WidebandScenario, int]:
+    """Instantiate a named preset at *sample_rate_hz*.
+
+    Returns ``(scenario, num_bands)`` — the band count the preset's
+    emitter plan was laid out for.
+    """
+    try:
+        factory = SCENARIO_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIO_PRESETS))
+        raise ConfigurationError(
+            f"unknown scenario preset {name!r}; available: {known}"
+        ) from None
+    return factory(require_positive_float(sample_rate_hz, "sample_rate_hz"))

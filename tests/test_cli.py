@@ -136,6 +136,60 @@ class TestBackendsCommand:
             ])
 
 
+class TestScanCommand:
+    def test_smoke_recovers_and_writes_bench_json(self, capsys, tmp_path):
+        bench = tmp_path / "BENCH_scanner.json"
+        code = main(["scan", "--smoke", "--bench-json", str(bench)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "occupancy map" in out
+        assert "recovered" in out
+        assert "band confusion" in out
+        import json
+
+        payload = json.loads(bench.read_text())
+        assert payload["scanner"]["batched"]["seconds_per_estimate"] > 0
+        assert payload["scanner"]["per_band"]["seconds_per_estimate"] > 0
+
+    def test_preset_choice_and_backend(self, capsys, tmp_path):
+        code = main([
+            "scan", "--smoke", "--preset", "single-qpsk",
+            "--backend", "fam",
+            "--bench-json", str(tmp_path / "bench.json"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "single-qpsk" in out
+        assert "backend fam" in out
+
+    def test_smoke_honours_explicit_preset(self, capsys, tmp_path):
+        """--smoke only swaps in the small preset when none was asked
+        for; an explicit --preset five-emitter stays five-emitter."""
+        code = main([
+            "scan", "--smoke", "--preset", "five-emitter",
+            "--bench-json", str(tmp_path / "bench.json"),
+        ])
+        out = capsys.readouterr().out
+        assert "preset 'five-emitter'" in out
+        assert code in (0, 1)  # smoke geometry needn't recover all five
+
+    def test_full_preset_without_bench_json(self, capsys):
+        code = main([
+            "scan", "--preset", "linear-pair", "--fft-size", "32",
+            "--blocks", "32", "--calibration-trials", "20", "--seed", "9",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "f1 1.00" in out
+
+    def test_soc_compiled_rejected_for_other_backends(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["scan", "--smoke", "--backend", "vectorized",
+                  "--soc-compiled"])
+
+
 class TestMapCommand:
     def test_paper_defaults(self, capsys):
         assert main(["map"]) == 0

@@ -97,3 +97,62 @@ class TestTracedRunnerAgreement:
         result = runner.run(awgn(16 * 2, seed=79), 2)
         durations = phase_durations(runner.soc.trace_events, tile=0)
         assert sum(durations.values()) == result.total_cycles
+
+
+class TestScannerCrossModel:
+    """The wideband scanner reaches the same occupancy verdict on every
+    estimator model of the same decision.
+
+    Complements the per-preset truth checks in ``tests/test_scanner.py``:
+    here the backends are compared *against each other* on identical
+    captures — DSCF software models (vectorized/streaming), the
+    full-plane estimator family (fam/ssca, on the linear presets where
+    their lattice resolves the features), and the cycle-exact compiled
+    SoC platform.
+    """
+
+    def _decisions(self, preset, backend, seed=9, **config_overrides):
+        from repro.pipeline import PipelineConfig
+        from repro.scanner import BandScanner
+        from repro.signals.wideband import scenario_preset
+
+        scenario, bands = scenario_preset(preset, sample_rate_hz=4e6)
+        options = dict(
+            fft_size=32,
+            num_blocks=32,
+            backend=backend,
+            scan_bands=bands,
+            sample_rate_hz=4e6,
+            calibration_trials=30,
+        )
+        options.update(config_overrides)
+        config = PipelineConfig(**options)
+        scanner = BandScanner(config, leak_margin=1.6)
+        capture, _truth = scenario.realize(scanner.required_samples, seed=seed)
+        return scanner.scan(capture, classify=False).decisions
+
+    @pytest.mark.parametrize("preset", ["single-qpsk", "linear-pair", "bursty"])
+    def test_software_models_agree_on_linear_presets(self, preset):
+        reference = self._decisions(preset, "vectorized")
+        for backend in ("streaming", "fam", "ssca"):
+            assert np.array_equal(
+                self._decisions(preset, backend), reference
+            ), f"{backend} disagrees with vectorized on {preset!r}"
+
+    @pytest.mark.parametrize("preset", ["linear-pair", "bursty"])
+    def test_compiled_soc_agrees_with_software(self, preset):
+        software = self._decisions(preset, "vectorized")
+        platform = self._decisions(
+            preset, "soc", soc_compiled=True
+        )
+        assert np.array_equal(platform, software)
+
+    def test_cp_preset_exact_models_agree(self):
+        vectorized = self._decisions(
+            "cp-pair", "vectorized", fft_size=64, num_blocks=64
+        )
+        streaming = self._decisions(
+            "cp-pair", "streaming", fft_size=64, num_blocks=64
+        )
+        assert np.array_equal(vectorized, streaming)
+        assert vectorized.any()  # the CP emitters are actually detected

@@ -1,0 +1,290 @@
+"""Property-based tests for the extended impairment stack.
+
+Each property runs twice: through hypothesis (when installed) with
+randomised parameters, and through a deterministic seeded grid that
+always executes — the fallback the CI keeps even without hypothesis.
+
+Properties locked down:
+
+* fading normalisation conserves signal energy exactly;
+* CFO drift and IQ imbalance are invertible to round-off;
+* quantization is idempotent with bounded, bit-monotone error;
+* a fixed scenario seed reproduces the wideband capture across
+  process boundaries.
+"""
+
+import hashlib
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import SampledSignal
+from repro.errors import ConfigurationError
+from repro.signals.impairments import (
+    ImpairmentChain,
+    apply_cfo_drift,
+    apply_fading,
+    apply_iq_imbalance,
+    apply_quantization,
+    fading_taps,
+    undo_iq_imbalance,
+)
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is a dev extra
+    HAVE_HYPOTHESIS = False
+
+
+def reference_signal(seed: int, num_samples: int = 512) -> SampledSignal:
+    rng = np.random.default_rng(seed)
+    samples = rng.normal(size=num_samples) + 1j * rng.normal(size=num_samples)
+    return SampledSignal(samples, 1e6)
+
+
+# ----------------------------------------------------------------------
+# The properties (shared by both parametrisations)
+# ----------------------------------------------------------------------
+def check_fading_conserves_energy(seed: int, num_taps: int, rician_k_db):
+    signal = reference_signal(seed)
+    faded = apply_fading(
+        signal, num_taps=num_taps, rician_k_db=rician_k_db, seed=seed + 1
+    )
+    assert faded.power() == pytest.approx(signal.power(), rel=1e-12)
+
+
+def check_fading_taps_unit_power(seed: int, num_taps: int):
+    taps = fading_taps(num_taps, seed=seed)
+    assert np.sum(np.abs(taps) ** 2) == pytest.approx(1.0)
+
+
+def check_cfo_drift_invertible(seed: int, offset_hz: float, drift: float):
+    signal = reference_signal(seed)
+    distorted = apply_cfo_drift(signal, offset_hz, drift, phase_rad=0.3)
+    recovered = apply_cfo_drift(distorted, -offset_hz, -drift, phase_rad=-0.3)
+    assert np.allclose(recovered.samples, signal.samples, atol=1e-9)
+
+
+def check_iq_imbalance_invertible(seed: int, gain_db: float, phase_deg: float):
+    signal = reference_signal(seed)
+    distorted = apply_iq_imbalance(signal, gain_db, phase_deg)
+    recovered = undo_iq_imbalance(distorted, gain_db, phase_deg)
+    assert np.allclose(recovered.samples, signal.samples, atol=1e-9)
+
+
+def check_quantization_idempotent_and_bounded(seed: int, bits: int):
+    signal = reference_signal(seed)
+    once = apply_quantization(signal, bits, full_scale=4.0)
+    twice = apply_quantization(once, bits, full_scale=4.0)
+    assert np.array_equal(once.samples, twice.samples)
+    step = 2.0 * 4.0 / (2**bits)
+    clipped = np.clip(signal.samples.real, -4.0, 4.0) + 1j * np.clip(
+        signal.samples.imag, -4.0, 4.0
+    )
+    error = once.samples - clipped
+    assert np.max(np.abs(error.real)) <= step
+    assert np.max(np.abs(error.imag)) <= step
+
+
+# ----------------------------------------------------------------------
+# Seeded-grid parametrisation (always runs)
+# ----------------------------------------------------------------------
+class TestImpairmentPropertiesGrid:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("num_taps", [1, 3, 6])
+    @pytest.mark.parametrize("rician_k_db", [None, 6.0])
+    def test_fading_conserves_energy(self, seed, num_taps, rician_k_db):
+        check_fading_conserves_energy(seed, num_taps, rician_k_db)
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("num_taps", [1, 2, 5])
+    def test_fading_taps_unit_power(self, seed, num_taps):
+        check_fading_taps_unit_power(seed, num_taps)
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize(
+        "offset_hz,drift", [(0.0, 0.0), (137.5, 0.0), (-940.0, 88.0)]
+    )
+    def test_cfo_drift_invertible(self, seed, offset_hz, drift):
+        check_cfo_drift_invertible(seed, offset_hz, drift)
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize(
+        "gain_db,phase_deg", [(0.0, 0.0), (1.5, 8.0), (-2.0, -15.0)]
+    )
+    def test_iq_imbalance_invertible(self, seed, gain_db, phase_deg):
+        check_iq_imbalance_invertible(seed, gain_db, phase_deg)
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("bits", [2, 6, 12])
+    def test_quantization_idempotent_and_bounded(self, seed, bits):
+        check_quantization_idempotent_and_bounded(seed, bits)
+
+    def test_quantization_error_monotone_in_bits(self):
+        signal = reference_signal(7)
+        errors = []
+        for bits in (3, 6, 9):
+            quantized = apply_quantization(signal, bits, full_scale=4.0)
+            errors.append(
+                float(np.mean(np.abs(quantized.samples - signal.samples) ** 2))
+            )
+        assert errors[0] > errors[1] > errors[2]
+
+
+# ----------------------------------------------------------------------
+# Hypothesis parametrisation (when available)
+# ----------------------------------------------------------------------
+if HAVE_HYPOTHESIS:
+
+    class TestImpairmentPropertiesHypothesis:
+        @settings(max_examples=20, deadline=None)
+        @given(
+            seed=st.integers(0, 2**20),
+            num_taps=st.integers(1, 8),
+            rician_k_db=st.one_of(st.none(), st.floats(-5.0, 20.0)),
+        )
+        def test_fading_conserves_energy(self, seed, num_taps, rician_k_db):
+            check_fading_conserves_energy(seed, num_taps, rician_k_db)
+
+        @settings(max_examples=20, deadline=None)
+        @given(
+            seed=st.integers(0, 2**20),
+            offset_hz=st.floats(-5e3, 5e3),
+            drift=st.floats(-500.0, 500.0),
+        )
+        def test_cfo_drift_invertible(self, seed, offset_hz, drift):
+            check_cfo_drift_invertible(seed, offset_hz, drift)
+
+        @settings(max_examples=20, deadline=None)
+        @given(
+            seed=st.integers(0, 2**20),
+            gain_db=st.floats(-4.0, 4.0),
+            phase_deg=st.floats(-30.0, 30.0),
+        )
+        def test_iq_imbalance_invertible(self, seed, gain_db, phase_deg):
+            check_iq_imbalance_invertible(seed, gain_db, phase_deg)
+
+        @settings(max_examples=20, deadline=None)
+        @given(seed=st.integers(0, 2**20), bits=st.integers(2, 14))
+        def test_quantization_idempotent_and_bounded(self, seed, bits):
+            check_quantization_idempotent_and_bounded(seed, bits)
+
+
+# ----------------------------------------------------------------------
+# Edge cases and composition
+# ----------------------------------------------------------------------
+class TestImpairmentEdges:
+    def test_iq_imbalance_singular_rejected(self):
+        signal = reference_signal(0)
+        distorted = apply_iq_imbalance(signal, 0.0, 90.0)
+        with pytest.raises(ConfigurationError, match="not invertible"):
+            undo_iq_imbalance(distorted, 0.0, 90.0)
+
+    def test_fading_taps_validation(self):
+        with pytest.raises(ConfigurationError):
+            fading_taps(0)
+        with pytest.raises(ConfigurationError, match="decay"):
+            fading_taps(3, decay=-1.0)
+        with pytest.raises(ConfigurationError):
+            fading_taps(3, seed=1, rng=np.random.default_rng(0))
+
+    def test_rician_los_pins_first_tap_at_high_k(self):
+        """At K = 40 dB the first tap's LOS component is deterministic:
+        its mean power share equals the delay profile's first-tap
+        share (~0.645 for 4 taps at decay 1), far above the Rayleigh
+        case where every tap fades to zero regularly."""
+        profile = np.exp(-np.arange(4))
+        expected = profile[0] / profile.sum()
+        draws = np.array(
+            [
+                np.abs(fading_taps(4, rician_k_db=40.0, seed=seed)[0]) ** 2
+                for seed in range(100)
+            ]
+        )
+        assert draws.mean() == pytest.approx(expected, abs=0.05)
+        assert draws.min() > 0.1  # the LOS never fades out completely
+
+    def test_non_signal_inputs_rejected(self):
+        array = np.ones(16, dtype=complex)
+        for op in (
+            lambda: apply_cfo_drift(array, 1.0),
+            lambda: apply_iq_imbalance(array),
+            lambda: apply_quantization(array, 4),
+            lambda: undo_iq_imbalance(array),
+        ):
+            with pytest.raises(ConfigurationError):
+                op()
+
+    def test_chain_applies_in_order(self):
+        signal = reference_signal(3)
+        chain = ImpairmentChain(
+            (
+                ("cfo", lambda s: apply_cfo_drift(s, 250.0)),
+                ("adc", lambda s: apply_quantization(s, 8, full_scale=4.0)),
+            )
+        )
+        by_hand = apply_quantization(
+            apply_cfo_drift(signal, 250.0), 8, full_scale=4.0
+        )
+        assert np.array_equal(chain(signal).samples, by_hand.samples)
+        assert chain.stage_names == ("cfo", "adc")
+        assert chain.describe() == "cfo -> adc"
+
+    def test_chain_validation(self):
+        with pytest.raises(ConfigurationError, match="pair"):
+            ImpairmentChain((("solo",),))
+        with pytest.raises(ConfigurationError, match="unique"):
+            ImpairmentChain(
+                (("a", lambda s: s), ("a", lambda s: s))
+            )
+        chain = ImpairmentChain((("bad", lambda s: s.samples),))
+        with pytest.raises(ConfigurationError, match="must return"):
+            chain(reference_signal(0))
+
+    def test_empty_chain_is_identity(self):
+        signal = reference_signal(1)
+        chain = ImpairmentChain(())
+        assert np.array_equal(chain(signal).samples, signal.samples)
+        assert chain.describe() == "(identity)"
+
+
+# ----------------------------------------------------------------------
+# Cross-process scenario determinism
+# ----------------------------------------------------------------------
+_CHILD_CODE = """
+import hashlib
+import numpy as np
+from repro.signals.wideband import scenario_preset
+
+scenario, _bands = scenario_preset("five-emitter", sample_rate_hz=8e6)
+capture, _truth = scenario.realize(4096, seed=1234)
+print(hashlib.sha256(np.ascontiguousarray(capture.samples).tobytes()).hexdigest())
+"""
+
+
+class TestScenarioCrossProcessDeterminism:
+    def test_fixed_seed_reproduces_across_process_boundary(self):
+        from repro.signals.wideband import scenario_preset
+
+        scenario, _bands = scenario_preset("five-emitter", sample_rate_hz=8e6)
+        capture, _truth = scenario.realize(4096, seed=1234)
+        local_digest = hashlib.sha256(
+            np.ascontiguousarray(capture.samples).tobytes()
+        ).hexdigest()
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(sys.path)
+        result = subprocess.run(
+            [sys.executable, "-c", _CHILD_CODE],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == local_digest

@@ -28,7 +28,9 @@ class TestAwgn:
         assert np.array_equal(awgn(64, seed=7), awgn(64, seed=7))
 
     def test_rng_and_seed_mutually_exclusive(self):
-        with pytest.raises(ValueError):
+        # Raises the package's ConfigurationError (not bare ValueError),
+        # like every other rng/seed exclusivity check in repro.signals.
+        with pytest.raises(ConfigurationError):
             awgn(8, rng=np.random.default_rng(0), seed=1)
 
     def test_signal_wrapper_carries_rate(self):

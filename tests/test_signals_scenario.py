@@ -41,6 +41,20 @@ class TestBandOccupancy:
     def test_vacant(self):
         assert not BandOccupancy(active_users=()).occupied
 
+    def test_rejects_non_tuple(self):
+        """Validation raises the package's error types, not bare
+        ValueError, so callers can catch ReproError uniformly."""
+        with pytest.raises(ConfigurationError, match="tuple"):
+            BandOccupancy(active_users=["tv"])
+
+    def test_rejects_non_string_names(self):
+        with pytest.raises(ConfigurationError, match="strings"):
+            BandOccupancy(active_users=(1, 2))
+
+    def test_rejects_repeated_names(self):
+        with pytest.raises(ConfigurationError, match="repeat"):
+            BandOccupancy(active_users=("tv", "tv"))
+
 
 class TestBandScenario:
     def test_rejects_duplicate_users(self):
@@ -94,6 +108,40 @@ class TestBandScenario:
         scenario = BandScenario(1e6)
         with pytest.raises(ConfigurationError):
             scenario.realize(64, seed=0, rng=np.random.default_rng(1))
+
+    def test_overlapping_users_flagged_and_unioned(self):
+        """Adjacent users whose occupied bands collide are legal: the
+        waveforms superpose and the occupancy reports both active."""
+        fs = 1e6
+        scenario = BandScenario(
+            fs,
+            users=[
+                LicensedUser("lo", "bpsk", 8, 0.0, 0.0),
+                LicensedUser("hi", "bpsk", 8, fs / 16.0, 0.0),  # half-lobe
+                LicensedUser("far", "bpsk", 8, fs / 4.0, 0.0),
+            ],
+        )
+        assert scenario.overlapping_users() == (("lo", "hi"),)
+        _, occupancy = scenario.realize(2048, active=("lo", "hi"), seed=6)
+        assert occupancy.is_active("lo") and occupancy.is_active("hi")
+
+    def test_adjacent_users_touching_edges_do_not_overlap(self):
+        fs = 1e6
+        scenario = BandScenario(
+            fs,
+            users=[
+                LicensedUser("a", "bpsk", 8, 0.0, 0.0),
+                LicensedUser("b", "bpsk", 8, fs / 8.0, 0.0),  # exact edge
+            ],
+        )
+        assert scenario.overlapping_users() == ()
+
+    def test_occupied_band_extent(self):
+        fs = 1e6
+        user = LicensedUser("tv", "bpsk", 8, 1000.0, 0.0)
+        low, high = user.occupied_band(fs)
+        assert high - low == pytest.approx(fs / 8)
+        assert (low + high) / 2 == pytest.approx(1000.0)
 
     def test_carrier_offsets_separate_users(self):
         from repro.core.fourier import block_spectra

@@ -1,0 +1,323 @@
+"""Tests for repro.signals.wideband and repro.signals.scfdma."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.signals.impairments import ImpairmentChain, apply_quantization
+from repro.signals.ofdm import ofdm_signal
+from repro.signals.scfdma import scfdma_signal, scfdma_symbol_rate_hz
+from repro.signals.wideband import (
+    MODULATION_CLASSES,
+    SCENARIO_PRESETS,
+    EmitterSpec,
+    WidebandOccupancy,
+    WidebandScenario,
+    band_edges_hz,
+    band_index_of,
+    scenario_preset,
+)
+
+FS = 8e6
+
+
+def make_emitter(name="e0", modulation="qpsk", center=1e6, **kwargs):
+    return EmitterSpec(
+        name, modulation, center_freq_hz=center, snr_db=6.0, **kwargs
+    )
+
+
+class TestScfdmaSignal:
+    def test_unit_power(self):
+        signal = scfdma_signal(4096, FS, n_fft=96, n_cp=32, seed=0)
+        assert signal.power() == pytest.approx(1.0)
+
+    def test_cp_correlation(self):
+        """The prefix repeats the symbol tail: head/tail lag-n_fft
+        correlation is strong for both CP waveforms."""
+        n_fft, n_cp = 96, 32
+        period = n_fft + n_cp
+        for factory in (scfdma_signal, ofdm_signal):
+            signal = factory(
+                period * 64, FS, n_fft=n_fft, n_cp=n_cp, seed=1
+            )
+            x = signal.samples
+            cp_positions = np.concatenate(
+                [s + np.arange(n_cp) for s in range(0, x.size - period, period)]
+            )
+            correlation = np.abs(
+                np.mean(x[cp_positions] * np.conj(x[cp_positions + n_fft]))
+            )
+            assert correlation > 0.5 * signal.power()
+
+    def test_lower_kurtosis_than_ofdm(self):
+        """DFT spreading keeps a single-carrier envelope: the classifier's
+        discriminating property."""
+        kwargs = dict(n_fft=96, n_cp=32, active_subcarriers=21, seed=2)
+        kurtosis = lambda z: np.mean(np.abs(z) ** 4) / np.mean(
+            np.abs(z) ** 2
+        ) ** 2
+        scfdma = scfdma_signal(16384, FS, **kwargs)
+        ofdm = ofdm_signal(16384, FS, **kwargs)
+        assert kurtosis(scfdma.samples) < kurtosis(ofdm.samples) - 0.2
+
+    def test_symbol_rate_helper(self):
+        assert scfdma_symbol_rate_hz(FS, 96, 32) == pytest.approx(FS / 128)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            scfdma_signal(1024, FS, n_fft=16, active_subcarriers=16)
+        with pytest.raises(ConfigurationError):
+            scfdma_signal(1024, FS, seed=1, rng=np.random.default_rng(0))
+
+    @pytest.mark.parametrize("active", [1, 2, 20, 21, 63])
+    def test_exact_subcarrier_count(self, active):
+        """The slot layout energizes exactly the requested number of
+        subcarriers, odd counts included."""
+        from repro.signals.ofdm import subcarrier_slots
+
+        slots = subcarrier_slots(64, active)
+        assert slots.size == active
+        assert np.unique(slots).size == active
+        assert 0 not in slots  # the DC slot stays vacant
+
+    def test_occupied_slots_match_request(self):
+        n_fft, n_cp, active = 96, 32, 21
+        for factory in (scfdma_signal, ofdm_signal):
+            signal = factory(
+                (n_fft + n_cp) * 64, FS, n_fft=n_fft, n_cp=n_cp,
+                active_subcarriers=active, seed=4,
+            )
+            # Strip the CP and average per-subcarrier power.
+            symbols = signal.samples.reshape(-1, n_fft + n_cp)[:, n_cp:]
+            spectra = np.mean(np.abs(np.fft.fft(symbols, axis=1)) ** 2, axis=0)
+            occupied = np.sum(spectra > 0.01 * spectra.max())
+            assert occupied == active
+
+
+class TestBandGeometry:
+    def test_edges_partition_the_band(self):
+        edges = band_edges_hz(8, FS)
+        assert len(edges) == 8
+        assert edges[0][0] == pytest.approx(-FS / 2 + 0.5 * FS / 8 - FS / 8)
+        for (low, high), (next_low, _next_high) in zip(edges, edges[1:]):
+            assert high == pytest.approx(next_low)
+            assert high - low == pytest.approx(FS / 8)
+
+    def test_band_index_of_centers(self):
+        for band in range(8):
+            center = (band - 4) * FS / 8
+            if not -FS / 2 <= center:  # pragma: no cover - geometry guard
+                continue
+            if center >= band_edges_hz(8, FS)[-1][1]:
+                continue
+            assert band_index_of(center, 8, FS) == band
+
+    def test_band_index_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            band_index_of(FS, 8, FS)
+
+
+class TestEmitterSpec:
+    def test_rejects_unknown_modulation(self):
+        with pytest.raises(ConfigurationError, match="modulation"):
+            make_emitter(modulation="fsk")
+
+    def test_rejects_bad_duty_cycle(self):
+        with pytest.raises(ConfigurationError, match="duty_cycle"):
+            make_emitter(duty_cycle=0.0, burst_period=100)
+
+    def test_duty_cycle_requires_period(self):
+        with pytest.raises(ConfigurationError, match="burst_period"):
+            make_emitter(duty_cycle=0.5)
+
+    def test_duty_cycle_must_yield_on_samples(self):
+        with pytest.raises(ConfigurationError, match="never transmit"):
+            make_emitter(duty_cycle=0.1, burst_period=4)
+
+    def test_rejects_bad_impairments(self):
+        with pytest.raises(ConfigurationError, match="ImpairmentChain"):
+            make_emitter(impairments=lambda s: s)
+
+    def test_modulation_classes(self):
+        for modulation, expected in MODULATION_CLASSES.items():
+            spec = make_emitter(modulation=modulation)
+            assert spec.modulation_class == expected
+
+    def test_linear_bandwidth_and_alpha(self):
+        spec = make_emitter(modulation="bpsk", samples_per_symbol=32)
+        assert spec.bandwidth_hz(FS) == pytest.approx(FS / 32)
+        assert spec.expected_alpha_hz(FS) == pytest.approx(FS / 32)
+        low, high = spec.occupied_band(FS)
+        assert high - low == pytest.approx(FS / 32)
+
+    def test_multicarrier_bandwidth_and_alpha(self):
+        spec = make_emitter(
+            modulation="ofdm", n_fft=192, n_cp=64, active_subcarriers=21
+        )
+        assert spec.bandwidth_hz(FS) == pytest.approx(22 * FS / 192)
+        assert spec.expected_alpha_hz(FS) == pytest.approx(FS / 256)
+
+    def test_duty_cycle_gates_waveform(self):
+        spec = make_emitter(
+            modulation="bpsk", duty_cycle=0.5, burst_period=512, center=0.0
+        )
+        waveform = spec.waveform(8192, FS, np.random.default_rng(3))
+        on_fraction = np.mean(np.abs(waveform) > 0)
+        assert on_fraction == pytest.approx(0.5, abs=0.05)
+
+
+class TestWidebandScenario:
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ConfigurationError, match="unique"):
+            WidebandScenario(
+                FS, emitters=[make_emitter("a"), make_emitter("a")]
+            )
+
+    def test_rejects_out_of_band_emitter(self):
+        with pytest.raises(ConfigurationError, match="outside"):
+            WidebandScenario(
+                FS, emitters=[make_emitter(center=FS / 2)]
+            )
+
+    def test_add_emitter_rolls_back_on_error(self):
+        scenario = WidebandScenario(FS, emitters=[make_emitter("a")])
+        with pytest.raises(ConfigurationError):
+            scenario.add_emitter(make_emitter("b", center=FS / 2))
+        assert [spec.name for spec in scenario.emitters] == ["a"]
+
+    def test_seed_reproducibility(self):
+        scenario, _bands = scenario_preset("linear-pair", sample_rate_hz=FS)
+        first, _ = scenario.realize(4096, seed=9)
+        second, _ = scenario.realize(4096, seed=9)
+        assert np.array_equal(first.samples, second.samples)
+
+    def test_unknown_active_emitter(self):
+        scenario = WidebandScenario(FS, emitters=[make_emitter("a")])
+        with pytest.raises(ConfigurationError, match="radar"):
+            scenario.realize(1024, active=("radar",))
+
+    def test_rng_seed_exclusive(self):
+        scenario = WidebandScenario(FS, emitters=[make_emitter("a")])
+        with pytest.raises(ConfigurationError):
+            scenario.realize(64, seed=0, rng=np.random.default_rng(1))
+
+    def test_emitter_substreams_are_independent_of_active_set(self):
+        """Emitter b's contribution is the same whether or not a
+        transmits: substream seeds are drawn for every emitter."""
+        scenario = WidebandScenario(
+            FS,
+            emitters=[
+                make_emitter("a", center=-1e6),
+                make_emitter("b", center=1e6),
+            ],
+        )
+        both, _ = scenario.realize(2048, seed=11)
+        only_a, _ = scenario.realize(2048, active=("a",), seed=11)
+        only_b, _ = scenario.realize(2048, active=("b",), seed=11)
+        noise = scenario.noise_only(2048, seed=11)
+        contribution_b = both.samples - only_a.samples
+        assert np.allclose(
+            contribution_b, only_b.samples - noise.samples, atol=1e-12
+        )
+
+    def test_occupancy_truth(self):
+        scenario, bands = scenario_preset("five-emitter", sample_rate_hz=FS)
+        _, truth = scenario.realize(1024, seed=0)
+        assert truth.occupied
+        assert truth.active_names == tuple(
+            spec.name for spec in scenario.emitters
+        )
+        mask = truth.band_mask(bands)
+        assert mask.sum() == 5
+        for spec in scenario.emitters:
+            assert mask[truth.emitter_band(spec.name, bands)]
+
+    def test_noise_only_occupancy(self):
+        scenario = WidebandScenario(FS, emitters=[make_emitter("a")])
+        _, truth = scenario.realize(1024, active=(), seed=0)
+        assert not truth.occupied
+        with pytest.raises(ConfigurationError, match="no active emitter"):
+            truth.truth_of("a")
+
+    def test_receiver_impairments_applied(self):
+        from functools import partial
+
+        chain = ImpairmentChain(
+            (("adc", partial(apply_quantization, bits=4)),)
+        )
+        scenario = WidebandScenario(
+            FS, emitters=[make_emitter("a")], receiver_impairments=chain
+        )
+        capture, _ = scenario.realize(1024, seed=2)
+        # A 4-bit quantizer leaves at most 2^4 distinct rail values.
+        assert np.unique(capture.samples.real).size <= 16
+
+    def test_snr_raises_power(self):
+        scenario = WidebandScenario(
+            FS, emitters=[make_emitter("a", center=0.0, modulation="qpsk")]
+        )
+        occupied, _ = scenario.realize(65536, seed=3)
+        vacant = scenario.noise_only(65536, seed=3)
+        expected = 1.0 + 10.0 ** (6.0 / 10.0)
+        assert occupied.power() == pytest.approx(
+            expected * vacant.power(), rel=0.1
+        )
+
+
+class TestWidebandOccupancyValidation:
+    def test_duplicate_names_rejected(self):
+        from repro.signals.wideband import EmitterTruth
+
+        truth = EmitterTruth("a", "bpsk", "bpsk", 0.0, 1e5, 1e4)
+        with pytest.raises(ConfigurationError, match="unique"):
+            WidebandOccupancy(FS, emitters=(truth, truth))
+
+
+class TestCarriers:
+    """Coverage of the carrier-type signals (used as scanner probes)."""
+
+    def test_complex_tone_geometry(self):
+        from repro.signals.carriers import complex_tone
+
+        tone = complex_tone(256, FS, FS / 8, amplitude=2.0)
+        assert tone.power() == pytest.approx(4.0)
+        spectrum = np.abs(np.fft.fft(tone.samples))
+        assert np.argmax(spectrum) == 256 // 8
+
+    def test_complex_tone_validation(self):
+        from repro.signals.carriers import complex_tone
+
+        with pytest.raises(ConfigurationError, match="amplitude"):
+            complex_tone(64, FS, 0.0, amplitude=0.0)
+
+    def test_am_carrier_unit_power_and_phase_draw(self):
+        from repro.signals.carriers import amplitude_modulated_carrier
+
+        carrier = amplitude_modulated_carrier(4096, FS, FS / 16, FS / 256,
+                                              seed=1)
+        assert carrier.power() == pytest.approx(1.0)
+        other = amplitude_modulated_carrier(4096, FS, FS / 16, FS / 256,
+                                            seed=2)
+        assert not np.array_equal(carrier.samples, other.samples)
+
+    def test_am_carrier_validation(self):
+        from repro.signals.carriers import amplitude_modulated_carrier
+
+        with pytest.raises(ConfigurationError, match="modulation_index"):
+            amplitude_modulated_carrier(64, FS, 1e5, 1e3, modulation_index=0.0)
+
+
+class TestPresets:
+    @pytest.mark.parametrize("name", sorted(SCENARIO_PRESETS))
+    def test_presets_instantiate(self, name):
+        scenario, bands = scenario_preset(name, sample_rate_hz=FS)
+        assert bands >= 4
+        assert scenario.emitters
+        capture, truth = scenario.realize(4096, seed=1)
+        assert capture.num_samples == 4096
+        assert truth.occupied
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigurationError, match="preset"):
+            scenario_preset("empty-band")
