@@ -1,0 +1,283 @@
+"""Harness health — the unified execution engine's two levers.
+
+Not a paper artifact: measures what the PR-5 engine layer buys and
+emits the machine-readable ``BENCH_engine.json`` at the repo root so
+the trajectory is tracked across PRs (and guarded by
+``benchmarks/check_perf_regression.py``):
+
+* **plan-cache hit speedup** — the same Monte-Carlo sweep run with a
+  disabled plan cache (every sweep rebuilds its execution plan: Gram
+  index grids, channelizer banks, the compiled Montium schedule)
+  versus the shared LRU cache (plan built once).  Most dramatic on the
+  compiled SoC backend, where a plan build interprets the platform's
+  full instruction stream;
+* **sharded scaling** — batched statistics at the paper's K = 256,
+  127 x 127 operating point with ``jobs = 1 / 2 / 4`` worker
+  processes.  Results are bitwise identical across jobs (asserted
+  here too); the wall-clock speedup depends on the cores actually
+  available, so the emitted JSON records ``cpus`` alongside the
+  timings and the >= 1.5x gate at jobs = 4 is enforced only when the
+  machine has >= 4 usable cores.
+
+Regenerate the JSON::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py
+
+``--smoke`` runs tiny geometries for CI artifact runs (no gating);
+``--jobs`` overrides the sharding ladder, e.g. ``--jobs 2`` for the
+CI multi-process smoke leg.
+"""
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine import Engine, PlanCache, available_cpus
+from repro.pipeline import PipelineConfig
+from repro.signals.noise import awgn
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+
+#: Full-geometry operating points.
+SHARD_CONFIG = PipelineConfig(fft_size=256, num_blocks=32)
+SHARD_TRIALS = 32
+CACHE_POINTS = {
+    "dscf": (PipelineConfig(fft_size=256, num_blocks=32), 16),
+    "soc-compiled": (
+        PipelineConfig(
+            fft_size=64, num_blocks=16, backend="soc", soc_compiled=True
+        ),
+        16,
+    ),
+}
+
+#: Tiny --smoke geometries (CI artifact run, no gating).
+SMOKE_SHARD_CONFIG = PipelineConfig(fft_size=32, num_blocks=8)
+SMOKE_SHARD_TRIALS = 8
+SMOKE_CACHE_POINTS = {
+    "dscf": (PipelineConfig(fft_size=32, num_blocks=8), 8),
+    "soc-compiled": (
+        PipelineConfig(
+            fft_size=32, num_blocks=8, backend="soc", soc_compiled=True,
+            soc_tiles=2,
+        ),
+        8,
+    ),
+}
+
+
+def _best_seconds(fn, repeats: int = 3) -> float:
+    times = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - started)
+    return float(min(times))
+
+
+def _operating_point(config: PipelineConfig, trials: int) -> dict:
+    return {
+        "fft_size": config.fft_size,
+        "num_blocks": config.num_blocks,
+        "m": config.m,
+        "trials": trials,
+    }
+
+
+def _drop_cached_plans(config: PipelineConfig) -> None:
+    """Make the next plan build genuinely cold.
+
+    The engine's own cache is bypassed with ``maxsize=0``, but the
+    caching the PR-5 layer unified spans every level: the registered
+    backend's executor cache (compiled SoC schedules, FAM/SSCA
+    channelizer banks) and the Montium trace cache underneath the SoC
+    compiler.  Clearing them all is what "no plan caching" actually
+    means for a repeated sweep.
+    """
+    from repro.pipeline import get_backend
+
+    backend_cache = getattr(get_backend(config.backend), "plan_cache", None)
+    if backend_cache is not None:
+        backend_cache.clear()
+    if config.backend == "soc" and config.soc_compiled:
+        from repro.montium.compiler import clear_trace_cache
+
+        clear_trace_cache()
+
+
+def _plan_cache_point(
+    name: str, config: PipelineConfig, trials: int, repeats: int
+) -> dict:
+    """Repeated calibration sweeps: disabled caches vs the shared LRU."""
+
+    def sweep(engine: Engine) -> None:
+        engine.calibrate_threshold(config, trials=trials)
+
+    cold_engine = Engine(cache=PlanCache(maxsize=0, name="bench-cold"))
+    warm_engine = Engine(cache=PlanCache(name="bench-warm"))
+    sweep(warm_engine)  # build once; subsequent sweeps are pure hits
+
+    def cold_sweep() -> None:
+        _drop_cached_plans(config)
+        sweep(cold_engine)
+
+    cold = _best_seconds(cold_sweep, repeats)
+    warm = _best_seconds(lambda: sweep(warm_engine), repeats)
+    stats = warm_engine.cache.stats
+    return {
+        **_operating_point(config, trials),
+        "backend": config.backend,
+        "cold_seconds_per_sweep": cold,
+        "warm_seconds_per_sweep": warm,
+        "seconds_per_estimate": warm / trials,
+        "hit_speedup": cold / warm if warm > 0 else None,
+        "warm_cache_hits": stats.hits,
+        "warm_cache_misses": stats.misses,
+    }
+
+
+def _sharding_ladder(
+    config: PipelineConfig, trials: int, jobs_ladder, repeats: int
+) -> dict:
+    signals = np.stack(
+        [
+            awgn(config.samples_per_decision, seed=9000 + trial)
+            for trial in range(trials)
+        ]
+    )
+    rows = {}
+    reference = None
+    baseline_seconds = None
+    for jobs in jobs_ladder:
+        with Engine(jobs=jobs) as engine:
+            engine.statistics(signals, config=config)  # warm pool + plan
+            seconds = _best_seconds(
+                lambda: engine.statistics(signals, config=config), repeats
+            )
+            statistics = engine.statistics(signals, config=config)
+        if reference is None:
+            reference = statistics
+            baseline_seconds = seconds
+        bitwise = bool(np.array_equal(reference, statistics))
+        rows[f"jobs={jobs}"] = {
+            **_operating_point(config, trials),
+            "jobs": jobs,
+            "seconds_per_estimate": seconds / trials,
+            "seconds_per_batch": seconds,
+            "bitwise_equal_to_jobs1": bitwise,
+            "speedup_vs_jobs1": (
+                baseline_seconds / seconds if seconds > 0 else None
+            ),
+        }
+        assert bitwise, f"jobs={jobs} diverged from the serial statistics"
+    return rows
+
+
+def emit(smoke: bool, jobs_ladder, json_path: Path) -> dict:
+    repeats = 2 if smoke else 3
+    shard_config = SMOKE_SHARD_CONFIG if smoke else SHARD_CONFIG
+    shard_trials = SMOKE_SHARD_TRIALS if smoke else SHARD_TRIALS
+    cache_points = SMOKE_CACHE_POINTS if smoke else CACHE_POINTS
+
+    payload = {
+        "benchmark": "bench_engine",
+        "smoke": smoke,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpus": available_cpus(),
+        "engine": {
+            "plan_cache": {
+                name: _plan_cache_point(name, config, trials, repeats)
+                for name, (config, trials) in cache_points.items()
+            },
+            "sharding": _sharding_ladder(
+                shard_config, shard_trials, jobs_ladder, repeats
+            ),
+        },
+    }
+    with open(json_path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny geometries for CI artifact runs (no speedup gates)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, nargs="+", default=None,
+        help="sharding ladder to measure (default: 1 2 4)",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=BENCH_JSON,
+        help=f"output path (default {BENCH_JSON.name} at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    jobs_ladder = args.jobs if args.jobs else [1, 2, 4]
+    # Ascending with jobs=1 always present: the first row is the
+    # serial reference every speedup/bitwise field is computed against.
+    jobs_ladder = sorted(set(jobs_ladder) | {1})
+
+    payload = emit(args.smoke, jobs_ladder, args.json)
+    cpus = payload["cpus"]
+    print(f"wrote {args.json} (cpus={cpus})")
+    for name, row in payload["engine"]["plan_cache"].items():
+        print(
+            f"  plan cache [{name}]: cold "
+            f"{row['cold_seconds_per_sweep'] * 1e3:.1f} ms vs warm "
+            f"{row['warm_seconds_per_sweep'] * 1e3:.1f} ms per sweep "
+            f"({row['hit_speedup']:.1f}x hit speedup)"
+        )
+    for label, row in payload["engine"]["sharding"].items():
+        print(
+            f"  sharding [{label}]: "
+            f"{row['seconds_per_batch'] * 1e3:.1f} ms per batch "
+            f"({row['speedup_vs_jobs1']:.2f}x vs jobs=1, bitwise "
+            f"{'ok' if row['bitwise_equal_to_jobs1'] else 'MISMATCH'})"
+        )
+
+    if args.smoke:
+        return 0
+    failures = []
+    # The gram plan builds in well under a millisecond, so its hit
+    # speedup hovers at ~1x by design — the gate applies where plan
+    # building is the documented cost: the compiled SoC schedule.
+    soc_row = payload["engine"]["plan_cache"].get("soc-compiled")
+    if soc_row and (
+        not soc_row["hit_speedup"] or soc_row["hit_speedup"] <= 1.0
+    ):
+        failures.append(
+            "plan-cache hit speedup for soc-compiled not > 1.0x "
+            f"({soc_row['hit_speedup']})"
+        )
+    top = max(j for j in jobs_ladder)
+    top_row = payload["engine"]["sharding"].get(f"jobs={top}")
+    if top_row and cpus >= top:
+        if top_row["speedup_vs_jobs1"] < 1.5:
+            failures.append(
+                f"jobs={top} speedup {top_row['speedup_vs_jobs1']:.2f}x "
+                f"< 1.5x on a {cpus}-cpu machine"
+            )
+    elif top_row:
+        print(
+            f"  note: jobs={top} >= 1.5x gate skipped — only {cpus} "
+            f"usable cpu(s); speedup measured "
+            f"{top_row['speedup_vs_jobs1']:.2f}x"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

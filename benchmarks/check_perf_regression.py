@@ -39,6 +39,9 @@ import sys
 from pathlib import Path
 
 #: Geometry keys that must match for a timing comparison to be valid.
+#: ``jobs`` and ``backend`` key the engine benchmark's sharding ladder
+#: and plan-cache rows (BENCH_engine.json) so a jobs=2 smoke run never
+#: compares against a jobs=4 baseline.
 OPERATING_POINT_KEYS = (
     "fft_size",
     "num_blocks",
@@ -49,13 +52,20 @@ OPERATING_POINT_KEYS = (
     "trials",
     "averaging_length",
     "dscf_grid",
+    "jobs",
+    "backend",
 )
 
-#: Recognised timing fields (seconds; lower is better).
+#: Recognised timing fields (seconds; lower is better).  The per-sweep
+#: keys come from BENCH_engine.json's plan-cache rows: a regression in
+#: ``warm_seconds_per_sweep`` means plans stopped being cache hits, one
+#: in ``cold_seconds_per_sweep`` that plan building itself slowed down.
 TIMING_KEYS = (
     "seconds_per_estimate",
     "interpreted_seconds_per_estimate",
     "compiled_seconds_per_estimate",
+    "cold_seconds_per_sweep",
+    "warm_seconds_per_sweep",
 )
 
 

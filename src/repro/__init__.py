@@ -22,6 +22,13 @@ The package is organised in layers:
   typed configuration drives the same detection chain on any
   registered substrate (reference, vectorised, streaming, SoC), with
   batched multi-trial execution for Monte-Carlo workloads.
+* :mod:`repro.engine` — the unified execution engine: per-operating-
+  point :class:`~repro.engine.ExecutionPlan` objects (prepared FFT
+  constants, channelizer banks, compiled SoC schedules) behind an LRU
+  :class:`~repro.engine.PlanCache`, scheduled by the
+  :class:`~repro.engine.Engine` front-end in-process or sharded
+  across a multi-process worker pool — bitwise equal to serial
+  execution on every backend.
 * :mod:`repro.estimators` — the full (f, alpha)-plane estimator
   family: a shared channelizer front-end feeding the FFT Accumulation
   Method (``fam``) and the Strip Spectral Correlation Analyzer
@@ -87,6 +94,13 @@ from .pipeline import (
     get_backend,
     register_backend,
 )
+from .engine import (
+    Engine,
+    PlanCache,
+    PlanCacheStats,
+    build_plan,
+    shared_plan_cache,
+)
 
 # After .pipeline: importing the pipeline package is what registers the
 # full-plane backends, so the estimator re-exports must follow it.
@@ -116,7 +130,7 @@ from .signals import (
     scfdma_signal,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BandScanner",

@@ -85,6 +85,68 @@ def is_power_of_two(value: int) -> bool:
     return value > 0 and value & (value - 1) == 0
 
 
+def spawn_substreams(
+    count: int,
+    *,
+    rng: np.random.Generator | None = None,
+    base_seed: int | None = None,
+    start: int = 0,
+) -> np.ndarray:
+    """Deterministic per-trial / per-emitter substream seeds.
+
+    The package-wide seeding contract, deduplicating the hand-rolled
+    copies that had grown in the wideband scenario engine, the
+    :class:`~repro.pipeline.BatchRunner` calibration factory and the
+    scanner's noise calibration.  Two modes, mutually exclusive:
+
+    ``rng``
+        Draw *count* child seeds from the generator's own stream
+        (``rng.integers(0, 2**63, size=count)``).  Used where the
+        seeds must be a function of an already-resolved generator —
+        e.g. one wideband master generator spawning per-emitter
+        substreams, so an emitter's waveform is invariant to which
+        other emitters are active.
+    ``base_seed``
+        Arithmetic substreams ``base_seed + start + arange(count)``.
+        Used for Monte-Carlo trial seeding (trial *t* gets
+        ``base_seed + t``), where the defining property is that trial
+        *t*'s stream is independent of the total trial count and of
+        how trials are chunked or sharded — what makes sharded engine
+        execution bitwise equal to the serial path.
+
+    Returns a ``(count,)`` integer array of seeds; feed each through
+    ``numpy.random.default_rng`` (or ``seed=`` parameters) to obtain
+    the substream generators.
+    """
+    count = require_non_negative_int(count, "count")
+    start = require_non_negative_int(start, "start")
+    if (rng is None) == (base_seed is None):
+        raise ConfigurationError(
+            "pass exactly one of rng or base_seed to spawn_substreams"
+        )
+    if rng is not None:
+        if start:
+            raise ConfigurationError(
+                "start offsets only apply to arithmetic (base_seed) "
+                "substreams; rng-drawn seeds are consumed in stream order"
+            )
+        return rng.integers(0, 2**63, size=count)
+    if not isinstance(base_seed, (int, np.integer)) or isinstance(
+        base_seed, bool
+    ):
+        raise ConfigurationError(
+            f"base_seed must be an integer, got {base_seed!r}"
+        )
+    first = int(base_seed) + start
+    if count and first + count - 1 > np.iinfo(np.int64).max:
+        # Unbounded Python-int arithmetic, exactly like the historical
+        # ``base + trial`` expressions (int64 would wrap negative).
+        return np.array(
+            [first + index for index in range(count)], dtype=object
+        )
+    return first + np.arange(count, dtype=np.int64)
+
+
 def resolve_rng(
     rng: np.random.Generator | None, seed: int | None
 ) -> np.random.Generator:

@@ -5,11 +5,14 @@ energy-detector baseline by sweeping a threshold over Monte-Carlo trial
 statistics gathered under both hypotheses (H0: noise only, H1: licensed
 user present).
 
-Statistics can be gathered two ways: the generic per-trial loop
+Statistics can be gathered two ways: the generic per-trial path
 (:func:`monte_carlo_statistics`, works with any callable) or the
 batched pass (:func:`batched_monte_carlo_statistics`), which pushes
 every realisation through a :class:`repro.pipeline.BatchRunner` in one
 vectorised sweep — the recommended path for cyclostationary detectors.
+Both delegate to the :class:`repro.engine.Engine`, so the batched
+variant shards across worker processes when handed an engine with
+``jobs > 1`` (bitwise equal to the serial pass).
 The runner executes whichever estimator backend its configuration
 names, so ROC curves for the full-plane ``fam``/``ssca`` estimators
 come from the same machinery as the DSCF's: pass a runner built from
@@ -108,11 +111,17 @@ def monte_carlo_statistics(
 
     ``signal_factory(trial_index)`` must return a new realisation per
     call (seeded however the caller likes, so experiments stay
-    reproducible).
+    reproducible).  Executes through the engine's
+    :class:`~repro.engine.plans.CallableStatisticPlan` so every
+    detector — ad-hoc callables included — shares one Monte-Carlo code
+    path.
     """
+    # Deferred: analysis stays importable without the pipeline package.
+    from ..engine import CallableStatisticPlan, Engine
+
     trials = require_positive_int(trials, "trials")
-    return np.array(
-        [statistic_fn(signal_factory(trial)) for trial in range(trials)]
+    return Engine().monte_carlo_statistics(
+        signal_factory, trials, plan=CallableStatisticPlan(statistic_fn)
     )
 
 
@@ -120,6 +129,7 @@ def batched_monte_carlo_statistics(
     runner,
     signal_factory: Callable[[int], np.ndarray],
     trials: int,
+    engine=None,
 ) -> np.ndarray:
     """Collect *trials* statistics through a batched executor.
 
@@ -132,14 +142,21 @@ def batched_monte_carlo_statistics(
     ----------
     runner:
         Any object exposing ``statistics(signals) -> (trials,) array``,
-        typically a :class:`repro.pipeline.BatchRunner`.
+        typically a :class:`repro.pipeline.BatchRunner` (or a cached
+        :class:`~repro.engine.plans.ExecutionPlan`).
     signal_factory:
         Maps a trial index to a fresh sample array.
     trials:
         Number of realisations.
+    engine:
+        Optional :class:`~repro.engine.Engine`; with ``jobs > 1`` the
+        stacked trials shard across its worker pool (bitwise equal to
+        the serial pass) whenever the runner is rebuildable from its
+        configuration.
     """
+    from ..engine import Engine
+
     trials = require_positive_int(trials, "trials")
-    signals = np.stack(
-        [np.asarray(signal_factory(trial)) for trial in range(trials)]
-    )
-    return np.asarray(runner.statistics(signals))
+    if engine is None:
+        engine = Engine()
+    return engine.monte_carlo_statistics(signal_factory, trials, plan=runner)

@@ -12,6 +12,13 @@ wall-clock is not.  The runner honours its configuration's estimator
 backend, so the same sweep runs on the DSCF or on the full-plane
 ``fam``/``ssca`` estimators — :func:`pd_vs_snr_by_backend` builds the
 side-by-side comparison directly.
+
+Since PR 5 both functions are thin front-ends over
+:meth:`repro.engine.Engine.map_operating_points`: execution plans come
+from the shared cache, and an ``engine=Engine(jobs=N)`` (or the
+``jobs=`` shorthand on :func:`pd_vs_snr_by_backend`) shards every
+trial batch across worker processes, bitwise equal to the serial
+sweep.
 """
 
 from __future__ import annotations
@@ -24,11 +31,8 @@ import numpy as np
 from .._util import require_positive_int
 from ..core.detection import validate_pfa
 from ..errors import ConfigurationError
-from .roc import (
-    batched_monte_carlo_statistics,
-    detection_probability,
-    monte_carlo_statistics,
-)
+from .roc import detection_probability  # noqa: F401  (re-exported; used
+# by downstream sweep consumers building points by hand)
 
 
 @dataclass(frozen=True)
@@ -81,8 +85,14 @@ def pd_vs_snr(
     trials: int = 40,
     detector_name: str = "detector",
     runner=None,
+    engine=None,
 ) -> DetectionSweep:
     """Monte-Carlo Pd-vs-SNR sweep at a fixed Pfa.
+
+    A thin front-end over
+    :meth:`repro.engine.Engine.map_operating_points` — the sweep's
+    calibration and per-point trial batches all run through the
+    engine's planned (and optionally sharded) execution.
 
     Parameters
     ----------
@@ -106,7 +116,14 @@ def pd_vs_snr(
         e.g. :class:`repro.pipeline.BatchRunner` or a
         :class:`~repro.pipeline.DetectionPipeline`'s ``batch``); every
         sweep point then runs as one vectorised pass.
+    engine:
+        Optional :class:`~repro.engine.Engine` executing the sweep;
+        with ``jobs > 1`` every trial batch shards across its worker
+        pool, bitwise equal to the serial sweep.
     """
+    # Deferred: analysis stays importable without the pipeline package.
+    from ..engine import CallableStatisticPlan, Engine
+
     pfa = validate_pfa(pfa)
     trials = require_positive_int(trials, "trials")
     if runner is None and statistic_fn is None:
@@ -119,28 +136,17 @@ def pd_vs_snr(
             "computes its own (cyclostationary) statistic and would "
             "silently ignore statistic_fn"
         )
-
-    def collect(factory: Callable[[int], np.ndarray]) -> np.ndarray:
-        if runner is not None:
-            return batched_monte_carlo_statistics(runner, factory, trials)
-        return monte_carlo_statistics(statistic_fn, factory, trials)
-
-    h0_statistics = collect(h0_factory)
-    threshold = float(np.quantile(h0_statistics, 1.0 - pfa))
-    points = []
-    for snr_db in snrs_db:
-        h1_statistics = collect(
-            lambda trial, snr=float(snr_db): h1_factory(snr, trial)
-        )
-        points.append(
-            SweepPoint(
-                snr_db=float(snr_db),
-                pd=detection_probability(h1_statistics, threshold),
-                threshold=threshold,
-            )
-        )
-    return DetectionSweep(
-        detector_name=detector_name, pfa=pfa, points=tuple(points)
+    if engine is None:
+        engine = Engine()
+    plan = runner if runner is not None else CallableStatisticPlan(statistic_fn)
+    return engine.map_operating_points(
+        h0_factory,
+        h1_factory,
+        snrs_db,
+        plan=plan,
+        pfa=pfa,
+        trials=trials,
+        detector_name=detector_name,
     )
 
 
@@ -152,11 +158,13 @@ def pd_vs_snr_by_backend(
     backends: tuple[str, ...] = ("vectorized", "fam", "ssca"),
     pfa: float = 0.1,
     trials: int = 40,
+    jobs: int = 1,
+    engine=None,
 ) -> dict:
     """One Pd-vs-SNR sweep per estimator backend, batched.
 
-    Runs :func:`pd_vs_snr` once per name in *backends*, each through a
-    :class:`repro.pipeline.BatchRunner` configured for that backend —
+    Runs :meth:`repro.engine.Engine.map_operating_points` once per
+    name in *backends*, each on that backend's cached execution plan —
     the direct way to compare the paper's DSCF detector against the
     full-plane FAM/SSCA estimators on identical realisations (the
     factories are re-invoked with the same trial indices for every
@@ -173,8 +181,14 @@ def pd_vs_snr_by_backend(
         is far too slow for.
     backends:
         Registered backend names to sweep (each must either advertise
-        ``supports_batch`` or hand the runner a batched plan, like the
-        compiled soc backend).
+        ``supports_batch`` or hand the engine a batched executor, like
+        the compiled soc backend).
+    jobs:
+        Worker processes for sharded execution (ignored when *engine*
+        is given); every backend's sweep reuses one pool.
+    engine:
+        Optional pre-built :class:`~repro.engine.Engine` to execute
+        on (kept open for the caller).
 
     Returns
     -------
@@ -182,31 +196,36 @@ def pd_vs_snr_by_backend(
         ``{backend_name: DetectionSweep}`` in *backends* order.
     """
     # Deferred: analysis stays importable without the pipeline package.
-    from ..pipeline import BatchRunner, get_backend
+    from ..engine import BatchExecutionPlan, Engine
 
+    own_engine = engine is None
+    if engine is None:
+        engine = Engine(jobs=jobs)
     sweeps = {}
-    for name in backends:
-        runner = BatchRunner(config.with_backend(name))
-        if not (
-            get_backend(name).capabilities.supports_batch
-            or runner.estimator_plan is not None
-        ):
-            # Without this guard the runner would silently fall back to
-            # its host Gram-matrix mathematics and label the curve with
-            # the requested backend's name.
-            raise ConfigurationError(
-                f"backend {name!r} has no batched executor at this "
-                "configuration; the cycle-level soc backend requires "
-                "soc_compiled=True to be swept"
+    try:
+        for name in backends:
+            swept = config.with_backend(name)
+            plan = engine.plan(swept)
+            if not isinstance(plan, BatchExecutionPlan):
+                # Without this guard a sequential backend would sweep
+                # through the per-trial loop plan — technically correct
+                # but catastrophically slow for the cycle-level soc
+                # interpreter, and historically a silent-fallback trap.
+                raise ConfigurationError(
+                    f"backend {name!r} has no batched executor at this "
+                    "configuration; the cycle-level soc backend requires "
+                    "soc_compiled=True to be swept"
+                )
+            sweeps[name] = engine.map_operating_points(
+                h0_factory,
+                h1_factory,
+                snrs_db,
+                config=swept,
+                pfa=pfa,
+                trials=trials,
+                detector_name=f"cyclostationary/{name}",
             )
-        sweeps[name] = pd_vs_snr(
-            None,
-            h0_factory,
-            h1_factory,
-            snrs_db,
-            pfa=pfa,
-            trials=trials,
-            detector_name=f"cyclostationary/{name}",
-            runner=runner,
-        )
+    finally:
+        if own_engine:
+            engine.close()
     return sweeps

@@ -30,6 +30,15 @@ Subcommands
     and score the occupancy map against the planted ground truth.
     ``--smoke`` runs a small geometry and writes batched-vs-per-band
     timings to ``BENCH_scanner.json`` for the CI bench-smoke job.
+``sweep``
+    Pd-vs-SNR sweep per estimator backend through
+    :meth:`repro.engine.Engine.map_operating_points` — identical
+    realisations per backend, one table of operating points.
+
+``sense``, ``scan`` and ``sweep`` all accept ``--jobs N`` (shard the
+Monte-Carlo trial batches across N worker processes; bitwise equal to
+``--jobs 1``) and ``--cache/--no-cache`` (reuse execution plans via
+the shared :class:`~repro.engine.PlanCache`).
 """
 
 from __future__ import annotations
@@ -42,6 +51,13 @@ import numpy as np
 from . import __version__
 from .core.detection import EnergyDetector
 from .core.scf import default_m
+from .engine import (
+    MAX_TESTED_JOBS,
+    Engine,
+    PlanCache,
+    plan_support,
+    shared_plan_cache,
+)
 from .errors import ConfigurationError
 from .pipeline import (
     DetectionPipeline,
@@ -102,6 +118,44 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """The execution-engine knobs shared by sense/scan/sweep."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sharded Monte-Carlo execution "
+        "(bitwise equal to --jobs 1; default 1)",
+    )
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="reuse execution plans through the shared plan cache "
+        "(--no-cache rebuilds engine-level plans per use; "
+        "backend-internal executor caches still apply — "
+        "benchmarks/bench_engine.py clears those too for true "
+        "cold timings)",
+    )
+
+
+def _make_engine(args: argparse.Namespace) -> Engine:
+    """Build the :class:`~repro.engine.Engine` the CLI flags describe."""
+    cache = None if args.cache else PlanCache(maxsize=0, name="disabled")
+    return Engine(jobs=args.jobs, cache=cache)
+
+
+def _print_engine_summary(engine: Engine) -> None:
+    stats = engine.cache.stats
+    caching = (
+        "off"
+        if stats.maxsize == 0
+        else f"{stats.size} plan(s), {stats.hits} hit(s), "
+        f"{stats.misses} miss(es)"
+    )
+    print(f"\nengine: jobs={engine.jobs}, plan cache {caching}")
+
+
 def _cmd_sense(args: argparse.Namespace) -> int:
     if args.soc_compiled and args.backend != "soc":
         raise ConfigurationError(
@@ -123,18 +177,21 @@ def _cmd_sense(args: argparse.Namespace) -> int:
     else:
         samples = noise
 
-    pipeline = DetectionPipeline(
-        PipelineConfig(
-            fft_size=fft_size,
-            num_blocks=num_blocks,
-            backend=args.backend,
-            soc_compiled=args.soc_compiled,
-            pfa=args.pfa,
-            calibration_trials=args.calibration_trials,
+    engine = _make_engine(args)
+    with engine:
+        pipeline = DetectionPipeline(
+            PipelineConfig(
+                fft_size=fft_size,
+                num_blocks=num_blocks,
+                backend=args.backend,
+                soc_compiled=args.soc_compiled,
+                pfa=args.pfa,
+                calibration_trials=args.calibration_trials,
+            ),
+            engine=engine,
         )
-    )
-    pipeline.calibrate()
-    report = pipeline.detect(samples)
+        pipeline.calibrate()
+        report = pipeline.detect(samples)
     print(report)
 
     energy = EnergyDetector(
@@ -149,6 +206,7 @@ def _cmd_sense(args: argparse.Namespace) -> int:
         if occupied
         else "\nground truth: band vacant"
     )
+    _print_engine_summary(engine)
     return 0
 
 
@@ -260,86 +318,166 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         scan_bands=num_bands,
         sample_rate_hz=sample_rate,
     )
-    scanner = BandScanner(config, leak_margin=args.leak_margin)
-    capture, truth = scenario.realize(scanner.required_samples, seed=args.seed)
-    scanner.calibrate()
+    # try/finally (not `with`): the worker pool must be reaped on
+    # any scan failure, and `recovered` is computed after teardown.
+    engine = _make_engine(args)
+    try:
+        scanner = BandScanner(config, leak_margin=args.leak_margin, engine=engine)
+        capture, truth = scenario.realize(scanner.required_samples, seed=args.seed)
+        scanner.calibrate()
 
-    print(
-        f"scanning preset {preset!r}: {len(scenario.emitters)} emitters, "
-        f"{num_bands} bands x {scanner.band_samples} sub-band samples "
-        f"({scanner.required_samples} capture samples at "
-        f"{args.sample_rate_mhz:.1f} MHz), backend {args.backend}"
-    )
-    occupancy = scanner.scan(capture)
-    print(occupancy.summary())
-
-    attributions = attribute_emitters(truth, occupancy)
-    print(format_attribution(attributions))
-    confusion = occupancy_confusion(
-        truth.band_mask(num_bands), occupancy.decisions
-    )
-    print(
-        f"band confusion: tp={confusion.true_positive} "
-        f"fp={confusion.false_positive} fn={confusion.false_negative} "
-        f"tn={confusion.true_negative}  precision {confusion.precision:.2f} "
-        f"recall {confusion.recall:.2f} f1 {confusion.f1:.2f}"
-    )
-
-    if args.bench_json:
-        bands = scanner.channelize(capture)
-
-        def best_of(callable_, repeats=3):
-            timings = []
-            for _ in range(repeats):
-                start = time.perf_counter()
-                callable_()
-                timings.append(time.perf_counter() - start)
-            return min(timings)
-
-        batched = best_of(
-            lambda: scanner.band_statistics(bands, batched=True)
-        )
-        per_band = best_of(
-            lambda: scanner.band_statistics(bands, batched=False)
-        )
-        point = {
-            "fft_size": fft_size,
-            "num_blocks": blocks,
-            "num_samples": scanner.band_samples,
-            "trials": num_bands,
-        }
-        payload = {
-            "scanner": {
-                "preset": preset,
-                "backend": args.backend,
-                "num_bands": num_bands,
-                "batched": {
-                    **point,
-                    "seconds_per_estimate": batched / num_bands,
-                    "seconds_per_scan": batched,
-                },
-                "per_band": {
-                    **point,
-                    "seconds_per_estimate": per_band / num_bands,
-                    "seconds_per_scan": per_band,
-                },
-                "speedup": per_band / batched if batched > 0 else None,
-            }
-        }
-        with open(args.bench_json, "w") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
         print(
-            f"\nwrote {args.bench_json}: batched {batched * 1e3:.2f} ms vs "
-            f"per-band {per_band * 1e3:.2f} ms per scan "
-            f"({per_band / batched:.1f}x)"
+            f"scanning preset {preset!r}: {len(scenario.emitters)} emitters, "
+            f"{num_bands} bands x {scanner.band_samples} sub-band samples "
+            f"({scanner.required_samples} capture samples at "
+            f"{args.sample_rate_mhz:.1f} MHz), backend {args.backend}"
+        )
+        occupancy = scanner.scan(capture)
+        print(occupancy.summary())
+
+        attributions = attribute_emitters(truth, occupancy)
+        print(format_attribution(attributions))
+        confusion = occupancy_confusion(
+            truth.band_mask(num_bands), occupancy.decisions
+        )
+        print(
+            f"band confusion: tp={confusion.true_positive} "
+            f"fp={confusion.false_positive} fn={confusion.false_negative} "
+            f"tn={confusion.true_negative}  precision {confusion.precision:.2f} "
+            f"recall {confusion.recall:.2f} f1 {confusion.f1:.2f}"
         )
 
+        if args.bench_json:
+            bands = scanner.channelize(capture)
+
+            def best_of(callable_, repeats=3):
+                timings = []
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    callable_()
+                    timings.append(time.perf_counter() - start)
+                return min(timings)
+
+            batched = best_of(
+                lambda: scanner.band_statistics(bands, batched=True)
+            )
+            per_band = best_of(
+                lambda: scanner.band_statistics(bands, batched=False)
+            )
+            point = {
+                "fft_size": fft_size,
+                "num_blocks": blocks,
+                "num_samples": scanner.band_samples,
+                "trials": num_bands,
+            }
+            payload = {
+                "scanner": {
+                    "preset": preset,
+                    "backend": args.backend,
+                    "num_bands": num_bands,
+                    "batched": {
+                        **point,
+                        "seconds_per_estimate": batched / num_bands,
+                        "seconds_per_scan": batched,
+                    },
+                    "per_band": {
+                        **point,
+                        "seconds_per_estimate": per_band / num_bands,
+                        "seconds_per_scan": per_band,
+                    },
+                    "speedup": per_band / batched if batched > 0 else None,
+                }
+            }
+            with open(args.bench_json, "w") as handle:
+                json.dump(payload, handle, indent=2)
+                handle.write("\n")
+            print(
+                f"\nwrote {args.bench_json}: batched {batched * 1e3:.2f} ms vs "
+                f"per-band {per_band * 1e3:.2f} ms per scan "
+                f"({per_band / batched:.1f}x)"
+            )
+
+        _print_engine_summary(engine)
+    finally:
+        engine.close()
     recovered = all(entry.detected for entry in attributions)
     return 0 if recovered else 1
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis.sweeps import pd_vs_snr_by_backend
+
+    if args.soc_compiled and "soc" not in args.backends:
+        raise ConfigurationError(
+            "--soc-compiled selects the trace-compiled SoC engine and "
+            "only applies when 'soc' is among --backends"
+        )
+    config = PipelineConfig(
+        fft_size=args.fft_size,
+        num_blocks=args.blocks,
+        pfa=args.pfa,
+        soc_compiled=args.soc_compiled,
+        calibration_seed=args.seed,
+    )
+    samples = config.samples_per_decision
+    snrs = np.linspace(args.snr_start, args.snr_stop, args.points)
+    h0_base = args.seed
+    h1_base = args.seed + 50_000
+
+    def h0_factory(trial: int) -> np.ndarray:
+        return awgn(samples, power=1.0, seed=h0_base + trial)
+
+    def h1_factory(snr_db: float, trial: int) -> np.ndarray:
+        # One rng per trial, noise then signal drawn sequentially (as
+        # in `sense`), so the noise and the symbol stream stay
+        # statistically independent.
+        rng = np.random.default_rng(h1_base + trial)
+        noise = awgn(samples, power=1.0, rng=rng)
+        user = bpsk_signal(
+            samples, 1e6, samples_per_symbol=args.sps, rng=rng
+        )
+        amplitude = float(np.sqrt(10.0 ** (snr_db / 10.0)))
+        return noise + amplitude * user.samples
+
+    engine = _make_engine(args)
+    with engine:
+        sweeps = pd_vs_snr_by_backend(
+            config,
+            h0_factory,
+            h1_factory,
+            snrs,
+            backends=tuple(args.backends),
+            pfa=args.pfa,
+            trials=args.trials,
+            engine=engine,
+        )
+    print(
+        f"Pd vs SNR at Pfa={args.pfa:g} (K={args.fft_size}, "
+        f"N={args.blocks}, {args.trials} trials/point, BPSK at "
+        f"{args.sps} samples/symbol):\n"
+    )
+    header = "SNR dB".rjust(8) + "".join(
+        name.rjust(14) for name in sweeps
+    )
+    print(header)
+    for index, snr_db in enumerate(snrs):
+        row = f"{snr_db:8.1f}" + "".join(
+            f"{sweep.points[index].pd:14.3f}" for sweep in sweeps.values()
+        )
+        print(row)
+    print()
+    for name, sweep in sweeps.items():
+        try:
+            sensitivity = sweep.snr_for_pd(0.9)
+        except ConfigurationError:  # pragma: no cover - defensive
+            continue
+        print(f"{name}: interpolated Pd=0.9 sensitivity {sensitivity:+.1f} dB")
+    _print_engine_summary(engine)
+    return 0
+
+
 def _cmd_backends(args: argparse.Namespace) -> int:
+    cache = shared_plan_cache()
     print("registered estimator backends (sense --backend <name>):\n")
     for name in available_backends():
         capabilities = get_backend(name).capabilities
@@ -356,7 +494,26 @@ def _cmd_backends(args: argparse.Namespace) -> int:
         print(f"  {name:<12s} {capabilities.description}")
         if capabilities.complexity:
             print(f"  {'':<12s} complexity {capabilities.complexity}")
+        print(f"  {'':<12s} plan: {plan_support(name)}")
+        executor_cache = getattr(get_backend(name), "plan_cache", None)
+        caching = "shared engine LRU"
+        if executor_cache is not None:
+            caching += (
+                f" + backend executor cache "
+                f"(up to {executor_cache.maxsize} entries)"
+            )
+        entries = cache.backend_entries(name)
+        if entries:
+            caching += f"; {entries} plan(s) cached this process"
+        print(f"  {'':<12s} cache: {caching}")
         print(f"  {'':<12s} [{flags or 'sequential'}]")
+    stats = cache.stats
+    print(
+        f"\nshared plan cache: capacity {stats.maxsize} plans per "
+        f"process (this process: {stats.size} cached, {stats.hits} "
+        f"hit(s), {stats.misses} miss(es)); sharded execution "
+        f"bitwise-verified up to jobs={MAX_TESTED_JOBS}"
+    )
     return 0
 
 
@@ -416,7 +573,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --backend soc: execute on the trace-compiled engine "
         "(bit-identical results, vectorised replay, batched calibration)",
     )
+    _add_engine_arguments(sense)
     sense.set_defaults(func=_cmd_sense)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="Pd-vs-SNR sweep per estimator backend "
+        "(Engine.map_operating_points)",
+    )
+    sweep.add_argument("--fft-size", type=int, default=32)
+    sweep.add_argument("--blocks", type=int, default=32)
+    sweep.add_argument("--snr-start", type=float, default=-12.0)
+    sweep.add_argument("--snr-stop", type=float, default=0.0)
+    sweep.add_argument("--points", type=int, default=5)
+    sweep.add_argument("--trials", type=int, default=20)
+    sweep.add_argument("--sps", type=int, default=8)
+    sweep.add_argument("--pfa", type=float, default=0.1)
+    sweep.add_argument("--seed", type=int, default=20_000)
+    sweep.add_argument(
+        "--backends",
+        nargs="+",
+        default=["vectorized", "fam", "ssca"],
+        help="estimator backends to sweep side by side on identical "
+        "realisations (batch-capable backends only; soc needs "
+        "--soc-compiled)",
+    )
+    sweep.add_argument(
+        "--soc-compiled",
+        action="store_true",
+        help="with 'soc' in --backends: sweep the trace-compiled "
+        "platform model",
+    )
+    _add_engine_arguments(sweep)
+    sweep.set_defaults(func=_cmd_sweep)
 
     backends = subparsers.add_parser(
         "backends", help="list the registered estimator backends"
@@ -474,6 +663,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write batched-vs-per-band scan timings to this JSON file",
     )
+    _add_engine_arguments(scan)
     scan.set_defaults(func=_cmd_scan)
 
     mapping = subparsers.add_parser("map", help="walk the mapping methodology")

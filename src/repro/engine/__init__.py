@@ -1,0 +1,63 @@
+"""The unified execution engine: plans, plan cache, sharded scheduling.
+
+After PR 5 there is exactly one place where work is planned, cached
+and scheduled:
+
+* :mod:`repro.engine.plans` — :class:`ExecutionPlan` (the prepared,
+  reusable form of one operating point) and :func:`build_plan`, which
+  resolves any registered backend to a vectorised
+  :class:`BatchExecutionPlan` or a sequential
+  :class:`LoopExecutionPlan`;
+* :mod:`repro.engine.cache` — the LRU :class:`PlanCache` with
+  hit/miss accounting, and the process-wide
+  :func:`shared_plan_cache` every executor defaults to;
+* :mod:`repro.engine.engine` — the :class:`Engine` front-end running
+  plans over trial batches in-process or sharded across a worker pool
+  (``jobs=N``, bitwise equal to serial execution).
+
+:class:`~repro.pipeline.DetectionPipeline`,
+:class:`~repro.pipeline.BatchRunner`, the
+:class:`~repro.scanner.BandScanner` and the analysis sweeps are all
+thin consumers of this layer.
+"""
+
+from .cache import (
+    PLAN_KEY_FIELDS,
+    PlanCache,
+    PlanCacheStats,
+    get_plan,
+    plan_key,
+    shared_plan_cache,
+)
+from .engine import Engine, available_cpus
+from .plans import (
+    MAX_TESTED_JOBS,
+    BatchExecutionPlan,
+    CallableStatisticPlan,
+    ExecutionPlan,
+    LoopExecutionPlan,
+    TrialExecutor,
+    build_plan,
+    default_noise_factory,
+    plan_support,
+)
+
+__all__ = [
+    "PLAN_KEY_FIELDS",
+    "MAX_TESTED_JOBS",
+    "BatchExecutionPlan",
+    "CallableStatisticPlan",
+    "Engine",
+    "ExecutionPlan",
+    "LoopExecutionPlan",
+    "PlanCache",
+    "PlanCacheStats",
+    "TrialExecutor",
+    "available_cpus",
+    "build_plan",
+    "default_noise_factory",
+    "get_plan",
+    "plan_key",
+    "plan_support",
+    "shared_plan_cache",
+]

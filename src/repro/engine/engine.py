@@ -1,0 +1,391 @@
+"""The execution engine: plans + cache + (optionally sharded) scheduling.
+
+:class:`Engine` is the single front-end through which every
+Monte-Carlo workload in the package runs: threshold calibration,
+ROC/Pd-vs-SNR sweeps (:meth:`Engine.map_operating_points`), band-scan
+statistics.  It resolves each request to an
+:class:`~repro.engine.plans.ExecutionPlan` through the shared
+:class:`~repro.engine.cache.PlanCache`, then executes trial batches
+either in-process (``jobs=1``, the default) or sharded across a
+persistent ``multiprocessing`` worker pool (``jobs=N``).
+
+Sharding contract
+-----------------
+Results are **shard-count invariant and bitwise equal to the serial
+path** for every plan built by :func:`~repro.engine.plans.build_plan`:
+
+* trials are seeded per *trial index* (see
+  :func:`repro._util.spawn_substreams`), never per shard, so the
+  signals entering the computation are independent of ``jobs``;
+* signals are realised once in the parent and split into contiguous
+  shards, and every plan computes each trial independently of its
+  batch-mates, so concatenating shard results reproduces the serial
+  statistics bit for bit (pinned by the ``jobs in {1, 2, 4}`` battery
+  in ``tests/test_engine.py`` across dscf, fam, ssca and soc-compiled
+  backends);
+* workers receive only ``(PipelineConfig, shard)`` — plans are rebuilt
+  from the configuration inside each worker through its own shared
+  cache, staying warm across shards and sweep points, so nothing
+  process-specific ever crosses the pipe.
+
+Wall-clock scaling requires actual cores: ``benchmarks/bench_engine.py``
+records the measured ``jobs=1`` vs ``jobs=N`` scaling (and the
+plan-cache hit speedup) in ``BENCH_engine.json`` alongside the CPU
+count it was measured on.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable
+
+import numpy as np
+
+from .._util import require_positive_int
+from ..core.detection import validate_pfa
+from ..errors import ConfigurationError
+from .cache import PlanCache, shared_plan_cache
+from .plans import (
+    CallableStatisticPlan,
+    calibration_quantile,
+    default_noise_factory,
+)
+
+
+def _worker_statistics(
+    config, signals: np.ndarray, use_cache: bool = True
+) -> np.ndarray:
+    """One shard's statistics (runs inside a worker process).
+
+    Importing :mod:`repro` registers every backend (needed under the
+    ``spawn`` start method; a no-op under ``fork``).  With *use_cache*
+    the worker's own shared plan cache keeps the plan warm across
+    shards and calls; without it (the engine was built with plan
+    caching disabled, e.g. ``--no-cache``) every shard builds its plan
+    afresh, mirroring the parent's cold-path semantics.
+    """
+    import repro  # noqa: F401  — registers all estimator backends
+
+    if use_cache:
+        return shared_plan_cache().get(config).statistics(signals)
+    from .plans import build_plan
+
+    return build_plan(config).statistics(signals)
+
+
+def available_cpus() -> int:
+    """CPUs this process may schedule on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+class Engine:
+    """Plan-cached, optionally multi-process trial executor.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for sharded execution.  ``1`` (default) runs
+        in-process with zero multiprocessing overhead; ``N > 1`` lazily
+        starts a persistent pool of N workers that is reused across
+        calls (one pool per engine — enter the engine as a context
+        manager, or call :meth:`close`, to reap it deterministically).
+    cache:
+        The :class:`~repro.engine.cache.PlanCache` plans are drawn
+        from; defaults to the process-wide shared cache.  Pass
+        ``PlanCache(maxsize=0)`` to disable plan reuse (the CLI's
+        ``--no-cache``).
+    mp_context:
+        Optional ``multiprocessing`` context; defaults to ``fork``
+        where available (cheap, inherits the loaded package) and the
+        platform default elsewhere.
+
+    >>> from repro.engine import Engine
+    >>> from repro.pipeline import PipelineConfig
+    >>> engine = Engine()
+    >>> config = PipelineConfig(fft_size=32, num_blocks=8)
+    >>> threshold = engine.calibrate_threshold(config, trials=16)
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: PlanCache | None = None,
+        mp_context=None,
+    ) -> None:
+        self.jobs = require_positive_int(jobs, "jobs")
+        self._cache = cache if cache is not None else shared_plan_cache()
+        self._mp_context = mp_context
+        self._pool: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def cache(self) -> PlanCache:
+        """The plan cache this engine resolves configurations through."""
+        return self._cache
+
+    def plan(self, config):
+        """The (cached) :class:`~repro.engine.plans.ExecutionPlan` for
+        *config*."""
+        return self._cache.get(config)
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was started."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            context = self._mp_context
+            if context is None:
+                methods = mp.get_all_start_methods()
+                context = mp.get_context(
+                    "fork" if "fork" in methods else None
+                )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=context
+            )
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def statistics(
+        self,
+        signals: np.ndarray,
+        config=None,
+        plan=None,
+    ) -> np.ndarray:
+        """Per-trial detection statistics of a ``(trials, samples)``
+        batch.
+
+        Exactly one execution source applies: *config* resolves a plan
+        through the cache; *plan* supplies one directly (a
+        :class:`~repro.pipeline.BatchRunner`, a cached plan, or any
+        object exposing ``statistics``).  Passing both is rejected —
+        the two could name different detectors, and which executed
+        would otherwise flip with ``jobs``.  With ``jobs > 1`` the
+        batch is split into contiguous shards across the worker pool —
+        bitwise equal to the serial path — whenever the plan is
+        rebuildable from a configuration (``shardable``); ad-hoc plans
+        without one run in-process.
+        """
+        if config is None and plan is None:
+            raise ConfigurationError(
+                "statistics needs a config or a plan"
+            )
+        if config is not None and plan is not None:
+            raise ConfigurationError(
+                "pass either config or plan, not both: they could name "
+                "different detectors, and which one executed would "
+                "depend on jobs"
+            )
+        signals = np.asarray(signals)
+        if signals.ndim == 1:
+            signals = signals[None, :]
+        if signals.ndim != 2:
+            raise ConfigurationError(
+                f"signals must be a (trials, samples) array, got shape "
+                f"{signals.shape}"
+            )
+        shard_config = config
+        if shard_config is None and getattr(plan, "shardable", False):
+            shard_config = getattr(plan, "config", None)
+        trials = signals.shape[0]
+        jobs = min(self.jobs, trials)
+        if jobs > 1 and shard_config is not None:
+            return self._sharded_statistics(shard_config, signals, jobs)
+        if plan is None:
+            plan = self.plan(config)
+        return np.asarray(plan.statistics(signals))
+
+    def _sharded_statistics(
+        self, config, signals: np.ndarray, jobs: int
+    ) -> np.ndarray:
+        shards = np.array_split(signals, jobs)
+        pool = self._ensure_pool()
+        # Workers resolve plans through their own per-process cache;
+        # an engine whose cache retains nothing (maxsize=0, the
+        # --no-cache path) propagates that choice so sharded timings
+        # stay comparable to the serial cold path.
+        use_cache = self._cache.maxsize > 0
+        futures = [
+            pool.submit(_worker_statistics, config, shard, use_cache)
+            for shard in shards
+            if shard.shape[0]
+        ]
+        return np.concatenate([future.result() for future in futures])
+
+    def monte_carlo_statistics(
+        self,
+        signal_factory: Callable[[int], np.ndarray],
+        trials: int,
+        config=None,
+        plan=None,
+    ) -> np.ndarray:
+        """Statistics over *trials* fresh realisations.
+
+        ``signal_factory(trial_index)`` returns one observation.  On a
+        vectorised plan all realisations are drawn in the parent — per
+        trial index, so the input set is independent of ``jobs`` —
+        then executed through :meth:`statistics`.  A ``per_trial``
+        plan (:class:`~repro.engine.plans.CallableStatisticPlan`)
+        instead streams one realisation at a time: constant memory,
+        and the factory may return variable-length or non-ndarray
+        observations, exactly as the legacy per-trial loop allowed.
+        """
+        trials = require_positive_int(trials, "trials")
+        if plan is not None and getattr(plan, "per_trial", False):
+            # One scalar per realisation, each observation handed to
+            # the plan untouched — a 2-D capture stays ONE trial here.
+            return np.array(
+                [
+                    plan.statistic(signal_factory(trial))
+                    for trial in range(trials)
+                ]
+            )
+        signals = np.stack(
+            [np.asarray(signal_factory(trial)) for trial in range(trials)]
+        )
+        return self.statistics(signals, config=config, plan=plan)
+
+    def calibrate_threshold(
+        self,
+        config,
+        noise_factory: Callable[[int], np.ndarray] | None = None,
+        pfa: float | None = None,
+        trials: int | None = None,
+    ) -> float:
+        """Monte-Carlo threshold at the configured (or given) Pfa.
+
+        The ``(1 - pfa)`` quantile of noise-only statistics — the
+        :class:`~repro.pipeline.BatchRunner` calibration contract,
+        executed through the engine (and therefore sharded when
+        ``jobs > 1``, bitwise equal to the serial calibration).
+        """
+        pfa = config.pfa if pfa is None else pfa
+        trials = config.calibration_trials if trials is None else trials
+        if noise_factory is None:
+            noise_factory = default_noise_factory(config)
+        statistics = self.monte_carlo_statistics(
+            noise_factory, trials, config=config
+        )
+        return calibration_quantile(statistics, pfa)
+
+    # ------------------------------------------------------------------
+    # Sweeps
+    # ------------------------------------------------------------------
+    def map_operating_points(
+        self,
+        h0_factory: Callable[[int], np.ndarray],
+        h1_factory: Callable[[float, int], np.ndarray],
+        snrs_db,
+        config=None,
+        plan=None,
+        pfa: float = 0.1,
+        trials: int = 40,
+        detector_name: str | None = None,
+    ):
+        """Monte-Carlo Pd-vs-SNR sweep at a fixed Pfa.
+
+        The engine-side replacement for the bespoke loops
+        :func:`repro.analysis.sweeps.pd_vs_snr` and the ROC helpers
+        used to carry: one noise-only pass calibrates the threshold,
+        then every SNR point's H1 trials run through the same (cached)
+        plan, sharded when ``jobs > 1``.
+
+        Parameters
+        ----------
+        h0_factory:
+            ``trial -> samples`` noise-only observations (threshold
+            calibration).
+        h1_factory:
+            ``(snr_db, trial) -> samples`` occupied-band observations.
+        snrs_db:
+            The SNR axis.
+        config / plan:
+            Execution source, as for :meth:`statistics`.
+        pfa, trials:
+            False-alarm target and Monte-Carlo depth per point.
+        detector_name:
+            Label on the returned sweep; defaults to
+            ``cyclostationary/<backend>`` when a configuration is
+            given.
+
+        Returns
+        -------
+        :class:`repro.analysis.sweeps.DetectionSweep`
+        """
+        # Deferred: analysis imports the engine for its public API.
+        from ..analysis.roc import detection_probability
+        from ..analysis.sweeps import DetectionSweep, SweepPoint
+
+        pfa = validate_pfa(pfa)
+        trials = require_positive_int(trials, "trials")
+        if detector_name is None:
+            backend = getattr(
+                config, "backend", getattr(plan, "backend_name", None)
+            )
+            detector_name = (
+                f"cyclostationary/{backend}" if backend else "detector"
+            )
+
+        def collect(factory: Callable[[int], np.ndarray]) -> np.ndarray:
+            return self.monte_carlo_statistics(
+                factory, trials, config=config, plan=plan
+            )
+
+        h0_statistics = collect(h0_factory)
+        threshold = calibration_quantile(h0_statistics, pfa)
+        points = []
+        for snr_db in snrs_db:
+            h1_statistics = collect(
+                lambda trial, snr=float(snr_db): h1_factory(snr, trial)
+            )
+            points.append(
+                SweepPoint(
+                    snr_db=float(snr_db),
+                    pd=detection_probability(h1_statistics, threshold),
+                    threshold=threshold,
+                )
+            )
+        return DetectionSweep(
+            detector_name=detector_name, pfa=pfa, points=tuple(points)
+        )
+
+    def map_statistic(
+        self,
+        statistic_fn: Callable[[np.ndarray], float],
+        h0_factory: Callable[[int], np.ndarray],
+        h1_factory: Callable[[float, int], np.ndarray],
+        snrs_db,
+        pfa: float = 0.1,
+        trials: int = 40,
+        detector_name: str = "detector",
+    ):
+        """:meth:`map_operating_points` for an arbitrary statistic
+        callable (energy detector, matched filter, ...) — runs
+        in-process through a
+        :class:`~repro.engine.plans.CallableStatisticPlan`."""
+        return self.map_operating_points(
+            h0_factory,
+            h1_factory,
+            snrs_db,
+            plan=CallableStatisticPlan(statistic_fn),
+            pfa=pfa,
+            trials=trials,
+            detector_name=detector_name,
+        )

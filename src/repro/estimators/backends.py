@@ -8,11 +8,12 @@ DSCF substrates, under the names ``fam`` and ``ssca``:
   ``(f, a)`` grid (max magnitude per cell), so downstream detector
   code — coherence normalisation, searched-column reduction, threshold
   test — runs unchanged;
-* ``batch_plan`` hands :class:`~repro.pipeline.BatchRunner` a
-  vectorised multi-trial executor
-  (:class:`~repro.estimators.fam.BatchedFAM` /
-  :class:`~repro.estimators.ssca.BatchedSSCA`), which is also what a
-  batch of one runs through, keeping per-trial and batched results
+* ``batch_plan`` hands the execution engine a vectorised multi-trial
+  executor (:class:`~repro.estimators.fam.BatchedFAM` /
+  :class:`~repro.estimators.ssca.BatchedSSCA`, both conforming to the
+  :class:`repro.engine.plans.TrialExecutor` protocol and cached by a
+  shared :class:`~repro.engine.cache.PlanCache`), which is also what
+  a batch of one runs through, keeping per-trial and batched results
   bit-for-bit identical;
 * ``estimate`` exposes the native full-plane
   :class:`~repro.estimators.result.CyclicSpectrum` for blind-search
@@ -36,6 +37,7 @@ import numpy as np
 
 from ..core.sampling import SampledSignal
 from ..core.scf import DSCFResult
+from ..engine.cache import PlanCache
 from ..pipeline.backends import (
     BackendCapabilities,
     _require_samples,
@@ -102,7 +104,11 @@ class _FullPlaneBackend:
     name = ""  # overridden
 
     def __init__(self) -> None:
-        self._plans: dict[PipelineConfig, object] = {}
+        self._plans = PlanCache(
+            builder=self._build_plan,
+            maxsize=_PLAN_CACHE_LIMIT,
+            name=f"{self.name or 'full-plane'}-executors",
+        )
 
     def fresh(self):
         """A private instance for one pipeline (isolates the plan cache)."""
@@ -111,16 +117,17 @@ class _FullPlaneBackend:
     def _build_plan(self, config: PipelineConfig):
         raise NotImplementedError  # pragma: no cover - abstract
 
+    @property
+    def plan_cache(self) -> PlanCache:
+        """This backend's executor cache (hit/miss accounting included)."""
+        return self._plans
+
     def batch_plan(self, config: PipelineConfig):
-        """The (cached) vectorised executor for *config* — the hook
-        :class:`~repro.pipeline.BatchRunner` dispatches through."""
-        plan = self._plans.get(config)
-        if plan is None:
-            plan = self._build_plan(config)
-            if len(self._plans) >= _PLAN_CACHE_LIMIT:
-                self._plans.pop(next(iter(self._plans)))
-            self._plans[config] = plan
-        return plan
+        """The (cached) vectorised :class:`~repro.engine.plans.
+        TrialExecutor` for *config* — the hook
+        :class:`~repro.engine.plans.BatchExecutionPlan` (and therefore
+        :class:`~repro.pipeline.BatchRunner`) dispatches through."""
+        return self._plans.get(config)
 
     def compute(
         self,

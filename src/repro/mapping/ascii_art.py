@@ -10,6 +10,7 @@ state.
 from __future__ import annotations
 
 from .._util import require_non_negative_int, require_positive_int
+from ..errors import ConfigurationError
 from .dg import CONJUGATE, DependenceGraph
 from .folding import Fold
 from .spacetime import SpaceTimeDelayDiagram
@@ -23,7 +24,9 @@ def render_figure1(graph: DependenceGraph) -> str:
     multiplication.
     """
     if graph.dimension != 2:
-        raise ValueError("render_figure1 expects the 2-D single-n graph")
+        raise ConfigurationError(
+            "render_figure1 expects the 2-D single-n graph"
+        )
     nodes = sorted(graph.nodes)
     f_values = sorted({f for f, _ in nodes})
     a_values = sorted({a for _, a in nodes})
@@ -121,10 +124,10 @@ def render_figure9(fold: Fold) -> str:
 def render_table(headers: list[str], rows: list[list], title: str = "") -> str:
     """Fixed-width text table used by the benchmark harness."""
     if not rows:
-        raise ValueError("render_table needs at least one row")
+        raise ConfigurationError("render_table needs at least one row")
     columns = len(headers)
     if any(len(row) != columns for row in rows):
-        raise ValueError("every row must match the header width")
+        raise ConfigurationError("every row must match the header width")
     cells = [[str(x) for x in row] for row in rows]
     widths = [
         max(len(headers[c]), max(len(row[c]) for row in cells))

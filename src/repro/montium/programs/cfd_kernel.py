@@ -27,6 +27,7 @@ lock step).
 
 from __future__ import annotations
 
+from ..._util import require_in_range
 from ..isa import InitialLoad, MacStep, ReadData
 from ..sequencer import Sequencer
 from ..tile import MontiumTile, TileConfig
@@ -60,10 +61,7 @@ def mac_group_program(config: TileConfig, f_index: int) -> list:
     """
     if not isinstance(config, TileConfig):
         raise TypeError("config must be a TileConfig")
-    if not 0 <= f_index < config.extent:
-        raise ValueError(
-            f"f_index must be in [0, {config.extent - 1}], got {f_index}"
-        )
+    require_in_range(f_index, 0, config.extent - 1, "f_index")
     return [
         MacStep(
             cycles=config.mac_latency,

@@ -8,7 +8,7 @@ with the number of tiles.
 
 from __future__ import annotations
 
-from .._util import require_positive_int
+from .._util import require_positive_float, require_positive_int
 
 #: Area of one Montium tile in the Philips 0.13 um CMOS12 process.
 MONTIUM_AREA_MM2 = 2.0
@@ -20,6 +20,5 @@ PROCESS_NODE = "Philips 0.13 um CMOS12"
 def platform_area_mm2(num_tiles: int, tile_area_mm2: float = MONTIUM_AREA_MM2) -> float:
     """Total platform area: tiles scale linearly (paper: 4 -> 8 mm^2)."""
     num_tiles = require_positive_int(num_tiles, "num_tiles")
-    if tile_area_mm2 <= 0:
-        raise ValueError(f"tile_area_mm2 must be positive, got {tile_area_mm2}")
+    tile_area_mm2 = require_positive_float(tile_area_mm2, "tile_area_mm2")
     return num_tiles * tile_area_mm2

@@ -32,6 +32,7 @@ import numpy as np
 from ..core.fourier import block_spectra
 from ..core.sampling import SampledSignal
 from ..core.scf import DSCFResult, StreamingDSCF, compute_dscf, dscf_reference
+from ..engine.cache import PlanCache
 from ..errors import ConfigurationError
 from .config import PipelineConfig
 
@@ -262,29 +263,40 @@ class SoCBackend:
 
     def __init__(self) -> None:
         self.last_run = None
-        self._plans: dict[PipelineConfig, object] = {}
+        self._plans = PlanCache(
+            builder=self._build_plan,
+            maxsize=self._PLAN_CACHE_LIMIT,
+            name="soc-executors",
+        )
 
     def fresh(self) -> "SoCBackend":
         """A private instance for one pipeline (isolates :attr:`last_run`)."""
         return SoCBackend()
 
+    @staticmethod
+    def _build_plan(config: PipelineConfig):
+        # Deferred so ``import repro`` stays light: compiling the trace
+        # pulls in the whole Montium compiler.
+        from ..soc.compiled import CompiledSoCPlan
+
+        return CompiledSoCPlan(config)
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The compiled-trace executor cache (hit/miss accounting
+        included) — compiling a schedule interprets the full Montium
+        instruction stream, so hits here matter most."""
+        return self._plans
+
     def batch_plan(self, config: PipelineConfig):
-        """The batched trace-replay executor, when the configuration
-        opts in via ``soc_compiled``; ``None`` otherwise (the
-        interpreter is inherently per-trial, so
-        :class:`~repro.pipeline.BatchRunner` falls back to the loop).
-        """
+        """The batched trace-replay :class:`~repro.engine.plans.
+        TrialExecutor`, when the configuration opts in via
+        ``soc_compiled``; ``None`` otherwise (the interpreter is
+        inherently per-trial, so execution falls back to the loop
+        plan)."""
         if not config.soc_compiled:
             return None
-        plan = self._plans.get(config)
-        if plan is None:
-            from ..soc.compiled import CompiledSoCPlan
-
-            plan = CompiledSoCPlan(config)
-            if len(self._plans) >= self._PLAN_CACHE_LIMIT:
-                self._plans.pop(next(iter(self._plans)))
-            self._plans[config] = plan
-        return plan
+        return self._plans.get(config)
 
     def compute(
         self, signal: SampledSignal | np.ndarray, config: PipelineConfig

@@ -7,12 +7,14 @@ numpy dispatch cost per observation: two block-spectra passes, fresh
 index grids, a fresh phase table, and an einsum over a gathered
 ``(N, 2M+1, 2M+1)`` tensor for every trial.
 
-:class:`BatchRunner` amortises all of it:
+The batched pass amortises all of it:
 
 * **one bulk FFT** — every block of every trial goes through a single
   ``numpy.fft.fft`` call on a ``(trials, N, K)`` tensor;
 * **cached plan** — window taper, expression-2 phase table, index
-  grids and searched-column masks are built once per configuration;
+  grids and searched-column masks are built once per configuration
+  and shared process-wide through the
+  :func:`~repro.engine.cache.shared_plan_cache`;
 * **Gram-matrix DSCF** — per trial, ``S_f^a`` is a gather from the
   ``(4M+1) x (4M+1)`` Gram matrix ``G[u, v] = sum_n X[n, c+u]
   conj(X[n, c+v])`` computed by one BLAS ``matmul`` (``u = f+a``,
@@ -32,6 +34,14 @@ floating-point round-off.
 At the paper's K = 256, 127 x 127 operating point the batched pass is
 well over 5x faster than the equivalent per-trial loop (see
 ``benchmarks/bench_estimators.py`` and ``BENCH_estimators.json``).
+
+Since PR 5 the mathematics above lives in
+:class:`repro.engine.plans.BatchExecutionPlan`; :class:`BatchRunner`
+is a thin compatibility wrapper resolving its plan through the shared
+cache and delegating every stage.  New code should prefer driving the
+:class:`~repro.engine.Engine` directly (which adds plan caching
+introspection and sharded multi-process execution); the runner remains
+the stable in-process entry point.
 """
 
 from __future__ import annotations
@@ -41,23 +51,24 @@ from typing import Callable
 import numpy as np
 
 from .._util import require_positive_int
-from ..core.detection import validate_pfa
-from ..core.scf import COHERENCE_FLOOR, DSCFResult
-from ..errors import ConfigurationError
-from ..signals.noise import awgn
-from .backends import get_backend
+from ..core.scf import DSCFResult
+from ..engine.cache import shared_plan_cache
+from ..signals.noise import awgn  # noqa: F401  (docstring example)
 from .config import PipelineConfig
 
 
 class BatchRunner:
     """Vectorised multi-trial executor for one :class:`PipelineConfig`.
 
-    The runner implements the ``vectorized`` backend's mathematics;
-    :class:`~repro.pipeline.DetectionPipeline` dispatches to it
-    whenever the configured backend advertises ``supports_batch`` and
-    falls back to a per-trial loop for the inherently sequential
-    substrates (reference loop, streaming accumulator, cycle-level SoC
-    emulation).
+    A thin wrapper over the shared
+    :class:`~repro.engine.plans.BatchExecutionPlan` for this
+    configuration: the runner implements the ``vectorized`` backend's
+    mathematics (or dispatches to the configured backend's own
+    executor — FAM/SSCA lattices, the compiled SoC trace), and
+    :class:`~repro.pipeline.DetectionPipeline` routes through it
+    whenever the configured backend advertises ``supports_batch`` or
+    hands over a batched executor, falling back to a per-trial loop
+    for the inherently sequential substrates.
 
     >>> from repro.pipeline import BatchRunner, PipelineConfig
     >>> runner = BatchRunner(PipelineConfig(fft_size=64, num_blocks=16))
@@ -70,84 +81,52 @@ class BatchRunner:
 
     def __init__(self, config: PipelineConfig | None = None) -> None:
         self.config = config if config is not None else PipelineConfig()
-        # Plan: every constant reused across trials, built exactly once.
-        cfg = self.config
-        from ..core.windows import get_window
+        # Deferred import: engine.plans imports the pipeline layer.
+        from ..engine.plans import LoopExecutionPlan
 
-        self._taper = get_window(cfg.window, cfg.fft_size)
-        starts = np.arange(cfg.num_blocks) * cfg.hop
-        self._gather = starts[:, None] + np.arange(cfg.fft_size)[None, :]
-        # Expression 2's absolute-time phase reference (identically 1 in
-        # exact arithmetic for hop == K, but kept so batched spectra are
-        # bit-for-bit equal to repro.core.fourier.block_spectra).
-        self._phase = np.exp(
-            -2j * np.pi * np.outer(starts, np.arange(cfg.fft_size)) / cfg.fft_size
-        )
-        m = cfg.m
-        center = cfg.fft_size // 2
-        offsets = np.arange(-m, m + 1)
-        # Gram-window bins u = f + a and v = f - a, both in [-2M, 2M].
-        self._sub = np.arange(center - 2 * m, center + 2 * m + 1)
-        self._gram_u = offsets[:, None] + offsets[None, :] + 2 * m
-        self._gram_v = offsets[:, None] - offsets[None, :] + 2 * m
-        # Full-spectrum index grids for the coherence denominator.
-        self._plus = center + offsets[:, None] + offsets[None, :]
-        self._minus = center + offsets[:, None] - offsets[None, :]
-        if cfg.cyclic_bins is not None:
-            self._columns = np.asarray([a + m for a in cfg.cyclic_bins])
+        plan = shared_plan_cache().get(self.config)
+        if isinstance(plan, LoopExecutionPlan):
+            # Sequential backend: the runner keeps offering the host
+            # Gram-matrix mathematics (its historical contract), built
+            # once alongside the loop plan.
+            self._plan = plan.host_plan
+            self._shardable = False
         else:
-            columns = np.arange(2 * m + 1)
-            self._columns = columns[columns != m]
-        # Backends may carry their own vectorised executor; when the
-        # configured backend exposes one, surfaces and DSCF values
-        # route through it instead of the Gram-matrix DSCF mathematics
-        # below.  Plans are geometry-only, so sharing the registered
-        # backend's cache across runners is safe.  Two plan flavours
-        # exist: the full-plane estimators (fam, ssca) bin peak
-        # magnitudes onto the (f, a) grid (``magnitudes``/``surfaces``),
-        # while the compiled SoC plan marks itself ``dscf_exact`` and
-        # produces exact complex expression-3 values (``values``), so
-        # the runner's own coherence normalisation applies unchanged.
-        backend = get_backend(cfg.backend)
-        plan_factory = getattr(backend, "batch_plan", None)
-        self._plan = plan_factory(cfg) if callable(plan_factory) else None
-        self._plan_exact = bool(getattr(self._plan, "dscf_exact", False))
+            self._plan = plan
+            self._shardable = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def execution_plan(self):
+        """The underlying :class:`~repro.engine.plans.BatchExecutionPlan`."""
+        return self._plan
+
+    @property
+    def shardable(self) -> bool:
+        """True when an :class:`~repro.engine.Engine` may rebuild this
+        runner's plan from ``config`` inside worker processes (the
+        sharding contract; False on sequential backends, where the
+        runner's host-math fallback differs from the engine's loop
+        plan)."""
+        return self._shardable
 
     @property
     def estimator_plan(self):
         """The configured backend's batched executor, if it has one
-        (``BatchedFAM`` / ``BatchedSSCA``), else ``None``."""
-        return self._plan
+        (``BatchedFAM`` / ``BatchedSSCA`` / ``CompiledSoCPlan``), else
+        ``None``."""
+        return self._plan.executor
 
     @property
     def searched_columns(self) -> np.ndarray:
         """Surface columns scanned by the statistic (offsets ``a != 0``,
         or ``config.cyclic_bins`` when given)."""
-        return self._columns
+        return self._plan.searched_columns
 
     # ------------------------------------------------------------------
-    # Input handling
-    # ------------------------------------------------------------------
-    def _as_batch(self, signals: np.ndarray) -> np.ndarray:
-        array = np.asarray(signals, dtype=np.complex128)
-        if array.ndim == 1:
-            array = array[None, :]
-        if array.ndim != 2:
-            raise ConfigurationError(
-                f"signals must be a (trials, samples) array, got shape "
-                f"{array.shape}"
-            )
-        needed = self.config.samples_per_decision
-        if array.shape[1] < needed:
-            raise ConfigurationError(
-                f"each trial needs {needed} samples for "
-                f"{self.config.num_blocks} blocks of {self.config.fft_size}, "
-                f"got {array.shape[1]}"
-            )
-        return array
-
-    # ------------------------------------------------------------------
-    # Stages
+    # Stages (delegated to the shared plan)
     # ------------------------------------------------------------------
     def block_spectra(self, signals: np.ndarray) -> np.ndarray:
         """Centered block spectra of every trial: one bulk FFT.
@@ -156,68 +135,20 @@ class BatchRunner:
         bit-for-bit equal to
         ``repro.core.fourier.block_spectra(signals[t], ...)``.
         """
-        batch = self._as_batch(signals)
-        blocks = batch[:, self._gather] * self._taper
-        spectra = np.fft.fft(blocks, axis=2)
-        spectra = spectra * self._phase
-        return np.fft.fftshift(spectra, axes=2)
+        return self._plan.block_spectra(signals)
 
     def dscf_values(
         self, signals: np.ndarray, spectra: np.ndarray | None = None
     ) -> np.ndarray:
-        """Batched DSCF estimates, shape ``(trials, 2M+1, 2M+1)``.
-
-        Each trial's grid is the Gram gather described in the module
-        docstring, streamed in ``config.trial_chunk`` slabs into a
-        preallocated accumulator.  On a full-plane backend the grid is
-        instead the estimator lattice's per-cell peak magnitudes (cast
-        to complex — max-binned cells have no meaningful phase); on the
-        compiled SoC backend it is the platform's exact complex DSCF,
-        bit-for-bit equal to a per-trial cycle-level run.
-        """
-        if self._plan is not None:
-            batch = self._as_batch(signals)
-            if self._plan_exact:
-                return self._plan.values(batch)
-            return self._plan.magnitudes(batch).astype(np.complex128)
-        if spectra is None:
-            spectra = self.block_spectra(signals)
-        cfg = self.config
-        extent = cfg.extent
-        trials = spectra.shape[0]
-        values = np.empty((trials, extent, extent), dtype=np.complex128)
-        windowed = spectra[:, :, self._sub]
-        for start in range(0, trials, cfg.trial_chunk):
-            stop = start + cfg.trial_chunk
-            slab = windowed[start:stop]
-            gram = np.matmul(slab.transpose(0, 2, 1), np.conj(slab))
-            gram /= cfg.num_blocks
-            values[start:stop] = gram[:, self._gram_u, self._gram_v]
-        return values
+        """Batched DSCF estimates, shape ``(trials, 2M+1, 2M+1)``."""
+        return self._plan.dscf_values(signals, spectra=spectra)
 
     def surfaces(
         self, signals: np.ndarray, spectra: np.ndarray | None = None
     ) -> np.ndarray:
         """Per-trial detection surfaces (coherence, or ``|S|`` when
         ``config.normalize`` is False)."""
-        if self._plan is not None and not self._plan_exact:
-            return self._plan.surfaces(self._as_batch(signals))
-        if spectra is None and self._plan is None:
-            spectra = self.block_spectra(signals)
-        values = self.dscf_values(signals, spectra=spectra)
-        if not self.config.normalize:
-            return np.abs(values)
-        if spectra is None:
-            # exact plan: values come from the platform replay, but the
-            # coherence denominator uses the host block spectra — the
-            # same convention as the per-trial pipeline path.
-            spectra = self.block_spectra(signals)
-        mean_square = np.mean(np.abs(spectra) ** 2, axis=1)
-        denominator = np.sqrt(
-            mean_square[:, self._plus] * mean_square[:, self._minus]
-        )
-        denominator = np.maximum(denominator, COHERENCE_FLOOR)
-        return np.abs(values) / denominator
+        return self._plan.surfaces(signals, spectra=spectra)
 
     def statistics(self, signals: np.ndarray) -> np.ndarray:
         """The detection statistic of every trial in one pass.
@@ -226,26 +157,11 @@ class BatchRunner:
         reduction as
         :meth:`repro.core.detection.CyclostationaryFeatureDetector.statistic`.
         """
-        surfaces = self.surfaces(signals)
-        return surfaces[:, :, self._columns].max(axis=(1, 2))
+        return self._plan.statistics(signals)
 
     def results(self, signals: np.ndarray) -> list[DSCFResult]:
         """Batched DSCFs wrapped per trial in :class:`DSCFResult`."""
-        cfg = self.config
-        values = self.dscf_values(signals)
-        num_blocks = (
-            cfg.num_blocks if self._plan is None else self._plan.averaging_length
-        )
-        return [
-            DSCFResult(
-                values=trial_values,
-                m=cfg.m,
-                num_blocks=num_blocks,
-                fft_size=cfg.fft_size,
-                sample_rate_hz=cfg.sample_rate_hz,
-            )
-            for trial_values in values
-        ]
+        return self._plan.results(signals)
 
     # ------------------------------------------------------------------
     # Monte-Carlo drivers
@@ -269,14 +185,16 @@ class BatchRunner:
         return self.statistics(signals)
 
     def default_noise_factory(self) -> Callable[[int], np.ndarray]:
-        """Unit-power AWGN trials seeded from ``config.calibration_seed``."""
-        needed = self.config.samples_per_decision
-        base = self.config.calibration_seed
+        """Unit-power AWGN trials seeded from ``config.calibration_seed``.
 
-        def factory(trial: int) -> np.ndarray:
-            return awgn(needed, power=1.0, seed=base + trial)
+        Delegates to :func:`repro.engine.plans.default_noise_factory`
+        — the one copy of the package-wide seeding contract (trial *t*
+        draws the arithmetic substream ``calibration_seed + t``,
+        independent of the trial count and of shard boundaries).
+        """
+        from ..engine.plans import default_noise_factory
 
-        return factory
+        return default_noise_factory(self.config)
 
     def calibrate_threshold(
         self,
@@ -288,11 +206,16 @@ class BatchRunner:
 
         The ``(1 - pfa)`` quantile of noise-only statistics — the same
         contract as :func:`repro.core.detection.calibrate_threshold`,
-        computed in one vectorised pass instead of a per-trial loop.
+        computed in one vectorised pass instead of a per-trial loop
+        (and sharing the engine's
+        :func:`~repro.engine.plans.calibration_quantile` rule, so
+        thresholds agree bit for bit wherever they are calibrated).
         """
-        pfa = validate_pfa(self.config.pfa if pfa is None else pfa)
+        from ..engine.plans import calibration_quantile
+
+        pfa = self.config.pfa if pfa is None else pfa
         trials = self.config.calibration_trials if trials is None else trials
         if noise_factory is None:
             noise_factory = self.default_noise_factory()
         statistics = self.monte_carlo_statistics(noise_factory, trials)
-        return float(np.quantile(statistics, 1.0 - pfa))
+        return calibration_quantile(statistics, pfa)

@@ -12,10 +12,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from .._util import require_positive_int
+from .._util import (
+    require_non_negative_int,
+    require_positive_float,
+    require_positive_int,
+)
 from ..core.detection import validate_cyclic_bins, validate_pfa
 from ..core.scf import validate_m
 from ..core.windows import get_window
+from ..errors import ConfigurationError
 
 
 @dataclass(frozen=True)
@@ -143,6 +148,16 @@ class PipelineConfig:
         require_positive_int(self.soc_tiles, "soc_tiles")
         require_positive_int(self.trial_chunk, "trial_chunk")
         require_positive_int(self.calibration_trials, "calibration_trials")
+        # Every validation raises ConfigurationError — no bare
+        # ValueError escapes a PipelineConfig constructor.
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ConfigurationError(
+                f"backend must be a registered backend name, got "
+                f"{self.backend!r}"
+            )
+        require_non_negative_int(self.calibration_seed, "calibration_seed")
+        if self.sample_rate_hz is not None:
+            require_positive_float(self.sample_rate_hz, "sample_rate_hz")
         validate_pfa(self.pfa)
         object.__setattr__(
             self, "cyclic_bins", validate_cyclic_bins(self.cyclic_bins, self.m)

@@ -61,15 +61,23 @@ class DetectionPipeline:
     channel:
         Optional impairment stage applied to scenario realisations
         before estimation (see :mod:`repro.signals.channel`).
+    engine:
+        Optional :class:`~repro.engine.Engine` executing the
+        pipeline's Monte-Carlo work (threshold calibration).  With
+        ``Engine(jobs=N)`` calibration shards across worker processes
+        — bitwise equal to the serial path.  ``None`` (default) runs
+        in-process through the runner/loop exactly as before.
     """
 
     def __init__(
         self,
         config: PipelineConfig | None = None,
         channel: Channel | None = None,
+        engine=None,
     ) -> None:
         self.config = config if config is not None else PipelineConfig()
         self.channel = channel
+        self.engine = engine
         registered = get_backend(self.config.backend)
         # Backends with per-run state (e.g. SoCBackend.last_run) expose
         # fresh() so each pipeline gets a private instance; registered
@@ -183,7 +191,15 @@ class DetectionPipeline:
         trials = self.config.calibration_trials if trials is None else trials
         if noise_factory is None:
             noise_factory = self._runner.default_noise_factory()
-        if self._batched:
+        if self.engine is not None:
+            # The engine resolves the same plan through the shared
+            # cache (loop plan on sequential backends), so thresholds
+            # are bitwise equal to the in-process paths below — but
+            # shard across workers when the engine carries jobs > 1.
+            threshold = self.engine.calibrate_threshold(
+                self.config, noise_factory=noise_factory, trials=trials
+            )
+        elif self._batched:
             threshold = self._runner.calibrate_threshold(
                 noise_factory=noise_factory, trials=trials
             )

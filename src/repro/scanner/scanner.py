@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .._util import require_positive_int
+from .._util import require_positive_int, spawn_substreams
 from ..core.sampling import SampledSignal
 from ..errors import ConfigurationError, SignalError
 from ..pipeline import DetectionPipeline, PipelineConfig
@@ -68,6 +68,13 @@ class BandScanner:
         is ~-13 dB) while keeping in-band features, whose coherence
         sits far above the calibrated noise quantile, comfortably
         detected.
+    engine:
+        Optional :class:`~repro.engine.Engine` executing the per-band
+        statistics and calibration.  The scanner always reuses one
+        cached plan across sub-bands x trials (the shared plan cache);
+        an engine with ``jobs > 1`` additionally shards the stacked
+        sub-band series across worker processes — bitwise equal to the
+        serial scan.
     """
 
     def __init__(
@@ -77,6 +84,7 @@ class BandScanner:
         taps_per_band: int = 1,
         noise_power: float = 1.0,
         leak_margin: float = 1.0,
+        engine=None,
     ) -> None:
         config = config if config is not None else PipelineConfig()
         self.num_bands = require_positive_int(
@@ -102,7 +110,8 @@ class BandScanner:
         self.channelizer = ScannerChannelizer(
             self.num_bands, taps_per_band=taps_per_band
         )
-        self.pipeline = DetectionPipeline(config)
+        self.engine = engine
+        self.pipeline = DetectionPipeline(config, engine=engine)
         backend = self.pipeline.backend
         self._batch_capable = (
             backend.capabilities.supports_batch
@@ -157,7 +166,10 @@ class BandScanner:
 
         if self.channelizer.taps_per_band == 1:
             def factory(trial: int) -> np.ndarray:
-                return awgn(needed, power=power, seed=base + trial)
+                seed = int(
+                    spawn_substreams(1, base_seed=base, start=trial)[0]
+                )
+                return awgn(needed, power=power, seed=seed)
         else:
             capture_length = self.required_samples
             num_bands = self.num_bands
@@ -166,10 +178,12 @@ class BandScanner:
             def factory(trial: int) -> np.ndarray:
                 capture_index, band = divmod(trial, num_bands)
                 if cache.get("index") != capture_index:
-                    wideband = awgn(
-                        capture_length, power=power,
-                        seed=base + capture_index,
+                    seed = int(
+                        spawn_substreams(
+                            1, base_seed=base, start=capture_index
+                        )[0]
                     )
+                    wideband = awgn(capture_length, power=power, seed=seed)
                     cache["index"] = capture_index
                     cache["bands"] = self.channelizer.split(
                         wideband, band_samples=needed
@@ -229,6 +243,11 @@ class BandScanner:
             bool(batched) and self._batch_capable
         )
         if use_batch:
+            if self.engine is not None:
+                # Same cached plan, sharded across the engine's
+                # workers when it carries jobs > 1 — bitwise equal to
+                # the in-process pass below.
+                return self.engine.statistics(bands, config=self.config)
             return self.pipeline.batch.statistics(bands)
         return np.array(
             [self.pipeline.statistic(series) for series in bands]

@@ -38,6 +38,7 @@ from .._util import (
     require_positive_float,
     require_positive_int,
     resolve_rng,
+    spawn_substreams,
 )
 from ..core.sampling import SampledSignal
 from ..errors import ConfigurationError
@@ -465,8 +466,8 @@ class WidebandScenario:
         total = awgn(num_samples, power=self.noise_power, rng=generator)
         # Substream seeds are drawn for *every* emitter, active or not,
         # so one emitter's waveform is invariant to the active set.
-        substream_seeds = generator.integers(
-            0, 2**63, size=max(len(self.emitters), 1)
+        substream_seeds = spawn_substreams(
+            max(len(self.emitters), 1), rng=generator
         )
         truths = []
         for spec, substream_seed in zip(self.emitters, substream_seeds):

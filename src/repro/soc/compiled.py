@@ -11,11 +11,17 @@ identical link-transfer statistics and identical activity-based energy
 activity instead of per-cycle increments.
 
 :class:`CompiledSoCPlan` is the batched Monte-Carlo executor the
-``soc`` pipeline backend hands to
-:class:`~repro.pipeline.BatchRunner` when
-``PipelineConfig.soc_compiled`` is set: whole trial sets replay
-through one vectorised pass, with each trial bit-for-bit equal to a
-stand-alone run.
+``soc`` pipeline backend hands to the execution engine when
+``PipelineConfig.soc_compiled`` is set — it conforms to the
+:class:`repro.engine.plans.TrialExecutor` protocol (``dscf_exact``
+flavour), so :class:`~repro.engine.plans.BatchExecutionPlan` (and
+therefore :class:`~repro.pipeline.BatchRunner`) dispatch whole trial
+sets through one vectorised replay, with each trial bit-for-bit equal
+to a stand-alone run.  Instances are cached by the backend's
+:class:`~repro.engine.cache.PlanCache` — compiling a schedule
+interprets the platform's full instruction stream, so cache hits here
+dominate the engine benchmark's plan-cache speedup
+(``BENCH_engine.json``).
 """
 
 from __future__ import annotations

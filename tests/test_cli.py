@@ -203,3 +203,98 @@ class TestMapCommand:
         out = capsys.readouterr().out
         assert "Figure 5" in out
         assert "(PE" in out
+
+
+class TestEngineFlags:
+    """PR-5: --jobs/--cache on sense/scan/sweep, enriched backends."""
+
+    def test_sense_with_jobs_and_no_cache(self, capsys):
+        code = main([
+            "sense", "--fft-size", "32", "--blocks", "16",
+            "--snr-db", "6", "--calibration-trials", "10",
+            "--jobs", "2", "--no-cache",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine: jobs=2, plan cache off" in out
+
+    def test_sense_reports_cache_usage(self, capsys):
+        code = main([
+            "sense", "--fft-size", "32", "--blocks", "16",
+            "--snr-db", "6", "--calibration-trials", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine: jobs=1, plan cache" in out
+        assert "miss(es)" in out
+
+    def test_scan_accepts_jobs(self, capsys):
+        code = main([
+            "scan", "--preset", "linear-pair", "--fft-size", "32",
+            "--blocks", "32", "--calibration-trials", "10", "--seed", "9",
+            "--jobs", "2",
+        ])
+        assert code == 0
+        assert "engine: jobs=2" in capsys.readouterr().out
+
+    def test_backends_reports_plan_and_cache_columns(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "plan: batched plan (Gram-matrix DSCF)" in out
+        assert "plan: per-trial loop plan" in out
+        assert "cache: shared engine LRU" in out
+        assert "backend executor cache" in out
+        assert "shared plan cache: capacity" in out
+        assert "up to jobs=4" in out
+
+
+class TestSweepCommand:
+    def test_sweep_prints_table(self, capsys):
+        code = main([
+            "sweep", "--fft-size", "32", "--blocks", "16",
+            "--points", "2", "--trials", "6",
+            "--backends", "vectorized", "fam",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Pd vs SNR" in out
+        assert "vectorized" in out
+        assert "fam" in out
+        assert "engine: jobs=1" in out
+
+    def test_sweep_with_jobs_matches_serial(self, capsys):
+        argv = [
+            "sweep", "--fft-size", "32", "--blocks", "16",
+            "--points", "2", "--trials", "6",
+            "--backends", "vectorized",
+        ]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        sharded = capsys.readouterr().out
+
+        def table(text):
+            return [
+                line for line in text.splitlines()
+                if line.strip().startswith(("-", "0", "1"))
+            ]
+
+        assert table(serial) == table(sharded)
+
+    def test_sweep_rejects_interpreted_soc(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main([
+                "sweep", "--fft-size", "16", "--blocks", "4",
+                "--points", "1", "--trials", "4", "--backends", "soc",
+            ])
+
+    def test_sweep_soc_compiled_flag_needs_soc_backend(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main([
+                "sweep", "--points", "1", "--trials", "4",
+                "--backends", "vectorized", "--soc-compiled",
+            ])

@@ -1,0 +1,475 @@
+"""The unified execution engine: plans, cache accounting, sharding.
+
+Pins the PR-5 contracts:
+
+* :class:`repro.engine.PlanCache` hit/miss/eviction accounting, and
+  cache-key behaviour — calibration-policy knobs share a plan, any
+  geometry knob invalidates;
+* :func:`repro.engine.build_plan` resolves every registered backend to
+  the right plan flavour;
+* sharded execution (``jobs in {1, 2, 4}``) is **bitwise** equal to
+  the serial path across the dscf (vectorized), fam, ssca and
+  soc-compiled backends — and on the sequential loop plan;
+* the engine-calibrated thresholds and
+  :meth:`~repro.engine.Engine.map_operating_points` sweeps equal their
+  pre-engine counterparts bit for bit.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweeps import pd_vs_snr
+from repro.engine import (
+    MAX_TESTED_JOBS,
+    BatchExecutionPlan,
+    CallableStatisticPlan,
+    Engine,
+    ExecutionPlan,
+    LoopExecutionPlan,
+    PlanCache,
+    TrialExecutor,
+    build_plan,
+    plan_key,
+    plan_support,
+    shared_plan_cache,
+)
+from repro.errors import ConfigurationError
+from repro.pipeline import BatchRunner, DetectionPipeline, PipelineConfig
+from repro.scanner import BandScanner
+from repro.signals.noise import awgn
+from repro.signals.modulators import bpsk_signal
+
+TINY = PipelineConfig(fft_size=32, num_blocks=8, calibration_trials=8)
+TINY_SOC = PipelineConfig(
+    fft_size=16, num_blocks=4, m=3, backend="soc", soc_compiled=True,
+    soc_tiles=2, calibration_trials=6,
+)
+
+
+def _signals(config, trials=6, seed=900):
+    return np.stack(
+        [
+            awgn(config.samples_per_decision, seed=seed + trial)
+            for trial in range(trials)
+        ]
+    )
+
+
+class TestPlanKey:
+    def test_backend_leads_the_key(self):
+        assert plan_key(TINY)[0] == "vectorized"
+
+    def test_calibration_policy_does_not_key(self):
+        relaxed = replace(
+            TINY, pfa=0.2, calibration_trials=99, calibration_seed=5,
+            scan_bands=3,
+        )
+        assert plan_key(relaxed) == plan_key(TINY)
+
+    def test_geometry_knobs_key(self):
+        for change in (
+            {"fft_size": 64},
+            {"num_blocks": 16},
+            {"m": 5},
+            {"window": "hann"},
+            {"backend": "fam"},
+            {"trial_chunk": 8},
+            {"normalize": False},
+        ):
+            assert plan_key(replace(TINY, **change)) != plan_key(TINY)
+
+    def test_rejects_non_config(self):
+        with pytest.raises(ConfigurationError):
+            plan_key(object())
+
+
+class TestPlanCache:
+    def test_hit_miss_accounting(self):
+        cache = PlanCache()
+        first = cache.get(TINY)
+        second = cache.get(TINY)
+        assert first is second
+        stats = cache.stats
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+        assert stats.lookups == 2
+        assert stats.hit_rate == 0.5
+
+    def test_calibration_knob_change_hits(self):
+        cache = PlanCache()
+        plan = cache.get(TINY)
+        assert cache.get(replace(TINY, pfa=0.01)) is plan
+        assert cache.stats.hits == 1
+
+    def test_geometry_change_invalidates(self):
+        cache = PlanCache()
+        plan = cache.get(TINY)
+        other = cache.get(replace(TINY, num_blocks=16))
+        assert other is not plan
+        assert cache.stats.misses == 2
+
+    def test_lru_eviction(self):
+        cache = PlanCache(maxsize=2)
+        a, b, c = (
+            TINY,
+            replace(TINY, fft_size=64),
+            replace(TINY, fft_size=128),
+        )
+        cache.get(a)
+        cache.get(b)
+        cache.get(a)  # refresh a: b becomes LRU
+        cache.get(c)  # evicts b
+        assert cache.stats.evictions == 1
+        assert a in cache and c in cache and b not in cache
+
+    def test_maxsize_zero_never_stores(self):
+        cache = PlanCache(maxsize=0)
+        first = cache.get(TINY)
+        second = cache.get(TINY)
+        assert first is not second
+        assert len(cache) == 0
+        assert cache.stats.misses == 2
+
+    def test_peek_and_clear(self):
+        cache = PlanCache()
+        assert cache.peek(TINY) is None
+        plan = cache.get(TINY)
+        assert cache.peek(TINY) is plan
+        cache.clear()
+        assert cache.peek(TINY) is None
+        assert cache.stats.misses == 1  # counters survive clear
+
+    def test_reset_stats_keeps_entries(self):
+        cache = PlanCache()
+        cache.get(TINY)
+        cache.reset_stats()
+        assert cache.stats.misses == 0
+        assert len(cache) == 1
+
+    def test_backend_entries(self):
+        cache = PlanCache()
+        cache.get(TINY)
+        cache.get(replace(TINY, backend="fam"))
+        assert cache.backend_entries("vectorized") == 1
+        assert cache.backend_entries("fam") == 1
+        assert cache.backend_entries("ssca") == 0
+
+
+class TestBuildPlan:
+    def test_vectorized_is_gram(self):
+        plan = build_plan(TINY)
+        assert isinstance(plan, BatchExecutionPlan)
+        assert plan.kind == "gram"
+        assert plan.executor is None
+        assert isinstance(plan, ExecutionPlan)
+        assert plan.shardable
+
+    def test_fam_is_lattice(self):
+        plan = build_plan(replace(TINY, backend="fam"))
+        assert plan.kind == "lattice"
+        assert isinstance(plan.executor, TrialExecutor)
+
+    def test_compiled_soc_is_exact(self):
+        plan = build_plan(TINY_SOC)
+        assert plan.kind == "exact"
+        assert isinstance(plan.executor, TrialExecutor)
+        assert plan.executor.dscf_exact
+
+    def test_sequential_backends_get_loop_plans(self):
+        for backend in ("reference", "streaming"):
+            plan = build_plan(replace(TINY, backend=backend))
+            assert isinstance(plan, LoopExecutionPlan)
+            assert plan.kind == "loop"
+            assert isinstance(plan, ExecutionPlan)
+            assert plan.shardable
+
+    def test_interpreted_soc_gets_loop_plan(self):
+        plan = build_plan(replace(TINY_SOC, soc_compiled=False))
+        assert isinstance(plan, LoopExecutionPlan)
+
+    def test_plan_support_strings(self):
+        assert "Gram" in plan_support("vectorized")
+        assert "lattice" in plan_support("fam")
+        assert "loop" in plan_support("reference")
+        assert "soc_compiled" in plan_support("soc")
+
+
+class TestEngineSerial:
+    def test_statistics_needs_source(self):
+        with pytest.raises(ConfigurationError):
+            Engine().statistics(_signals(TINY))
+
+    def test_matches_batch_runner(self):
+        signals = _signals(TINY)
+        assert np.array_equal(
+            Engine().statistics(signals, config=TINY),
+            BatchRunner(TINY).statistics(signals),
+        )
+
+    def test_plan_override_runs_runner(self):
+        signals = _signals(TINY)
+        runner = BatchRunner(TINY)
+        assert np.array_equal(
+            Engine().statistics(signals, plan=runner),
+            runner.statistics(signals),
+        )
+
+    def test_callable_plan(self):
+        signals = _signals(TINY, trials=4)
+        plan = CallableStatisticPlan(lambda x: float(np.abs(x).sum()))
+        stats = Engine().statistics(signals, plan=plan)
+        assert stats.shape == (4,)
+        assert stats[0] == float(np.abs(signals[0]).sum())
+
+    def test_loop_plan_matches_pipeline_statistic(self):
+        config = replace(TINY, backend="streaming")
+        signals = _signals(config, trials=3)
+        pipeline = DetectionPipeline(config)
+        expected = np.array(
+            [pipeline.statistic(samples) for samples in signals]
+        )
+        assert np.array_equal(
+            Engine().statistics(signals, config=config), expected
+        )
+
+    def test_calibrate_threshold_matches_runner(self):
+        runner = BatchRunner(TINY)
+        assert Engine().calibrate_threshold(TINY) == runner.calibrate_threshold()
+
+
+BITWISE_CONFIGS = {
+    "dscf": TINY,
+    "fam": replace(TINY, backend="fam"),
+    "ssca": replace(TINY, backend="ssca"),
+    "soc-compiled": TINY_SOC,
+}
+
+
+class TestShardedBitwiseEquality:
+    """jobs in {1, 2, 4}: sharded == serial, bit for bit, per backend."""
+
+    @pytest.mark.parametrize("name", sorted(BITWISE_CONFIGS))
+    @pytest.mark.parametrize("jobs", [2, MAX_TESTED_JOBS])
+    def test_statistics_shard_invariant(self, name, jobs):
+        config = BITWISE_CONFIGS[name]
+        signals = _signals(config)
+        serial = Engine(jobs=1).statistics(signals, config=config)
+        with Engine(jobs=jobs) as engine:
+            sharded = engine.statistics(signals, config=config)
+        assert np.array_equal(serial, sharded)
+
+    @pytest.mark.parametrize("jobs", [2, MAX_TESTED_JOBS])
+    def test_loop_plan_shards(self, jobs):
+        config = replace(TINY, backend="reference", fft_size=16, m=3)
+        signals = _signals(config, trials=5)
+        serial = Engine(jobs=1).statistics(signals, config=config)
+        with Engine(jobs=jobs) as engine:
+            sharded = engine.statistics(signals, config=config)
+        assert np.array_equal(serial, sharded)
+
+    def test_more_jobs_than_trials(self):
+        signals = _signals(TINY, trials=2)
+        with Engine(jobs=MAX_TESTED_JOBS) as engine:
+            sharded = engine.statistics(signals, config=TINY)
+        assert np.array_equal(
+            sharded, Engine().statistics(signals, config=TINY)
+        )
+
+    def test_sharded_calibration_threshold(self):
+        serial = Engine().calibrate_threshold(TINY)
+        with Engine(jobs=2) as engine:
+            sharded = engine.calibrate_threshold(TINY)
+        assert sharded == serial
+
+    def test_sharded_pipeline_calibration(self):
+        baseline = DetectionPipeline(TINY).calibrate()
+        with Engine(jobs=2) as engine:
+            threshold = DetectionPipeline(TINY, engine=engine).calibrate()
+        assert threshold == baseline
+
+    def test_runner_plan_shards_through_config(self):
+        signals = _signals(TINY)
+        runner = BatchRunner(TINY)
+        assert runner.shardable
+        with Engine(jobs=2) as engine:
+            sharded = engine.statistics(signals, plan=runner)
+        assert np.array_equal(sharded, runner.statistics(signals))
+
+    def test_sequential_runner_is_not_shardable(self):
+        runner = BatchRunner(replace(TINY, backend="reference"))
+        assert not runner.shardable
+        # Served in-process by the runner's host math, not a worker.
+        signals = _signals(TINY, trials=3)
+        with Engine(jobs=2) as engine:
+            stats = engine.statistics(signals, plan=runner)
+        assert np.array_equal(stats, runner.statistics(signals))
+
+
+class TestMapOperatingPoints:
+    def _factories(self, config):
+        samples = config.samples_per_decision
+
+        def h0(trial):
+            return awgn(samples, power=1.0, seed=300 + trial)
+
+        def h1(snr_db, trial):
+            noise = awgn(samples, power=1.0, seed=400 + trial)
+            user = bpsk_signal(samples, 1e6, 8, seed=500 + trial)
+            return noise + np.sqrt(10 ** (snr_db / 10.0)) * user.samples
+
+        return h0, h1
+
+    def test_matches_pd_vs_snr_runner_path(self):
+        h0, h1 = self._factories(TINY)
+        runner = BatchRunner(TINY)
+        legacy = pd_vs_snr(
+            None, h0, h1, [-6.0, 0.0], pfa=0.1, trials=8, runner=runner
+        )
+        engine = Engine().map_operating_points(
+            h0, h1, [-6.0, 0.0], config=TINY, pfa=0.1, trials=8
+        )
+        assert engine.detector_name == "cyclostationary/vectorized"
+        assert [p.pd for p in engine.points] == [p.pd for p in legacy.points]
+        assert engine.points[0].threshold == legacy.points[0].threshold
+
+    def test_sharded_sweep_bitwise(self):
+        h0, h1 = self._factories(TINY)
+        serial = Engine().map_operating_points(
+            h0, h1, [-3.0], config=TINY, trials=8
+        )
+        with Engine(jobs=2) as engine:
+            sharded = engine.map_operating_points(
+                h0, h1, [-3.0], config=TINY, trials=8
+            )
+        assert sharded.points[0].threshold == serial.points[0].threshold
+        assert sharded.points[0].pd == serial.points[0].pd
+
+    def test_map_statistic_callable(self):
+        h0, h1 = self._factories(TINY)
+        sweep = Engine().map_statistic(
+            lambda x: float(np.mean(np.abs(x) ** 2)),
+            h0,
+            h1,
+            [0.0],
+            trials=8,
+            detector_name="energy-ish",
+        )
+        assert sweep.detector_name == "energy-ish"
+        assert 0.0 <= sweep.points[0].pd <= 1.0
+
+
+class TestScannerWithEngine:
+    def test_scan_statistics_shard_invariant(self):
+        config = replace(TINY, scan_bands=4, calibration_trials=6)
+        scanner = BandScanner(config)
+        capture = awgn(scanner.required_samples, seed=77)
+        bands = scanner.channelize(capture)
+        baseline = scanner.band_statistics(bands)
+        with Engine(jobs=2) as engine:
+            sharded_scanner = BandScanner(config, engine=engine)
+            sharded = sharded_scanner.band_statistics(bands)
+        assert np.array_equal(baseline, sharded)
+
+    def test_full_scan_agrees(self):
+        config = replace(TINY, scan_bands=4, calibration_trials=6)
+        scanner = BandScanner(config)
+        capture = awgn(scanner.required_samples, seed=78)
+        baseline = scanner.scan(capture, classify=False)
+        with Engine(jobs=2) as engine:
+            sharded = BandScanner(config, engine=engine).scan(
+                capture, classify=False
+            )
+        assert sharded.threshold == baseline.threshold
+        assert [b.statistic for b in sharded.bands] == [
+            b.statistic for b in baseline.bands
+        ]
+
+
+class TestSharedCacheIntegration:
+    def test_batch_runner_reuses_shared_plan(self):
+        cache = shared_plan_cache()
+        config = replace(TINY, fft_size=64, num_blocks=4)
+        first = BatchRunner(config)
+        hits_before = cache.stats.hits
+        second = BatchRunner(config)
+        assert second.execution_plan is first.execution_plan
+        assert cache.stats.hits == hits_before + 1
+
+    def test_scanner_shares_one_plan_across_scans(self):
+        cache = shared_plan_cache()
+        config = replace(TINY, scan_bands=4, fft_size=64, num_blocks=4)
+        scanner = BandScanner(config)
+        plan = scanner.pipeline.batch.execution_plan
+        again = BandScanner(config)
+        assert again.pipeline.batch.execution_plan is plan
+        assert cache.backend_entries("vectorized") >= 1
+
+
+class TestPerTrialStreaming:
+    """The legacy monte_carlo loop contract survives the engine port."""
+
+    def test_variable_length_factory(self):
+        from repro.analysis.roc import monte_carlo_statistics
+
+        stats = monte_carlo_statistics(
+            lambda x: float(np.abs(np.asarray(x)).sum()),
+            lambda t: np.ones(4 + t),
+            3,
+        )
+        assert stats.tolist() == [4.0, 5.0, 6.0]
+
+    def test_non_ndarray_trial_objects_pass_through(self):
+        from repro.core.sampling import SampledSignal
+
+        plan = CallableStatisticPlan(lambda sig: float(sig.sample_rate_hz))
+        stats = Engine().monte_carlo_statistics(
+            lambda t: SampledSignal(np.ones(8), 1e6 + t), 2, plan=plan
+        )
+        assert stats.tolist() == [1e6, 1e6 + 1]
+
+    def test_streaming_matches_stacked(self):
+        signals = _signals(TINY, trials=4)
+        plan = CallableStatisticPlan(lambda x: float(np.abs(x).max()))
+        streamed = Engine().monte_carlo_statistics(
+            lambda t: signals[t], 4, plan=plan
+        )
+        assert np.array_equal(streamed, plan.statistics(signals))
+
+
+class TestNoCacheSharding:
+    def test_sharded_no_cache_results_match(self):
+        signals = _signals(TINY)
+        serial = Engine().statistics(signals, config=TINY)
+        with Engine(jobs=2, cache=PlanCache(maxsize=0)) as engine:
+            sharded = engine.statistics(signals, config=TINY)
+            assert len(engine.cache) == 0
+        assert np.array_equal(serial, sharded)
+
+
+class TestCachePurityAndAmbiguity:
+    """Review hardening: disabled caches stay cold, ambiguous calls
+    are rejected, retaining caches dedupe the loop plan's host."""
+
+    def test_rejects_config_and_plan_together(self):
+        signals = _signals(TINY, trials=2)
+        runner = BatchRunner(TINY)
+        with pytest.raises(ConfigurationError):
+            Engine().statistics(signals, config=TINY, plan=runner)
+
+    def test_disabled_cache_never_touches_shared_cache(self):
+        config = replace(TINY, backend="streaming", fft_size=16, m=3)
+        shared = shared_plan_cache()
+        before = (len(shared), shared.stats.lookups)
+        engine = Engine(cache=PlanCache(maxsize=0))
+        first = engine.plan(config)
+        second = engine.plan(config)
+        assert first is not second  # genuinely cold rebuilds
+        assert (len(shared), shared.stats.lookups) == before
+
+    def test_retaining_cache_dedupes_loop_host(self):
+        cache = PlanCache()
+        config = replace(TINY, backend="streaming")
+        host = cache.get(replace(config, backend="vectorized"))
+        loop = cache.get(config)
+        assert loop.host_plan is host

@@ -9,6 +9,7 @@ from repro.mapping.ascii_art import (
     render_figure9,
     render_table,
 )
+from repro.errors import ConfigurationError
 from repro.mapping.dg import dcfd_dependence_graph_2d, dcfd_dependence_graph_3d
 from repro.mapping.folding import Fold
 from repro.mapping.spacetime import SpaceTimeDelayDiagram
@@ -28,7 +29,7 @@ class TestFigure1:
         assert len(art.splitlines()) == 5
 
     def test_rejects_3d(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             render_figure1(dcfd_dependence_graph_3d(1, 2))
 
 
@@ -80,9 +81,9 @@ class TestRenderTable:
         assert table.splitlines()[0] == "Table 1"
 
     def test_width_mismatch(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             render_table(["a", "b"], [[1]])
 
     def test_needs_rows(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             render_table(["a"], [])

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.fourier import block_spectra
 from repro.core.scf import dscf
-from repro.errors import ProgramError
+from repro.errors import ConfigurationError, ProgramError
 from repro.montium.isa import (
     Butterfly,
     FftStageSetup,
@@ -133,7 +133,7 @@ class TestMacPrograms:
 
     def test_f_index_validated(self):
         config = TileConfig(fft_size=16, m=3)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             mac_group_program(config, 7)
 
     def test_read_program_single_instruction(self):

@@ -84,7 +84,7 @@ class TestAreaPower:
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             platform_area_mm2(0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             platform_area_mm2(2, tile_area_mm2=0.0)
 
 

@@ -92,6 +92,48 @@ class TestConfig:
     def test_with_backend(self):
         assert PipelineConfig().with_backend("soc").backend == "soc"
 
+    # PR-5 regression tests: every constructor validation raises
+    # ConfigurationError (never a bare ValueError/TypeError), matching
+    # the PR-4 scanner/noise error-type cleanups.
+    def test_rejects_non_string_backend(self):
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(backend=123)
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(backend="")
+
+    def test_rejects_negative_calibration_seed(self):
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(calibration_seed=-1)
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(calibration_seed=1.5)
+
+    def test_rejects_non_positive_sample_rate(self):
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(sample_rate_hz=0.0)
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(sample_rate_hz=-8e6)
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(sample_rate_hz=float("nan"))
+
+    def test_validations_never_raise_bare_valueerror(self):
+        for kwargs in (
+            {"fft_size": -1},
+            {"num_blocks": 0},
+            {"pfa": 2.0},
+            {"trial_chunk": 0},
+            {"window": "bogus"},
+            {"backend": None},
+            {"sample_rate_hz": -1.0},
+            {"calibration_seed": -5},
+        ):
+            try:
+                PipelineConfig(**kwargs)
+            except ConfigurationError:
+                continue
+            raise AssertionError(
+                f"PipelineConfig({kwargs}) did not raise ConfigurationError"
+            )
+
 
 class TestRegistry:
     def test_all_six_substrates_registered(self):

@@ -12,6 +12,7 @@ from repro._util import (
     require_positive_float,
     require_positive_int,
     require_power_of_two,
+    spawn_substreams,
 )
 from repro.errors import ConfigurationError
 
@@ -123,3 +124,64 @@ class TestIsPowerOfTwo:
 
     def test_false_cases(self):
         assert not any(is_power_of_two(v) for v in (0, -2, 3, 12))
+
+
+class TestSpawnSubstreams:
+    """The package-wide seeding contract (PR-5 dedup of wideband /
+    BatchRunner / scanner substream spawning)."""
+
+    def test_arithmetic_mode(self):
+        seeds = spawn_substreams(4, base_seed=100)
+        assert seeds.tolist() == [100, 101, 102, 103]
+
+    def test_arithmetic_start_offset(self):
+        assert spawn_substreams(1, base_seed=100, start=7)[0] == 107
+        # Trial t's seed is independent of how trials are chunked.
+        bulk = spawn_substreams(10, base_seed=100)
+        assert bulk[7] == spawn_substreams(1, base_seed=100, start=7)[0]
+
+    def test_rng_mode_matches_stream_draw(self):
+        reference = np.random.default_rng(5).integers(0, 2**63, size=3)
+        drawn = spawn_substreams(3, rng=np.random.default_rng(5))
+        assert np.array_equal(reference, drawn)
+
+    def test_rng_mode_advances_generator(self):
+        rng = np.random.default_rng(5)
+        spawn_substreams(2, rng=rng)
+        rng_ref = np.random.default_rng(5)
+        rng_ref.integers(0, 2**63, size=2)
+        assert rng.integers(0, 10) == rng_ref.integers(0, 10)
+
+    def test_modes_are_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            spawn_substreams(2)
+        with pytest.raises(ConfigurationError):
+            spawn_substreams(2, rng=np.random.default_rng(0), base_seed=1)
+
+    def test_rng_mode_rejects_start(self):
+        with pytest.raises(ConfigurationError):
+            spawn_substreams(2, rng=np.random.default_rng(0), start=1)
+
+    def test_validates_count_and_seed(self):
+        with pytest.raises(ConfigurationError):
+            spawn_substreams(-1, base_seed=0)
+        with pytest.raises(ConfigurationError):
+            spawn_substreams(2, base_seed=1.5)
+
+    def test_zero_count_is_empty(self):
+        assert spawn_substreams(0, base_seed=3).size == 0
+
+    def test_large_base_seed_stays_exact(self):
+        # Historical ``base + trial`` used unbounded Python ints; the
+        # helper must not wrap negative at the int64 boundary.
+        seeds = spawn_substreams(4, base_seed=2**63 - 2)
+        assert [int(s) for s in seeds] == [
+            2**63 - 2, 2**63 - 1, 2**63, 2**63 + 1
+        ]
+        # Every spawned seed must be a valid default_rng seed.
+        for seed in seeds:
+            np.random.default_rng(int(seed))
+
+    def test_large_base_seed_beyond_int64(self):
+        seeds = spawn_substreams(2, base_seed=2**64)
+        assert [int(s) for s in seeds] == [2**64, 2**64 + 1]
