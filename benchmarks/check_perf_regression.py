@@ -54,6 +54,8 @@ OPERATING_POINT_KEYS = (
     "dscf_grid",
     "jobs",
     "backend",
+    "precision",
+    "transport",
 )
 
 #: Recognised timing fields (seconds; lower is better).  The per-sweep
@@ -108,13 +110,26 @@ def gather_comparisons(name: str, baseline: dict, current: dict):
             notes.append(f"{prefix}: operating point changed - skipped")
             continue
         for key in TIMING_KEYS:
-            if key not in record or key not in reference:
+            if key not in record and key not in reference:
+                continue
+            label = prefix if key == TIMING_KEYS[0] else f"{prefix}.{key}"
+            if key not in record:
+                # A baseline timing the fresh run no longer emits (e.g.
+                # a benchmark dropped a field): note it, don't crash.
+                notes.append(
+                    f"{label}: baseline key absent from current run - skipped"
+                )
+                continue
+            if key not in reference:
+                notes.append(f"{label}: new timing key (no baseline)")
                 continue
             base_seconds = reference[key]
             now_seconds = record[key]
-            label = prefix if key == TIMING_KEYS[0] else f"{prefix}.{key}"
             if not isinstance(base_seconds, (int, float)) or base_seconds <= 0:
                 notes.append(f"{label}: unusable baseline - skipped")
+                continue
+            if not isinstance(now_seconds, (int, float)) or now_seconds <= 0:
+                notes.append(f"{label}: unusable current value - skipped")
                 continue
             comparisons.append((label, float(base_seconds), float(now_seconds)))
     for path in baseline_entries:
@@ -161,6 +176,15 @@ def main(argv=None) -> int:
         return 2
 
     comparisons, notes = [], []
+    baseline_names = {path.name for path in baseline_files}
+    # Fresh BENCH files with no committed baseline (a newly added
+    # benchmark) are informational, never a failure.
+    for current_path in sorted(args.current.glob("BENCH_*.json")):
+        if current_path.name not in baseline_names:
+            notes.append(
+                f"{current_path.name}: new benchmark file (no baseline) "
+                "- skipped"
+            )
     for baseline_path in baseline_files:
         current_path = args.current / baseline_path.name
         if not current_path.exists():

@@ -130,7 +130,7 @@ from .signals import (
     scfdma_signal,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "BandScanner",

@@ -1,0 +1,205 @@
+"""Compute-namespace indirection and the package precision policy.
+
+The estimator hot loops (bulk FFTs, Gram matmuls, channel-pair
+products) are written against a :class:`ComputeNamespace` — a numpy-
+backed, array-API-shaped bundle of ``xp`` (the array namespace) and
+``fft`` (the FFT namespace) — instead of importing ``numpy`` directly.
+Today the only registered namespace is numpy; the indirection is what
+lets a GPU / array-API backend (CuPy, torch) plug in later without
+touching kernel code.
+
+The same module owns the **precision policy** every kernel consults:
+
+``float64`` (the default)
+    The bitwise parity reference.  Kernels on this path are the exact
+    code that existed before the policy was introduced — same dtypes,
+    same ``numpy.fft`` — so golden fixtures and cross-backend parity
+    pins are untouched.
+
+``float32``
+    The throughput path: complex64 arithmetic end to end (half the
+    memory traffic, single-precision BLAS ``cgemm``), with FFTs routed
+    through ``scipy.fft`` when SciPy is importable — numpy's pocketfft
+    dispatch is tuned for double precision and is *slower* on
+    complex64 input, while SciPy's preserves single precision at full
+    speed.  SciPy is optional: without it the float32 path still
+    works, just with numpy's slower complex64 FFTs.
+
+Kernels additionally tile their trials×channels work through
+:func:`tile_trials` so single-precision slabs stay cache-resident
+instead of streaming one monolithic array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import ModuleType
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+#: The precisions a :class:`~repro.pipeline.PipelineConfig` may request.
+PRECISIONS = ("float32", "float64")
+
+#: Complex/real dtype pairs per precision.
+_DTYPES = {
+    "float32": (np.dtype(np.complex64), np.dtype(np.float32)),
+    "float64": (np.dtype(np.complex128), np.dtype(np.float64)),
+}
+
+#: Default cache budget (bytes) for one tiled slab of the float32 fast
+#: paths — sized to sit comfortably inside a typical L2/L3 share.
+TILE_BUDGET_BYTES = 4 * 1024 * 1024
+
+try:  # SciPy is optional; the float32 path degrades gracefully.
+    import scipy.fft as _scipy_fft
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _scipy_fft = None
+
+try:  # Single-precision BLAS for the float32 Gram fast path.
+    from scipy.linalg import blas as _scipy_blas
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _scipy_blas = None
+
+
+def validate_precision(precision) -> str:
+    """Validate a precision name, returning it canonicalised."""
+    if precision not in PRECISIONS:
+        raise ConfigurationError(
+            f"precision must be one of {PRECISIONS}, got {precision!r}"
+        )
+    return str(precision)
+
+
+def complex_dtype(precision: str) -> np.dtype:
+    """The complex dtype of *precision* (complex64 / complex128)."""
+    return _DTYPES[validate_precision(precision)][0]
+
+
+def real_dtype(precision: str) -> np.dtype:
+    """The real dtype of *precision* (float32 / float64)."""
+    return _DTYPES[validate_precision(precision)][1]
+
+
+def fft_namespace(precision: str) -> ModuleType:
+    """The FFT module the kernels use at *precision*.
+
+    ``float64`` always returns ``numpy.fft`` — the parity reference —
+    while ``float32`` returns ``scipy.fft`` when available (numpy's
+    complex64 FFTs are slower than its complex128 ones; SciPy's
+    pocketfft keeps single precision fast) and falls back to
+    ``numpy.fft`` otherwise.
+    """
+    if validate_precision(precision) == "float64" or _scipy_fft is None:
+        return np.fft
+    return _scipy_fft
+
+
+def fft_fast_kwargs(fft: ModuleType) -> dict:
+    """Extra kwargs enabling in-place FFT on a dead temporary.
+
+    ``scipy.fft`` accepts ``overwrite_x=True`` (skips its internal
+    input copy — ~30% on the product tensors the estimators feed it);
+    ``numpy.fft`` has no such knob, so the fallback namespace gets no
+    extra arguments.  Only pass the result when the input array is a
+    temporary the caller never reads again.
+    """
+    return {"overwrite_x": True} if fft is _scipy_fft else {}
+
+
+def single_gemm():
+    """The single-precision complex BLAS ``cgemm``, or ``None``.
+
+    The float32 Gram fast path uses it to fold the ``1/N`` DSCF
+    normalisation into the matmul (``alpha``) and to express the
+    conjugated operand as ``trans_b='C'`` instead of materialising a
+    ``conj`` copy.  Callers must keep a pure-numpy fallback for
+    SciPy-less installs.
+    """
+    if _scipy_blas is None:  # pragma: no cover - only without scipy
+        return None
+    return getattr(_scipy_blas, "cgemm", None)
+
+
+def tile_trials(
+    bytes_per_trial: int | float,
+    budget_bytes: int = TILE_BUDGET_BYTES,
+) -> int:
+    """Trials per cache-sized tile for a given per-trial footprint.
+
+    At least 1; kernels loop ``range(0, trials, tile)`` so any positive
+    return value is correct, just differently blocked.
+    """
+    if bytes_per_trial <= 0:
+        return 1
+    return max(1, int(budget_bytes // int(bytes_per_trial)))
+
+
+@dataclass(frozen=True)
+class ComputeNamespace:
+    """One execution substrate for the array kernels.
+
+    Attributes
+    ----------
+    name:
+        Registry name (``"numpy"``).
+    xp:
+        The array namespace kernels call for array ops (array-API
+        shaped; numpy today).
+    fft:
+        The double-precision FFT namespace (``numpy.fft``).
+    fft_single:
+        The FFT namespace used by the float32 fast paths
+        (``scipy.fft`` when importable, else ``numpy.fft``).
+    """
+
+    name: str
+    xp: ModuleType = field(repr=False)
+    fft: ModuleType = field(repr=False)
+    fft_single: ModuleType = field(repr=False)
+
+    def fft_for(self, precision: str) -> ModuleType:
+        """The FFT namespace matching *precision* on this substrate."""
+        if validate_precision(precision) == "float64":
+            return self.fft
+        return self.fft_single
+
+
+_NAMESPACES: dict[str, ComputeNamespace] = {}
+
+
+def register_namespace(namespace: ComputeNamespace) -> ComputeNamespace:
+    """Register *namespace* for :func:`get_namespace` lookup.
+
+    Re-registering a name replaces the previous namespace, so an
+    array-API backend (GPU, torch) can be slotted in by extensions.
+    """
+    if not isinstance(namespace, ComputeNamespace):
+        raise ConfigurationError(
+            f"namespace must be a ComputeNamespace, got "
+            f"{type(namespace).__name__}"
+        )
+    _NAMESPACES[namespace.name] = namespace
+    return namespace
+
+
+def get_namespace(name: str = "numpy") -> ComputeNamespace:
+    """Look up a registered :class:`ComputeNamespace` by name."""
+    try:
+        return _NAMESPACES[name]
+    except KeyError:
+        known = ", ".join(sorted(_NAMESPACES))
+        raise ConfigurationError(
+            f"unknown compute namespace {name!r}; registered: {known}"
+        ) from None
+
+
+register_namespace(
+    ComputeNamespace(
+        name="numpy",
+        xp=np,
+        fft=np.fft,
+        fft_single=_scipy_fft if _scipy_fft is not None else np.fft,
+    )
+)

@@ -58,6 +58,7 @@ from .engine import (
     plan_support,
     shared_plan_cache,
 )
+from ._compute import PRECISIONS
 from .errors import ConfigurationError
 from .pipeline import (
     DetectionPipeline,
@@ -65,6 +66,7 @@ from .pipeline import (
     available_backends,
     get_backend,
 )
+from .pipeline.config import FLOAT32_BACKENDS
 from .mapping import Fold, SpaceTimeDelayDiagram, minimal_register_structure
 from .mapping.ascii_art import render_figure5, render_figure7, render_figure9
 from .perf import (
@@ -137,6 +139,14 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         "benchmarks/bench_engine.py clears those too for true "
         "cold timings)",
     )
+    parser.add_argument(
+        "--precision",
+        choices=PRECISIONS,
+        default="float64",
+        help="estimator arithmetic: float64 (bitwise parity reference) "
+        "or float32 (complex64 fast paths on the batch backends: "
+        f"{', '.join(FLOAT32_BACKENDS)})",
+    )
 
 
 def _make_engine(args: argparse.Namespace) -> Engine:
@@ -145,7 +155,7 @@ def _make_engine(args: argparse.Namespace) -> Engine:
     return Engine(jobs=args.jobs, cache=cache)
 
 
-def _print_engine_summary(engine: Engine) -> None:
+def _print_engine_summary(engine: Engine, precision: str = "float64") -> None:
     stats = engine.cache.stats
     caching = (
         "off"
@@ -153,7 +163,16 @@ def _print_engine_summary(engine: Engine) -> None:
         else f"{stats.size} plan(s), {stats.hits} hit(s), "
         f"{stats.misses} miss(es)"
     )
-    print(f"\nengine: jobs={engine.jobs}, plan cache {caching}")
+    transport = engine.last_transport or "in-process"
+    shm_note = (
+        "shared-memory transport used"
+        if transport == "shared"
+        else "shared-memory transport not used"
+    )
+    print(
+        f"\nengine: jobs={engine.jobs}, plan cache {caching}, "
+        f"precision {precision}, transport {transport} ({shm_note})"
+    )
 
 
 def _cmd_sense(args: argparse.Namespace) -> int:
@@ -187,6 +206,7 @@ def _cmd_sense(args: argparse.Namespace) -> int:
                 soc_compiled=args.soc_compiled,
                 pfa=args.pfa,
                 calibration_trials=args.calibration_trials,
+                precision=args.precision,
             ),
             engine=engine,
         )
@@ -206,7 +226,7 @@ def _cmd_sense(args: argparse.Namespace) -> int:
         if occupied
         else "\nground truth: band vacant"
     )
-    _print_engine_summary(engine)
+    _print_engine_summary(engine, precision=args.precision)
     return 0
 
 
@@ -317,6 +337,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         calibration_trials=trials,
         scan_bands=num_bands,
         sample_rate_hz=sample_rate,
+        precision=args.precision,
     )
     # try/finally (not `with`): the worker pool must be reaped on
     # any scan failure, and `recovered` is computed after teardown.
@@ -397,7 +418,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
                 f"({per_band / batched:.1f}x)"
             )
 
-        _print_engine_summary(engine)
+        _print_engine_summary(engine, precision=args.precision)
     finally:
         engine.close()
     recovered = all(entry.detected for entry in attributions)
@@ -412,12 +433,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "--soc-compiled selects the trace-compiled SoC engine and "
             "only applies when 'soc' is among --backends"
         )
+    if args.precision == "float32":
+        unsupported = [
+            name for name in args.backends if name not in FLOAT32_BACKENDS
+        ]
+        if unsupported:
+            raise ConfigurationError(
+                f"--precision float32 only applies to the batch backends "
+                f"{FLOAT32_BACKENDS}; drop {unsupported} from --backends "
+                f"or use --precision float64"
+            )
     config = PipelineConfig(
         fft_size=args.fft_size,
         num_blocks=args.blocks,
         pfa=args.pfa,
         soc_compiled=args.soc_compiled,
         calibration_seed=args.seed,
+        precision=args.precision,
     )
     samples = config.samples_per_decision
     snrs = np.linspace(args.snr_start, args.snr_stop, args.points)
@@ -472,7 +504,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         except ConfigurationError:  # pragma: no cover - defensive
             continue
         print(f"{name}: interpolated Pd=0.9 sensitivity {sensitivity:+.1f} dB")
-    _print_engine_summary(engine)
+    _print_engine_summary(engine, precision=args.precision)
     return 0
 
 
@@ -495,6 +527,12 @@ def _cmd_backends(args: argparse.Namespace) -> int:
         if capabilities.complexity:
             print(f"  {'':<12s} complexity {capabilities.complexity}")
         print(f"  {'':<12s} plan: {plan_support(name)}")
+        precisions = (
+            "float32 + float64 (single-precision fast path)"
+            if name in FLOAT32_BACKENDS
+            else "float64 only (parity reference)"
+        )
+        print(f"  {'':<12s} precision: {precisions}")
         executor_cache = getattr(get_backend(name), "plan_cache", None)
         caching = "shared engine LRU"
         if executor_cache is not None:
@@ -513,6 +551,13 @@ def _cmd_backends(args: argparse.Namespace) -> int:
         f"process (this process: {stats.size} cached, {stats.hits} "
         f"hit(s), {stats.misses} miss(es)); sharded execution "
         f"bitwise-verified up to jobs={MAX_TESTED_JOBS}"
+    )
+    print(
+        "precision policy: float64 is the bitwise parity reference on "
+        "every backend; --precision float32 selects the tiled "
+        "single-precision fast path on the batch backends "
+        f"{', '.join(FLOAT32_BACKENDS)}. Sharded runs ship trial blocks "
+        "through zero-copy shared memory (descriptor-only pickling)."
     )
     return 0
 

@@ -13,7 +13,10 @@ and scheduled:
   :func:`shared_plan_cache` every executor defaults to;
 * :mod:`repro.engine.engine` — the :class:`Engine` front-end running
   plans over trial batches in-process or sharded across a worker pool
-  (``jobs=N``, bitwise equal to serial execution).
+  (``jobs=N``, bitwise equal to serial execution);
+* :mod:`repro.engine.shm` — the zero-copy shard transport: trial
+  blocks published once via ``multiprocessing.shared_memory``, workers
+  attaching read-only views (O(config) bytes per shard on the pipe).
 
 :class:`~repro.pipeline.DetectionPipeline`,
 :class:`~repro.pipeline.BatchRunner`, the
@@ -29,7 +32,8 @@ from .cache import (
     plan_key,
     shared_plan_cache,
 )
-from .engine import Engine, available_cpus
+from .engine import TRANSPORTS, Engine, available_cpus
+from .shm import SharedArrayDescriptor, SharedArraySegment
 from .plans import (
     MAX_TESTED_JOBS,
     BatchExecutionPlan,
@@ -52,6 +56,9 @@ __all__ = [
     "LoopExecutionPlan",
     "PlanCache",
     "PlanCacheStats",
+    "SharedArrayDescriptor",
+    "SharedArraySegment",
+    "TRANSPORTS",
     "TrialExecutor",
     "available_cpus",
     "build_plan",

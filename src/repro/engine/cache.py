@@ -57,6 +57,10 @@ PLAN_KEY_FIELDS = (
     "ssca_channels",
     "estimator_window",
     "sample_rate_hz",
+    # Precision keys the plan too: float32 plans carry complex64
+    # tapers/phase tables and scipy-backed FFT namespaces, so they
+    # must never collide with float64 plans in shared_plan_cache.
+    "precision",
 )
 
 

@@ -23,10 +23,16 @@ path** for every plan built by :func:`~repro.engine.plans.build_plan`:
   statistics bit for bit (pinned by the ``jobs in {1, 2, 4}`` battery
   in ``tests/test_engine.py`` across dscf, fam, ssca and soc-compiled
   backends);
-* workers receive only ``(PipelineConfig, shard)`` — plans are rebuilt
+* workers receive only ``(PipelineConfig, descriptor, bounds)`` —
+  with the default ``shared`` transport the trial block is published
+  once via ``multiprocessing.shared_memory`` (see
+  :mod:`repro.engine.shm`) and each worker attaches a read-only view
+  of its contiguous rows, so per-shard pickled payload is O(config)
+  bytes and no trial array ever crosses the pipe; plans are rebuilt
   from the configuration inside each worker through its own shared
-  cache, staying warm across shards and sweep points, so nothing
-  process-specific ever crosses the pipe.
+  cache, staying warm across shards and sweep points.  The legacy
+  ``pickle`` transport (per-shard array serialization) remains
+  selectable for benchmarking.
 
 Wall-clock scaling requires actual cores: ``benchmarks/bench_engine.py``
 records the measured ``jobs=1`` vs ``jobs=N`` scaling (and the
@@ -52,6 +58,14 @@ from .plans import (
     calibration_quantile,
     default_noise_factory,
 )
+from .shm import SharedArraySegment, attach_segment, segment_view
+
+#: Shard transports the engine supports.  ``shared`` (the default)
+#: publishes the trial block once via multiprocessing.shared_memory
+#: and ships workers an O(config)-byte descriptor; ``pickle`` is the
+#: legacy per-shard array serialization, kept for benchmarking the
+#: difference (see benchmarks/bench_dataflow.py).
+TRANSPORTS = ("shared", "pickle")
 
 
 def _worker_statistics(
@@ -73,6 +87,40 @@ def _worker_statistics(
     from .plans import build_plan
 
     return build_plan(config).statistics(signals)
+
+
+def _worker_statistics_shared(
+    config, descriptor, start: int, stop: int, use_cache: bool = True
+) -> np.ndarray:
+    """One shard's statistics read zero-copy from shared memory.
+
+    The worker attaches the published trial block, slices its
+    contiguous ``[start:stop]`` rows as a read-only view (no copy of
+    the trial data is ever made on this side of the pipe) and computes
+    through the same plan resolution as :func:`_worker_statistics`.
+    Views are dropped before the mapping closes — a live export of the
+    segment buffer would raise ``BufferError`` — and the close runs in
+    a ``finally`` so a raising plan cannot leak the worker's mapping;
+    the parent owns (and always unlinks) the segment itself.
+    """
+    import repro  # noqa: F401  — registers all estimator backends
+
+    shard = None
+    shm = attach_segment(descriptor)
+    try:
+        shard = segment_view(descriptor, shm)[start:stop]
+        if use_cache:
+            result = shared_plan_cache().get(config).statistics(shard)
+        else:
+            from .plans import build_plan
+
+            result = build_plan(config).statistics(shard)
+        # Plans allocate fresh outputs, so nothing below retains the
+        # segment buffer once the view is dropped.
+        return np.asarray(result)
+    finally:
+        shard = None
+        shm.close()
 
 
 def available_cpus() -> int:
@@ -103,6 +151,14 @@ class Engine:
         Optional ``multiprocessing`` context; defaults to ``fork``
         where available (cheap, inherits the loaded package) and the
         platform default elsewhere.
+    transport:
+        Shard transport for ``jobs > 1``: ``"shared"`` (default)
+        publishes each trial block once via
+        ``multiprocessing.shared_memory`` and ships workers only an
+        O(config)-byte descriptor plus row bounds; ``"pickle"`` is the
+        legacy per-shard array serialization.  Both are bitwise equal
+        to the serial path — the transport moves the same rows, it
+        just stops copying them through the pipe.
 
     >>> from repro.engine import Engine
     >>> from repro.pipeline import PipelineConfig
@@ -116,11 +172,21 @@ class Engine:
         jobs: int = 1,
         cache: PlanCache | None = None,
         mp_context=None,
+        transport: str = "shared",
     ) -> None:
         self.jobs = require_positive_int(jobs, "jobs")
+        if transport not in TRANSPORTS:
+            raise ConfigurationError(
+                f"transport must be one of {TRANSPORTS}, got {transport!r}"
+            )
+        self.transport = transport
+        #: Transport of the most recent statistics() call:
+        #: "in-process", "shared" or "pickle" (None before any call).
+        self.last_transport: str | None = None
         self._cache = cache if cache is not None else shared_plan_cache()
         self._mp_context = mp_context
         self._pool: ProcessPoolExecutor | None = None
+        self._segments: set[SharedArraySegment] = set()
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle
@@ -136,10 +202,14 @@ class Engine:
         return self._cache.get(config)
 
     def close(self) -> None:
-        """Shut down the worker pool, if one was started."""
+        """Shut down the worker pool and unlink any live shared-memory
+        segments (normally already reaped per call; this is the
+        engine-shutdown guarantee)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        while self._segments:
+            self._segments.pop().destroy()
 
     def __enter__(self) -> "Engine":
         return self
@@ -155,6 +225,17 @@ class Engine:
                 context = mp.get_context(
                     "fork" if "fork" in methods else None
                 )
+            # Start the resource tracker before any worker forks: the
+            # children then share the parent's tracker, so worker-side
+            # shared-memory attaches dedupe into it instead of each
+            # worker spinning up a private tracker that would try to
+            # unlink parent-owned segments (see repro.engine.shm).
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.ensure_running()
+            except Exception:  # pragma: no cover - tracker API drift
+                pass
             self._pool = ProcessPoolExecutor(
                 max_workers=self.jobs, mp_context=context
             )
@@ -208,6 +289,7 @@ class Engine:
         jobs = min(self.jobs, trials)
         if jobs > 1 and shard_config is not None:
             return self._sharded_statistics(shard_config, signals, jobs)
+        self.last_transport = "in-process"
         if plan is None:
             plan = self.plan(config)
         return np.asarray(plan.statistics(signals))
@@ -215,19 +297,46 @@ class Engine:
     def _sharded_statistics(
         self, config, signals: np.ndarray, jobs: int
     ) -> np.ndarray:
-        shards = np.array_split(signals, jobs)
         pool = self._ensure_pool()
         # Workers resolve plans through their own per-process cache;
         # an engine whose cache retains nothing (maxsize=0, the
         # --no-cache path) propagates that choice so sharded timings
         # stay comparable to the serial cold path.
         use_cache = self._cache.maxsize > 0
-        futures = [
-            pool.submit(_worker_statistics, config, shard, use_cache)
-            for shard in shards
-            if shard.shape[0]
-        ]
-        return np.concatenate([future.result() for future in futures])
+        self.last_transport = self.transport
+        if self.transport == "pickle":
+            shards = np.array_split(signals, jobs)
+            futures = [
+                pool.submit(_worker_statistics, config, shard, use_cache)
+                for shard in shards
+                if shard.shape[0]
+            ]
+            return np.concatenate([future.result() for future in futures])
+        # Shared transport: publish the trial block once, ship row
+        # bounds.  Shard boundaries are exactly np.array_split's, so
+        # results stay bitwise equal to the pickle and serial paths.
+        bounds = np.array_split(np.arange(signals.shape[0]), jobs)
+        segment = SharedArraySegment(signals)
+        self._segments.add(segment)
+        try:
+            futures = [
+                pool.submit(
+                    _worker_statistics_shared,
+                    config,
+                    segment.descriptor,
+                    int(rows[0]),
+                    int(rows[-1]) + 1,
+                    use_cache,
+                )
+                for rows in bounds
+                if rows.size
+            ]
+            return np.concatenate([future.result() for future in futures])
+        finally:
+            # Unlink even when a worker raised: the kernel reclaims the
+            # segment as soon as the surviving workers detach.
+            self._segments.discard(segment)
+            segment.destroy()
 
     def monte_carlo_statistics(
         self,

@@ -46,6 +46,13 @@ import numpy as np
 from ..core.detection import validate_pfa
 from ..core.scf import COHERENCE_FLOOR, DSCFResult, spectral_coherence
 from ..errors import ConfigurationError
+from .._compute import (
+    complex_dtype,
+    fft_fast_kwargs,
+    fft_namespace,
+    single_gemm,
+    tile_trials,
+)
 from .._util import spawn_substreams
 
 #: Highest worker count the bitwise-equality battery pins (see
@@ -120,6 +127,13 @@ class BatchExecutionPlan:
         self.config = config
         self.backend_name = config.backend
         cfg = config
+        # Precision policy (see repro._compute): float64 is the bitwise
+        # parity reference — its constants and FFT namespace are exactly
+        # the pre-policy ones — while float32 casts the plan constants
+        # to single precision once here so the hot loops never promote.
+        self._precision = cfg.precision
+        self._cdtype = complex_dtype(cfg.precision)
+        self._fft = fft_namespace(cfg.precision)
         self._taper = get_window(cfg.window, cfg.fft_size)
         starts = np.arange(cfg.num_blocks) * cfg.hop
         self._gather = starts[:, None] + np.arange(cfg.fft_size)[None, :]
@@ -129,6 +143,9 @@ class BatchExecutionPlan:
         self._phase = np.exp(
             -2j * np.pi * np.outer(starts, np.arange(cfg.fft_size)) / cfg.fft_size
         )
+        if self._precision == "float32":
+            self._taper = self._taper.astype(np.float32)
+            self._phase = self._phase.astype(np.complex64)
         m = cfg.m
         center = cfg.fft_size // 2
         offsets = np.arange(-m, m + 1)
@@ -192,8 +209,8 @@ class BatchExecutionPlan:
     # ------------------------------------------------------------------
     def as_batch(self, signals: np.ndarray) -> np.ndarray:
         """Coerce *signals* into a validated ``(trials, samples)``
-        complex batch."""
-        array = np.asarray(signals, dtype=np.complex128)
+        complex batch at the plan's precision."""
+        array = np.asarray(signals, dtype=self._cdtype)
         if array.ndim == 1:
             array = array[None, :]
         if array.ndim != 2:
@@ -221,10 +238,37 @@ class BatchExecutionPlan:
         ``repro.core.fourier.block_spectra(signals[t], ...)``.
         """
         batch = self.as_batch(signals)
-        blocks = batch[:, self._gather] * self._taper
-        spectra = np.fft.fft(blocks, axis=2)
-        spectra = spectra * self._phase
-        return np.fft.fftshift(spectra, axes=2)
+        if self._precision == "float64":
+            blocks = batch[:, self._gather] * self._taper
+            spectra = np.fft.fft(blocks, axis=2)
+            spectra = spectra * self._phase
+            return np.fft.fftshift(spectra, axes=2)
+        # float32 fast path: the (trials, N, K) plane is processed in
+        # cache-sized trial tiles through the single-precision FFT
+        # namespace (scipy.fft preserves complex64; numpy's dispatch
+        # would silently be slower than complex128).
+        cfg = self.config
+        trials = batch.shape[0]
+        out = np.empty(
+            (trials, cfg.num_blocks, cfg.fft_size), dtype=self._cdtype
+        )
+        bytes_per_trial = 3 * cfg.num_blocks * cfg.fft_size * out.itemsize
+        tile = tile_trials(bytes_per_trial)
+        shift = cfg.fft_size // 2
+        split = cfg.fft_size - shift
+        for start in range(0, trials, tile):
+            stop = min(start + tile, trials)
+            blocks = batch[start:stop, self._gather]
+            blocks *= self._taper
+            spectra = self._fft.fft(
+                blocks, axis=2, **fft_fast_kwargs(self._fft)
+            )
+            spectra *= self._phase
+            # fftshift as two direct slice assignments (no shifted
+            # temporary).
+            out[start:stop, :, shift:] = spectra[:, :, :split]
+            out[start:stop, :, :shift] = spectra[:, :, split:]
+        return out
 
     def dscf_values(
         self, signals: np.ndarray, spectra: np.ndarray | None = None
@@ -244,20 +288,46 @@ class BatchExecutionPlan:
             batch = self.as_batch(signals)
             if self._exact:
                 return self._executor.values(batch)
-            return self._executor.magnitudes(batch).astype(np.complex128)
+            return self._executor.magnitudes(batch).astype(self._cdtype)
         if spectra is None:
             spectra = self.block_spectra(signals)
         cfg = self.config
         extent = cfg.extent
         trials = spectra.shape[0]
-        values = np.empty((trials, extent, extent), dtype=np.complex128)
+        values = np.empty((trials, extent, extent), dtype=self._cdtype)
         windowed = spectra[:, :, self._sub]
+        if self._precision == "float64":
+            for start in range(0, trials, cfg.trial_chunk):
+                stop = start + cfg.trial_chunk
+                slab = windowed[start:stop]
+                gram = np.matmul(slab.transpose(0, 2, 1), np.conj(slab))
+                gram /= cfg.num_blocks
+                values[start:stop] = gram[:, self._gram_u, self._gram_v]
+            return values
+        # float32 fast path.  With BLAS available the whole Gram
+        # gather is one cgemm per trial: for X = windowed[t] (N x K'),
+        # X.T is Fortran-contiguous for free, and
+        # ``cgemm(alpha=1/N, a=X.T, b=X.T, trans_b='C')`` computes
+        # (X.T)(X.T)^H / N = X^T conj(X) / N — the 1/N normalisation
+        # folded into alpha and the conjugated operand expressed as a
+        # BLAS op instead of a materialised ``conj`` copy.
+        cgemm = single_gemm()
+        if cgemm is not None:
+            scale = 1.0 / cfg.num_blocks
+            for trial in range(trials):
+                transposed = windowed[trial].T
+                gram = cgemm(scale, transposed, transposed, trans_b=2)
+                values[trial] = gram[self._gram_u, self._gram_v]
+            return values
+        # SciPy-less fallback: numpy matmul, with the 1/N pass deferred
+        # to the extracted (2M+1)^2 grid — a 4x smaller array than the
+        # full Gram plane.
         for start in range(0, trials, cfg.trial_chunk):
             stop = start + cfg.trial_chunk
             slab = windowed[start:stop]
             gram = np.matmul(slab.transpose(0, 2, 1), np.conj(slab))
-            gram /= cfg.num_blocks
             values[start:stop] = gram[:, self._gram_u, self._gram_v]
+        values /= np.float32(cfg.num_blocks)
         return values
 
     def surfaces(

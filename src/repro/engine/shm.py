@@ -1,0 +1,153 @@
+"""Zero-copy shard transport over ``multiprocessing.shared_memory``.
+
+The sharded engine used to pickle every shard's trial array through the
+worker pipe: at the paper operating point one decision is 2048 complex
+samples, so a 256-trial calibration shipped ~8 MB per call — the reason
+``BENCH_engine.json`` recorded ~1.0x scaling at ``jobs=4``.  This
+module replaces the payload with a *descriptor*: the parent publishes
+the full trial block **once** into a POSIX shared-memory segment, and
+each worker receives only ``(name, shape, dtype, start, stop)`` —
+O(config) bytes — attaching a read-only numpy view onto its contiguous
+slice.
+
+Ownership is strictly parent-side: :class:`SharedArraySegment` creates
+and (idempotently) unlinks the segment, and is a context manager so
+engine code can guarantee cleanup on worker exceptions.  Workers only
+ever *attach*; :func:`attach_segment` immediately unregisters the
+attachment from the ``resource_tracker`` (CPython registers attaches
+too — bpo-39959 — which would otherwise unlink parent-owned segments
+early and spam leak warnings under a fork pool), and
+:func:`read_segment` guarantees the numpy view is dropped before the
+worker's mapping closes (a live view would raise ``BufferError``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SharedArrayDescriptor:
+    """Everything a worker needs to attach a published array.
+
+    Pickles to a few hundred bytes regardless of the array size — this
+    is the whole point of the shared transport.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size of the described array."""
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+class SharedArraySegment:
+    """One parent-owned shared-memory copy of an ndarray.
+
+    Creates the segment, copies *array* in once, and exposes the
+    :class:`SharedArrayDescriptor` workers attach through.  The segment
+    lives until :meth:`destroy` (idempotent; also the context-manager
+    exit), which closes the parent mapping and unlinks the name so the
+    kernel reclaims it as soon as the last worker detaches.
+    """
+
+    def __init__(self, array: np.ndarray) -> None:
+        self._shm = None  # so destroy()/__del__ are safe if init throws
+        array = np.ascontiguousarray(array)
+        if array.nbytes == 0:
+            raise ConfigurationError(
+                "cannot publish an empty array through shared memory"
+            )
+        self._shm = shared_memory.SharedMemory(create=True, size=array.nbytes)
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=self._shm.buf)
+        view[...] = array
+        del view
+        self.descriptor = SharedArrayDescriptor(
+            name=self._shm.name, shape=array.shape, dtype=str(array.dtype)
+        )
+
+    @property
+    def name(self) -> str:
+        """The kernel-side segment name (``/dev/shm`` entry on Linux)."""
+        return self.descriptor.name
+
+    def destroy(self) -> None:
+        """Close the parent mapping and unlink the segment (idempotent)."""
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already reaped
+            pass
+
+    def __enter__(self) -> "SharedArraySegment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.destroy()
+
+    def __del__(self) -> None:  # last-resort safety net
+        self.destroy()
+
+
+#: Whether this process runs its *own* resource tracker (started by our
+#: first attach) rather than sharing an inherited one.  Decided once:
+#: with a shared (fork-inherited) tracker, attach registrations dedupe
+#: into the owner's set and the parent's unlink cleans up — a worker
+#: unregistering there would race the parent's bookkeeping.  With a
+#: private tracker (spawn workers, or a process that never created a
+#: segment), the registration CPython < 3.13 records for *attaches*
+#: (bpo-39959) must be withdrawn, or this tracker would unlink the
+#: parent-owned segment when the process exits.
+_PRIVATE_TRACKER: bool | None = None
+
+
+def attach_segment(
+    descriptor: SharedArrayDescriptor,
+) -> shared_memory.SharedMemory:
+    """Attach to a published segment (worker side).
+
+    The parent owns the segment's lifetime; this side only maps it.
+    See :data:`_PRIVATE_TRACKER` for how the ``resource_tracker``
+    registration CPython records on attach is neutralised.
+    """
+    global _PRIVATE_TRACKER
+    from multiprocessing import resource_tracker
+
+    if _PRIVATE_TRACKER is None:
+        _PRIVATE_TRACKER = (
+            getattr(resource_tracker._resource_tracker, "_fd", None) is None
+        )
+    shm = shared_memory.SharedMemory(name=descriptor.name)
+    if _PRIVATE_TRACKER:
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker API drift
+            pass
+    return shm
+
+
+def segment_view(
+    descriptor: SharedArrayDescriptor,
+    shm: shared_memory.SharedMemory,
+) -> np.ndarray:
+    """A read-only numpy view of the published array in *shm*.
+
+    The caller must drop the view (and everything derived from it)
+    before ``shm.close()`` — a live export raises ``BufferError``.
+    """
+    array = np.ndarray(
+        descriptor.shape, dtype=np.dtype(descriptor.dtype), buffer=shm.buf
+    )
+    array.flags.writeable = False
+    return array

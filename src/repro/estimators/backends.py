@@ -78,6 +78,7 @@ def fam_plan(config: PipelineConfig) -> BatchedFAM:
         window=config.estimator_window,
         normalize=config.normalize,
         trial_chunk=config.trial_chunk,
+        precision=config.precision,
     )
 
 
@@ -95,6 +96,7 @@ def ssca_plan(config: PipelineConfig) -> BatchedSSCA:
         window=config.estimator_window,
         normalize=config.normalize,
         trial_chunk=config.trial_chunk,
+        precision=config.precision,
     )
 
 

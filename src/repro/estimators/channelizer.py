@@ -30,6 +30,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._compute import (
+    complex_dtype,
+    fft_fast_kwargs,
+    fft_namespace,
+    tile_trials,
+)
 from .._util import require_positive_int
 from ..core.sampling import SampledSignal
 from ..core.windows import get_window
@@ -53,6 +59,11 @@ class ChannelizerPlan:
         padded at the signal edges) rather than starting there; the
         demodulate phase still references true sample time, so
         centering changes alignment, not calibration.
+    precision:
+        ``"float64"`` (default, the bitwise parity reference) or
+        ``"float32"`` — the complex64 fast path: frames are processed
+        in cache-sized trial tiles through the single-precision FFT
+        namespace (see :mod:`repro._compute`).
     """
 
     def __init__(
@@ -61,15 +72,21 @@ class ChannelizerPlan:
         hop: int = 1,
         window: str = "hann",
         center: bool = False,
+        precision: str = "float64",
     ) -> None:
         self.num_channels = require_positive_int(num_channels, "num_channels")
         self.hop = require_positive_int(hop, "hop")
         self.window = window
         self.center = bool(center)
+        self.precision = precision
+        self._cdtype = complex_dtype(precision)
+        self._fft = fft_namespace(precision)
         self._taper = get_window(window, self.num_channels)
         self._gain = float(np.sum(self._taper))
         if self._gain == 0.0:
             raise ConfigurationError("channelizer window must have non-zero sum")
+        if precision == "float32":
+            self._taper = self._taper.astype(np.float32)
 
     @property
     def taper(self) -> np.ndarray:
@@ -140,7 +157,7 @@ class ChannelizerPlan:
             ``(trials, P, N')`` tensor; channel ``k`` (centered) sits
             at column ``k + N'/2``.
         """
-        batch = np.asarray(signals, dtype=np.complex128)
+        batch = np.asarray(signals, dtype=self._cdtype)
         if batch.ndim == 1:
             batch = batch[None, :]
         if batch.ndim != 2:
@@ -151,13 +168,11 @@ class ChannelizerPlan:
         starts, pad = self._frame_geometry(batch.shape[1], num_frames)
         if pad:
             padded = np.zeros(
-                (batch.shape[0], batch.shape[1] + 2 * pad), dtype=np.complex128
+                (batch.shape[0], batch.shape[1] + 2 * pad), dtype=self._cdtype
             )
             padded[:, pad:-pad] = batch
             batch = padded
         gather = (starts + pad)[:, None] + np.arange(self.num_channels)[None, :]
-        frames = batch[:, gather] * self._taper
-        spectra = np.fft.fft(frames, axis=2)
         # Absolute-time phase reference (expression 2): demodulates each
         # channel to baseband.  Well defined under fftshift because the
         # starts are integers, making the factor N'-periodic in k.
@@ -167,8 +182,34 @@ class ChannelizerPlan:
             * np.outer(starts, np.arange(self.num_channels))
             / self.num_channels
         )
-        spectra = spectra * phase
-        return np.fft.fftshift(spectra, axes=2)
+        if self.precision == "float64":
+            frames = batch[:, gather] * self._taper
+            spectra = np.fft.fft(frames, axis=2)
+            spectra = spectra * phase
+            return np.fft.fftshift(spectra, axes=2)
+        # float32 fast path: cache-sized trial tiles through the
+        # single-precision FFT namespace.  Every pass over the tile is
+        # in place (taper multiply, FFT, phase), and the final
+        # fftshift is two direct slice assignments into the output
+        # instead of a shifted temporary.
+        phase = phase.astype(np.complex64)
+        trials = batch.shape[0]
+        out = np.empty(
+            (trials, gather.shape[0], self.num_channels), dtype=self._cdtype
+        )
+        tile = tile_trials(3 * gather.size * out.itemsize)
+        shift = self.num_channels // 2
+        for lo in range(0, trials, tile):
+            hi = min(lo + tile, trials)
+            frames = batch[lo:hi, gather]
+            frames *= self._taper
+            spectra = self._fft.fft(
+                frames, axis=2, **fft_fast_kwargs(self._fft)
+            )
+            spectra *= phase
+            out[lo:hi, :, shift:] = spectra[:, :, : self.num_channels - shift]
+            out[lo:hi, :, :shift] = spectra[:, :, self.num_channels - shift:]
+        return out
 
     def demodulates(
         self,

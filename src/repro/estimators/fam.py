@@ -35,6 +35,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._compute import (
+    complex_dtype,
+    fft_fast_kwargs,
+    fft_namespace,
+    real_dtype,
+)
 from .._util import require_positive_int
 from ..core.sampling import SampledSignal
 from ..core.scf import COHERENCE_FLOOR
@@ -74,6 +80,7 @@ class FAMEstimator:
         num_blocks: int | None = None,
         window: str = "hann",
         sample_rate_hz: float | None = None,
+        precision: str = "float64",
     ) -> None:
         num_channels = require_positive_int(num_channels, "num_channels")
         if num_channels < 4:
@@ -83,7 +90,8 @@ class FAMEstimator:
         if hop is None:
             hop = max(1, num_channels // 4)
         self.channelizer = ChannelizerPlan(
-            num_channels, hop=hop, window=window, center=False
+            num_channels, hop=hop, window=window, center=False,
+            precision=precision,
         )
         self.num_blocks = (
             None if num_blocks is None
@@ -232,12 +240,18 @@ class BatchedFAM:
         window: str = "hann",
         normalize: bool = True,
         trial_chunk: int = 4,
+        precision: str = "float64",
     ) -> None:
+        self.precision = precision
+        self._cdtype = complex_dtype(precision)
+        self._rdtype = real_dtype(precision)
+        self._fft = fft_namespace(precision)
         self.estimator = FAMEstimator(
             num_channels=num_channels,
             hop=hop,
             num_blocks=num_blocks,
             window=window,
+            precision=precision,
         )
         self.samples_per_decision = require_positive_int(
             samples_per_decision, "samples_per_decision"
@@ -303,12 +317,30 @@ class BatchedFAM:
         order.
         """
         by_channel = np.ascontiguousarray(demodulates.T)
-        products = by_channel[self._upper_i] * np.conj(
-            by_channel[self._upper_j]
-        )
-        accumulated = np.fft.fft(products, axis=-1)
-        accumulated /= self.num_frames
-        squared = np.square(accumulated.real) + np.square(accumulated.imag)
+        if self.precision == "float64":
+            products = by_channel[self._upper_i] * np.conj(
+                by_channel[self._upper_j]
+            )
+            # numpy.fft: the bitwise parity reference.
+            accumulated = self._fft.fft(products, axis=-1)
+            accumulated /= self.num_frames
+            squared = np.square(accumulated.real) + np.square(
+                accumulated.imag
+            )
+        else:
+            # float32 fast path over the (pairs, P) product tensor:
+            # conjugate written once into the output buffer, FFT in
+            # place (the products are dead after it), and the 1/P
+            # second-FFT normalisation deferred onto the real-valued
+            # squared magnitudes (half the bytes of a complex pass).
+            products = np.conj(by_channel[self._upper_j])
+            products *= by_channel[self._upper_i]
+            accumulated = self._fft.fft(
+                products, axis=-1, **fft_fast_kwargs(self._fft)
+            )
+            squared = np.abs(accumulated)
+            np.square(squared, out=squared)
+            squared *= np.float32(1.0 / self.num_frames**2)
         if normalize:
             # Channel powers: the DC second-FFT bin of the diagonal
             # pairs is exactly mean_p |X_T[p, k]|^2.
@@ -320,14 +352,14 @@ class BatchedFAM:
         return squared.ravel()
 
     def _project(self, signals: np.ndarray, normalize: bool) -> np.ndarray:
-        batch = np.asarray(signals, dtype=np.complex128)
+        batch = np.asarray(signals, dtype=self._cdtype)
         demodulates = self.estimator.channelizer.demodulates_batch(
             batch, num_frames=self.num_frames
         )
         demodulates /= self.estimator.channelizer.coherent_gain
         trials = batch.shape[0]
         extent = self.projection.extent
-        out = np.empty((trials, extent, extent), dtype=np.float64)
+        out = np.empty((trials, extent, extent), dtype=self._rdtype)
         for trial in range(trials):
             out[trial] = self.projection.project(
                 self._trial_magnitudes_squared(demodulates[trial], normalize)

@@ -187,14 +187,21 @@ class LatticeProjection:
         numpy.ndarray
             ``(..., 2M+1, 2M+1)`` grid; cells no point maps to are 0.
         """
-        magnitudes = np.asarray(magnitudes, dtype=np.float64)
+        # Preserve single precision through the reduction (the float32
+        # fast paths feed float32 lattices); everything else promotes to
+        # float64 exactly as before.
+        magnitudes = np.asarray(magnitudes)
+        if magnitudes.dtype != np.float32:
+            magnitudes = np.asarray(magnitudes, dtype=np.float64)
         if magnitudes.shape[-1] != self.num_points:
             raise ConfigurationError(
                 f"magnitudes must have {self.num_points} lattice points on "
                 f"the last axis, got {magnitudes.shape[-1]}"
             )
         lead = magnitudes.shape[:-1]
-        grid = np.zeros(lead + (self.extent * self.extent,), dtype=np.float64)
+        grid = np.zeros(
+            lead + (self.extent * self.extent,), dtype=magnitudes.dtype
+        )
         if self._cells.size:
             gathered = magnitudes[..., self._gather]
             grid[..., self._cells] = np.maximum.reduceat(

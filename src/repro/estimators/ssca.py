@@ -35,6 +35,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._compute import (
+    complex_dtype,
+    fft_fast_kwargs,
+    fft_namespace,
+    real_dtype,
+)
 from .._util import require_positive_int
 from ..core.sampling import SampledSignal
 from ..core.scf import COHERENCE_FLOOR
@@ -66,6 +72,7 @@ class SSCAEstimator:
         num_channels: int = 64,
         window: str = "hann",
         sample_rate_hz: float | None = None,
+        precision: str = "float64",
     ) -> None:
         num_channels = require_positive_int(num_channels, "num_channels")
         if num_channels < 4:
@@ -73,7 +80,8 @@ class SSCAEstimator:
                 f"SSCA needs at least 4 strips, got {num_channels}"
             )
         self.channelizer = ChannelizerPlan(
-            num_channels, hop=1, window=window, center=True
+            num_channels, hop=1, window=window, center=True,
+            precision=precision,
         )
         self.sample_rate_hz = sample_rate_hz
 
@@ -186,8 +194,15 @@ class BatchedSSCA:
         window: str = "hann",
         normalize: bool = True,
         trial_chunk: int = 4,
+        precision: str = "float64",
     ) -> None:
-        self.estimator = SSCAEstimator(num_channels=num_channels, window=window)
+        self.precision = precision
+        self._cdtype = complex_dtype(precision)
+        self._rdtype = real_dtype(precision)
+        self._fft = fft_namespace(precision)
+        self.estimator = SSCAEstimator(
+            num_channels=num_channels, window=window, precision=precision
+        )
         self.samples_per_decision = require_positive_int(
             samples_per_decision, "samples_per_decision"
         )
@@ -218,12 +233,28 @@ class BatchedSSCA:
         self, samples: np.ndarray, demodulates: np.ndarray, normalize: bool
     ) -> np.ndarray:
         """``|Z|^2`` over one trial's strips, raveled strip-major."""
-        products = np.ascontiguousarray(
-            (demodulates * np.conj(samples)[:, None]).T
-        )
-        spectra = np.fft.fft(products, axis=-1)
-        spectra /= self.samples_per_decision
-        squared = np.square(spectra.real) + np.square(spectra.imag)
+        if self.precision == "float64":
+            products = np.ascontiguousarray(
+                (demodulates * np.conj(samples)[:, None]).T
+            )
+            # numpy.fft: the bitwise parity reference.
+            spectra = self._fft.fft(products, axis=-1)
+            spectra /= self.samples_per_decision
+            squared = np.square(spectra.real) + np.square(spectra.imag)
+        else:
+            # float32 fast path: the strip-major product tensor is
+            # built directly in its final (N', N) layout (no transpose
+            # copy), the strip FFTs run in place (the products are
+            # dead after them), and the 1/N normalisation is deferred
+            # onto the real-valued squared magnitudes — half the bytes
+            # of a complex-plane pass.
+            products = demodulates.T * np.conj(samples)[None, :]
+            spectra = self._fft.fft(
+                products, axis=-1, **fft_fast_kwargs(self._fft)
+            )
+            squared = np.abs(spectra)
+            np.square(squared, out=squared)
+            squared *= np.float32(1.0 / self.samples_per_decision**2)
         if normalize:
             strip_power = np.mean(
                 np.square(demodulates.real) + np.square(demodulates.imag),
@@ -234,7 +265,7 @@ class BatchedSSCA:
         return squared.ravel()
 
     def _project(self, signals: np.ndarray, normalize: bool) -> np.ndarray:
-        batch = np.asarray(signals, dtype=np.complex128)
+        batch = np.asarray(signals, dtype=self._cdtype)
         if batch.shape[1] != self.samples_per_decision:
             # The strip-FFT length fixes the lattice: longer trials
             # would silently change the alpha resolution, so truncate
@@ -242,7 +273,7 @@ class BatchedSSCA:
             batch = batch[:, : self.samples_per_decision]
         trials = batch.shape[0]
         extent = self.projection.extent
-        out = np.empty((trials, extent, extent), dtype=np.float64)
+        out = np.empty((trials, extent, extent), dtype=self._rdtype)
         gain = self.estimator.channelizer.coherent_gain
         for start in range(0, trials, self.trial_chunk):
             slab = batch[start : start + self.trial_chunk]

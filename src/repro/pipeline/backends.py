@@ -189,7 +189,12 @@ class VectorizedBackend:
         self, signal: SampledSignal | np.ndarray, config: PipelineConfig
     ) -> DSCFResult:
         spectra, sample_rate = _split_input(signal, config)
-        result = compute_dscf(spectra, m=config.m, sample_rate_hz=sample_rate)
+        result = compute_dscf(
+            spectra,
+            m=config.m,
+            sample_rate_hz=sample_rate,
+            precision=config.precision,
+        )
         return result
 
 

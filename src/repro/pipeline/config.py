@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from .._compute import validate_precision
 from .._util import (
     require_non_negative_int,
     require_positive_float,
@@ -21,6 +22,11 @@ from ..core.detection import validate_cyclic_bins, validate_pfa
 from ..core.scf import validate_m
 from ..core.windows import get_window
 from ..errors import ConfigurationError
+
+#: Backends with a single-precision (complex64) fast path.  The
+#: ``reference``/``streaming`` backends are double-precision parity
+#: oracles and ``soc`` is fixed-point, so they reject float32.
+FLOAT32_BACKENDS = ("vectorized", "fam", "ssca")
 
 
 @dataclass(frozen=True)
@@ -102,6 +108,14 @@ class PipelineConfig:
         Analysis window of the FAM/SSCA channelizer front-end (default
         Hann — overlapped channelizers want a taper even though the
         paper's DSCF blocks are rectangular).
+    precision:
+        Estimator arithmetic precision — ``"float64"`` (default, the
+        bitwise parity reference) or ``"float32"`` (complex64 fast
+        paths; supported by the batch-capable backends listed in
+        :data:`FLOAT32_BACKENDS`).  The ``reference``/``streaming``
+        backends stay double precision by design (they are the
+        NumPy-literal parity oracles) and ``soc`` is fixed-point with
+        bitwise-pinned traces, so float32 is rejected there.
     """
 
     fft_size: int = 256
@@ -125,6 +139,7 @@ class PipelineConfig:
     ssca_channels: int | None = None
     scan_bands: int = 8
     estimator_window: str = "hann"
+    precision: str = "float64"
 
     def __post_init__(self) -> None:
         require_positive_int(self.fft_size, "fft_size")
@@ -159,6 +174,17 @@ class PipelineConfig:
         if self.sample_rate_hz is not None:
             require_positive_float(self.sample_rate_hz, "sample_rate_hz")
         validate_pfa(self.pfa)
+        validate_precision(self.precision)
+        if (
+            self.precision == "float32"
+            and self.backend not in FLOAT32_BACKENDS
+        ):
+            raise ConfigurationError(
+                f"precision='float32' is only supported by the batch "
+                f"backends {FLOAT32_BACKENDS}; backend {self.backend!r} "
+                f"is a double-precision parity reference "
+                f"(or fixed-point, for 'soc')"
+            )
         object.__setattr__(
             self, "cyclic_bins", validate_cyclic_bins(self.cyclic_bins, self.m)
         )

@@ -35,7 +35,9 @@ def load_fixture() -> dict:
     return json.loads(FIXTURE.read_text())
 
 
-def compute_curve(fixture: dict) -> tuple[float, list]:
+def compute_curve(
+    fixture: dict, precision: str = "float64"
+) -> tuple[float, list]:
     point = fixture["operating_point"]
     config = PipelineConfig(
         fft_size=point["fft_size"],
@@ -44,6 +46,7 @@ def compute_curve(fixture: dict) -> tuple[float, list]:
         pfa=point["pfa"],
         calibration_trials=point["calibration_trials"],
         calibration_seed=point["calibration_seed"],
+        precision=precision,
     )
     runner = BatchRunner(config)
     needed = config.samples_per_decision
