@@ -1,0 +1,324 @@
+"""Serving health — latency/throughput of detection-as-a-service.
+
+Not a paper artifact: measures what the :mod:`repro.serve` subsystem
+buys and emits the machine-readable ``BENCH_serve.json`` at the repo
+root (tracked across PRs and guarded by
+``benchmarks/check_perf_regression.py``).
+
+A closed-loop generator drives C concurrent clients (C = 1 / 4 / 16)
+submitting detection windows at the paper's K = 256, 127 x 127
+operating point; each client awaits its decision and immediately
+submits the next, so offered load rises with C.  Three service modes
+are measured:
+
+* ``coalesced`` — the full :class:`~repro.serve.SensingService`:
+  concurrent requests ride shared engine batches (``max_batch = 32``),
+  thresholds are calibrated once per operating point and cached, plans
+  come from the process-wide cache;
+* ``queued_serial`` — the same service with ``max_batch = 1``:
+  requests queue through the scheduler but execute one engine call
+  each.  Isolates pure batch coalescing from the service's caching.
+  (At K = 256 the per-window Gram is BLAS-bound, so on a single-core
+  host this mode tracks ``coalesced`` closely; the batching win grows
+  with available cores and shrinking per-window compute — the smoke
+  geometry shows it directly.)
+* ``naive_serial`` — one-request-at-a-time service with **no shared
+  state**: each request is handled in isolation exactly the way the
+  offline CLI does it — a fresh ``DetectionPipeline`` with a fresh
+  plan and a fresh Monte-Carlo threshold calibration.  This is the
+  service a user would write without :mod:`repro.serve`, and what the
+  >= 2x throughput gate compares against.
+
+Every served decision is checked bitwise against the offline
+:class:`~repro.pipeline.DetectionPipeline` on the same window
+(statistic *and* threshold) — the serving layer must never trade
+correctness for throughput.
+
+Regenerate the JSON::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+
+``--smoke`` runs a tiny geometry for CI artifact runs (no gating).
+"""
+
+import argparse
+import asyncio
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine import Engine, PlanCache, available_cpus
+from repro.pipeline import DetectionPipeline, PipelineConfig
+from repro.serve import SensingService
+from repro.signals.noise import awgn
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+
+#: The paper operating point: K = 256 with the default M = 63 pruning,
+#: i.e. the 127 x 127 (f, a) grid of Section 4.
+FULL_CONFIG = PipelineConfig(fft_size=256, num_blocks=32)
+FULL_CLIENTS = (1, 4, 16)
+FULL_REQUESTS_PER_CLIENT = {"service": 6, "naive": 2}
+
+#: Tiny --smoke geometry (CI artifact run, no gating).
+SMOKE_CONFIG = PipelineConfig(fft_size=32, num_blocks=8, calibration_trials=8)
+SMOKE_CLIENTS = (1, 4)
+SMOKE_REQUESTS_PER_CLIENT = {"service": 3, "naive": 2}
+
+MAX_BATCH_COALESCED = 32
+
+
+def _windows(config: PipelineConfig, clients: int) -> list[np.ndarray]:
+    return [
+        awgn(config.samples_per_decision, seed=7000 + index)
+        for index in range(clients)
+    ]
+
+
+def _offline_reference(
+    config: PipelineConfig, windows: list[np.ndarray]
+) -> tuple[list[float], float]:
+    """Bitwise ground truth: offline pipeline statistics + threshold."""
+    pipeline = DetectionPipeline(config)
+    pipeline.calibrate()
+    return [pipeline.statistic(window) for window in windows], float(
+        pipeline.threshold
+    )
+
+
+def _row(
+    config: PipelineConfig,
+    clients: int,
+    mode: str,
+    max_batch: int,
+    total: int,
+    elapsed: float,
+    latencies: list[float],
+    snapshot: dict | None,
+) -> dict:
+    return {
+        "fft_size": config.fft_size,
+        "num_blocks": config.num_blocks,
+        "m": config.m,
+        "clients": clients,
+        "mode": mode,
+        "max_batch": max_batch,
+        "requests": total,
+        "seconds_total": elapsed,
+        "seconds_per_request": elapsed / total,
+        "requests_per_second": total / elapsed if elapsed > 0 else None,
+        "offered_load_rps": total / elapsed if elapsed > 0 else None,
+        "p50_latency_seconds": float(np.quantile(latencies, 0.50)),
+        "p99_latency_seconds": float(np.quantile(latencies, 0.99)),
+        "coalescing_factor": snapshot["coalescing_factor"] if snapshot else 1.0,
+        "batches": snapshot["batches"] if snapshot else total,
+        "shed_overload": snapshot["shed_overload"] if snapshot else 0,
+        "bitwise_equal_to_offline": True,  # asserted by the caller
+    }
+
+
+async def _service_loop(
+    config: PipelineConfig,
+    clients: int,
+    requests_per_client: int,
+    max_batch: int,
+) -> dict:
+    """One load point against the real service (coalesced or queued)."""
+    windows = _windows(config, clients)
+    latencies: list[float] = []
+    results: list[dict | None] = [None] * clients
+
+    service = SensingService(
+        config,
+        max_queue_depth=max(64, 4 * clients),
+        max_batch=max_batch,
+    )
+
+    async def client(index: int) -> None:
+        window = windows[index]
+        for _ in range(requests_per_client):
+            started = time.perf_counter()
+            results[index] = await service.detect_samples(window)
+            latencies.append(time.perf_counter() - started)
+
+    async with service:
+        # Warm the plan cache and the threshold cache outside the
+        # measured window: every row measures steady-state serving,
+        # not the one-off calibration (the naive baseline pays it per
+        # request — that is precisely its cost model).
+        await service.detect_samples(windows[0])
+        started = time.perf_counter()
+        await asyncio.gather(*(client(index) for index in range(clients)))
+        elapsed = time.perf_counter() - started
+        snapshot = service.metrics.snapshot()
+
+    statistics, threshold = _offline_reference(config, windows)
+    for offline, result in zip(statistics, results):
+        assert result["statistic"] == offline and result["threshold"] == threshold, (
+            f"served decision diverged from the offline pipeline: "
+            f"{result!r} vs statistic {offline!r}, threshold {threshold!r}"
+        )
+
+    total = clients * requests_per_client
+    mode = "queued_serial" if max_batch == 1 else "coalesced"
+    return _row(
+        config, clients, mode, max_batch, total, elapsed, latencies, snapshot
+    )
+
+
+async def _naive_loop(
+    config: PipelineConfig, clients: int, requests_per_client: int
+) -> dict:
+    """One load point against a stateless one-request-at-a-time server.
+
+    Each request is handled in isolation — fresh engine with plan
+    caching disabled, fresh pipeline, fresh threshold calibration —
+    and the single worker serves strictly sequentially (the
+    ``asyncio.Lock`` is the one-at-a-time discipline).
+    """
+    windows = _windows(config, clients)
+    latencies: list[float] = []
+    results: list[tuple[float, float] | None] = [None] * clients
+    worker = asyncio.Lock()
+
+    def handle(window: np.ndarray) -> tuple[float, float]:
+        with Engine(cache=PlanCache(maxsize=0, name="naive-serve")) as engine:
+            pipeline = DetectionPipeline(config, engine=engine)
+            pipeline.calibrate()
+            return pipeline.statistic(window), float(pipeline.threshold)
+
+    async def client(index: int) -> None:
+        window = windows[index]
+        for _ in range(requests_per_client):
+            started = time.perf_counter()
+            async with worker:
+                results[index] = await asyncio.to_thread(handle, window)
+            latencies.append(time.perf_counter() - started)
+
+    started = time.perf_counter()
+    await asyncio.gather(*(client(index) for index in range(clients)))
+    elapsed = time.perf_counter() - started
+
+    statistics, threshold = _offline_reference(config, windows)
+    for offline, result in zip(statistics, results):
+        assert result == (offline, threshold), (
+            f"naive decision diverged from the offline pipeline: "
+            f"{result!r} vs ({offline!r}, {threshold!r})"
+        )
+
+    total = clients * requests_per_client
+    return _row(
+        config, clients, "naive_serial", 1, total, elapsed, latencies, None
+    )
+
+
+async def _ladder(
+    config: PipelineConfig, clients_ladder, requests: dict
+) -> dict:
+    rows: dict[str, dict] = {
+        "coalesced": {},
+        "queued_serial": {},
+        "naive_serial": {},
+    }
+    for clients in clients_ladder:
+        rows["coalesced"][f"clients={clients}"] = await _service_loop(
+            config, clients, requests["service"], MAX_BATCH_COALESCED
+        )
+        rows["queued_serial"][f"clients={clients}"] = await _service_loop(
+            config, clients, requests["service"], 1
+        )
+        rows["naive_serial"][f"clients={clients}"] = await _naive_loop(
+            config, clients, requests["naive"]
+        )
+    return rows
+
+
+def emit(smoke: bool, json_path: Path) -> dict:
+    config = SMOKE_CONFIG if smoke else FULL_CONFIG
+    clients_ladder = SMOKE_CLIENTS if smoke else FULL_CLIENTS
+    requests = SMOKE_REQUESTS_PER_CLIENT if smoke else FULL_REQUESTS_PER_CLIENT
+
+    rows = asyncio.run(_ladder(config, clients_ladder, requests))
+    top = f"clients={max(clients_ladder)}"
+    coalesced = rows["coalesced"][top]
+    payload = {
+        "benchmark": "bench_serve",
+        "smoke": smoke,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpus": available_cpus(),
+        "serve": {
+            **rows,
+            "coalescing_speedup": {
+                "fft_size": config.fft_size,
+                "num_blocks": config.num_blocks,
+                "m": config.m,
+                "clients": max(clients_ladder),
+                "throughput_speedup_vs_naive": (
+                    coalesced["requests_per_second"]
+                    / rows["naive_serial"][top]["requests_per_second"]
+                ),
+                "throughput_speedup_vs_queued": (
+                    coalesced["requests_per_second"]
+                    / rows["queued_serial"][top]["requests_per_second"]
+                ),
+                "coalescing_factor": coalesced["coalescing_factor"],
+            },
+        },
+    }
+    with open(json_path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny geometry for CI artifact runs (no speedup gate)",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=BENCH_JSON,
+        help=f"output path (default {BENCH_JSON.name} at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = emit(args.smoke, args.json)
+    print(f"wrote {args.json} (cpus={payload['cpus']})")
+    for mode in ("coalesced", "queued_serial", "naive_serial"):
+        for label, row in payload["serve"][mode].items():
+            print(
+                f"  {mode} [{label}]: "
+                f"p50 {row['p50_latency_seconds'] * 1e3:.1f} ms, "
+                f"p99 {row['p99_latency_seconds'] * 1e3:.1f} ms, "
+                f"{row['requests_per_second']:.1f} req/s "
+                f"(coalescing {row['coalescing_factor']:.2f})"
+            )
+    gate = payload["serve"]["coalescing_speedup"]
+    print(
+        f"  speedup at clients={gate['clients']}: "
+        f"{gate['throughput_speedup_vs_naive']:.1f}x vs naive "
+        f"one-at-a-time, "
+        f"{gate['throughput_speedup_vs_queued']:.2f}x vs queued-serial"
+    )
+
+    if args.smoke:
+        return 0
+    if gate["throughput_speedup_vs_naive"] < 2.0:
+        print(
+            f"FAIL: coalesced throughput "
+            f"{gate['throughput_speedup_vs_naive']:.2f}x < 2.0x vs the "
+            f"one-request-at-a-time baseline at clients={gate['clients']}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,18 +56,29 @@ OPERATING_POINT_KEYS = (
     "backend",
     "precision",
     "transport",
+    "clients",
+    "mode",
+    "max_batch",
+    "requests",
 )
 
 #: Recognised timing fields (seconds; lower is better).  The per-sweep
 #: keys come from BENCH_engine.json's plan-cache rows: a regression in
 #: ``warm_seconds_per_sweep`` means plans stopped being cache hits, one
 #: in ``cold_seconds_per_sweep`` that plan building itself slowed down.
+#: The serve keys come from BENCH_serve.json's load-ladder rows:
+#: ``seconds_per_request`` is inverse served throughput, the latency
+#: quantiles catch the service getting slower without the throughput
+#: moving (e.g. a scheduler stall lengthening the queue).
 TIMING_KEYS = (
     "seconds_per_estimate",
     "interpreted_seconds_per_estimate",
     "compiled_seconds_per_estimate",
     "cold_seconds_per_sweep",
     "warm_seconds_per_sweep",
+    "seconds_per_request",
+    "p50_latency_seconds",
+    "p99_latency_seconds",
 )
 
 

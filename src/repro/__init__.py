@@ -35,6 +35,13 @@ The package is organised in layers:
   (``ssca``), both registered as pipeline backends and returning
   physical-axis :class:`~repro.estimators.CyclicSpectrum` planes for
   blind (unknown-alpha) searches.
+* :mod:`repro.serve` — detection-as-a-service: a long-running asyncio
+  sensing service on top of the engine, with per-client chunked
+  ingestion sessions (sliding-window online SCF, bitwise
+  checkpoint/restore), a coalescing scheduler (concurrent requests
+  batched into single engine calls, bounded-queue backpressure,
+  per-request deadlines), a latency/coalescing metrics surface, and a
+  line-delimited JSON TCP front end (``repro-cfd serve``).
 * :mod:`repro.scanner` — blind wideband scanning: a polyphase
   channelizer splits a multi-emitter capture into sub-bands, every
   sub-band runs any registered backend (batched across sub-bands x
@@ -112,6 +119,18 @@ from .estimators import (
     SSCAEstimator,
 )
 from .scanner import BandScanner, OccupancyMap
+from .serve import (
+    SensingServer,
+    SensingService,
+    SensingSession,
+    serve_backends,
+)
+from .errors import (
+    DeadlineExceededError,
+    ServeError,
+    ServiceOverloadedError,
+    SessionStateError,
+)
 from .signals import (
     BandScenario,
     EmitterSpec,
@@ -130,7 +149,7 @@ from .signals import (
     scfdma_signal,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "BandScanner",
@@ -155,6 +174,14 @@ __all__ = [
     "CommunicationError",
     "ConfigurationError",
     "CyclostationaryFeatureDetector",
+    "DeadlineExceededError",
+    "SensingServer",
+    "SensingService",
+    "SensingSession",
+    "ServeError",
+    "ServiceOverloadedError",
+    "SessionStateError",
+    "serve_backends",
     "DSCFResult",
     "EnergyDetector",
     "LicensedUser",

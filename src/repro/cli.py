@@ -34,8 +34,15 @@ Subcommands
     Pd-vs-SNR sweep per estimator backend through
     :meth:`repro.engine.Engine.map_operating_points` — identical
     realisations per backend, one table of operating points.
+``serve``
+    Run the streaming sensing service (:mod:`repro.serve`): a
+    line-delimited JSON TCP server with chunked per-session ingestion,
+    request coalescing into engine batches, bounded-queue backpressure,
+    and a latency/coalescing metrics surface.  ``--smoke`` self-drives
+    one loopback client and exits (for CI).  Only serve-capable
+    backends are accepted (see ``backends``).
 
-``sense``, ``scan`` and ``sweep`` all accept ``--jobs N`` (shard the
+``sense``, ``scan``, ``sweep`` and ``serve`` all accept ``--jobs N`` (shard the
 Monte-Carlo trial batches across N worker processes; bitwise equal to
 ``--jobs 1``) and ``--cache/--no-cache`` (reuse execution plans via
 the shared :class:`~repro.engine.PlanCache`).
@@ -44,6 +51,8 @@ the shared :class:`~repro.engine.PlanCache`).
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
 import sys
 
 import numpy as np
@@ -67,6 +76,12 @@ from .pipeline import (
     get_backend,
 )
 from .pipeline.config import FLOAT32_BACKENDS
+from .serve import (
+    SensingServer,
+    SensingService,
+    encode_samples,
+    session_capable,
+)
 from .mapping import Fold, SpaceTimeDelayDiagram, minimal_register_structure
 from .mapping.ascii_art import render_figure5, render_figure7, render_figure9
 from .perf import (
@@ -533,6 +548,12 @@ def _cmd_backends(args: argparse.Namespace) -> int:
             else "float64 only (parity reference)"
         )
         print(f"  {'':<12s} precision: {precisions}")
+        serving = (
+            "session-capable (repro-cfd serve)"
+            if session_capable(name)
+            else "offline only (neither streaming nor batched execution)"
+        )
+        print(f"  {'':<12s} serve: {serving}")
         executor_cache = getattr(get_backend(name), "plan_cache", None)
         caching = "shared engine LRU"
         if executor_cache is not None:
@@ -559,6 +580,100 @@ def _cmd_backends(args: argparse.Namespace) -> int:
         f"{', '.join(FLOAT32_BACKENDS)}. Sharded runs ship trial blocks "
         "through zero-copy shared memory (descriptor-only pickling)."
     )
+    return 0
+
+
+async def _serve_smoke_client(server: SensingServer) -> None:
+    """Self-drive one loopback client through the whole protocol."""
+    config = server.service.config
+    host, port = server.address
+    reader, writer = await asyncio.open_connection(host, port)
+
+    async def rpc(request: dict) -> dict:
+        writer.write(json.dumps(request).encode() + b"\n")
+        await writer.drain()
+        reply = json.loads(await reader.readline())
+        if not reply.get("ok"):
+            raise ConfigurationError(
+                f"smoke client request failed: {reply.get('error')}: "
+                f"{reply.get('message')}"
+            )
+        return reply
+
+    try:
+        opened = await rpc({"op": "open"})
+        session = opened["session"]
+        samples = awgn(config.samples_per_decision, power=1.0, seed=0)
+        chunk = 4 * config.fft_size
+        for start in range(0, samples.size, chunk):
+            await rpc(
+                {
+                    "op": "ingest",
+                    "session": session,
+                    "samples": encode_samples(samples[start : start + chunk]),
+                }
+            )
+        result = await rpc({"op": "detect", "session": session})
+        print(
+            f"smoke: statistic={result['statistic']:.6g} "
+            f"threshold={result['threshold']:.6g} "
+            f"detected={result['detected']} (noise-only input)"
+        )
+        stats = (await rpc({"op": "stats"}))["stats"]
+        latency = stats["latency"]["p50_latency_seconds"]
+        print(
+            f"smoke: served={stats['served']} batches={stats['batches']} "
+            f"coalescing={stats['coalescing_factor']:.2f} "
+            f"p50={latency * 1e3:.2f} ms"
+        )
+        await rpc({"op": "close", "session": session})
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    config = PipelineConfig(
+        fft_size=args.fft_size,
+        num_blocks=args.blocks,
+        backend=args.backend,
+        pfa=args.pfa,
+        calibration_trials=args.calibration_trials,
+        precision=args.precision,
+    )
+    engine = _make_engine(args)
+
+    async def run() -> None:
+        service = SensingService(
+            config,
+            engine=engine,
+            max_queue_depth=args.max_queue_depth,
+            max_batch=args.max_batch,
+        )
+        server = SensingServer(service, host=args.host, port=args.port)
+        await server.start()
+        host, port = server.address
+        print(
+            f"serving on {host}:{port} — backend {config.backend}, "
+            f"K={config.fft_size}, N={config.num_blocks}, "
+            f"queue<={args.max_queue_depth}, batch<={args.max_batch}"
+        )
+        try:
+            if args.smoke:
+                await _serve_smoke_client(server)
+            else:  # pragma: no cover - interactive foreground mode
+                await server.serve_forever()
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass  # pragma: no cover - operator stop
+        finally:
+            await server.close()
+
+    with engine:
+        asyncio.run(run())
+        _print_engine_summary(engine, precision=args.precision)
     return 0
 
 
@@ -656,6 +771,49 @@ def build_parser() -> argparse.ArgumentParser:
         "backends", help="list the registered estimator backends"
     )
     backends.set_defaults(func=_cmd_backends)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the streaming sensing service (JSON-lines TCP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port to bind (0 picks a free port and prints it)",
+    )
+    serve.add_argument("--fft-size", type=int, default=64)
+    serve.add_argument("--blocks", type=int, default=64)
+    serve.add_argument("--pfa", type=float, default=0.05)
+    serve.add_argument("--calibration-trials", type=int, default=50)
+    serve.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="vectorized",
+        help="estimator backend; must be serve-capable (see `backends`)",
+    )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=64,
+        help="backpressure limit: pending requests beyond this are shed "
+        "with ServiceOverloadedError",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="most requests one coalesced engine batch may carry",
+    )
+    serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="self-drive one loopback client through the protocol and "
+        "exit (for CI)",
+    )
+    _add_engine_arguments(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     scan = subparsers.add_parser(
         "scan", help="blindly scan a wideband multi-emitter scenario"

@@ -23,12 +23,40 @@ worker's mapping closes (a live view would raise ``BufferError``).
 
 from __future__ import annotations
 
+import atexit
+import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
 import numpy as np
 
 from ..errors import ConfigurationError
+
+#: Every live parent-owned segment in this process.  A WeakSet so mere
+#: registration never extends a segment's lifetime: entries disappear
+#: on garbage collection, ``destroy()`` discards eagerly, and whatever
+#: remains at interpreter exit is reaped by :func:`_reap_live_segments`
+#: — the safety net for crash paths (an exception between segment
+#: creation and its ``with`` block, a long-running server killed
+#: mid-batch) that would otherwise leave ``/dev/shm`` entries behind.
+_LIVE_SEGMENTS: "weakref.WeakSet[SharedArraySegment]" = weakref.WeakSet()
+
+
+def live_segment_names() -> tuple[str, ...]:
+    """Names of parent-owned segments not yet destroyed (diagnostics)."""
+    return tuple(
+        segment.name for segment in _LIVE_SEGMENTS if segment._shm is not None
+    )
+
+
+@atexit.register
+def _reap_live_segments() -> None:
+    """Unlink every still-live parent-owned segment at interpreter exit."""
+    for segment in list(_LIVE_SEGMENTS):
+        try:
+            segment.destroy()
+        except Exception:  # pragma: no cover - nothing left to do at exit
+            pass
 
 
 @dataclass(frozen=True)
@@ -73,6 +101,7 @@ class SharedArraySegment:
         self.descriptor = SharedArrayDescriptor(
             name=self._shm.name, shape=array.shape, dtype=str(array.dtype)
         )
+        _LIVE_SEGMENTS.add(self)
 
     @property
     def name(self) -> str:
@@ -84,6 +113,7 @@ class SharedArraySegment:
         if self._shm is None:
             return
         shm, self._shm = self._shm, None
+        _LIVE_SEGMENTS.discard(self)
         shm.close()
         try:
             shm.unlink()

@@ -39,3 +39,28 @@ class CommunicationError(SimulationError):
 
 class SignalError(ReproError):
     """A signal generator or estimator received an invalid waveform request."""
+
+
+class ServeError(ReproError):
+    """Base class for sensing-service (``repro.serve``) failures."""
+
+
+class ServiceOverloadedError(ServeError):
+    """The service shed a request to protect itself.
+
+    Raised when the scheduler's bounded queue is full (backpressure) or
+    the service is shutting down with requests still queued.  Clients
+    should back off and retry; the server itself stays live.
+    """
+
+
+class DeadlineExceededError(ServeError):
+    """A request's deadline expired before its batch executed."""
+
+
+class SessionStateError(ServeError):
+    """A serve session was driven out of protocol.
+
+    Unknown session id, detection requested before a full analysis
+    window has been ingested, or ingestion into a closed session.
+    """

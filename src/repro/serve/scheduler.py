@@ -1,0 +1,269 @@
+"""Request coalescing, backpressure, and deadlines for the service.
+
+The scheduler is the concurrency heart of detection-as-a-service.  It
+owns one bounded :class:`asyncio.Queue` of pending detection requests
+and one worker task that drains it:
+
+* **coalescing** — the worker pulls as many queued requests as are
+  immediately available (up to ``max_batch``), groups them by engine
+  plan key, stacks each group's windows into one trial batch, and runs
+  a single :meth:`Engine.statistics <repro.engine.Engine.statistics>`
+  call per group.  The batched plans guarantee per-trial slices are
+  bitwise identical to singleton runs, so coalescing changes *when*
+  work happens, never *what* is computed — and amortises the FFT/
+  einsum setup the same way the offline batch path does;
+* **backpressure** — :meth:`CoalescingScheduler.submit` never blocks
+  the producer: when the queue is at ``max_queue_depth`` the request
+  is shed immediately with
+  :class:`~repro.errors.ServiceOverloadedError`.  The server stays
+  live; the client backs off;
+* **deadlines** — a request may carry a relative deadline.  Expiry is
+  checked when the worker dequeues it: an expired request fails with
+  :class:`~repro.errors.DeadlineExceededError` instead of wasting a
+  batch slot.
+
+Because the engine call is CPU-bound NumPy, the worker hands it to
+:func:`asyncio.to_thread`; the event loop keeps accepting ingests and
+submissions while a batch computes, which is exactly how the queue
+builds up the next coalesced batch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._util import require_positive_int
+from ..engine import Engine
+from ..engine.cache import plan_key
+from ..errors import DeadlineExceededError, ServiceOverloadedError
+from ..pipeline.config import PipelineConfig
+from .metrics import ServiceMetrics
+
+
+@dataclass
+class DetectionRequest:
+    """One pending detection: a window of samples plus its bookkeeping."""
+
+    samples: np.ndarray
+    config: PipelineConfig
+    future: asyncio.Future
+    submitted: float
+    deadline: float | None = None
+    key: tuple = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.key = plan_key(self.config)
+
+
+class CoalescingScheduler:
+    """Bounded-queue batching scheduler over one :class:`Engine`.
+
+    Parameters
+    ----------
+    engine:
+        The execution engine every coalesced batch runs on.
+    metrics:
+        The service's :class:`~repro.serve.metrics.ServiceMetrics`
+        (offered/served/shed counters, batch sizes, queue depth).
+    max_queue_depth:
+        Backpressure limit: submissions beyond this many pending
+        requests are shed with ``ServiceOverloadedError``.
+    max_batch:
+        Most requests one drained batch may contain (an engine batch
+        per plan-key group within it).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        metrics: ServiceMetrics,
+        max_queue_depth: int = 64,
+        max_batch: int = 32,
+    ) -> None:
+        self._engine = engine
+        self._metrics = metrics
+        self.max_queue_depth = require_positive_int(
+            max_queue_depth, "max_queue_depth"
+        )
+        self.max_batch = require_positive_int(max_batch, "max_batch")
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=self.max_queue_depth)
+        self._worker: asyncio.Task | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """Whether the worker task is draining the queue."""
+        return self._worker is not None and not self._worker.done()
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently pending (for stats/backpressure probes)."""
+        return self._queue.qsize()
+
+    async def start(self) -> None:
+        """Start the worker task (idempotent)."""
+        if self.running:
+            return
+        self._closed = False
+        self._worker = asyncio.create_task(
+            self._run(), name="repro-serve-scheduler"
+        )
+
+    async def close(self, drain: bool = True) -> None:
+        """Stop the scheduler.
+
+        With ``drain=True`` (default) every already-queued request is
+        still executed before the worker exits; new submissions are
+        shed immediately.  With ``drain=False`` queued requests fail
+        with ``ServiceOverloadedError``.
+        """
+        self._closed = True
+        if self._worker is None:
+            self._shed_queue()
+            return
+        if drain:
+            await self._queue.put(None)  # sentinel after the backlog
+            await self._worker
+        else:
+            self._worker.cancel()
+            try:
+                await self._worker
+            except asyncio.CancelledError:
+                pass
+            self._shed_queue()
+        self._worker = None
+
+    def _shed_queue(self) -> None:
+        while True:
+            try:
+                request = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            if request is None:
+                continue
+            self._metrics.record_shed_overload()
+            if not request.future.done():
+                request.future.set_exception(
+                    ServiceOverloadedError(
+                        "service shut down before the request executed"
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    async def submit(
+        self,
+        samples: np.ndarray,
+        config: PipelineConfig,
+        deadline_seconds: float | None = None,
+    ) -> float:
+        """Queue one detection window and await its statistic.
+
+        Sheds immediately (``ServiceOverloadedError``) when the queue
+        is full or the scheduler is closed; fails with
+        ``DeadlineExceededError`` when *deadline_seconds* elapses
+        before the batch runs.
+        """
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        request = DetectionRequest(
+            samples=samples,
+            config=config,
+            future=loop.create_future(),
+            submitted=now,
+            deadline=None if deadline_seconds is None else now + deadline_seconds,
+        )
+        if self._closed or not self.running:
+            self._metrics.record_shed_overload()
+            raise ServiceOverloadedError(
+                "the scheduler is not accepting requests (closed)"
+            )
+        try:
+            self._queue.put_nowait(request)
+        except asyncio.QueueFull:
+            self._metrics.record_shed_overload()
+            raise ServiceOverloadedError(
+                f"detection queue is full ({self.max_queue_depth} pending); "
+                f"back off and retry"
+            ) from None
+        self._metrics.record_offered(self._queue.qsize())
+        return await request.future
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            request = await self._queue.get()
+            if request is None:
+                return
+            batch = [request]
+            stop_after = False
+            # Everything already waiting rides in this batch: the
+            # coalescing window is exactly the time the previous batch
+            # spent computing.
+            while len(batch) < self.max_batch:
+                try:
+                    more = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if more is None:
+                    stop_after = True
+                    break
+                batch.append(more)
+            await self._execute(loop, batch)
+            if stop_after:
+                return
+
+    async def _execute(self, loop, batch: list[DetectionRequest]) -> None:
+        now = loop.time()
+        live: list[DetectionRequest] = []
+        for request in batch:
+            if request.future.done():
+                continue  # caller gave up (cancellation)
+            if request.deadline is not None and now > request.deadline:
+                self._metrics.record_shed_deadline()
+                request.future.set_exception(
+                    DeadlineExceededError(
+                        f"deadline expired {now - request.deadline:.3f}s "
+                        f"before the batch executed"
+                    )
+                )
+                continue
+            live.append(request)
+        if not live:
+            return
+        # One engine batch per plan-key group; grouping preserves FIFO
+        # order within each group.
+        groups: dict[tuple, list[DetectionRequest]] = {}
+        for request in live:
+            groups.setdefault(request.key, []).append(request)
+        for group in groups.values():
+            stacked = np.stack([request.samples for request in group])
+            try:
+                statistics = await asyncio.to_thread(
+                    self._engine.statistics,
+                    stacked,
+                    config=group[0].config,
+                )
+            except Exception as error:
+                for request in group:
+                    self._metrics.record_failed()
+                    if not request.future.done():
+                        request.future.set_exception(error)
+                continue
+            self._metrics.record_batch(len(group))
+            done = loop.time()
+            for request, statistic in zip(group, statistics):
+                if request.future.done():
+                    continue
+                self._metrics.record_served(done - request.submitted)
+                request.future.set_result(float(statistic))

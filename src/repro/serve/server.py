@@ -1,0 +1,169 @@
+"""A line-delimited JSON TCP front end for the sensing service.
+
+One request per line, one JSON reply per line — the simplest wire
+format that a shell script, ``nc``, or any language's socket library
+can drive.  Each connection is handled independently, so concurrent
+clients naturally exercise the scheduler's request coalescing.
+
+Operations (``op`` field of the request object):
+
+``open``
+    ``{"op": "open"}`` → ``{"ok": true, "session": "s1"}``; an
+    optional ``"session"`` names the id explicitly.
+``ingest``
+    ``{"op": "ingest", "session": "s1", "samples": [re, im, ...]}`` —
+    samples travel as interleaved real/imag float pairs; replies with
+    the session progress (``blocks``, ``ready``).
+``detect``
+    ``{"op": "detect", "session": "s1"}`` with optional ``"deadline"``
+    (seconds) and ``"threshold"`` (bool, default true) → the detection
+    result (``statistic``, ``threshold``, ``detected``).
+``stats``
+    ``{"op": "stats"}`` → the full metrics snapshot.
+``close``
+    ``{"op": "close", "session": "s1"}`` → closes the session.
+
+Failures reply ``{"ok": false, "error": "<exception class>",
+"message": "..."}`` and keep the connection open: backpressure
+(``ServiceOverloadedError``) and deadline sheds are ordinary replies a
+client backs off on, not connection teardowns.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+
+from ..errors import ConfigurationError, ReproError
+from .service import SensingService
+
+
+def decode_samples(pairs) -> np.ndarray:
+    """Interleaved ``[re, im, re, im, ...]`` floats → complex128 array."""
+    flat = np.asarray(pairs, dtype=np.float64)
+    if flat.ndim != 1 or flat.size % 2:
+        raise ConfigurationError(
+            "samples must be a flat list of interleaved re/im float "
+            f"pairs, got shape {flat.shape}"
+        )
+    return flat[0::2] + 1j * flat[1::2]
+
+
+def encode_samples(samples: np.ndarray) -> list[float]:
+    """Complex array → interleaved ``[re, im, ...]`` floats."""
+    samples = np.asarray(samples, dtype=np.complex128)
+    flat = np.empty(2 * samples.size, dtype=np.float64)
+    flat[0::2] = samples.real
+    flat[1::2] = samples.imag
+    return flat.tolist()
+
+
+class SensingServer:
+    """Serve a :class:`SensingService` over line-delimited JSON TCP."""
+
+    def __init__(
+        self,
+        service: SensingService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (port resolved after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def start(self) -> None:
+        """Bind the listening socket and start the service scheduler."""
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+
+    async def close(self) -> None:
+        """Stop accepting connections and shut the service down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.close()
+
+    async def serve_forever(self) -> None:
+        """Block serving connections until cancelled."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                reply = await self._dispatch_line(line)
+                writer.write(json.dumps(reply).encode() + b"\n")
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch_line(self, line: bytes) -> dict:
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ConfigurationError("request must be a JSON object")
+            return await self._dispatch(request)
+        except (ReproError, ValueError, KeyError, TypeError) as error:
+            return {
+                "ok": False,
+                "error": type(error).__name__,
+                "message": str(error),
+            }
+
+    async def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        service = self.service
+        if op == "open":
+            session_id = service.open_session(
+                session_id=request.get("session")
+            )
+            return {"ok": True, "session": session_id}
+        if op == "ingest":
+            info = service.ingest(
+                request["session"], decode_samples(request["samples"])
+            )
+            return {"ok": True, **info}
+        if op == "detect":
+            result = await service.detect(
+                request["session"],
+                deadline_seconds=request.get("deadline"),
+                with_threshold=bool(request.get("threshold", True)),
+            )
+            return {"ok": True, **result}
+        if op == "stats":
+            return {"ok": True, "stats": service.stats()}
+        if op == "close":
+            service.close_session(request["session"])
+            return {"ok": True, "session": request["session"]}
+        raise ConfigurationError(
+            f"unknown op {op!r}; expected one of open, ingest, detect, "
+            f"stats, close"
+        )

@@ -1,0 +1,285 @@
+"""The sensing service: sessions + coalescing scheduler + metrics.
+
+:class:`SensingService` is the in-process facade that ``repro-cfd
+serve`` (and any embedding application) runs.  It ties the serving
+subsystem together:
+
+* it owns one :class:`~repro.engine.Engine` (shared plan cache, shared-
+  memory transport, optional worker processes) on which every
+  coalesced detection batch and every threshold calibration runs;
+* it tracks :class:`~repro.serve.session.SensingSession` objects by id
+  — open, ingest, checkpoint, restore, close;
+* it routes detection requests through the
+  :class:`~repro.serve.scheduler.CoalescingScheduler`, so concurrent
+  clients are batched into single engine calls while staying bitwise
+  identical to offline :class:`~repro.pipeline.DetectionPipeline`
+  runs;
+* it calibrates detection thresholds on first use per operating point
+  and caches them (the Monte-Carlo calibration is deterministic given
+  the config, so the cache is exact, not approximate);
+* it exposes the whole metrics surface through :meth:`stats` —
+  latency quantiles, offered vs served load, coalescing factor, queue
+  depth, plan-cache hits.
+
+Use it as an async context manager::
+
+    async with SensingService(config) as service:
+        sid = service.open_session()
+        service.ingest(sid, chunk)
+        result = await service.detect(sid)
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from ..engine import Engine
+from ..engine.cache import plan_key
+from ..errors import SessionStateError
+from ..pipeline.config import PipelineConfig
+from .metrics import ServiceMetrics
+from .scheduler import CoalescingScheduler
+from .session import SensingSession, require_serve_capable
+
+
+class SensingService:
+    """A long-running detection-as-a-service facade.
+
+    Parameters
+    ----------
+    config:
+        The default operating point for sessions that do not bring
+        their own.  Must be serve-capable.
+    engine:
+        An existing :class:`~repro.engine.Engine` to run on; the
+        service builds its own (``Engine(jobs=jobs)``) when omitted and
+        then also owns its shutdown.
+    jobs:
+        Worker processes for the owned engine (ignored when *engine*
+        is given).
+    max_queue_depth / max_batch:
+        Scheduler backpressure limit and coalescing cap — see
+        :class:`~repro.serve.scheduler.CoalescingScheduler`.
+    latency_capacity:
+        Size of the latency reservoir backing p50/p99.
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig,
+        engine: Engine | None = None,
+        jobs: int = 1,
+        max_queue_depth: int = 64,
+        max_batch: int = 32,
+        latency_capacity: int = 4096,
+    ) -> None:
+        require_serve_capable(config)
+        self.config = config
+        self._owns_engine = engine is None
+        self._engine = Engine(jobs=jobs) if engine is None else engine
+        self.metrics = ServiceMetrics(latency_capacity=latency_capacity)
+        self.scheduler = CoalescingScheduler(
+            self._engine,
+            self.metrics,
+            max_queue_depth=max_queue_depth,
+            max_batch=max_batch,
+        )
+        self._sessions: dict[str, SensingSession] = {}
+        self._thresholds: dict[tuple, float] = {}
+        self._threshold_lock = asyncio.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> Engine:
+        """The execution engine every batch runs on."""
+        return self._engine
+
+    async def start(self) -> None:
+        """Start the scheduler worker (idempotent)."""
+        await self.scheduler.start()
+
+    async def close(self, drain: bool = True) -> None:
+        """Stop the scheduler and (if owned) shut the engine down."""
+        await self.scheduler.close(drain=drain)
+        for session in self._sessions.values():
+            session.close()
+        if self._owns_engine:
+            self._engine.close()
+
+    async def __aenter__(self) -> "SensingService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+    def open_session(
+        self,
+        config: PipelineConfig | None = None,
+        session_id: str | None = None,
+    ) -> str:
+        """Open a new ingestion session; returns its id."""
+        session = SensingSession(
+            self.config if config is None else config, session_id=session_id
+        )
+        if session.session_id in self._sessions:
+            raise SessionStateError(
+                f"session id {session.session_id!r} is already open"
+            )
+        self._sessions[session.session_id] = session
+        return session.session_id
+
+    def _session(self, session_id: str) -> SensingSession:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise SessionStateError(
+                f"unknown session id {session_id!r}"
+            ) from None
+
+    def ingest(self, session_id: str, samples: np.ndarray) -> dict:
+        """Feed one chunk into a session; returns its progress summary."""
+        info = self._session(session_id).ingest(samples)
+        self.metrics.record_ingest(int(np.asarray(samples).size))
+        return info
+
+    def session_scf(self, session_id: str):
+        """The session's live sliding-window DSCF result."""
+        return self._session(session_id).scf_result()
+
+    def checkpoint_session(self, session_id: str) -> dict:
+        """A bitwise-exact checkpoint of one session's state."""
+        return self._session(session_id).state()
+
+    def restore_session(
+        self, state: dict, config: PipelineConfig | None = None
+    ) -> str:
+        """Re-open a session from a checkpoint; returns its id."""
+        session = SensingSession.from_state(
+            self.config if config is None else config, state
+        )
+        if session.session_id in self._sessions:
+            raise SessionStateError(
+                f"session id {session.session_id!r} is already open"
+            )
+        self._sessions[session.session_id] = session
+        return session.session_id
+
+    def close_session(self, session_id: str) -> None:
+        """Close and forget a session."""
+        self._session(session_id).close()
+        del self._sessions[session_id]
+
+    # ------------------------------------------------------------------
+    # Detection
+    # ------------------------------------------------------------------
+    async def threshold(self, config: PipelineConfig | None = None) -> float:
+        """The calibrated detection threshold for *config*.
+
+        First use per operating point runs the engine's Monte-Carlo
+        calibration (off the event loop); later uses hit the cache.
+        The calibration is deterministic in the config, so cached
+        values are exact.
+        """
+        config = self.config if config is None else config
+        key = (
+            plan_key(config),
+            config.pfa,
+            config.calibration_trials,
+            config.calibration_seed,
+        )
+        cached = self._thresholds.get(key)
+        if cached is not None:
+            return cached
+        async with self._threshold_lock:
+            cached = self._thresholds.get(key)
+            if cached is None:
+                cached = float(
+                    await asyncio.to_thread(
+                        self._engine.calibrate_threshold, config
+                    )
+                )
+                self._thresholds[key] = cached
+        return cached
+
+    async def detect_samples(
+        self,
+        samples: np.ndarray,
+        config: PipelineConfig | None = None,
+        deadline_seconds: float | None = None,
+        with_threshold: bool = True,
+    ) -> dict:
+        """One-shot detection on a caller-supplied window.
+
+        The window is queued through the coalescing scheduler, so
+        concurrent calls share engine batches; the returned statistic
+        is bitwise identical to the offline pipeline on the same
+        samples.
+        """
+        config = self.config if config is None else config
+        threshold = (await self.threshold(config)) if with_threshold else None
+        statistic = await self.scheduler.submit(
+            np.asarray(samples, dtype=np.complex128),
+            config,
+            deadline_seconds=deadline_seconds,
+        )
+        result = {
+            "statistic": statistic,
+            "threshold": threshold,
+            "backend": config.backend,
+        }
+        if threshold is not None:
+            result["detected"] = bool(statistic > threshold)
+        return result
+
+    async def detect(
+        self,
+        session_id: str,
+        deadline_seconds: float | None = None,
+        with_threshold: bool = True,
+    ) -> dict:
+        """Detect on a session's current window (the last N blocks)."""
+        session = self._session(session_id)
+        window = session.window_samples()  # raises until ready
+        result = await self.detect_samples(
+            window,
+            config=session.config,
+            deadline_seconds=deadline_seconds,
+            with_threshold=with_threshold,
+        )
+        result["session"] = session_id
+        result["blocks"] = session.blocks_ingested
+        result["total_samples"] = session.total_samples
+        return result
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """The full metrics surface as plain JSON-serialisable data."""
+        cache_stats = self._engine.cache.stats
+        snapshot = self.metrics.snapshot()
+        snapshot.update(
+            {
+                "sessions": len(self._sessions),
+                "queue_depth": self.scheduler.queue_depth,
+                "max_queue_limit": self.scheduler.max_queue_depth,
+                "max_batch_limit": self.scheduler.max_batch,
+                "plan_cache": {
+                    "hits": cache_stats.hits,
+                    "misses": cache_stats.misses,
+                    "evictions": cache_stats.evictions,
+                    "size": cache_stats.size,
+                    "hit_rate": cache_stats.hit_rate,
+                },
+                "engine_jobs": self._engine.jobs,
+            }
+        )
+        return snapshot

@@ -247,6 +247,34 @@ class TestEngineFlags:
         assert "shared plan cache: capacity" in out
         assert "up to jobs=4" in out
 
+    def test_backends_reports_serve_capability(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "serve: session-capable (repro-cfd serve)" in out
+        assert "serve: offline only" in out
+
+
+class TestServeCommand:
+    def test_smoke_drives_full_protocol(self, capsys):
+        assert main([
+            "serve", "--smoke", "--fft-size", "32", "--blocks", "8",
+            "--calibration-trials", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "serving on 127.0.0.1:" in out
+        assert "smoke: statistic=" in out
+        assert "served=1 batches=1" in out
+        assert "engine: jobs=1" in out
+
+    def test_rejects_non_serve_capable_backend(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="not serve-capable"):
+            main([
+                "serve", "--smoke", "--fft-size", "32", "--blocks", "8",
+                "--calibration-trials", "8", "--backend", "reference",
+            ])
+
 
 class TestSweepCommand:
     def test_sweep_prints_table(self, capsys):
