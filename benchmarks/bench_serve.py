@@ -117,6 +117,14 @@ def _row(
         "coalescing_factor": snapshot["coalescing_factor"] if snapshot else 1.0,
         "batches": snapshot["batches"] if snapshot else total,
         "shed_overload": snapshot["shed_overload"] if snapshot else 0,
+        # Fault-tolerance counters: all structurally zero in a clean
+        # benchmark run (no injection) — non-zero here means the run
+        # itself hit real faults and recovered, worth seeing in the
+        # artifact trail.
+        "retried": snapshot["retried"] if snapshot else 0,
+        "failed": snapshot["failed"] if snapshot else 0,
+        "shed_deadline": snapshot["shed_deadline"] if snapshot else 0,
+        "degraded_batches": snapshot["degraded_batches"] if snapshot else 0,
         "bitwise_equal_to_offline": True,  # asserted by the caller
     }
 

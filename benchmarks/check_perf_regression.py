@@ -81,6 +81,13 @@ TIMING_KEYS = (
     "p99_latency_seconds",
 )
 
+#: Fault-tolerance counters (BENCH_serve.json load-ladder rows).  Not
+#: timings and never gated: a clean benchmark run records zeros, so a
+#: non-zero value is surfaced as an informational note — the run
+#: absorbed real faults (retries, sheds, degraded batches), which can
+#: distort the timing figures it sits next to.
+COUNTER_KEYS = ("retried", "failed", "shed_deadline", "degraded_batches")
+
 
 def collect_timings(node, path=()):
     """Yield ``(path, record)`` for every dict carrying a timing."""
@@ -113,6 +120,14 @@ def gather_comparisons(name: str, baseline: dict, current: dict):
     comparisons, notes = [], []
     for path, record in current_entries.items():
         prefix = f"{name}:{'.'.join(path)}"
+        for key in COUNTER_KEYS:
+            value = record.get(key)
+            if isinstance(value, (int, float)) and value:
+                notes.append(
+                    f"{prefix}.{key}: non-zero fault-tolerance counter "
+                    f"({value}) in current run - timings nearby may be "
+                    f"recovery-skewed"
+                )
         reference = baseline_entries.get(path)
         if reference is None:
             notes.append(f"{prefix}: new entry (no baseline)")

@@ -149,7 +149,7 @@ from .signals import (
     scfdma_signal,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "BandScanner",

@@ -167,7 +167,13 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
 def _make_engine(args: argparse.Namespace) -> Engine:
     """Build the :class:`~repro.engine.Engine` the CLI flags describe."""
     cache = None if args.cache else PlanCache(maxsize=0, name="disabled")
-    return Engine(jobs=args.jobs, cache=cache)
+    injector = None
+    plan_source = getattr(args, "inject", None)
+    if plan_source:
+        from .faults import FaultInjector, FaultPlan
+
+        injector = FaultInjector(FaultPlan.load(plan_source))
+    return Engine(jobs=args.jobs, cache=cache, fault_injector=injector)
 
 
 def _print_engine_summary(engine: Engine, precision: str = "float64") -> None:
@@ -583,8 +589,16 @@ def _cmd_backends(args: argparse.Namespace) -> int:
     return 0
 
 
-async def _serve_smoke_client(server: SensingServer) -> None:
-    """Self-drive one loopback client through the whole protocol."""
+async def _serve_smoke_client(
+    server: SensingServer, injected: bool = False
+) -> None:
+    """Self-drive one loopback client through the whole protocol.
+
+    With *injected* (``--inject`` was given) the client additionally
+    verifies the plan's faults actually fired and were absorbed: the
+    final ``health`` probe must report recovered faults or serve-layer
+    retries, and must not be degraded.
+    """
     config = server.service.config
     host, port = server.address
     reader, writer = await asyncio.open_connection(host, port)
@@ -626,6 +640,25 @@ async def _serve_smoke_client(server: SensingServer) -> None:
             f"coalescing={stats['coalescing_factor']:.2f} "
             f"p50={latency * 1e3:.2f} ms"
         )
+        health = await rpc({"op": "health"})
+        engine_health = health["engine_health"]
+        print(
+            f"smoke: health={health['status']} "
+            f"circuit={health['circuit']['state']} "
+            f"recovered_faults={engine_health['recovered_faults']} "
+            f"retried={stats['retried']}"
+        )
+        if health["status"] != "ok":
+            raise ConfigurationError(
+                f"smoke health probe reports {health['status']!r}"
+            )
+        if injected:
+            absorbed = engine_health["recovered_faults"] + stats["retried"]
+            if absorbed == 0:
+                raise ConfigurationError(
+                    "--inject was given but the smoke run recorded no "
+                    "recovered faults or retries: the plan never fired"
+                )
         await rpc({"op": "close", "session": session})
     finally:
         writer.close()
@@ -663,7 +696,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         try:
             if args.smoke:
-                await _serve_smoke_client(server)
+                await _serve_smoke_client(server, injected=bool(args.inject))
             else:  # pragma: no cover - interactive foreground mode
                 await server.serve_forever()
         except (KeyboardInterrupt, asyncio.CancelledError):
@@ -811,6 +844,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="self-drive one loopback client through the protocol and "
         "exit (for CI)",
+    )
+    serve.add_argument(
+        "--inject",
+        default=None,
+        metavar="PLAN",
+        help="deterministic fault plan: inline 'site:kind[:hits[:secs]]' "
+        "specs joined by ';', or a JSON plan file path (see "
+        "repro.faults); with --smoke the client also verifies the "
+        "faults were absorbed",
     )
     _add_engine_arguments(serve)
     serve.set_defaults(func=_cmd_serve)

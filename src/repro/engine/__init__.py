@@ -32,7 +32,7 @@ from .cache import (
     plan_key,
     shared_plan_cache,
 )
-from .engine import TRANSPORTS, Engine, available_cpus
+from .engine import TRANSPORTS, Engine, EngineHealth, available_cpus
 from .shm import SharedArrayDescriptor, SharedArraySegment
 from .plans import (
     MAX_TESTED_JOBS,
@@ -52,6 +52,7 @@ __all__ = [
     "BatchExecutionPlan",
     "CallableStatisticPlan",
     "Engine",
+    "EngineHealth",
     "ExecutionPlan",
     "LoopExecutionPlan",
     "PlanCache",

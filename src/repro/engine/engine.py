@@ -44,14 +44,19 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass
 from typing import Callable
 
 import numpy as np
 
-from .._util import require_positive_int
+from .._util import require_non_negative_int, require_positive_int
 from ..core.detection import validate_pfa
 from ..errors import ConfigurationError
+from ..faults import FaultInjector, fire_worker
 from .cache import PlanCache, shared_plan_cache
 from .plans import (
     CallableStatisticPlan,
@@ -69,7 +74,11 @@ TRANSPORTS = ("shared", "pickle")
 
 
 def _worker_statistics(
-    config, signals: np.ndarray, use_cache: bool = True
+    config,
+    signals: np.ndarray,
+    use_cache: bool = True,
+    fault_plan=None,
+    fault_tickets=None,
 ) -> np.ndarray:
     """One shard's statistics (runs inside a worker process).
 
@@ -78,10 +87,17 @@ def _worker_statistics(
     the worker's own shared plan cache keeps the plan warm across
     shards and calls; without it (the engine was built with plan
     caching disabled, e.g. ``--no-cache``) every shard builds its plan
-    afresh, mirroring the parent's cold-path semantics.
+    afresh, mirroring the parent's cold-path semantics.  *fault_plan*
+    and *fault_tickets* are the fault-injection surface (None in
+    production): the parent-issued tickets keep worker-side firing
+    deterministic (see :mod:`repro.faults`).
     """
     import repro  # noqa: F401  — registers all estimator backends
 
+    if fault_plan is not None:
+        fire_worker(
+            fault_plan, "worker.start", (fault_tickets or {}).get("worker.start")
+        )
     if use_cache:
         return shared_plan_cache().get(config).statistics(signals)
     from .plans import build_plan
@@ -90,7 +106,13 @@ def _worker_statistics(
 
 
 def _worker_statistics_shared(
-    config, descriptor, start: int, stop: int, use_cache: bool = True
+    config,
+    descriptor,
+    start: int,
+    stop: int,
+    use_cache: bool = True,
+    fault_plan=None,
+    fault_tickets=None,
 ) -> np.ndarray:
     """One shard's statistics read zero-copy from shared memory.
 
@@ -105,9 +127,14 @@ def _worker_statistics_shared(
     """
     import repro  # noqa: F401  — registers all estimator backends
 
+    tickets = fault_tickets or {}
+    if fault_plan is not None:
+        fire_worker(fault_plan, "worker.attach", tickets.get("worker.attach"))
     shard = None
     shm = attach_segment(descriptor)
     try:
+        if fault_plan is not None:
+            fire_worker(fault_plan, "worker.start", tickets.get("worker.start"))
         shard = segment_view(descriptor, shm)[start:stop]
         if use_cache:
             result = shared_plan_cache().get(config).statistics(shard)
@@ -129,6 +156,50 @@ def available_cpus() -> int:
         return len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
         return os.cpu_count() or 1
+
+
+#: Backoff between shard retry attempts is capped here regardless of
+#: how many attempts the engine is configured for.
+MAX_RETRY_BACKOFF_SECONDS = 1.0
+
+
+@dataclass
+class EngineHealth:
+    """Recovery counters of one :class:`Engine` (monotonic).
+
+    ``shard_failures`` counts every shard execution that raised or
+    timed out; ``shard_retries`` the re-submissions the retry loop
+    issued; ``watchdog_timeouts`` the failures that were hung shards
+    (also counted in ``shard_failures``); ``pool_rebuilds`` how often
+    the worker pool was torn down and restarted (worker death, hang
+    abandonment); ``degraded_shards`` the shards that exhausted their
+    retries and fell back to in-process serial execution.  All
+    recovery paths are bitwise identical to the fault-free run, so
+    non-zero counters mean *survived* faults, never changed results.
+    """
+
+    shard_failures: int = 0
+    shard_retries: int = 0
+    watchdog_timeouts: int = 0
+    pool_rebuilds: int = 0
+    degraded_shards: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any shard ever fell back to serial execution."""
+        return self.degraded_shards > 0
+
+    @property
+    def recovered_faults(self) -> int:
+        """Total fault events this engine absorbed."""
+        return self.shard_failures + self.pool_rebuilds
+
+    def snapshot(self) -> dict:
+        """Plain-data form for metrics/health endpoints."""
+        data = asdict(self)
+        data["degraded"] = self.degraded
+        data["recovered_faults"] = self.recovered_faults
+        return data
 
 
 class Engine:
@@ -159,6 +230,24 @@ class Engine:
         legacy per-shard array serialization.  Both are bitwise equal
         to the serial path — the transport moves the same rows, it
         just stops copying them through the pipe.
+    watchdog_seconds:
+        Per-shard watchdog: a sharded result not delivered within this
+        many seconds counts as a hung worker — the shard is failed,
+        the pool abandoned and rebuilt, and the shard retried.  None
+        (default) disables the watchdog.
+    max_shard_retries:
+        How many recovery attempts a failed shard gets (capped
+        exponential backoff between attempts) before the engine
+        degrades it to in-process serial execution.  Every recovery
+        path replays the exact same trial rows through the same plan,
+        so results stay bitwise identical to the fault-free run.
+    retry_backoff_seconds:
+        Base backoff before retry attempt *n* (doubled per attempt,
+        capped at :data:`MAX_RETRY_BACKOFF_SECONDS`).
+    fault_injector:
+        Optional :class:`~repro.faults.FaultInjector` driving the
+        deterministic chaos hooks.  None (default) keeps every
+        instrumented site at a single attribute check.
 
     >>> from repro.engine import Engine
     >>> from repro.pipeline import PipelineConfig
@@ -173,6 +262,10 @@ class Engine:
         cache: PlanCache | None = None,
         mp_context=None,
         transport: str = "shared",
+        watchdog_seconds: float | None = None,
+        max_shard_retries: int = 2,
+        retry_backoff_seconds: float = 0.05,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         self.jobs = require_positive_int(jobs, "jobs")
         if transport not in TRANSPORTS:
@@ -180,9 +273,29 @@ class Engine:
                 f"transport must be one of {TRANSPORTS}, got {transport!r}"
             )
         self.transport = transport
+        if watchdog_seconds is not None and watchdog_seconds <= 0:
+            raise ConfigurationError(
+                f"watchdog_seconds must be positive or None, got "
+                f"{watchdog_seconds}"
+            )
+        self.watchdog_seconds = watchdog_seconds
+        self.max_shard_retries = require_non_negative_int(
+            max_shard_retries, "max_shard_retries"
+        )
+        if retry_backoff_seconds < 0:
+            raise ConfigurationError(
+                f"retry_backoff_seconds must be non-negative, got "
+                f"{retry_backoff_seconds}"
+            )
+        self.retry_backoff_seconds = float(retry_backoff_seconds)
+        self.fault_injector = fault_injector
         #: Transport of the most recent statistics() call:
-        #: "in-process", "shared" or "pickle" (None before any call).
+        #: "in-process", "shared", "pickle" — or "degraded-serial"
+        #: when every shard of the call fell back to in-process
+        #: execution after exhausting retries (None before any call).
         self.last_transport: str | None = None
+        #: Monotonic recovery counters (see :class:`EngineHealth`).
+        self.health = EngineHealth()
         self._cache = cache if cache is not None else shared_plan_cache()
         self._mp_context = mp_context
         self._pool: ProcessPoolExecutor | None = None
@@ -241,6 +354,23 @@ class Engine:
             )
         return self._pool
 
+    def _rebuild_pool(self) -> None:
+        """Tear the worker pool down after a worker death or hang.
+
+        ``wait=False`` so a still-hung worker cannot block recovery:
+        the abandoned pool drains in the background (a sleeping worker
+        exits when its current item completes) while the next
+        :meth:`_ensure_pool` call starts a fresh one.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        self.health.pool_rebuilds += 1
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - broken pools may throw
+            pass
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -282,6 +412,8 @@ class Engine:
                 f"signals must be a (trials, samples) array, got shape "
                 f"{signals.shape}"
             )
+        if self.fault_injector is not None:
+            self.fault_injector.fire("engine.batch")
         shard_config = config
         if shard_config is None and getattr(plan, "shardable", False):
             shard_config = getattr(plan, "config", None)
@@ -297,46 +429,164 @@ class Engine:
     def _sharded_statistics(
         self, config, signals: np.ndarray, jobs: int
     ) -> np.ndarray:
-        pool = self._ensure_pool()
+        """Sharded execution with self-healing recovery.
+
+        Shard boundaries are exactly ``np.array_split``'s, so results
+        stay bitwise equal to the serial path.  Each attempt submits
+        every still-pending shard; shards that raise, arrive after the
+        watchdog, or die with their worker are retried with capped
+        exponential backoff (the parent retains the authoritative
+        trial block, so a retry replays the exact same rows through
+        the same plan — bitwise identical by construction).  Worker
+        death and hangs additionally rebuild the pool.  Shards still
+        failing after ``max_shard_retries`` attempts degrade to
+        in-process serial execution — the service answers slower, but
+        it answers, and with the same bits.
+        """
         # Workers resolve plans through their own per-process cache;
         # an engine whose cache retains nothing (maxsize=0, the
         # --no-cache path) propagates that choice so sharded timings
         # stay comparable to the serial cold path.
         use_cache = self._cache.maxsize > 0
         self.last_transport = self.transport
-        if self.transport == "pickle":
-            shards = np.array_split(signals, jobs)
-            futures = [
-                pool.submit(_worker_statistics, config, shard, use_cache)
-                for shard in shards
-                if shard.shape[0]
-            ]
-            return np.concatenate([future.result() for future in futures])
-        # Shared transport: publish the trial block once, ship row
-        # bounds.  Shard boundaries are exactly np.array_split's, so
-        # results stay bitwise equal to the pickle and serial paths.
-        bounds = np.array_split(np.arange(signals.shape[0]), jobs)
-        segment = SharedArraySegment(signals)
-        self._segments.add(segment)
-        try:
-            futures = [
-                pool.submit(
-                    _worker_statistics_shared,
-                    config,
-                    segment.descriptor,
-                    int(rows[0]),
-                    int(rows[-1]) + 1,
-                    use_cache,
+        splits = np.array_split(np.arange(signals.shape[0]), jobs)
+        shards = [
+            (int(rows[0]), int(rows[-1]) + 1) for rows in splits if rows.size
+        ]
+        results: dict[int, np.ndarray] = {}
+        pending = list(range(len(shards)))
+        for attempt in range(self.max_shard_retries + 1):
+            if not pending:
+                break
+            if attempt:
+                self.health.shard_retries += len(pending)
+                time.sleep(
+                    min(
+                        self.retry_backoff_seconds * (2 ** (attempt - 1)),
+                        MAX_RETRY_BACKOFF_SECONDS,
+                    )
                 )
-                for rows in bounds
-                if rows.size
-            ]
-            return np.concatenate([future.result() for future in futures])
+            pending = self._attempt_shards(
+                config, signals, shards, pending, results, use_cache
+            )
+        if pending:
+            # Graceful degradation: the worker path is broken beyond
+            # retry — replay the failed shards in-process through the
+            # same plan.  Identical rows, identical plan, identical
+            # bits; only the wall clock changes.
+            self.health.degraded_shards += len(pending)
+            plan = self.plan(config)
+            for index in pending:
+                start, stop = shards[index]
+                results[index] = np.asarray(
+                    plan.statistics(signals[start:stop])
+                )
+            if len(pending) == len(shards):
+                self.last_transport = "degraded-serial"
+        return np.concatenate(
+            [results[index] for index in range(len(shards))]
+        )
+
+    def _attempt_shards(
+        self,
+        config,
+        signals: np.ndarray,
+        shards: list[tuple[int, int]],
+        pending: list[int],
+        results: dict[int, np.ndarray],
+        use_cache: bool,
+    ) -> list[int]:
+        """One submission round; returns the shard indices that failed.
+
+        The shared-memory segment is published per attempt (the first
+        attempt is the fault-free fast path, so this changes nothing
+        when healthy) and always destroyed before returning — a
+        vanished or corrupted segment is therefore healed by the next
+        attempt's fresh publish.
+        """
+        injector = self.fault_injector
+        fault_plan = injector.plan if injector is not None else None
+        segment: SharedArraySegment | None = None
+        failed: list[int] = []
+        broken = False
+        try:
+            futures: dict[int, object] = {}
+            try:
+                pool = self._ensure_pool()
+                if self.transport == "shared":
+                    segment = SharedArraySegment(signals)
+                    self._segments.add(segment)
+                    if injector is not None:
+                        injector.fire("shm.publish", segment=segment)
+                for index in pending:
+                    start, stop = shards[index]
+                    tickets = (
+                        injector.worker_tickets()
+                        if injector is not None
+                        else None
+                    )
+                    if self.transport == "pickle":
+                        futures[index] = pool.submit(
+                            _worker_statistics,
+                            config,
+                            signals[start:stop],
+                            use_cache,
+                            fault_plan,
+                            tickets,
+                        )
+                    else:
+                        futures[index] = pool.submit(
+                            _worker_statistics_shared,
+                            config,
+                            segment.descriptor,
+                            start,
+                            stop,
+                            use_cache,
+                            fault_plan,
+                            tickets,
+                        )
+            except (BrokenProcessPool, OSError, RuntimeError):
+                # The pool died before (or while) this round was
+                # submitted — e.g. a worker killed in an earlier batch.
+                # Everything not yet in flight fails this attempt; the
+                # rebuilt pool takes the retry.
+                broken = True
+                submitted = set(futures)
+                for index in pending:
+                    if index not in submitted:
+                        self.health.shard_failures += 1
+                        failed.append(index)
+            for index, future in futures.items():
+                try:
+                    results[index] = np.asarray(
+                        future.result(timeout=self.watchdog_seconds)
+                    )
+                except FuturesTimeoutError:
+                    # A hung shard: the worker holds its pool slot
+                    # indefinitely, so the pool itself is condemned.
+                    self.health.shard_failures += 1
+                    self.health.watchdog_timeouts += 1
+                    failed.append(index)
+                    broken = True
+                except BrokenProcessPool:
+                    self.health.shard_failures += 1
+                    failed.append(index)
+                    broken = True
+                except Exception:
+                    # Typed shard faults (ShardTransportError,
+                    # InjectedFaultError) and any backend exception:
+                    # the worker survived, only the shard failed.
+                    self.health.shard_failures += 1
+                    failed.append(index)
         finally:
-            # Unlink even when a worker raised: the kernel reclaims the
-            # segment as soon as the surviving workers detach.
-            self._segments.discard(segment)
-            segment.destroy()
+            if segment is not None:
+                # Unlink even when a worker raised: the kernel
+                # reclaims the segment as soon as survivors detach.
+                self._segments.discard(segment)
+                segment.destroy()
+            if broken:
+                self._rebuild_pool()
+        return failed
 
     def monte_carlo_statistics(
         self,

@@ -30,7 +30,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ShardTransportError
 
 #: Every live parent-owned segment in this process.  A WeakSet so mere
 #: registration never extends a segment's lifetime: entries disappear
@@ -129,6 +129,48 @@ class SharedArraySegment:
     def __del__(self) -> None:  # last-resort safety net
         self.destroy()
 
+    # ------------------------------------------------------------------
+    # Fault-injection surface (repro.faults; never used in production)
+    # ------------------------------------------------------------------
+    def vanish(self) -> None:
+        """Unlink the kernel-side name while keeping the parent mapping.
+
+        Models an externally-deleted ``/dev/shm`` entry: the parent's
+        copy of the data stays valid (recovery republishes from it),
+        but any subsequent worker attach fails with
+        :class:`~repro.errors.ShardTransportError`.  ``destroy()``
+        remains safe afterwards (unlink is already idempotent).
+        """
+        if self._shm is None:
+            return
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def corrupt(self, truncate_to: int = 8) -> None:
+        """Replace the kernel-side segment with a truncated decoy.
+
+        Models on-disk corruption that attach-side integrity
+        validation must catch: the original name is unlinked and
+        re-created *truncate_to* bytes long, so workers attach a
+        segment too small for the descriptor's payload and
+        :func:`attach_segment` raises
+        :class:`~repro.errors.ShardTransportError`.  ``destroy()``
+        still unlinks the (decoy) name, so ``/dev/shm`` stays clean.
+        """
+        if self._shm is None:
+            return
+        self.vanish()
+        decoy = shared_memory.SharedMemory(
+            name=self.name, create=True, size=max(1, int(truncate_to))
+        )
+        # Drop our mapping of the decoy immediately; the name persists
+        # until destroy() unlinks it.  The attach-side registration is
+        # the parent's own here, so the resource tracker double-counts
+        # harmlessly (destroy's unlink wins).
+        decoy.close()
+
 
 #: Whether this process runs its *own* resource tracker (started by our
 #: first attach) rather than sharing an inherited one.  Decided once:
@@ -158,12 +200,29 @@ def attach_segment(
         _PRIVATE_TRACKER = (
             getattr(resource_tracker._resource_tracker, "_fd", None) is None
         )
-    shm = shared_memory.SharedMemory(name=descriptor.name)
+    try:
+        shm = shared_memory.SharedMemory(name=descriptor.name)
+    except FileNotFoundError as error:
+        raise ShardTransportError(
+            f"shared segment {descriptor.name!r} has vanished (unlinked "
+            f"before this worker attached); the parent should republish "
+            f"and retry"
+        ) from error
     if _PRIVATE_TRACKER:
         try:
             resource_tracker.unregister(shm._name, "shared_memory")
         except Exception:  # pragma: no cover - tracker API drift
             pass
+    # Integrity validation: a segment smaller than the descriptor's
+    # payload is corrupt (truncated, or the name was recycled by
+    # another writer) — reading through it would produce garbage
+    # statistics or a hard SIGBUS.  Fail typed so the engine retries.
+    if shm.size < descriptor.nbytes:
+        shm.close()
+        raise ShardTransportError(
+            f"shared segment {descriptor.name!r} is corrupt: kernel size "
+            f"{shm.size} B < descriptor payload {descriptor.nbytes} B"
+        )
     return shm
 
 
@@ -181,3 +240,25 @@ def segment_view(
     )
     array.flags.writeable = False
     return array
+
+
+def read_segment(
+    descriptor: SharedArrayDescriptor,
+    start: int | None = None,
+    stop: int | None = None,
+) -> np.ndarray:
+    """Attach, copy rows ``[start:stop]`` out, detach — all in one call.
+
+    The safe (non-zero-copy) reader for tests and tooling: the view is
+    dropped and the mapping closed before returning, so the caller
+    never holds a reference into the segment.  The hot worker path
+    stays zero-copy via :func:`attach_segment`/:func:`segment_view`.
+    """
+    shm = attach_segment(descriptor)
+    try:
+        view = segment_view(descriptor, shm)
+        rows = np.array(view[start:stop])
+        del view
+        return rows
+    finally:
+        shm.close()

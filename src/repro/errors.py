@@ -41,6 +41,37 @@ class SignalError(ReproError):
     """A signal generator or estimator received an invalid waveform request."""
 
 
+class EngineFaultError(ReproError):
+    """Base class for recoverable execution-engine faults.
+
+    The :class:`~repro.engine.Engine` treats these (and any other
+    exception escaping a shard) as retryable: failed shards are re-run
+    with capped exponential backoff and ultimately fall back to
+    in-process serial execution, bitwise identical to the fault-free
+    run.
+    """
+
+
+class ShardTransportError(EngineFaultError):
+    """A shared-memory shard transport contract was violated.
+
+    Raised when a worker attaches a segment that has vanished (the
+    parent unlinked it, or it was never published) or whose kernel-side
+    size no longer covers the descriptor's payload (corruption /
+    truncation).  The parent retains the authoritative trial block, so
+    the engine recovers by republishing and retrying.
+    """
+
+
+class InjectedFaultError(EngineFaultError):
+    """A fault deliberately raised by the fault-injection framework.
+
+    Only ever raised when a :class:`~repro.faults.FaultPlan` is active
+    (``repro serve --inject`` or a chaos test); production code paths
+    never construct it.
+    """
+
+
 class ServeError(ReproError):
     """Base class for sensing-service (``repro.serve``) failures."""
 
@@ -63,4 +94,23 @@ class SessionStateError(ServeError):
 
     Unknown session id, detection requested before a full analysis
     window has been ingested, or ingestion into a closed session.
+    """
+
+
+class CircuitOpenError(ServeError):
+    """The service's circuit breaker is open.
+
+    Repeated engine failures tripped the breaker: requests fail fast
+    instead of queueing behind a broken engine.  Clients should back
+    off for at least the breaker cooldown; the server itself stays
+    live and keeps answering ``health``.
+    """
+
+
+class RequestTooLargeError(ServeError):
+    """A wire-protocol request line exceeded the server's size limit.
+
+    The server replies with this error and closes the connection
+    cleanly (an oversized line cannot be resynchronised mid-stream);
+    other connections are unaffected.
     """

@@ -1,0 +1,56 @@
+"""Deterministic fault injection for the execution and serving layers.
+
+Production cognitive-radio sensing is a long-lived service: a worker
+crash, a hung shard or a corrupted shared-memory segment must degrade
+the service, never kill it — and the only way to *trust* that is to
+make those failures reproducible on demand.  This package is the
+chaos harness the recovery machinery is validated against:
+
+* :class:`FaultPlan` / :class:`FaultSpec` — a declarative, picklable
+  description of which instrumented **site** fails, with which
+  **kind** of fault, on which **occurrences**;
+* :class:`FaultInjector` — the parent-side driver owning deterministic
+  occurrence counters (worker-side sites fire against parent-issued
+  tickets, so killed-and-replaced workers never skew the numbering);
+* :func:`fire_worker` / :func:`perform` — the worker-side half.
+
+The hooks are threaded through :mod:`repro.engine.engine`,
+:mod:`repro.engine.shm` and :mod:`repro.serve.scheduler` behind
+``if injector is not None`` guards: with no plan installed (the
+default everywhere) the instrumented paths cost one attribute check.
+
+Quick start::
+
+    from repro.faults import FaultInjector, FaultPlan
+    from repro.engine import Engine
+
+    plan = FaultPlan.parse("worker.start:kill:0")   # kill shard 0 once
+    engine = Engine(jobs=2, fault_injector=FaultInjector(plan))
+    out = engine.statistics(signals, config=config)  # recovers, bitwise
+
+See ``tests/test_chaos.py`` for the kill/hang/corrupt/flood scenarios
+and ``repro serve --smoke --inject <plan>`` for the loopback
+self-test.
+"""
+
+from .injector import FaultInjector, fire_worker, perform
+from .plan import (
+    KINDS,
+    NO_FAULTS,
+    SITES,
+    WORKER_SITES,
+    FaultPlan,
+    FaultSpec,
+)
+
+__all__ = [
+    "KINDS",
+    "NO_FAULTS",
+    "SITES",
+    "WORKER_SITES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "fire_worker",
+    "perform",
+]

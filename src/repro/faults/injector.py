@@ -1,0 +1,138 @@
+"""Fault execution: occurrence bookkeeping and the actions themselves.
+
+Two halves, split by which process runs them:
+
+* :class:`FaultInjector` lives in the **parent** (the process owning
+  the :class:`~repro.engine.Engine`).  It wraps a
+  :class:`~repro.faults.plan.FaultPlan`, owns the monotonically
+  increasing per-site occurrence counters, fires parent-side sites
+  directly (:meth:`FaultInjector.fire`) and issues *tickets* —
+  pre-drawn occurrence numbers — for worker-side sites
+  (:meth:`FaultInjector.worker_tickets`), so worker firing is exactly
+  as deterministic as parent firing even though workers are stateless
+  and may be killed and replaced mid-run.
+* :func:`fire_worker` runs in **worker** processes: it receives the
+  pickled plan plus the parent-issued ticket and performs the matched
+  action, if any.
+
+The hooks are zero-overhead when disabled: every instrumented call
+site guards on ``injector is not None`` (engine/scheduler) or
+``fault_plan is not None`` (workers) before touching this module.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any
+
+from ..errors import ConfigurationError, InjectedFaultError
+from .plan import WORKER_SITES, FaultPlan, FaultSpec
+
+
+def perform(spec: FaultSpec, context: dict[str, Any] | None = None) -> None:
+    """Execute one matched fault action.
+
+    ``error`` raises, ``kill`` hard-exits the current process (bypassing
+    cleanup handlers, exactly like a crash), ``hang``/``slow`` sleep,
+    and the segment kinds (``vanish``/``corrupt``) act on the
+    ``segment`` the call site passes in *context*.
+    """
+    context = context or {}
+    if spec.kind == "error":
+        raise InjectedFaultError(
+            f"injected fault at {spec.site} (pid {os.getpid()})"
+        )
+    if spec.kind == "kill":
+        # A real crash: no atexit handlers, no finally blocks, no
+        # goodbye to the pool.  137 mirrors a SIGKILL'd process.
+        os._exit(137)
+    if spec.kind in ("hang", "slow"):
+        time.sleep(float(spec.seconds or 0.0))
+        return
+    if spec.kind in ("vanish", "corrupt"):
+        segment = context.get("segment")
+        if segment is None:
+            raise ConfigurationError(
+                f"fault kind {spec.kind!r} needs a segment at site "
+                f"{spec.site!r} (site fired without one)"
+            )
+        if spec.kind == "vanish":
+            segment.vanish()
+        else:
+            segment.corrupt()
+        return
+    raise ConfigurationError(  # pragma: no cover - plan validates kinds
+        f"unhandled fault kind {spec.kind!r}"
+    )
+
+
+class FaultInjector:
+    """Parent-side fault driver: plan + occurrence counters + firing log.
+
+    One injector serves one run (an :class:`~repro.engine.Engine`, a
+    :class:`~repro.serve.SensingService`, a chaos test).  It is not
+    thread-safe by design — sites fire from the engine's submitting
+    thread and the scheduler's event loop, never concurrently.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        if not isinstance(plan, FaultPlan):
+            raise ConfigurationError(
+                f"FaultInjector needs a FaultPlan, got {type(plan).__name__}"
+            )
+        self.plan = plan
+        self._counters: dict[str, int] = {}
+        #: Parent-side firings as (site, occurrence, kind) triples.
+        #: Worker-side firings are not visible here — assert on engine
+        #: health counters and results instead.
+        self.fired: list[tuple[str, int, str]] = []
+
+    def ticket(self, site: str) -> int:
+        """Draw the next occurrence number for *site* (parent-owned)."""
+        occurrence = self._counters.get(site, 0)
+        self._counters[site] = occurrence + 1
+        return occurrence
+
+    def worker_tickets(self) -> dict[str, int]:
+        """Pre-drawn occurrence numbers for one worker submission.
+
+        Each shard submission consumes one occurrence of every
+        worker-side site, whether or not the plan targets it — this
+        keeps occurrence numbering a pure function of submission
+        order, independent of which faults are planned.
+        """
+        return {site: self.ticket(site) for site in WORKER_SITES}
+
+    def fire(self, site: str, **context: Any) -> None:
+        """Fire a parent-side site: match the plan, act if it hits."""
+        occurrence = self.ticket(site)
+        spec = self.plan.match(site, occurrence)
+        if spec is None:
+            return
+        self.fired.append((site, occurrence, spec.kind))
+        perform(spec, context)
+
+    @property
+    def fired_total(self) -> int:
+        """Parent-side faults fired so far."""
+        return len(self.fired)
+
+    def occurrences(self, site: str) -> int:
+        """How many occurrence numbers *site* has consumed."""
+        return self._counters.get(site, 0)
+
+
+def fire_worker(
+    fault_plan: FaultPlan | None, site: str, occurrence: int | None
+) -> None:
+    """Worker-side firing against a parent-issued ticket.
+
+    A no-op when *fault_plan* or *occurrence* is None, so worker hot
+    paths stay branch-only when injection is disabled.
+    """
+    if fault_plan is None or occurrence is None:
+        return
+    spec = fault_plan.match(site, occurrence)
+    if spec is not None:
+        perform(spec)

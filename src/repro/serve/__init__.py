@@ -24,6 +24,7 @@ through a coalesced batch is **bitwise identical** to the same window
 run through the offline :class:`~repro.pipeline.DetectionPipeline`.
 """
 
+from .breaker import CircuitBreaker
 from .metrics import LatencyReservoir, ServiceMetrics
 from .scheduler import CoalescingScheduler, DetectionRequest
 from .server import SensingServer, decode_samples, encode_samples
@@ -36,6 +37,7 @@ from .session import (
 )
 
 __all__ = [
+    "CircuitBreaker",
     "CoalescingScheduler",
     "DetectionRequest",
     "LatencyReservoir",

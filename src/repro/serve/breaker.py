@@ -1,0 +1,96 @@
+"""A circuit breaker over repeated engine failures.
+
+When the engine fails batch after batch (a wedged worker pool, a
+poisoned plan, resource exhaustion), retrying every incoming request
+just burns queue slots and latency budget on work that cannot
+succeed.  The breaker converts that failure streak into *fast*
+failure at the submission edge:
+
+* **closed** — normal operation; batch failures are counted, and
+  ``failure_threshold`` consecutive ones trip the breaker;
+* **open** — submissions are rejected immediately with
+  :class:`~repro.errors.CircuitOpenError` (no queueing, no engine
+  call) until ``cooldown_seconds`` elapse;
+* **half_open** — after the cooldown, requests are admitted again as
+  probes: the first batch outcome decides — success re-closes the
+  breaker, failure re-opens it for another cooldown.
+
+Already-queued requests are never gated: the breaker protects the
+queue from *new* load, it does not abandon work the service already
+accepted.  Timebase is caller-supplied (the scheduler passes
+``loop.time()``), which keeps the breaker trivially testable.
+"""
+
+from __future__ import annotations
+
+from .._util import require_positive_int
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a cooldown and half-open probe."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_seconds: float = 30.0,
+    ) -> None:
+        self.failure_threshold = require_positive_int(
+            failure_threshold, "failure_threshold"
+        )
+        self.cooldown_seconds = float(cooldown_seconds)
+        if self.cooldown_seconds <= 0:
+            raise ValueError(
+                f"cooldown_seconds must be positive, got {cooldown_seconds!r}"
+            )
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.opens = 0
+        self._opened_at: float | None = None
+
+    def allow(self, now: float) -> bool:
+        """Whether a new submission may proceed at time *now*.
+
+        Transitions ``open`` → ``half_open`` once the cooldown has
+        elapsed; in ``half_open`` every admitted request is a probe
+        whose batch outcome settles the state.
+        """
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if (
+                self._opened_at is not None
+                and now - self._opened_at >= self.cooldown_seconds
+            ):
+                self.state = "half_open"
+                return True
+            return False
+        return True  # half_open: admit probes until an outcome lands
+
+    def record_success(self) -> None:
+        """One engine batch succeeded: reset to ``closed``."""
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self._opened_at = None
+
+    def record_failure(self, now: float) -> None:
+        """One engine batch failed at time *now*; maybe trip the breaker."""
+        self.consecutive_failures += 1
+        if (
+            self.state == "half_open"
+            or self.consecutive_failures >= self.failure_threshold
+        ):
+            if self.state != "open":
+                self.opens += 1
+            self.state = "open"
+            self._opened_at = now
+            self.consecutive_failures = 0
+
+    def snapshot(self) -> dict:
+        """Plain-data view for ``stats``/``health`` replies."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "opens": self.opens,
+            "failure_threshold": self.failure_threshold,
+            "cooldown_seconds": self.cooldown_seconds,
+        }

@@ -78,7 +78,11 @@ class ServiceMetrics:
         self.served = 0
         self.shed_overload = 0
         self.shed_deadline = 0
+        self.shed_deadline_in_flight = 0
+        self.shed_circuit = 0
+        self.retried = 0
         self.failed = 0
+        self.degraded_batches = 0
         self.batches = 0
         self.coalesced_requests = 0
         self.max_batch_size = 0
@@ -99,9 +103,33 @@ class ServiceMetrics:
         """One request rejected by backpressure (queue full / shutdown)."""
         self.shed_overload += 1
 
-    def record_shed_deadline(self) -> None:
-        """One request expired before its batch executed."""
+    def record_shed_deadline(self, in_flight: bool = False) -> None:
+        """One request expired before (or, *in_flight*, during) its batch.
+
+        In-flight sheds still partition into ``shed_deadline`` — the
+        request is neither served nor failed — and are additionally
+        counted in ``shed_deadline_in_flight`` because they represent
+        wasted engine work, not just queueing delay.
+        """
         self.shed_deadline += 1
+        if in_flight:
+            self.shed_deadline_in_flight += 1
+
+    def record_shed_circuit(self) -> None:
+        """One submission fast-failed because the circuit breaker is open.
+
+        Like ``shed_overload``, these never enter the queue, so they
+        are *not* part of ``offered``.
+        """
+        self.shed_circuit += 1
+
+    def record_retried(self) -> None:
+        """One request re-queued after its batch failed (retry budget)."""
+        self.retried += 1
+
+    def record_degraded_batch(self) -> None:
+        """One batch completed only via the engine's degraded-serial path."""
+        self.degraded_batches += 1
 
     def record_batch(self, size: int) -> None:
         """One coalesced engine batch of *size* requests executed."""
@@ -141,7 +169,11 @@ class ServiceMetrics:
             "served": self.served,
             "shed_overload": self.shed_overload,
             "shed_deadline": self.shed_deadline,
+            "shed_deadline_in_flight": self.shed_deadline_in_flight,
+            "shed_circuit": self.shed_circuit,
+            "retried": self.retried,
             "failed": self.failed,
+            "degraded_batches": self.degraded_batches,
             "batches": self.batches,
             "coalesced_requests": self.coalesced_requests,
             "coalescing_factor": self.coalescing_factor,

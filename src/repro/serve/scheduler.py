@@ -18,9 +18,18 @@ and one worker task that drains it:
   :class:`~repro.errors.ServiceOverloadedError`.  The server stays
   live; the client backs off;
 * **deadlines** — a request may carry a relative deadline.  Expiry is
-  checked when the worker dequeues it: an expired request fails with
+  checked when the worker dequeues it — an expired request fails with
   :class:`~repro.errors.DeadlineExceededError` instead of wasting a
-  batch slot.
+  batch slot — and again when its batch *completes*: a result that
+  arrives after the deadline is discarded, never delivered stale;
+* **retries** — a batch that fails with an engine error re-queues its
+  requests up to ``retry_budget`` times apiece (the engine has its own
+  shard-level recovery underneath; this budget covers whole-batch
+  failures that escape it) before the error is surfaced;
+* **circuit breaking** — repeated batch failures trip the optional
+  :class:`~repro.serve.breaker.CircuitBreaker`: new submissions then
+  fast-fail with :class:`~repro.errors.CircuitOpenError` until the
+  cooldown elapses, while already-queued work still executes.
 
 Because the engine call is CPU-bound NumPy, the worker hands it to
 :func:`asyncio.to_thread`; the event loop keeps accepting ingests and
@@ -35,11 +44,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .._util import require_positive_int
+from .._util import require_non_negative_int, require_positive_int
 from ..engine import Engine
 from ..engine.cache import plan_key
-from ..errors import DeadlineExceededError, ServiceOverloadedError
+from ..errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ServiceOverloadedError,
+)
 from ..pipeline.config import PipelineConfig
+from .breaker import CircuitBreaker
 from .metrics import ServiceMetrics
 
 
@@ -52,6 +66,7 @@ class DetectionRequest:
     future: asyncio.Future
     submitted: float
     deadline: float | None = None
+    retries: int = 0
     key: tuple = field(init=False)
 
     def __post_init__(self) -> None:
@@ -74,6 +89,12 @@ class CoalescingScheduler:
     max_batch:
         Most requests one drained batch may contain (an engine batch
         per plan-key group within it).
+    retry_budget:
+        How many times one request may be re-queued after a failed
+        batch before the error is surfaced to the caller.
+    breaker:
+        Optional :class:`~repro.serve.breaker.CircuitBreaker` gating
+        new submissions while the engine is failing repeatedly.
     """
 
     def __init__(
@@ -82,6 +103,8 @@ class CoalescingScheduler:
         metrics: ServiceMetrics,
         max_queue_depth: int = 64,
         max_batch: int = 32,
+        retry_budget: int = 1,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         self._engine = engine
         self._metrics = metrics
@@ -89,6 +112,13 @@ class CoalescingScheduler:
             max_queue_depth, "max_queue_depth"
         )
         self.max_batch = require_positive_int(max_batch, "max_batch")
+        self.retry_budget = require_non_negative_int(
+            retry_budget, "retry_budget"
+        )
+        self.breaker = breaker
+        # One injector serves the whole stack: the scheduler fires its
+        # serve-side site on the engine's injector (None in production).
+        self._injector = engine.fault_injector
         self._queue: asyncio.Queue = asyncio.Queue(maxsize=self.max_queue_depth)
         self._worker: asyncio.Task | None = None
         self._closed = False
@@ -130,6 +160,9 @@ class CoalescingScheduler:
         if drain:
             await self._queue.put(None)  # sentinel after the backlog
             await self._worker
+            # A failed batch may have re-queued retries *behind* the
+            # sentinel; they must not be orphaned with a pending future.
+            self._shed_queue()
         else:
             self._worker.cancel()
             try:
@@ -167,9 +200,10 @@ class CoalescingScheduler:
         """Queue one detection window and await its statistic.
 
         Sheds immediately (``ServiceOverloadedError``) when the queue
-        is full or the scheduler is closed; fails with
-        ``DeadlineExceededError`` when *deadline_seconds* elapses
-        before the batch runs.
+        is full or the scheduler is closed, and fast-fails
+        (``CircuitOpenError``) while the circuit breaker is open;
+        fails with ``DeadlineExceededError`` when *deadline_seconds*
+        elapses before the batch runs — or before it completes.
         """
         loop = asyncio.get_running_loop()
         now = loop.time()
@@ -184,6 +218,13 @@ class CoalescingScheduler:
             self._metrics.record_shed_overload()
             raise ServiceOverloadedError(
                 "the scheduler is not accepting requests (closed)"
+            )
+        if self.breaker is not None and not self.breaker.allow(now):
+            self._metrics.record_shed_circuit()
+            raise CircuitOpenError(
+                f"circuit breaker is open after repeated engine failures; "
+                f"retry after the cooldown "
+                f"({self.breaker.cooldown_seconds:.1f}s)"
             )
         try:
             self._queue.put_nowait(request)
@@ -248,22 +289,65 @@ class CoalescingScheduler:
             groups.setdefault(request.key, []).append(request)
         for group in groups.values():
             stacked = np.stack([request.samples for request in group])
+            degraded_before = self._engine.health.degraded_shards
             try:
                 statistics = await asyncio.to_thread(
-                    self._engine.statistics,
-                    stacked,
-                    config=group[0].config,
+                    self._run_batch, stacked, group[0].config
                 )
             except Exception as error:
+                if self.breaker is not None:
+                    self.breaker.record_failure(loop.time())
                 for request in group:
-                    self._metrics.record_failed()
-                    if not request.future.done():
-                        request.future.set_exception(error)
+                    self._fail_or_retry(request, error)
                 continue
+            if self.breaker is not None:
+                self.breaker.record_success()
+            if self._engine.health.degraded_shards > degraded_before:
+                self._metrics.record_degraded_batch()
             self._metrics.record_batch(len(group))
             done = loop.time()
             for request, statistic in zip(group, statistics):
                 if request.future.done():
                     continue
+                if request.deadline is not None and done > request.deadline:
+                    # The batch outlived the deadline: the caller has
+                    # (or should have) moved on — a stale statistic is
+                    # worse than a typed failure.
+                    self._metrics.record_shed_deadline(in_flight=True)
+                    request.future.set_exception(
+                        DeadlineExceededError(
+                            f"deadline expired "
+                            f"{done - request.deadline:.3f}s into the "
+                            f"batch; stale result discarded"
+                        )
+                    )
+                    continue
                 self._metrics.record_served(done - request.submitted)
                 request.future.set_result(float(statistic))
+
+    def _run_batch(self, stacked: np.ndarray, config: PipelineConfig):
+        """One engine batch, off the event loop (runs in a thread).
+
+        The ``serve.batch`` fault site fires here so ``hang``/``slow``
+        faults stall only this batch — the event loop keeps answering
+        ``health`` probes and accepting submissions throughout.
+        """
+        if self._injector is not None:
+            self._injector.fire("serve.batch")
+        return self._engine.statistics(stacked, config=config)
+
+    def _fail_or_retry(self, request: DetectionRequest, error: Exception) -> None:
+        """Re-queue *request* if budget remains, else surface *error*."""
+        if request.future.done():
+            return
+        if request.retries < self.retry_budget and not self._closed:
+            request.retries += 1
+            try:
+                self._queue.put_nowait(request)
+            except asyncio.QueueFull:
+                pass  # no room to retry: fall through to failure
+            else:
+                self._metrics.record_retried()
+                return
+        self._metrics.record_failed()
+        request.future.set_exception(error)

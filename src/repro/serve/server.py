@@ -20,13 +20,23 @@ Operations (``op`` field of the request object):
     result (``statistic``, ``threshold``, ``detected``).
 ``stats``
     ``{"op": "stats"}`` → the full metrics snapshot.
+``health``
+    ``{"op": "health"}`` → liveness/degradation probe (``status``,
+    circuit state, engine health).  Never queued, so it answers even
+    while a batch is wedged or the breaker is open.
 ``close``
     ``{"op": "close", "session": "s1"}`` → closes the session.
 
 Failures reply ``{"ok": false, "error": "<exception class>",
 "message": "..."}`` and keep the connection open: backpressure
-(``ServiceOverloadedError``) and deadline sheds are ordinary replies a
-client backs off on, not connection teardowns.
+(``ServiceOverloadedError``), circuit fast-fails and deadline sheds
+are ordinary replies a client backs off on, not connection teardowns.
+Malformed JSON and invalid UTF-8 get the same typed-error treatment.
+Only two conditions end a connection from the server side: a line
+longer than ``max_line_bytes`` (one ``RequestTooLargeError`` reply,
+then a clean close — the framing is unrecoverable past an overrun)
+and a client that disconnects mid-line (the partial line is
+discarded, never parsed).
 """
 
 from __future__ import annotations
@@ -36,7 +46,8 @@ import json
 
 import numpy as np
 
-from ..errors import ConfigurationError, ReproError
+from .._util import require_positive_int
+from ..errors import ConfigurationError, ReproError, RequestTooLargeError
 from .service import SensingService
 
 
@@ -68,11 +79,16 @@ class SensingServer:
         service: SensingService,
         host: str = "127.0.0.1",
         port: int = 0,
+        max_line_bytes: int = 1 << 20,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
+        self.max_line_bytes = require_positive_int(
+            max_line_bytes, "max_line_bytes"
+        )
         self._server: asyncio.AbstractServer | None = None
+        self._handlers: set[asyncio.Task] = set()
 
     @property
     def address(self) -> tuple[str, int]:
@@ -86,15 +102,27 @@ class SensingServer:
         """Bind the listening socket and start the service scheduler."""
         await self.service.start()
         self._server = await asyncio.start_server(
-            self._handle, host=self.host, port=self.port
+            self._handle,
+            host=self.host,
+            port=self.port,
+            limit=self.max_line_bytes,
         )
 
     async def close(self) -> None:
-        """Stop accepting connections and shut the service down."""
+        """Stop accepting connections and shut the service down.
+
+        Live connection handlers are woken (their transports closed)
+        and awaited, so shutdown never leaves a task parked in
+        ``readline`` for the loop teardown to cancel noisily.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        for task in list(self._handlers):
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
         await self.service.close()
 
     async def serve_forever(self) -> None:
@@ -110,20 +138,64 @@ class SensingServer:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
         try:
-            while True:
-                line = await reader.readline()
-                if not line:
-                    break
-                reply = await self._dispatch_line(line)
-                writer.write(json.dumps(reply).encode() + b"\n")
-                await writer.drain()
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            pass  # graceful shutdown: close() cancelled this handler
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            try:
+                line = await reader.readline()
+            except ValueError:
+                # Line overran the stream limit (``max_line_bytes``).
+                # Framing past an overrun is unrecoverable — reply
+                # typed, then close this connection cleanly.
+                await self._try_reply(
+                    writer,
+                    {
+                        "ok": False,
+                        "error": RequestTooLargeError.__name__,
+                        "message": (
+                            f"request line exceeds {self.max_line_bytes}"
+                            f" bytes; closing connection"
+                        ),
+                    },
+                )
+                break
+            except (ConnectionError, OSError):
+                break  # client vanished mid-read
+            if not line:
+                break
+            if not line.endswith(b"\n"):
+                # EOF mid-line: the client died before finishing the
+                # request — never parse the fragment.
+                break
+            reply = await self._dispatch_line(line)
+            if not await self._try_reply(writer, reply):
+                break
+
+    @staticmethod
+    async def _try_reply(writer: asyncio.StreamWriter, reply: dict) -> bool:
+        """Write one reply line; False when the client is already gone."""
+        try:
+            writer.write(json.dumps(reply).encode() + b"\n")
+            await writer.drain()
+        except (ConnectionError, OSError):
+            return False
+        return True
 
     async def _dispatch_line(self, line: bytes) -> dict:
         try:
@@ -160,10 +232,12 @@ class SensingServer:
             return {"ok": True, **result}
         if op == "stats":
             return {"ok": True, "stats": service.stats()}
+        if op == "health":
+            return {"ok": True, **service.health()}
         if op == "close":
             service.close_session(request["session"])
             return {"ok": True, "session": request["session"]}
         raise ConfigurationError(
             f"unknown op {op!r}; expected one of open, ingest, detect, "
-            f"stats, close"
+            f"stats, health, close"
         )

@@ -39,6 +39,7 @@ from ..engine import Engine
 from ..engine.cache import plan_key
 from ..errors import SessionStateError
 from ..pipeline.config import PipelineConfig
+from .breaker import CircuitBreaker
 from .metrics import ServiceMetrics
 from .scheduler import CoalescingScheduler
 from .session import SensingSession, require_serve_capable
@@ -64,6 +65,13 @@ class SensingService:
         :class:`~repro.serve.scheduler.CoalescingScheduler`.
     latency_capacity:
         Size of the latency reservoir backing p50/p99.
+    retry_budget:
+        Per-request re-queue budget after failed batches — see
+        :class:`~repro.serve.scheduler.CoalescingScheduler`.
+    breaker:
+        The :class:`~repro.serve.breaker.CircuitBreaker` gating
+        submissions under repeated engine failure; a default one is
+        built when omitted (pass an instance to tune thresholds).
     """
 
     def __init__(
@@ -74,17 +82,22 @@ class SensingService:
         max_queue_depth: int = 64,
         max_batch: int = 32,
         latency_capacity: int = 4096,
+        retry_budget: int = 1,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         require_serve_capable(config)
         self.config = config
         self._owns_engine = engine is None
         self._engine = Engine(jobs=jobs) if engine is None else engine
         self.metrics = ServiceMetrics(latency_capacity=latency_capacity)
+        self.breaker = CircuitBreaker() if breaker is None else breaker
         self.scheduler = CoalescingScheduler(
             self._engine,
             self.metrics,
             max_queue_depth=max_queue_depth,
             max_batch=max_batch,
+            retry_budget=retry_budget,
+            breaker=self.breaker,
         )
         self._sessions: dict[str, SensingSession] = {}
         self._thresholds: dict[tuple, float] = {}
@@ -272,6 +285,7 @@ class SensingService:
                 "queue_depth": self.scheduler.queue_depth,
                 "max_queue_limit": self.scheduler.max_queue_depth,
                 "max_batch_limit": self.scheduler.max_batch,
+                "retry_budget": self.scheduler.retry_budget,
                 "plan_cache": {
                     "hits": cache_stats.hits,
                     "misses": cache_stats.misses,
@@ -280,6 +294,29 @@ class SensingService:
                     "hit_rate": cache_stats.hit_rate,
                 },
                 "engine_jobs": self._engine.jobs,
+                "circuit": self.breaker.snapshot(),
+                "engine_health": self._engine.health.snapshot(),
             }
         )
         return snapshot
+
+    def health(self) -> dict:
+        """A cheap liveness/degradation probe for the ``health`` op.
+
+        Always answerable — it touches no queue and runs no engine
+        work, so it responds even while a batch is wedged or the
+        breaker is open.  ``status`` is ``"ok"`` unless the breaker is
+        open or the engine has already degraded shards to serial.
+        """
+        engine_health = self._engine.health.snapshot()
+        degraded = bool(
+            self.breaker.state == "open" or engine_health["degraded"]
+        )
+        return {
+            "status": "degraded" if degraded else "ok",
+            "scheduler_running": self.scheduler.running,
+            "queue_depth": self.scheduler.queue_depth,
+            "circuit": self.breaker.snapshot(),
+            "engine_health": engine_health,
+            "sessions": len(self._sessions),
+        }

@@ -461,6 +461,104 @@ class TestServer:
             decode_samples([1.0, 2.0, 3.0])  # odd length
 
 
+class TestServerRobustness:
+    """A hostile or broken client must never take the server down."""
+
+    async def _server(self, **kwargs) -> SensingServer:
+        server = SensingServer(SensingService(TINY), **kwargs)
+        await server.start()
+        return server
+
+    @staticmethod
+    async def _rpc(reader, writer, payload: bytes) -> dict:
+        writer.write(payload)
+        await writer.drain()
+        return json.loads(await reader.readline())
+
+    def test_malformed_json_and_bad_utf8_get_typed_replies(self):
+        async def run():
+            server = await self._server()
+            reader, writer = await asyncio.open_connection(*server.address)
+            try:
+                garbage = await self._rpc(reader, writer, b"{not json]\n")
+                binary = await self._rpc(reader, writer, b"\xff\xfe\x01\n")
+                array = await self._rpc(reader, writer, b"[1, 2, 3]\n")
+                # The connection survived all three: a real op works.
+                stats = await self._rpc(
+                    reader, writer, json.dumps({"op": "stats"}).encode() + b"\n"
+                )
+            finally:
+                writer.close()
+                await writer.wait_closed()
+                await server.close()
+            return garbage, binary, array, stats
+
+        garbage, binary, array, stats = asyncio.run(run())
+        assert garbage["ok"] is False
+        assert garbage["error"] == "JSONDecodeError"
+        assert binary["ok"] is False
+        assert binary["error"] in ("UnicodeDecodeError", "JSONDecodeError")
+        assert array["ok"] is False
+        assert array["error"] == "ConfigurationError"
+        assert stats["ok"] is True
+
+    def test_oversized_line_replies_typed_then_closes_cleanly(self):
+        async def run():
+            server = await self._server(max_line_bytes=1024)
+            reader, writer = await asyncio.open_connection(*server.address)
+            try:
+                writer.write(b"x" * 4096 + b"\n")
+                await writer.drain()
+                reply = json.loads(await reader.readline())
+                trailing = await reader.read()  # server closed after reply
+            finally:
+                writer.close()
+                await writer.wait_closed()
+            # The listener itself survived: a fresh connection works.
+            reader2, writer2 = await asyncio.open_connection(*server.address)
+            health = await self._rpc(
+                reader2, writer2, json.dumps({"op": "health"}).encode() + b"\n"
+            )
+            writer2.close()
+            await writer2.wait_closed()
+            await server.close()
+            return reply, trailing, health
+
+        reply, trailing, health = asyncio.run(run())
+        assert reply["ok"] is False
+        assert reply["error"] == "RequestTooLargeError"
+        assert trailing == b""
+        assert health["ok"] is True
+
+    def test_abrupt_disconnect_mid_line_leaves_server_alive(self):
+        async def run():
+            server = await self._server()
+            # A client that dies mid-request: bytes written, no newline.
+            reader, writer = await asyncio.open_connection(*server.address)
+            writer.write(b'{"op": "sta')
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+            await asyncio.sleep(0.05)  # let the handler observe the EOF
+            # Another that sends nothing at all.
+            _, silent = await asyncio.open_connection(*server.address)
+            silent.close()
+            await silent.wait_closed()
+            reader2, writer2 = await asyncio.open_connection(*server.address)
+            stats = await self._rpc(
+                reader2, writer2, json.dumps({"op": "stats"}).encode() + b"\n"
+            )
+            writer2.close()
+            await writer2.wait_closed()
+            await server.close()
+            return stats
+
+        stats = asyncio.run(run())
+        # The half-written fragment was discarded, never dispatched.
+        assert stats["ok"] is True
+        assert stats["stats"]["served"] == 0
+
+
 class TestMetrics:
     def test_latency_reservoir_quantiles_and_wraparound(self):
         reservoir = LatencyReservoir(capacity=4)

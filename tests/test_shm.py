@@ -1,0 +1,157 @@
+"""Failure edges of the shared-memory shard transport.
+
+The happy path is exercised constantly by the sharded engine tests;
+this battery pins down the edges recovery depends on: idempotent
+teardown from any state, typed attach failures for vanished and
+corrupt segments, and the atexit reaper racing ``Engine.close()``.
+"""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine import Engine
+from repro.engine.shm import (
+    SharedArraySegment,
+    _reap_live_segments,
+    attach_segment,
+    live_segment_names,
+    read_segment,
+    segment_view,
+)
+from repro.errors import ConfigurationError, ShardTransportError
+from repro.pipeline import PipelineConfig
+from repro.signals.noise import awgn
+
+TINY = PipelineConfig(fft_size=32, num_blocks=8, calibration_trials=8)
+
+
+def _shm_path(segment: SharedArraySegment) -> str:
+    return f"/dev/shm/{segment.name.lstrip('/')}"
+
+
+def _array(rows: int = 4) -> np.ndarray:
+    return np.arange(rows * 8, dtype=np.complex128).reshape(rows, 8)
+
+
+class TestTeardownIdempotency:
+    def test_double_destroy_is_a_no_op(self):
+        segment = SharedArraySegment(_array())
+        path = _shm_path(segment)
+        assert os.path.exists(path)
+        segment.destroy()
+        assert not os.path.exists(path)
+        segment.destroy()  # second destroy: nothing left, no error
+        assert segment.name not in live_segment_names()
+
+    def test_destroy_after_vanish_and_after_corrupt(self):
+        for sabotage in ("vanish", "corrupt"):
+            segment = SharedArraySegment(_array())
+            path = _shm_path(segment)
+            getattr(segment, sabotage)()
+            segment.destroy()
+            assert not os.path.exists(path), sabotage
+            assert segment.name not in live_segment_names()
+
+    def test_vanish_and_corrupt_after_destroy_are_no_ops(self):
+        segment = SharedArraySegment(_array())
+        segment.destroy()
+        segment.vanish()
+        segment.corrupt()
+        assert _shm_entries_for(segment) == []
+
+
+def _shm_entries_for(segment: SharedArraySegment) -> list[str]:
+    name = segment.name.lstrip("/")
+    return [n for n in os.listdir("/dev/shm") if n == name]
+
+
+class TestAttachFailures:
+    def test_attach_to_unlinked_segment_raises_typed(self):
+        segment = SharedArraySegment(_array())
+        descriptor = segment.descriptor
+        segment.vanish()
+        with pytest.raises(ShardTransportError, match="vanished"):
+            attach_segment(descriptor)
+        segment.destroy()
+
+    def test_attach_to_destroyed_segment_raises_typed(self):
+        segment = SharedArraySegment(_array())
+        descriptor = segment.descriptor
+        segment.destroy()
+        with pytest.raises(ShardTransportError):
+            attach_segment(descriptor)
+
+    def test_attach_to_corrupt_segment_raises_typed(self):
+        segment = SharedArraySegment(_array())
+        descriptor = segment.descriptor
+        segment.corrupt()
+        with pytest.raises(ShardTransportError, match="corrupt"):
+            attach_segment(descriptor)
+        segment.destroy()
+        assert _shm_entries_for(segment) == []
+
+    def test_intact_segment_round_trips(self):
+        array = _array()
+        with SharedArraySegment(array) as segment:
+            shm = attach_segment(segment.descriptor)
+            view = segment_view(segment.descriptor, shm)
+            assert np.array_equal(view, array)
+            with pytest.raises(ValueError):
+                view[0, 0] = 0  # read-only by contract
+            del view
+            shm.close()
+            rows = read_segment(segment.descriptor, 1, 3)
+            assert np.array_equal(rows, array[1:3])
+
+    def test_empty_array_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SharedArraySegment(np.empty((0, 8), dtype=np.complex128))
+
+
+class TestReaperRaces:
+    def test_reap_concurrent_with_engine_close(self):
+        signals = np.stack(
+            [awgn(TINY.samples_per_decision, seed=400 + i) for i in range(4)]
+        )
+        engine = Engine(jobs=2)
+        try:
+            engine.statistics(signals, config=TINY)
+            # Batches destroy their segments eagerly; the reaper must
+            # find nothing and engine.close() must still be clean.
+            assert live_segment_names() == ()
+            _reap_live_segments()
+        finally:
+            engine.close()
+        _reap_live_segments()  # after close: equally a no-op
+
+    def test_reap_then_destroy_from_many_threads(self):
+        segment = SharedArraySegment(_array(rows=16))
+        path = _shm_path(segment)
+        errors: list[Exception] = []
+        barrier = threading.Barrier(9)
+
+        def teardown(via_reaper: bool) -> None:
+            try:
+                barrier.wait()
+                if via_reaper:
+                    _reap_live_segments()
+                else:
+                    segment.destroy()
+            except Exception as error:  # pragma: no cover - the assert
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=teardown, args=(index % 2 == 0,))
+            for index in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert not os.path.exists(path)
+        assert segment.name not in live_segment_names()
