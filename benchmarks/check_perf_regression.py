@@ -60,6 +60,13 @@ OPERATING_POINT_KEYS = (
     "mode",
     "max_batch",
     "requests",
+    # BENCH_calibration.json rows: a monte-carlo setup figure must
+    # never gate an analytic one (or a full sweep a pruned one), and
+    # the threshold setup cost scales with the target pfa's trial
+    # demand, so all three key the operating point.
+    "calibration",
+    "alpha_search",
+    "pfa",
 )
 
 #: Recognised timing fields (seconds; lower is better).  The per-sweep
@@ -79,6 +86,9 @@ TIMING_KEYS = (
     "seconds_per_request",
     "p50_latency_seconds",
     "p99_latency_seconds",
+    # BENCH_calibration.json: wall-clock to produce one detection
+    # threshold under the row's calibration policy.
+    "calibration_seconds",
 )
 
 #: Fault-tolerance counters (BENCH_serve.json load-ladder rows).  Not

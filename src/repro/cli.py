@@ -162,6 +162,16 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         "or float32 (complex64 fast paths on the batch backends: "
         f"{', '.join(FLOAT32_BACKENDS)})",
     )
+    parser.add_argument(
+        "--calibration",
+        choices=("monte-carlo", "analytic"),
+        default="monte-carlo",
+        help="threshold calibration policy: monte-carlo (the (1-pfa) "
+        "quantile of --calibration-trials noise-only trials) or "
+        "analytic (closed-form CFAR threshold from the coherence "
+        "statistic's null distribution - zero calibration trials; "
+        "see repro.core.cfar for supported geometries)",
+    )
 
 
 def _make_engine(args: argparse.Namespace) -> Engine:
@@ -226,6 +236,7 @@ def _cmd_sense(args: argparse.Namespace) -> int:
                 backend=args.backend,
                 soc_compiled=args.soc_compiled,
                 pfa=args.pfa,
+                calibration=args.calibration,
                 calibration_trials=args.calibration_trials,
                 precision=args.precision,
             ),
@@ -355,6 +366,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         backend=args.backend,
         soc_compiled=args.soc_compiled,
         pfa=args.pfa,
+        calibration=args.calibration,
         calibration_trials=trials,
         scan_bands=num_bands,
         sample_rate_hz=sample_rate,
@@ -468,6 +480,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         fft_size=args.fft_size,
         num_blocks=args.blocks,
         pfa=args.pfa,
+        calibration=args.calibration,
         soc_compiled=args.soc_compiled,
         calibration_seed=args.seed,
         precision=args.precision,
@@ -674,6 +687,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         num_blocks=args.blocks,
         backend=args.backend,
         pfa=args.pfa,
+        calibration=args.calibration,
         calibration_trials=args.calibration_trials,
         precision=args.precision,
     )

@@ -39,13 +39,14 @@ The classes here remain the per-decision building blocks.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
 from .._util import require_positive_float, require_positive_int
-from ..errors import ConfigurationError, SignalError
+from ..errors import CalibrationWarning, ConfigurationError, SignalError
 from .sampling import SampledSignal
 from .scf import dscf_from_signal, spectral_coherence
 from .fourier import block_spectra
@@ -419,4 +420,40 @@ def calibrate_threshold(
     statistics = np.array(
         [statistic_fn(noise_factory(trial)) for trial in range(trials)]
     )
+    return calibration_quantile(statistics, pfa)
+
+
+def calibration_quantile(statistics: np.ndarray, pfa: float) -> float:
+    """The ``(1 - pfa)`` threshold quantile of noise-only statistics.
+
+    The one quantile rule every Monte-Carlo calibration path shares —
+    the per-trial loop above, :meth:`repro.pipeline.BatchRunner.
+    calibrate_threshold`, :meth:`repro.engine.Engine.calibrate_threshold`
+    and the engine's sweeps all route through here, so thresholds are
+    bit-identical for the same trial set wherever they are calibrated.
+
+    An under-sampled calibration (``trials * pfa < 1``) emits a
+    :class:`~repro.errors.CalibrationWarning`: the empirical quantile
+    then interpolates inside the top order statistic and the realized
+    false-alarm rate is unconstrained by the data.  The extrapolated
+    quantile is still returned (some smoke paths accept it knowingly);
+    callers who need a trustworthy tail should raise the trial count or
+    use the closed-form ``calibration="analytic"`` policy
+    (:mod:`repro.core.cfar`).
+    """
+    pfa = validate_pfa(pfa)
+    statistics = np.asarray(statistics)
+    if statistics.size * pfa < 1.0:
+        warnings.warn(
+            f"calibration is under-sampled: {statistics.size} trials at "
+            f"pfa={pfa:g} put the (1 - pfa) quantile beyond the top "
+            f"order statistic ({statistics.size} * {pfa:g} = "
+            f"{statistics.size * pfa:.3g} < 1); the threshold "
+            f"extrapolates near the sample maximum. Increase trials to "
+            f"at least {int(np.ceil(1.0 / pfa))}, or use "
+            f"calibration='analytic' for a zero-trial closed-form "
+            f"threshold",
+            CalibrationWarning,
+            stacklevel=2,
+        )
     return float(np.quantile(statistics, 1.0 - pfa))

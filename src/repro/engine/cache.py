@@ -13,9 +13,9 @@ grew its own ad-hoc cache.
 by :func:`plan_key` — the subset of :class:`~repro.pipeline.config.
 PipelineConfig` fields a plan actually consumes (backend, K, N, M,
 hop, window, grid and estimator knobs) — so configurations differing
-only in calibration policy (``pfa``, ``calibration_trials``,
-``calibration_seed``, ``scan_bands``) share one plan, while any
-geometry change invalidates the key and rebuilds.  Hit/miss/eviction
+only in calibration policy (``pfa``, ``calibration``,
+``calibration_trials``, ``calibration_seed``, ``scan_bands``) share
+one plan, while any geometry change invalidates the key and rebuilds.  Hit/miss/eviction
 accounting is kept per cache and surfaced by ``repro-cfd backends``
 and the engine benchmarks.
 
@@ -48,6 +48,10 @@ PLAN_KEY_FIELDS = (
     "window",
     "normalize",
     "cyclic_bins",
+    # The cycle-frequency search strategy changes what statistics()
+    # computes, so pruned and full plans must never collide.
+    "alpha_search",
+    "alpha_top",
     "trial_chunk",
     "soc_tiles",
     "soc_compiled",

@@ -628,14 +628,24 @@ class Engine:
         pfa: float | None = None,
         trials: int | None = None,
     ) -> float:
-        """Monte-Carlo threshold at the configured (or given) Pfa.
+        """Threshold at the configured (or given) Pfa, by policy.
 
-        The ``(1 - pfa)`` quantile of noise-only statistics — the
-        :class:`~repro.pipeline.BatchRunner` calibration contract,
-        executed through the engine (and therefore sharded when
-        ``jobs > 1``, bitwise equal to the serial calibration).
+        ``calibration="monte-carlo"``: the ``(1 - pfa)`` quantile of
+        noise-only statistics — the :class:`~repro.pipeline.BatchRunner`
+        calibration contract, executed through the engine (and
+        therefore sharded when ``jobs > 1``, bitwise equal to the
+        serial calibration).
+
+        ``calibration="analytic"``: the closed-form CFAR threshold
+        (:func:`repro.core.cfar.analytic_threshold`) — zero noise
+        trials and no engine execution at all; *noise_factory* and
+        *trials* are ignored.
         """
         pfa = config.pfa if pfa is None else pfa
+        if getattr(config, "calibration", "monte-carlo") == "analytic":
+            from ..core.cfar import analytic_threshold
+
+            return analytic_threshold(config, pfa=pfa)
         trials = config.calibration_trials if trials is None else trials
         if noise_factory is None:
             noise_factory = default_noise_factory(config)
@@ -707,8 +717,16 @@ class Engine:
                 factory, trials, config=config, plan=plan
             )
 
-        h0_statistics = collect(h0_factory)
-        threshold = calibration_quantile(h0_statistics, pfa)
+        if getattr(config, "calibration", "monte-carlo") == "analytic":
+            # Closed-form threshold: the sweep skips the whole
+            # noise-only collection pass — the setup-cost win that
+            # motivates the analytic policy (see repro.core.cfar).
+            from ..core.cfar import analytic_threshold
+
+            threshold = analytic_threshold(config, pfa=pfa)
+        else:
+            h0_statistics = collect(h0_factory)
+            threshold = calibration_quantile(h0_statistics, pfa)
         points = []
         for snr_db in snrs_db:
             h1_statistics = collect(

@@ -43,7 +43,7 @@ from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
 
-from ..core.detection import validate_pfa
+from ..core.detection import calibration_quantile as core_calibration_quantile
 from ..core.scf import COHERENCE_FLOOR, DSCFResult, spectral_coherence
 from ..errors import ConfigurationError
 from .._compute import (
@@ -58,6 +58,12 @@ from .._util import spawn_substreams
 #: Highest worker count the bitwise-equality battery pins (see
 #: ``tests/test_engine.py``); ``repro-cfd backends`` reports it.
 MAX_TESTED_JOBS = 4
+
+#: Correlation lags probed by the pruned search's coarse screen (see
+#: :meth:`BatchExecutionPlan.alpha_screen`).  Lag 0 sees
+#: envelope-periodic signals; the small non-zero lags see
+#: constant-modulus pulse trains whose instantaneous power is flat.
+PRUNE_SCREEN_LAGS = (0, 1, 2, 3)
 
 
 @runtime_checkable
@@ -174,6 +180,14 @@ class BatchExecutionPlan:
         plan_factory = getattr(backend, "batch_plan", None)
         self._executor = plan_factory(cfg) if callable(plan_factory) else None
         self._exact = bool(getattr(self._executor, "dscf_exact", False))
+        # Pruned cycle-frequency search (config validation restricts it
+        # to the Gram path): statistics() screens every column with the
+        # cyclic autocorrelation of the block powers, then refines only
+        # the strongest candidates exactly.
+        self._pruned = (
+            cfg.alpha_search == "pruned" and self._executor is None
+        )
+        self._offsets = offsets
 
     # ------------------------------------------------------------------
     # Introspection
@@ -360,9 +374,100 @@ class BatchExecutionPlan:
         Peak surface value over the searched cyclic offsets — the same
         reduction as
         :meth:`repro.core.detection.CyclostationaryFeatureDetector.statistic`.
+        With ``config.alpha_search="pruned"`` the peak is instead taken
+        over the exactly-refined top-scoring columns of the coarse
+        cycle-frequency screen (see :meth:`pruned_search`).
         """
+        if self._pruned:
+            return self.pruned_search(signals)[0]
         surfaces = self.surfaces(signals)
         return surfaces[:, :, self._columns].max(axis=(1, 2))
+
+    # ------------------------------------------------------------------
+    # Pruned cycle-frequency search (arXiv:0903.1183-style)
+    # ------------------------------------------------------------------
+    def alpha_screen(self, signals: np.ndarray) -> np.ndarray:
+        """Coarse per-column cycle-frequency scores, ``(trials, cols)``.
+
+        Column ``a`` of the DSCF is scored by the block-averaged cyclic
+        autocorrelation magnitude at its cycle frequency ``2a/K``,
+        probed at the few smallest correlation lags — a handful of
+        FFTs of lag-product series per trial (``T * N * K log K``
+        work) instead of the full ``(2M+1)^2 * N`` Gram sweep.  The
+        identity behind it:
+
+            sum_f X[f+a] conj(X[f-a]) e^{2 pi i f tau / K}
+                = K * DFT_{2a}(b[n] conj(b[n - tau]))
+
+        — each lag ``tau`` sums a column coherently under a different
+        linear f-phase.  Lag 0 alone (the instantaneous-power screen)
+        is blind to constant-modulus signals, whose envelope hides the
+        symbol clock; small non-zero lags recover it (the lag product
+        of a pulse train flips with the symbol stream), so the screen
+        maximises over lags :data:`PRUNE_SCREEN_LAGS`.  Scores align
+        with :attr:`searched_columns`.
+        """
+        cfg = self.config
+        batch = self.as_batch(signals)
+        blocks = batch[:, self._gather] * self._taper
+        scores = None
+        for lag in PRUNE_SCREEN_LAGS:
+            if lag >= cfg.fft_size:
+                break
+            products = blocks * np.conj(np.roll(blocks, -lag, axis=2))
+            cyclic = np.abs(np.fft.fft(products, axis=2).mean(axis=1))
+            scores = cyclic if scores is None else np.maximum(scores, cyclic)
+        columns = (2 * (self._columns - cfg.m)) % cfg.fft_size
+        return scores[:, columns]
+
+    def pruned_search(
+        self, signals: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Screen + refine: statistics and winning cyclic offsets.
+
+        Returns ``(statistics, peak_offsets)``: per trial, the top
+        ``config.alpha_top`` screened columns are re-evaluated with the
+        exact coherence mathematics and the strongest refined cell
+        supplies the statistic and its offset ``a``.  Conjugate
+        symmetry makes column ``-a`` redundant with ``a`` (identical
+        coherence values, mirrored in f), so refining the screened
+        candidates never misses the mirrored peak; the winning offset
+        is reported as its non-negative mirror ``|a|``.
+        """
+        batch = self.as_batch(signals)
+        spectra = self.block_spectra(batch)
+        scores = self.alpha_screen(batch)
+        trials = batch.shape[0]
+        cfg = self.config
+        top = min(cfg.alpha_top, self._columns.size)
+        candidates = np.argpartition(scores, -top, axis=1)[:, -top:]
+        windowed = spectra[:, :, self._sub]
+        if cfg.normalize:
+            mean_square = np.mean(np.abs(spectra) ** 2, axis=1)
+        center = cfg.fft_size // 2
+        two_m = 2 * cfg.m
+        statistics = np.empty(trials)
+        peaks = np.empty(trials, dtype=np.int64)
+        for trial in range(trials):
+            offsets_a = self._columns[candidates[trial]] - cfg.m
+            u = self._offsets[:, None] + offsets_a[None, :]
+            v = self._offsets[:, None] - offsets_a[None, :]
+            slab = windowed[trial]
+            values = np.sum(
+                slab[:, u + two_m] * np.conj(slab[:, v + two_m]), axis=0
+            )
+            values /= self.averaging_length
+            surface = np.abs(values)
+            if cfg.normalize:
+                trial_power = mean_square[trial]
+                denominator = np.sqrt(
+                    trial_power[center + u] * trial_power[center + v]
+                )
+                surface /= np.maximum(denominator, COHERENCE_FLOOR)
+            flat = int(np.argmax(surface))
+            statistics[trial] = float(surface.ravel()[flat])
+            peaks[trial] = abs(int(offsets_a[flat % offsets_a.size]))
+        return statistics, peaks
 
     def results(self, signals: np.ndarray) -> list[DSCFResult]:
         """Batched DSCFs wrapped per trial in :class:`DSCFResult`."""
@@ -596,6 +701,10 @@ def default_noise_factory(config) -> Callable[[int], np.ndarray]:
 
 
 def calibration_quantile(statistics: np.ndarray, pfa: float) -> float:
-    """The ``(1 - pfa)`` threshold quantile of noise-only statistics."""
-    pfa = validate_pfa(pfa)
-    return float(np.quantile(np.asarray(statistics), 1.0 - pfa))
+    """The ``(1 - pfa)`` threshold quantile of noise-only statistics.
+
+    Re-exported from :func:`repro.core.detection.calibration_quantile`
+    — the one quantile rule every calibration path shares (including
+    its under-sampled-calibration warning).
+    """
+    return core_calibration_quantile(statistics, pfa)

@@ -41,6 +41,18 @@ class SignalError(ReproError):
     """A signal generator or estimator received an invalid waveform request."""
 
 
+class CalibrationWarning(RuntimeWarning):
+    """A Monte-Carlo calibration is statistically under-sampled.
+
+    Emitted by :func:`repro.core.detection.calibration_quantile` when
+    ``trials * pfa < 1``: the empirical ``(1 - pfa)`` quantile then
+    extrapolates into the top order statistic, so the calibrated
+    threshold's false-alarm rate is essentially unconstrained by the
+    data.  Increase ``calibration_trials``, raise ``pfa``, or switch to
+    ``calibration="analytic"`` (zero-trial closed-form thresholds).
+    """
+
+
 class EngineFaultError(ReproError):
     """Base class for recoverable execution-engine faults.
 

@@ -172,6 +172,23 @@ class LatticeProjection:
         """Number of DSCF grid cells at least one lattice point maps to."""
         return int(self._cells.size)
 
+    def points_in_columns(self, columns: np.ndarray) -> int:
+        """Distinct magnitude points mapping into the given grid columns.
+
+        *columns* are DSCF column indices (``a_bin + M``), e.g. a
+        plan's searched columns.  Counts unique magnitude-axis entries
+        (shared mirror points count once), the estimator-coefficient
+        population the analytic CFAR models (:mod:`repro.core.cfar`)
+        size their maximum over.
+        """
+        columns = np.asarray(columns, dtype=np.int64).ravel()
+        if self._cells.size == 0 or columns.size == 0:
+            return 0
+        searched = np.isin(self._cells % self.extent, columns)
+        lengths = np.diff(np.concatenate([self._starts, [self._gather.size]]))
+        members = np.repeat(searched, lengths)
+        return int(np.unique(self._gather[members]).size)
+
     def project(self, magnitudes: np.ndarray) -> np.ndarray:
         """Max-reduce per-point magnitudes onto the DSCF grid.
 

@@ -202,18 +202,31 @@ class BatchRunner:
         pfa: float | None = None,
         trials: int | None = None,
     ) -> float:
-        """Batched Monte-Carlo threshold at the configured Pfa.
+        """Threshold at the configured Pfa, by the configured policy.
 
-        The ``(1 - pfa)`` quantile of noise-only statistics — the same
+        Under the default ``calibration="monte-carlo"`` policy: the
+        ``(1 - pfa)`` quantile of noise-only statistics — the same
         contract as :func:`repro.core.detection.calibrate_threshold`,
         computed in one vectorised pass instead of a per-trial loop
-        (and sharing the engine's
-        :func:`~repro.engine.plans.calibration_quantile` rule, so
+        (and sharing the
+        :func:`~repro.core.detection.calibration_quantile` rule, so
         thresholds agree bit for bit wherever they are calibrated).
+
+        Under ``calibration="analytic"`` the threshold comes from the
+        statistic's closed-form null distribution instead
+        (:func:`repro.core.cfar.analytic_threshold`) — zero noise
+        trials; *noise_factory* and *trials* are ignored (the
+        coherence statistic's null law is noise-power invariant).
         """
         from ..engine.plans import calibration_quantile
 
         pfa = self.config.pfa if pfa is None else pfa
+        if self.config.calibration == "analytic":
+            from ..core.cfar import analytic_threshold
+
+            return analytic_threshold(
+                self.config, pfa=pfa, plan=self._plan
+            )
         trials = self.config.calibration_trials if trials is None else trials
         if noise_factory is None:
             noise_factory = self.default_noise_factory()

@@ -61,12 +61,31 @@ class PipelineConfig:
         licensed user's symbol rate is unknown).
     pfa:
         Target false-alarm probability for threshold calibration.
+    calibration:
+        Threshold-calibration policy — ``"monte-carlo"`` (default, the
+        ``(1 - pfa)`` quantile of noise-only trials) or ``"analytic"``
+        (closed-form CFAR thresholds from the coherence statistic's
+        null distribution, zero calibration trials; see
+        :mod:`repro.core.cfar` for the supported geometries per
+        backend).
     calibration_trials:
         Noise-only Monte-Carlo trials used by
-        :meth:`~repro.pipeline.DetectionPipeline.calibrate`.
+        :meth:`~repro.pipeline.DetectionPipeline.calibrate` (unused
+        under ``calibration="analytic"``).
     calibration_seed:
         Base seed for the default calibration noise factory (trial *t*
         uses ``calibration_seed + t``).
+    alpha_search:
+        Cycle-frequency search strategy of the detection statistic —
+        ``"full"`` (default: every searched column scanned exactly) or
+        ``"pruned"`` (coarse FFT-based cyclic-autocorrelation screen
+        over all columns, then exact coherence refinement of the
+        ``alpha_top`` strongest candidates — the fast cycle-frequency-
+        domain search of arXiv:0903.1183).  Pruned search applies to
+        the Gram-path ``vectorized`` backend with the default
+        full-offset search; ``"full"`` outputs stay bitwise unchanged.
+    alpha_top:
+        Candidate columns refined exactly by ``alpha_search="pruned"``.
     sample_rate_hz:
         Optional sampling frequency carried into results for
         physical-unit axes.
@@ -127,8 +146,11 @@ class PipelineConfig:
     normalize: bool = True
     cyclic_bins: tuple[int, ...] | None = None
     pfa: float = 0.05
+    calibration: str = "monte-carlo"
     calibration_trials: int = 50
     calibration_seed: int = 10_000
+    alpha_search: str = "full"
+    alpha_top: int = 8
     sample_rate_hz: float | None = None
     soc_tiles: int = 4
     soc_compiled: bool = False
@@ -185,6 +207,31 @@ class PipelineConfig:
                 f"is a double-precision parity reference "
                 f"(or fixed-point, for 'soc')"
             )
+        if self.calibration not in ("monte-carlo", "analytic"):
+            raise ConfigurationError(
+                f"calibration must be 'monte-carlo' or 'analytic', got "
+                f"{self.calibration!r}"
+            )
+        if self.alpha_search not in ("full", "pruned"):
+            raise ConfigurationError(
+                f"alpha_search must be 'full' or 'pruned', got "
+                f"{self.alpha_search!r}"
+            )
+        require_positive_int(self.alpha_top, "alpha_top")
+        if self.alpha_search == "pruned":
+            if self.backend != "vectorized":
+                raise ConfigurationError(
+                    f"alpha_search='pruned' screens the Gram-path DSCF "
+                    f"columns and only applies to backend 'vectorized', "
+                    f"got {self.backend!r}"
+                )
+            if self.cyclic_bins is not None:
+                raise ConfigurationError(
+                    "alpha_search='pruned' searches all cyclic offsets "
+                    "with a coarse screen; it cannot be combined with "
+                    "an explicit cyclic_bins subset (which is already "
+                    "a pruned search)"
+                )
         object.__setattr__(
             self, "cyclic_bins", validate_cyclic_bins(self.cyclic_bins, self.m)
         )

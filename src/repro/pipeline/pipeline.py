@@ -177,17 +177,34 @@ class DetectionPipeline:
         noise_factory: Callable[[int], np.ndarray] | None = None,
         trials: int | None = None,
     ) -> float:
-        """Monte-Carlo threshold at ``config.pfa``, cached on the pipeline.
+        """Threshold at ``config.pfa``, cached on the pipeline.
 
-        Uses the batched pass when the backend supports it; otherwise
-        loops noise-only trials through the backend itself so the
-        threshold matches the statistics the backend will produce.
+        Under ``calibration="monte-carlo"`` (default): uses the batched
+        pass when the backend supports it; otherwise loops noise-only
+        trials through the backend itself so the threshold matches the
+        statistics the backend will produce.
+
+        Under ``calibration="analytic"``: the closed-form CFAR
+        threshold (:func:`repro.core.cfar.analytic_threshold`) — zero
+        noise trials, *noise_factory* and *trials* ignored (the
+        coherence statistic's null law is noise-power invariant).
+        Callers whose calibration noise is *not* white at the
+        estimator input (e.g. channelized sub-band noise) must stay on
+        Monte-Carlo; the scanner enforces this.
 
         The channel stage is *not* applied to the calibration noise on
         either path: it models the licensed user's propagation, while
         the factory's realisations stand for noise added at the
         receiver itself.
         """
+        if self.config.calibration == "analytic":
+            from ..core.cfar import analytic_threshold
+
+            threshold = analytic_threshold(
+                self.config, plan=self._runner.execution_plan
+            )
+            self._threshold = threshold
+            return threshold
         trials = self.config.calibration_trials if trials is None else trials
         if noise_factory is None:
             noise_factory = self._runner.default_noise_factory()
@@ -204,13 +221,18 @@ class DetectionPipeline:
                 noise_factory=noise_factory, trials=trials
             )
         else:
+            # The same quantile rule as the batched/engine paths (one
+            # shared implementation), so the per-trial loop is
+            # bit-identical to them on the same trial set.
+            from ..core.detection import calibration_quantile
+
             statistics = np.array(
                 [
                     self._statistic_no_channel(noise_factory(trial))
                     for trial in range(trials)
                 ]
             )
-            threshold = float(np.quantile(statistics, 1.0 - self.config.pfa))
+            threshold = calibration_quantile(statistics, self.config.pfa)
         self._threshold = threshold
         return threshold
 

@@ -159,7 +159,30 @@ class BandScanner:
         (the uniform bank gives all bands identical noise statistics),
         so one channelizer pass feeds C trials.  The stored threshold
         is the calibrated quantile scaled by ``leak_margin``.
+
+        Under ``calibration="analytic"`` the per-band threshold comes
+        from the closed-form null law instead (zero noise trials,
+        scaled by the same ``leak_margin``) — valid for the
+        partitioning rectangular bank only: white capture noise stays
+        white per sub-band, matching the analytic model's white-noise
+        null (the coherence statistic is scale-invariant, so
+        ``noise_power`` drops out).  Overlapping prototypes colour the
+        sub-band noise, so ``taps_per_band > 1`` with analytic
+        calibration is rejected.
         """
+        if self.config.calibration == "analytic":
+            if self.channelizer.taps_per_band > 1:
+                raise ConfigurationError(
+                    f"calibration='analytic' models white sub-band "
+                    f"noise; an overlapping prototype "
+                    f"(taps_per_band={self.channelizer.taps_per_band}) "
+                    f"colours it. Use calibration='monte-carlo' for "
+                    f"this channelizer, or taps_per_band=1"
+                )
+            self._threshold = (
+                self.pipeline.calibrate(trials=trials) * self.leak_margin
+            )
+            return self._threshold
         base = self.config.calibration_seed
         needed = self.band_samples
         power = self.noise_power

@@ -202,9 +202,15 @@ class SensingService:
         values are exact.
         """
         config = self.config if config is None else config
+        # The full calibration policy keys the cache: plan_key
+        # deliberately excludes calibration fields (plans don't consume
+        # them), so without `calibration` here an analytic and a
+        # Monte-Carlo config at the same geometry would collide on one
+        # cached threshold.
         key = (
             plan_key(config),
             config.pfa,
+            config.calibration,
             config.calibration_trials,
             config.calibration_seed,
         )
