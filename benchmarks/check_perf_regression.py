@@ -60,6 +60,14 @@ OPERATING_POINT_KEYS = (
     "mode",
     "max_batch",
     "requests",
+    # BENCH_streaming.json rows: the detect-every-hop ladder keys each
+    # geometry by its hop stride and detection statistic (coherence vs
+    # raw peak-|S|), and each timing by its detection route (spectra
+    # fast path vs sample-domain engine path) — an engine-path figure
+    # must never gate a spectra-path one.
+    "hop",
+    "normalize",
+    "serve_path",
     # BENCH_calibration.json rows: a monte-carlo setup figure must
     # never gate an analytic one (or a full sweep a pruned one), and
     # the threshold setup cost scales with the target pfa's trial
@@ -89,6 +97,9 @@ TIMING_KEYS = (
     # BENCH_calibration.json: wall-clock to produce one detection
     # threshold under the row's calibration policy.
     "calibration_seconds",
+    # BENCH_streaming.json: wall-clock per detect-every-hop decision on
+    # the row's serve path (window extraction + statistic).
+    "seconds_per_detect",
 )
 
 #: Fault-tolerance counters (BENCH_serve.json load-ladder rows).  Not

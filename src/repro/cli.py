@@ -74,6 +74,7 @@ from .pipeline import (
     PipelineConfig,
     available_backends,
     get_backend,
+    spectra_serve_support,
 )
 from .pipeline.config import FLOAT32_BACKENDS
 from .serve import (
@@ -567,11 +568,16 @@ def _cmd_backends(args: argparse.Namespace) -> int:
             else "float64 only (parity reference)"
         )
         print(f"  {'':<12s} precision: {precisions}")
-        serving = (
-            "session-capable (repro-cfd serve)"
-            if session_capable(name)
-            else "offline only (neither streaming nor batched execution)"
-        )
+        if not session_capable(name):
+            serving = "offline only (neither streaming nor batched execution)"
+        elif spectra_serve_support(name):
+            serving = (
+                "session-capable; spectra fast path + engine fallback "
+                "(serve_path=auto routes dscf-exact float64 detects "
+                "through the session's resident spectra)"
+            )
+        else:
+            serving = "session-capable; engine path only"
         print(f"  {'':<12s} serve: {serving}")
         executor_cache = getattr(get_backend(name), "plan_cache", None)
         caching = "shared engine LRU"
@@ -646,7 +652,26 @@ async def _serve_smoke_client(
             f"threshold={result['threshold']:.6g} "
             f"detected={result['detected']} (noise-only input)"
         )
+        expected_path = server.service.resolve_serve_path()
+        if result.get("serve_path") != expected_path:
+            raise ConfigurationError(
+                f"smoke detect took serve_path="
+                f"{result.get('serve_path')!r} but the service config "
+                f"resolves to {expected_path!r}"
+            )
         stats = (await rpc({"op": "stats"}))["stats"]
+        path_counter = f"served_{expected_path}"
+        if stats[path_counter] < 1:
+            raise ConfigurationError(
+                f"smoke detect resolved to the {expected_path!r} path "
+                f"but stats[{path_counter!r}] is {stats[path_counter]}: "
+                "the scheduler never recorded a completion on that route"
+            )
+        print(
+            f"smoke: serve_path={expected_path} "
+            f"served_spectra={stats['served_spectra']} "
+            f"served_engine={stats['served_engine']}"
+        )
         latency = stats["latency"]["p50_latency_seconds"]
         print(
             f"smoke: served={stats['served']} batches={stats['batches']} "
@@ -690,6 +715,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         calibration=args.calibration,
         calibration_trials=args.calibration_trials,
         precision=args.precision,
+        serve_path=args.serve_path,
     )
     engine = _make_engine(args)
 
@@ -839,6 +865,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_backends(),
         default="vectorized",
         help="estimator backend; must be serve-capable (see `backends`)",
+    )
+    serve.add_argument(
+        "--serve-path",
+        choices=("auto", "engine", "spectra"),
+        default="auto",
+        help="session detect route: 'auto' takes the spectra fast path "
+        "when the backend is dscf-exact under the full float64 search, "
+        "'engine' forces the sample-domain batch path, 'spectra' "
+        "requires the fast path (rejected for ineligible configs)",
     )
     serve.add_argument(
         "--max-queue-depth",

@@ -456,21 +456,41 @@ class StreamingDSCF:
         self._count += 1
         self._cached = None
 
-    def window_spectra(self) -> np.ndarray:
+    def window_spectra(self, phase: np.ndarray | None = None) -> np.ndarray:
         """The in-window spectra in arrival order (oldest first).
 
         Only meaningful in window mode; shape
-        ``(min(count, W), fft_size)``.
+        ``(min(count, W), fft_size)``.  With *phase* — a
+        ``(min(count, W), fft_size)`` table — each spectrum is
+        multiplied elementwise by its row on the way out, fused into
+        the ring copy (one pass instead of copy-then-multiply) but
+        bitwise equal to ``window_spectra() * phase``.  The serve
+        sessions use this to reconcile ring spectra to the batch phase
+        convention on the spectra-reuse detection fast path (see
+        :meth:`repro.serve.SensingSession.window_spectra`).
         """
         if self._ring is None:
             raise ConfigurationError(
                 "window_spectra requires a sliding-window StreamingDSCF "
                 "(window_blocks was None)"
             )
+        count = min(self._count, self._window)
+        if phase is not None and phase.shape != (count, self._fft_size):
+            raise ConfigurationError(
+                f"phase must have shape ({count}, {self._fft_size}) to "
+                f"match the current window, got {phase.shape}"
+            )
         if self._count <= self._window:
-            return self._ring[: self._count].copy()
+            live = self._ring[: self._count]
+            return live.copy() if phase is None else live * phase
         cut = self._count % self._window
-        return np.concatenate([self._ring[cut:], self._ring[:cut]])
+        if phase is None:
+            return np.concatenate([self._ring[cut:], self._ring[:cut]])
+        out = np.empty_like(self._ring)
+        head = self._window - cut
+        np.multiply(self._ring[cut:], phase[:head], out=out[:head])
+        np.multiply(self._ring[:cut], phase[head:], out=out[head:])
+        return out
 
     def _values(self) -> np.ndarray:
         if self._ring is None:

@@ -65,6 +65,10 @@ PLAN_KEY_FIELDS = (
     # tapers/phase tables and scipy-backed FFT namespaces, so they
     # must never collide with float64 plans in shared_plan_cache.
     "precision",
+    # serve_path is deliberately absent: it picks the serving route
+    # only, plans are identical either way — engine- and spectra-routed
+    # requests at one geometry share a single cached plan (the serve
+    # scheduler separates batch groups by request domain instead).
 )
 
 

@@ -426,6 +426,58 @@ class Engine:
             plan = self.plan(config)
         return np.asarray(plan.statistics(signals))
 
+    def spectra_statistics(
+        self,
+        spectra: np.ndarray,
+        config=None,
+        plan=None,
+    ) -> np.ndarray:
+        """Per-trial statistics of a ``(trials, N, K)`` block-spectra
+        batch.
+
+        The spectra-domain twin of :meth:`statistics` for plans exposing
+        ``statistics_from_spectra`` (the Gram-path DSCF and the
+        spectra-accepting sequential backends): re-blocking and the
+        N-block FFT sweep are skipped because the caller already holds
+        the centered block spectra in the batch phase convention — the
+        serve layer's session-resident fast path.  Statistics are
+        bitwise identical to :meth:`statistics` on the raw windows the
+        spectra came from.  Always runs in-process: the fast path
+        exists to avoid recomputation and data movement, and a
+        ``(trials, N, K)`` batch is the largest object in the request —
+        sharding it would ship more bytes than the FFTs it saves.
+        """
+        if config is None and plan is None:
+            raise ConfigurationError(
+                "spectra_statistics needs a config or a plan"
+            )
+        if config is not None and plan is not None:
+            raise ConfigurationError(
+                "pass either config or plan, not both: they could name "
+                "different detectors"
+            )
+        spectra = np.asarray(spectra)
+        if spectra.ndim == 2:
+            spectra = spectra[None, :, :]
+        if spectra.ndim != 3:
+            raise ConfigurationError(
+                f"spectra must be a (trials, num_blocks, fft_size) array "
+                f"of centered block spectra, got shape {spectra.shape}"
+            )
+        if self.fault_injector is not None:
+            self.fault_injector.fire("engine.batch")
+        if plan is None:
+            plan = self.plan(config)
+        entry = getattr(plan, "statistics_from_spectra", None)
+        if entry is None:
+            raise ConfigurationError(
+                f"the plan for backend "
+                f"{getattr(plan, 'backend_name', '?')!r} has no "
+                f"spectra-domain entry point (statistics_from_spectra)"
+            )
+        self.last_transport = "in-process"
+        return np.asarray(entry(spectra))
+
     def _sharded_statistics(
         self, config, signals: np.ndarray, jobs: int
     ) -> np.ndarray:

@@ -241,6 +241,24 @@ class BatchExecutionPlan:
             )
         return array
 
+    def as_spectra_batch(self, spectra: np.ndarray) -> np.ndarray:
+        """Coerce *spectra* into a validated ``(trials, N, K)`` complex
+        batch of centered block spectra at the plan's precision."""
+        array = np.asarray(spectra, dtype=self._cdtype)
+        if array.ndim == 2:
+            array = array[None, :, :]
+        cfg = self.config
+        if array.ndim != 3 or array.shape[1:] != (
+            cfg.num_blocks,
+            cfg.fft_size,
+        ):
+            raise ConfigurationError(
+                f"spectra must be a (trials, {cfg.num_blocks}, "
+                f"{cfg.fft_size}) array of centered block spectra, got "
+                f"shape {array.shape}"
+            )
+        return array
+
     # ------------------------------------------------------------------
     # Stages
     # ------------------------------------------------------------------
@@ -315,8 +333,12 @@ class BatchExecutionPlan:
                 stop = start + cfg.trial_chunk
                 slab = windowed[start:stop]
                 gram = np.matmul(slab.transpose(0, 2, 1), np.conj(slab))
-                gram /= cfg.num_blocks
                 values[start:stop] = gram[:, self._gram_u, self._gram_v]
+            # The 1/N pass runs on the gathered (2M+1)^2 grid — a 4x
+            # smaller array than the full (4M+1)^2 Gram plane, and
+            # elementwise division commutes with the gather, so the
+            # values are bitwise unchanged.
+            values /= cfg.num_blocks
             return values
         # float32 fast path.  With BLAS available the whole Gram
         # gather is one cgemm per trial: for X = windowed[t] (N x K'),
@@ -381,6 +403,40 @@ class BatchExecutionPlan:
         if self._pruned:
             return self.pruned_search(signals)[0]
         surfaces = self.surfaces(signals)
+        return surfaces[:, :, self._columns].max(axis=(1, 2))
+
+    def statistics_from_spectra(self, spectra: np.ndarray) -> np.ndarray:
+        """Detection statistics straight from centered block spectra.
+
+        The spectra-domain twin of :meth:`statistics`: when the caller
+        already holds the ``(trials, N, K)`` block spectra — e.g. a
+        serve session's reconciled ring (see
+        :meth:`repro.serve.SensingSession.window_spectra`) — this skips
+        re-blocking and the N-block FFT sweep entirely and runs only
+        the Gram gather plus coherence normalisation.  Rows that are
+        bitwise equal to the matching :meth:`block_spectra` slices
+        yield statistics bitwise identical to :meth:`statistics` on the
+        raw window (the mathematics from the spectra onward are the
+        same code path).
+
+        Only the Gram-path plan can enter here: backend-provided
+        executors (the FAM/SSCA lattices, the compiled SoC replay)
+        consume raw samples, and the pruned search screens raw sample
+        blocks — both raise :class:`~repro.errors.ConfigurationError`.
+        """
+        if self._executor is not None:
+            raise ConfigurationError(
+                f"backend {self.backend_name!r} executes trials from raw "
+                f"samples (estimator lattice or platform replay) and has "
+                f"no spectra-domain entry point"
+            )
+        if self._pruned:
+            raise ConfigurationError(
+                "alpha_search='pruned' screens raw sample blocks and has "
+                "no spectra-domain entry point; use alpha_search='full'"
+            )
+        batch = self.as_spectra_batch(spectra)
+        surfaces = self.surfaces(None, spectra=batch)
         return surfaces[:, :, self._columns].max(axis=(1, 2))
 
     # ------------------------------------------------------------------
@@ -541,8 +597,14 @@ class LoopExecutionPlan:
         """Blocks averaged per decision."""
         return self.config.num_blocks
 
-    def _surface(self, samples: np.ndarray) -> np.ndarray:
-        spectra = self._spectra.block_spectra(samples[None])[0]
+    def _surface(
+        self, samples: np.ndarray | None, spectra: np.ndarray | None = None
+    ) -> np.ndarray:
+        """One trial's surface from raw *samples*, or — on a backend
+        that accepts precomputed spectra — from a caller-supplied
+        ``(N, K)`` *spectra* array (the spectra-domain fast path)."""
+        if spectra is None:
+            spectra = self._spectra.block_spectra(samples[None])[0]
         source = (
             spectra
             if self._backend.capabilities.accepts_spectra
@@ -567,6 +629,33 @@ class LoopExecutionPlan:
             [
                 float(self._surface(samples)[:, columns].max())
                 for samples in batch
+            ]
+        )
+
+    def statistics_from_spectra(self, spectra: np.ndarray) -> np.ndarray:
+        """Detection statistics straight from centered block spectra.
+
+        The spectra-domain twin of :meth:`statistics` for sequential
+        backends that accept precomputed spectra (``streaming``,
+        ``reference``): each trial's ``(N, K)`` rows feed the backend
+        directly, so the per-trial block FFT sweep is skipped.  Rows
+        bitwise equal to the host plan's :meth:`~BatchExecutionPlan.
+        block_spectra` slices yield statistics bitwise identical to
+        :meth:`statistics` on the raw window.  Raw-sample substrates
+        (the cycle-level soc interpreter) raise
+        :class:`~repro.errors.ConfigurationError`.
+        """
+        if not self._backend.capabilities.accepts_spectra:
+            raise ConfigurationError(
+                f"backend {self.backend_name!r} operates on raw samples "
+                f"and has no spectra-domain entry point"
+            )
+        batch = self._spectra.as_spectra_batch(spectra)
+        columns = self.searched_columns
+        return np.array(
+            [
+                float(self._surface(None, spectra=rows)[:, columns].max())
+                for rows in batch
             ]
         )
 

@@ -33,6 +33,7 @@ from .backends import (
     available_backends,
     get_backend,
     register_backend,
+    spectra_serve_support,
 )
 from .batch import BatchRunner
 from .config import PipelineConfig
@@ -57,4 +58,5 @@ __all__ = [
     "available_backends",
     "get_backend",
     "register_backend",
+    "spectra_serve_support",
 ]

@@ -378,6 +378,29 @@ def available_backends() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
+def spectra_serve_support(name: str) -> bool:
+    """Whether the serve layer's spectra-reuse fast path covers *name*.
+
+    A backend qualifies when it is serve-capable (batched or streaming
+    execution), consumes precomputed ``(N, K)`` block spectra, and
+    evaluates expression 3 exactly on the ``(f, a)`` grid — then a
+    session's reconciled ring spectra can feed the plan layer's
+    ``statistics_from_spectra`` entry point with bitwise-identical
+    results.  Full-plane estimators (``fam``/``ssca``) re-channelize
+    raw samples onto their own lattice and the cycle-level ``soc``
+    interpreter replays raw blocks, so their serve detects keep the
+    engine sample path; the per-trial ``reference`` oracle is not
+    serve-capable at all.  ``repro-cfd backends`` reports this flag and
+    :meth:`repro.serve.SensingService.resolve_serve_path` enforces it.
+    """
+    capabilities = get_backend(name).capabilities
+    return (
+        (capabilities.supports_batch or capabilities.supports_streaming)
+        and capabilities.accepts_spectra
+        and capabilities.dscf_exact
+    )
+
+
 register_backend(ReferenceBackend())
 register_backend(VectorizedBackend())
 register_backend(StreamingBackend())

@@ -135,6 +135,20 @@ class PipelineConfig:
         backends stay double precision by design (they are the
         NumPy-literal parity oracles) and ``soc`` is fixed-point with
         bitwise-pinned traces, so float32 is rejected there.
+    serve_path:
+        Detection route for serve-session detects (ignored offline) —
+        ``"auto"`` (default: the session-resident spectra fast path
+        whenever the backend supports it, the engine sample path
+        otherwise), ``"engine"`` (always re-run the full block-FFT
+        front-end on the raw window — the parity oracle), or
+        ``"spectra"`` (require the fast path; the serving layer raises
+        :class:`~repro.errors.ConfigurationError` for backends without
+        a spectra-domain entry point).  Both routes are bitwise
+        identical; the knob only chooses what gets recomputed.  The
+        fast path needs the exact Gram/coherence mathematics, so
+        ``"spectra"`` is rejected here for ``alpha_search="pruned"``
+        and ``precision="float32"`` (backend eligibility is checked by
+        :meth:`repro.serve.SensingService.resolve_serve_path`).
     """
 
     fft_size: int = 256
@@ -162,6 +176,7 @@ class PipelineConfig:
     scan_bands: int = 8
     estimator_window: str = "hann"
     precision: str = "float64"
+    serve_path: str = "auto"
 
     def __post_init__(self) -> None:
         require_positive_int(self.fft_size, "fft_size")
@@ -218,6 +233,30 @@ class PipelineConfig:
                 f"{self.alpha_search!r}"
             )
         require_positive_int(self.alpha_top, "alpha_top")
+        if self.serve_path not in ("auto", "engine", "spectra"):
+            raise ConfigurationError(
+                f"serve_path must be 'auto', 'engine' or 'spectra', got "
+                f"{self.serve_path!r}"
+            )
+        if self.serve_path == "spectra":
+            # Backend eligibility (dscf-exact, accepts spectra) is the
+            # serving layer's call; the structural conflicts are
+            # rejected here so an impossible config never constructs.
+            if self.alpha_search == "pruned":
+                raise ConfigurationError(
+                    "serve_path='spectra' computes statistics from "
+                    "session-resident block spectra, but "
+                    "alpha_search='pruned' screens raw sample blocks; "
+                    "use serve_path='auto'/'engine' or "
+                    "alpha_search='full'"
+                )
+            if self.precision == "float32":
+                raise ConfigurationError(
+                    "serve_path='spectra' requires the float64 parity "
+                    "path (session ring spectra are double precision); "
+                    "use serve_path='auto'/'engine' or "
+                    "precision='float64'"
+                )
         if self.alpha_search == "pruned":
             if self.backend != "vectorized":
                 raise ConfigurationError(

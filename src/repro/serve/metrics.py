@@ -13,6 +13,11 @@ from one :class:`ServiceMetrics` instance owned by the
   a bounded reservoir, quantiled for p50/p99 (exact over the most
   recent ``capacity`` requests; the closed-loop benchmark keeps every
   sample itself);
+* **per-path accounting** — served completions split by detection
+  route (``served_spectra`` for the session-resident spectra fast
+  path, ``served_engine`` for the sample-domain batch path), each with
+  its own latency reservoir, so the fast-path hit rate and its latency
+  win stay observable in production;
 * **coalescing** — how many engine batches were executed and how many
   requests rode in them; ``coalescing_factor`` is the mean batch size,
   the direct measure of the request-coalescing win;
@@ -74,8 +79,15 @@ class ServiceMetrics:
 
     def __init__(self, latency_capacity: int = 4096) -> None:
         self.latency = LatencyReservoir(latency_capacity)
+        # Per-path views of the served stream: the overall reservoir
+        # keeps the service-level quantiles, these keep the detection
+        # route attributable (spectra fast path vs engine batch).
+        self.latency_spectra = LatencyReservoir(latency_capacity)
+        self.latency_engine = LatencyReservoir(latency_capacity)
         self.offered = 0
         self.served = 0
+        self.served_spectra = 0
+        self.served_engine = 0
         self.shed_overload = 0
         self.shed_deadline = 0
         self.shed_deadline_in_flight = 0
@@ -138,10 +150,23 @@ class ServiceMetrics:
         if size > self.max_batch_size:
             self.max_batch_size = size
 
-    def record_served(self, latency_seconds: float) -> None:
-        """One request completed successfully."""
+    def record_served(
+        self, latency_seconds: float, path: str = "engine"
+    ) -> None:
+        """One request completed successfully via *path*.
+
+        ``path`` is ``"spectra"`` (the session-resident fast path) or
+        ``"engine"`` (the sample-domain batch path, the default so
+        pre-fast-path callers keep their meaning).
+        """
         self.served += 1
         self.latency.record(latency_seconds)
+        if path == "spectra":
+            self.served_spectra += 1
+            self.latency_spectra.record(latency_seconds)
+        else:
+            self.served_engine += 1
+            self.latency_engine.record(latency_seconds)
 
     def record_failed(self) -> None:
         """One request failed with an execution error."""
@@ -167,6 +192,8 @@ class ServiceMetrics:
         return {
             "offered": self.offered,
             "served": self.served,
+            "served_spectra": self.served_spectra,
+            "served_engine": self.served_engine,
             "shed_overload": self.shed_overload,
             "shed_deadline": self.shed_deadline,
             "shed_deadline_in_flight": self.shed_deadline_in_flight,
@@ -182,4 +209,6 @@ class ServiceMetrics:
             "ingested_chunks": self.ingested_chunks,
             "ingested_samples": self.ingested_samples,
             "latency": self.latency.snapshot(),
+            "latency_spectra": self.latency_spectra.snapshot(),
+            "latency_engine": self.latency_engine.snapshot(),
         }

@@ -6,9 +6,13 @@ and one worker task that drains it:
 
 * **coalescing** — the worker pulls as many queued requests as are
   immediately available (up to ``max_batch``), groups them by engine
-  plan key, stacks each group's windows into one trial batch, and runs
-  a single :meth:`Engine.statistics <repro.engine.Engine.statistics>`
-  call per group.  The batched plans guarantee per-trial slices are
+  plan key *and request domain*, stacks each group's payloads into one
+  trial batch, and runs a single engine call per group —
+  :meth:`Engine.statistics <repro.engine.Engine.statistics>` for raw
+  sample windows, :meth:`Engine.spectra_statistics
+  <repro.engine.Engine.spectra_statistics>` for spectra-domain fast-
+  path requests (many sessions' reconciled ring spectra stacked into
+  one Gram call).  The batched plans guarantee per-trial slices are
   bitwise identical to singleton runs, so coalescing changes *when*
   work happens, never *what* is computed — and amortises the FFT/
   einsum setup the same way the offline batch path does;
@@ -59,7 +63,15 @@ from .metrics import ServiceMetrics
 
 @dataclass
 class DetectionRequest:
-    """One pending detection: a window of samples plus its bookkeeping."""
+    """One pending detection: its payload plus bookkeeping.
+
+    ``samples`` holds the raw detection window (``domain="samples"``)
+    or its already-transformed ``(N, K)`` block spectra in the batch
+    phase convention (``domain="spectra"``, the session-resident fast
+    path).  The grouping ``key`` includes the domain, so one coalesced
+    batch never mixes payload kinds even when both routes share a
+    plan.
+    """
 
     samples: np.ndarray
     config: PipelineConfig
@@ -67,10 +79,11 @@ class DetectionRequest:
     submitted: float
     deadline: float | None = None
     retries: int = 0
+    domain: str = "samples"
     key: tuple = field(init=False)
 
     def __post_init__(self) -> None:
-        self.key = plan_key(self.config)
+        self.key = (plan_key(self.config), self.domain)
 
 
 class CoalescingScheduler:
@@ -196,8 +209,18 @@ class CoalescingScheduler:
         samples: np.ndarray,
         config: PipelineConfig,
         deadline_seconds: float | None = None,
+        domain: str = "samples",
     ) -> float:
-        """Queue one detection window and await its statistic.
+        """Queue one detection payload and await its statistic.
+
+        *samples* is a raw detection window (``domain="samples"``) or
+        its centered ``(N, K)`` block spectra in the batch phase
+        convention (``domain="spectra"`` — the session-resident fast
+        path, routed through
+        :meth:`Engine.spectra_statistics
+        <repro.engine.Engine.spectra_statistics>`).  Spectra-domain
+        requests from many sessions sharing a plan key coalesce into
+        one stacked Gram call exactly like sample windows do.
 
         Sheds immediately (``ServiceOverloadedError``) when the queue
         is full or the scheduler is closed, and fast-fails
@@ -213,6 +236,7 @@ class CoalescingScheduler:
             future=loop.create_future(),
             submitted=now,
             deadline=None if deadline_seconds is None else now + deadline_seconds,
+            domain=domain,
         )
         if self._closed or not self.running:
             self._metrics.record_shed_overload()
@@ -290,9 +314,10 @@ class CoalescingScheduler:
         for group in groups.values():
             stacked = np.stack([request.samples for request in group])
             degraded_before = self._engine.health.degraded_shards
+            path = "spectra" if group[0].domain == "spectra" else "engine"
             try:
                 statistics = await asyncio.to_thread(
-                    self._run_batch, stacked, group[0].config
+                    self._run_batch, stacked, group[0].config, group[0].domain
                 )
             except Exception as error:
                 if self.breaker is not None:
@@ -322,18 +347,32 @@ class CoalescingScheduler:
                         )
                     )
                     continue
-                self._metrics.record_served(done - request.submitted)
+                self._metrics.record_served(
+                    done - request.submitted, path=path
+                )
                 request.future.set_result(float(statistic))
 
-    def _run_batch(self, stacked: np.ndarray, config: PipelineConfig):
+    def _run_batch(
+        self,
+        stacked: np.ndarray,
+        config: PipelineConfig,
+        domain: str = "samples",
+    ):
         """One engine batch, off the event loop (runs in a thread).
 
-        The ``serve.batch`` fault site fires here so ``hang``/``slow``
-        faults stall only this batch — the event loop keeps answering
-        ``health`` probes and accepting submissions throughout.
+        Sample-domain groups run :meth:`Engine.statistics
+        <repro.engine.Engine.statistics>`; spectra-domain groups run
+        the fast-path twin :meth:`Engine.spectra_statistics
+        <repro.engine.Engine.spectra_statistics>` on the stacked
+        ``(requests, N, K)`` tensor.  The ``serve.batch`` fault site
+        fires here either way, so ``hang``/``slow`` faults stall only
+        this batch — the event loop keeps answering ``health`` probes
+        and accepting submissions throughout.
         """
         if self._injector is not None:
             self._injector.fire("serve.batch")
+        if domain == "spectra":
+            return self._engine.spectra_statistics(stacked, config=config)
         return self._engine.statistics(stacked, config=config)
 
     def _fail_or_retry(self, request: DetectionRequest, error: Exception) -> None:

@@ -17,7 +17,9 @@ Operations (``op`` field of the request object):
 ``detect``
     ``{"op": "detect", "session": "s1"}`` with optional ``"deadline"``
     (seconds) and ``"threshold"`` (bool, default true) → the detection
-    result (``statistic``, ``threshold``, ``detected``).
+    result (``statistic``, ``threshold``, ``detected``, plus
+    ``serve_path`` — ``"spectra"`` when the decision reused the
+    session's resident block spectra, ``"engine"`` on the sample path).
 ``stats``
     ``{"op": "stats"}`` → the full metrics snapshot.
 ``health``

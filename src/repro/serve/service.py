@@ -14,6 +14,12 @@ subsystem together:
   clients are batched into single engine calls while staying bitwise
   identical to offline :class:`~repro.pipeline.DetectionPipeline`
   runs;
+* session detects on dscf-exact serve-capable configurations take the
+  **spectra-reuse fast path** automatically (``serve_path="auto"``):
+  the session's reconciled ring spectra feed the plan layer's
+  spectra-domain entry point, skipping re-blocking and the N-block FFT
+  sweep while producing bit-for-bit the engine path's statistic — see
+  :meth:`SensingService.resolve_serve_path`;
 * it calibrates detection thresholds on first use per operating point
   and caches them (the Monte-Carlo calibration is deterministic given
   the config, so the cache is exact, not approximate);
@@ -37,7 +43,8 @@ import numpy as np
 
 from ..engine import Engine
 from ..engine.cache import plan_key
-from ..errors import SessionStateError
+from ..errors import ConfigurationError, SessionStateError
+from ..pipeline.backends import spectra_serve_support
 from ..pipeline.config import PipelineConfig
 from .breaker import CircuitBreaker
 from .metrics import ServiceMetrics
@@ -87,6 +94,10 @@ class SensingService:
     ) -> None:
         require_serve_capable(config)
         self.config = config
+        # Fail fast on an impossible route (serve_path="spectra" with a
+        # backend lacking a spectra-domain entry point) instead of at
+        # the first detect.
+        self.resolve_serve_path(config)
         self._owns_engine = engine is None
         self._engine = Engine(jobs=jobs) if engine is None else engine
         self.metrics = ServiceMetrics(latency_capacity=latency_capacity)
@@ -133,12 +144,59 @@ class SensingService:
     # ------------------------------------------------------------------
     # Sessions
     # ------------------------------------------------------------------
+    def resolve_serve_path(
+        self, config: PipelineConfig | None = None
+    ) -> str:
+        """The detection route session detects at *config* will take.
+
+        ``"spectra"`` — the session-resident fast path: the detection
+        statistic is computed straight from the session's reconciled
+        ring spectra through the plan layer's spectra-domain entry
+        point, skipping re-blocking and the N-block FFT sweep.
+        Requires a backend the fast path covers (see
+        :func:`~repro.pipeline.backends.spectra_serve_support`), the
+        full cycle-frequency search, and float64 arithmetic.
+
+        ``"engine"`` — the sample-domain batch path: the raw window is
+        re-run through the full block-FFT front-end.  Kept as the
+        fallback for the full-plane estimators (``fam``/``ssca``), the
+        raw-sample ``soc`` substrate, pruned search and float32 — and
+        as the parity oracle for the fast path.
+
+        Both routes produce bitwise-identical statistics; ``auto``
+        simply prefers the one that recomputes less.  Requesting
+        ``serve_path="spectra"`` on an ineligible configuration raises
+        :class:`~repro.errors.ConfigurationError` (this runs eagerly at
+        service construction and session open, not at first detect).
+        """
+        config = self.config if config is None else config
+        eligible = (
+            spectra_serve_support(config.backend)
+            and config.alpha_search == "full"
+            and config.precision == "float64"
+        )
+        if config.serve_path == "engine":
+            return "engine"
+        if config.serve_path == "spectra":
+            if not eligible:
+                raise ConfigurationError(
+                    f"serve_path='spectra' needs a backend with a "
+                    f"spectra-domain entry point (dscf-exact, accepts "
+                    f"precomputed spectra) under the full float64 "
+                    f"search; backend {config.backend!r} does not "
+                    f"qualify — use serve_path='auto' or 'engine'"
+                )
+            return "spectra"
+        return "spectra" if eligible else "engine"
+
     def open_session(
         self,
         config: PipelineConfig | None = None,
         session_id: str | None = None,
     ) -> str:
         """Open a new ingestion session; returns its id."""
+        if config is not None:
+            self.resolve_serve_path(config)  # eager route validation
         session = SensingSession(
             self.config if config is None else config, session_id=session_id
         )
@@ -175,6 +233,8 @@ class SensingService:
         self, state: dict, config: PipelineConfig | None = None
     ) -> str:
         """Re-open a session from a checkpoint; returns its id."""
+        if config is not None:
+            self.resolve_serve_path(config)  # eager route validation
         session = SensingSession.from_state(
             self.config if config is None else config, state
         )
@@ -228,6 +288,32 @@ class SensingService:
                 self._thresholds[key] = cached
         return cached
 
+    async def _submit_detection(
+        self,
+        payload: np.ndarray,
+        config: PipelineConfig,
+        deadline_seconds: float | None,
+        with_threshold: bool,
+        domain: str,
+    ) -> dict:
+        """Threshold + scheduler round trip shared by both routes."""
+        threshold = (await self.threshold(config)) if with_threshold else None
+        statistic = await self.scheduler.submit(
+            payload,
+            config,
+            deadline_seconds=deadline_seconds,
+            domain=domain,
+        )
+        result = {
+            "statistic": statistic,
+            "threshold": threshold,
+            "backend": config.backend,
+            "serve_path": "spectra" if domain == "spectra" else "engine",
+        }
+        if threshold is not None:
+            result["detected"] = bool(statistic > threshold)
+        return result
+
     async def detect_samples(
         self,
         samples: np.ndarray,
@@ -240,23 +326,18 @@ class SensingService:
         The window is queued through the coalescing scheduler, so
         concurrent calls share engine batches; the returned statistic
         is bitwise identical to the offline pipeline on the same
-        samples.
+        samples.  Caller-supplied raw windows have no session-resident
+        spectra to reuse, so this is always the engine path
+        (``result["serve_path"] == "engine"``).
         """
         config = self.config if config is None else config
-        threshold = (await self.threshold(config)) if with_threshold else None
-        statistic = await self.scheduler.submit(
+        return await self._submit_detection(
             np.asarray(samples, dtype=np.complex128),
             config,
-            deadline_seconds=deadline_seconds,
+            deadline_seconds,
+            with_threshold,
+            "samples",
         )
-        result = {
-            "statistic": statistic,
-            "threshold": threshold,
-            "backend": config.backend,
-        }
-        if threshold is not None:
-            result["detected"] = bool(statistic > threshold)
-        return result
 
     async def detect(
         self,
@@ -264,15 +345,35 @@ class SensingService:
         deadline_seconds: float | None = None,
         with_threshold: bool = True,
     ) -> dict:
-        """Detect on a session's current window (the last N blocks)."""
+        """Detect on a session's current window (the last N blocks).
+
+        Routing follows :meth:`resolve_serve_path`: on the spectra
+        fast path the session's reconciled ring spectra are submitted
+        directly (no re-blocking, no FFT sweep); otherwise the raw
+        window goes through the engine sample path.  The statistic —
+        and therefore the decision — is bitwise identical either way;
+        ``result["serve_path"]`` reports the route taken.
+        """
         session = self._session(session_id)
-        window = session.window_samples()  # raises until ready
-        result = await self.detect_samples(
-            window,
-            config=session.config,
-            deadline_seconds=deadline_seconds,
-            with_threshold=with_threshold,
-        )
+        config = session.config
+        path = self.resolve_serve_path(config)
+        if path == "spectra":
+            payload = session.window_spectra()  # raises until ready
+            result = await self._submit_detection(
+                payload,
+                config,
+                deadline_seconds,
+                with_threshold,
+                "spectra",
+            )
+        else:
+            window = session.window_samples()  # raises until ready
+            result = await self.detect_samples(
+                window,
+                config=config,
+                deadline_seconds=deadline_seconds,
+                with_threshold=with_threshold,
+            )
         result["session"] = session_id
         result["blocks"] = session.blocks_ingested
         result["total_samples"] = session.total_samples

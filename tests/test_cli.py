@@ -250,7 +250,8 @@ class TestEngineFlags:
     def test_backends_reports_serve_capability(self, capsys):
         assert main(["backends"]) == 0
         out = capsys.readouterr().out
-        assert "serve: session-capable (repro-cfd serve)" in out
+        assert "serve: session-capable; spectra fast path" in out
+        assert "serve: session-capable; engine path only" in out
         assert "serve: offline only" in out
 
 
